@@ -1,0 +1,19 @@
+"""Shared configuration for the paper-reproduction benchmark harness.
+
+Every file here regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  Experiments run exactly once under
+``benchmark.pedantic`` — they are measurements, not microbenchmarks —
+and print the same rows/series the paper reports, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the full evaluation section.
+"""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print an experiment table (visible with ``-s``; captured otherwise)."""
+    print()
+    print(text)

@@ -1,0 +1,27 @@
+"""Extension bench: the paper's section-6.3 large-ion-trap prediction."""
+
+from conftest import emit
+from repro.experiments import ext_large_ion
+
+
+def test_noise_adaptivity_grows_with_chain_length(benchmark):
+    points = benchmark.pedantic(
+        ext_large_ion.run,
+        kwargs={"fault_samples": 120},
+        rounds=1,
+        iterations=1,
+    )
+    emit(ext_large_ion.format_result(points))
+
+    # Distance-dependent errors are in effect.
+    for point in points:
+        assert point.farthest_error > point.nearest_error
+
+    # Noise-adaptivity helps on every chain...
+    for point in points:
+        assert point.advantage >= 1.0
+
+    # ...and the advantage grows with chain length (the paper's
+    # prediction: "even more important then").
+    advantages = [p.advantage for p in points]
+    assert advantages[-1] > advantages[0]

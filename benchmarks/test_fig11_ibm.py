@@ -1,0 +1,33 @@
+"""Regenerates paper Figure 11(a, b): noise-adaptivity on IBMQ14.
+
+Paper shape: TriQ-1QOptCN succeeds on all 12 benchmarks, beats the
+Qiskit baseline by geomean 3.0x (up to 28x) and the noise-unaware
+TriQ-1QOptC by geomean 1.4x (up to 2.8x); Qiskit fails on over half the
+suite.
+"""
+
+from conftest import emit
+from repro.experiments import fig11_noise
+
+
+def test_fig11_ibm_noise_adaptivity(benchmark):
+    result = benchmark.pedantic(
+        fig11_noise.run_ibm,
+        kwargs={"fault_samples": 60},
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig11_noise.format_ibm(result))
+
+    # TriQ-1QOptCN clearly beats the vendor baseline on aggregate.
+    assert result.vs_qiskit_geomean >= 1.5
+    assert result.vs_qiskit_max >= 4.0
+    # Noise-awareness adds on top of communication optimization.
+    assert result.vs_comm_geomean >= 0.95
+    # Qiskit fails part of the suite (paper: 7/12; our threshold proxy
+    # detects the unambiguous ones); TriQ-1QOptCN does not fail
+    # everywhere the baseline does.
+    assert result.qiskit_failures >= 2
+    noise_sr = result.success["TriQ-1QOptCN"]
+    qiskit_sr = result.success["Qiskit"]
+    assert sum(s > 0.1 for s in noise_sr) > sum(s > 0.1 for s in qiskit_sr)

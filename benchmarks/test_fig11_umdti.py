@@ -1,0 +1,47 @@
+"""Regenerates paper Figure 11(e, f): gate sequences on UMDTI.
+
+Paper shape: on the low-error, fully-connected trapped-ion machine,
+noise-adaptive placement still wins (up to 1.47x on Toffoli chains,
+1.35x on Fredkin), and the gains grow with sequence length.
+"""
+
+from conftest import emit
+import pytest
+
+from repro.experiments import fig11_noise
+from repro.experiments.stats import geomean
+
+
+@pytest.mark.parametrize(
+    "gate,max_length", [("toffoli", 8), ("fredkin", 7)]
+)
+def test_fig11_umdti_sequences(benchmark, gate, max_length):
+    result = benchmark.pedantic(
+        fig11_noise.run_umdti,
+        kwargs={
+            "gate": gate,
+            "max_length": max_length,
+            "fault_samples": 80,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig11_noise.format_umdti(result))
+
+    assert result.lengths == list(range(1, max_length + 1))
+    # Success decays with sequence length under both compilers.
+    assert result.success_noise[-1] < result.success_noise[0]
+    # Noise-adaptivity helps, within the paper's modest band.
+    assert 1.0 <= result.max_improvement <= 2.0
+    # The advantage grows with circuit length: compare the improvement
+    # on the short half vs the long half of the sweep.
+    half = max_length // 2
+    short_gain = geomean(
+        n / max(c, 1e-3)
+        for c, n in zip(result.success_comm[:half], result.success_noise[:half])
+    )
+    long_gain = geomean(
+        n / max(c, 1e-3)
+        for c, n in zip(result.success_comm[half:], result.success_noise[half:])
+    )
+    assert long_gain >= short_gain * 0.95

@@ -1,0 +1,45 @@
+"""Regenerates paper Figure 12: 12 benchmarks x 7 systems.
+
+Paper shape: UMDTI leads on the benchmarks that fit its 5 qubits;
+triangle-shaped benchmarks run well on IBMQ5's triangle; benchmarks
+too large for a machine are marked X; larger/better-connected machines
+accommodate more of the suite.
+"""
+
+from conftest import emit
+from repro.experiments import fig12_cross
+from repro.experiments.stats import geomean
+
+
+def test_fig12_cross_platform(benchmark):
+    result = benchmark.pedantic(
+        fig12_cross.run, kwargs={"fault_samples": 50}, rounds=1, iterations=1
+    )
+    emit(fig12_cross.format_result(result))
+
+    success = result.success
+
+    # Size restrictions: the 4-qubit Agave can't fit BV6/BV8/HS6...
+    assert success["Rigetti Agave"]["BV6"] is None
+    assert success["Rigetti Agave"]["BV8"] is None
+    # ...while the 16-qubit machines fit everything.
+    assert all(v is not None for v in success["IBM Q16 Rueschlikon"].values())
+
+    # UMDTI leads on the 3-qubit benchmarks it fits (Figure 12's
+    # headline observation).
+    for bench in ("Toffoli", "Fredkin", "Or", "Peres"):
+        umd = success["UMD Trapped Ion"][bench]
+        others = [
+            success[device][bench]
+            for device in result.devices
+            if device != "UMD Trapped Ion"
+            and success[device][bench] is not None
+        ]
+        assert umd >= max(others) - 0.05, bench
+
+    # Triangle benchmarks fit IBMQ5's triangle: it beats the bigger
+    # IBMQ14 grid on aggregate over those benchmarks.
+    tri = ("Toffoli", "Fredkin", "Or", "Peres")
+    q5 = geomean(max(success["IBM Q5 Tenerife"][b], 1e-3) for b in tri)
+    q14 = geomean(max(success["IBM Q14 Melbourne"][b], 1e-3) for b in tri)
+    assert q5 > q14 * 0.8

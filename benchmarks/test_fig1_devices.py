@@ -1,0 +1,19 @@
+"""Regenerates paper Figure 1: the device-characteristics table."""
+
+from conftest import emit
+from repro.experiments import fig1_devices
+
+
+def test_fig1_device_table(benchmark):
+    rows = benchmark.pedantic(fig1_devices.run, rounds=1, iterations=1)
+    emit(fig1_devices.format_result(rows))
+    assert len(rows) == 7
+    by_name = {r.name: r for r in rows}
+    # Paper Figure 1 facts.
+    assert by_name["IBM Q14 Melbourne"].qubits == 14
+    assert by_name["IBM Q14 Melbourne"].two_qubit_gates == 18
+    assert by_name["UMD Trapped Ion"].coherence_us == 1.5e6
+    assert "fully connected" in by_name["UMD Trapped Ion"].topology
+    # UMDTI has the lowest 2Q error; Agave the worst readout.
+    assert min(rows, key=lambda r: r.err_2q_pct).name == "UMD Trapped Ion"
+    assert max(rows, key=lambda r: r.err_ro_pct).name == "Rigetti Agave"

@@ -1,0 +1,16 @@
+"""Regenerates paper Figure 2: native and software-visible gate sets."""
+
+from conftest import emit
+from repro.experiments import fig2_gatesets
+
+
+def test_fig2_gateset_table(benchmark):
+    rows = benchmark.pedantic(fig2_gatesets.run, rounds=1, iterations=1)
+    emit(fig2_gatesets.format_result(rows))
+    by_vendor = {r.vendor: r for r in rows}
+    assert by_vendor["ibm"].two_qubit_gate == "cx"
+    assert by_vendor["rigetti"].two_qubit_gate == "cz"
+    assert by_vendor["umdti"].two_qubit_gate == "xx"
+    # UMD's arbitrary Rxy rotation: one pulse per arbitrary rotation.
+    assert by_vendor["umdti"].pulses_per_rotation == 1
+    assert by_vendor["ibm"].pulses_per_rotation == 2

@@ -1,0 +1,22 @@
+"""Regenerates paper Figure 3: daily 2Q error variation on IBMQ14."""
+
+from conftest import emit
+from repro.experiments import fig3_calibration
+
+
+def test_fig3_calibration_series(benchmark):
+    result = benchmark.pedantic(
+        fig3_calibration.run, kwargs={"days": 26}, rounds=1, iterations=1
+    )
+    emit(fig3_calibration.format_result(result))
+    # Paper: device average 7.95%, up to ~9x spread across qubits/days.
+    assert 0.04 <= result.average_error <= 0.14
+    assert 4.0 <= result.spread_factor <= 20.0
+    # Four gates plotted for 26 days each.
+    assert all(len(v) == 26 for v in result.series.values())
+    # Gates must differ from each other (spatial variation)...
+    means = [sum(v) / len(v) for v in result.series.values()]
+    assert max(means) / min(means) > 1.5
+    # ...and each gate must drift day to day (temporal variation).
+    for values in result.series.values():
+        assert max(values) / min(values) > 1.05

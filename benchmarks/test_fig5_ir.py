@@ -1,0 +1,14 @@
+"""Regenerates paper Figure 5: the BV4 IR circuit."""
+
+from conftest import emit
+from repro.experiments import fig5_ir
+
+
+def test_fig5_bv4_ir(benchmark):
+    result = benchmark.pedantic(fig5_ir.run, rounds=1, iterations=1)
+    emit(fig5_ir.format_result(result))
+    # Figure 5's structure: H on all qubits twice, X + 3 CNOTs, 4 ROs.
+    assert result.op_counts == {"h": 8, "x": 1, "cx": 3, "measure": 4}
+    assert result.correct == "1111"
+    # The H layer runs in parallel: far fewer layers than instructions.
+    assert result.parallel_layers < 16

@@ -1,0 +1,14 @@
+"""Regenerates paper Figure 6: the example reliability matrix."""
+
+from conftest import emit
+from repro.experiments import fig6_reliability
+
+
+def test_fig6_reliability_matrix(benchmark):
+    result = benchmark.pedantic(fig6_reliability.run, rounds=1, iterations=1)
+    emit(fig6_reliability.format_result(result))
+    # Every entry the paper publishes must match to rounding.
+    assert result.max_abs_error < 0.01
+    # The worked (1,6) example: swap 1 next to 5, then the 5-6 gate.
+    assert abs(result.matrix[1, 6] - 0.9**3 * 0.8) < 1e-9
+    assert result.swap_path_1_to_5 == [1, 5]

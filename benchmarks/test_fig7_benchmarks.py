@@ -1,0 +1,17 @@
+"""Regenerates paper Figure 7: the benchmark summary table."""
+
+from conftest import emit
+from repro.experiments import fig7_benchmarks
+
+
+def test_fig7_benchmark_table(benchmark):
+    rows = benchmark.pedantic(fig7_benchmarks.run, rounds=1, iterations=1)
+    emit(fig7_benchmarks.format_result(rows))
+    assert len(rows) == 12
+    by_name = {r.name: r for r in rows}
+    # Structural facts used throughout the paper's analysis.
+    assert by_name["BV4"].two_qubit_gates == 3
+    assert by_name["Toffoli"].two_qubit_gates == 6  # standard network
+    assert by_name["QFT"].distinct_pairs == 6       # all-to-all on 4 qubits
+    assert by_name["HS6"].distinct_pairs == 3       # disjoint pairs
+    assert max(r.qubits for r in rows) == 8

@@ -1,0 +1,30 @@
+"""Regenerates paper Figure 8: native 1Q pulse counts, TriQ-N vs 1QOpt.
+
+Paper shape: reductions up to ~4.6x; geomean 1.4x (IBMQ14), 1.4x
+(Rigetti Agave), 1.6x (UMDTI); UMDTI gains most per-gate thanks to its
+arbitrary-axis rotation.
+"""
+
+from conftest import emit
+from repro.experiments import fig8_1q
+
+
+def test_fig8_pulse_counts(benchmark):
+    results = benchmark.pedantic(fig8_1q.run, rounds=1, iterations=1)
+    emit(fig8_1q.format_result(results))
+    by_device = {r.device: r for r in results}
+
+    for result in results:
+        # 1Q optimization never increases the pulse count.
+        assert all(
+            opt <= base
+            for base, opt in zip(result.pulses_n, result.pulses_opt)
+        )
+        # Meaningful aggregate gains, in the paper's band.
+        assert 1.1 <= result.geomean_reduction <= 4.0
+        assert result.max_reduction <= 10.0
+
+    # UMDTI fits fewer benchmarks but the biggest per-benchmark wins
+    # should appear on IBMQ14 (long swap chains) and UMDTI (Rxy).
+    assert by_device["IBM Q14 Melbourne"].max_reduction >= 2.0
+    assert by_device["UMD Trapped Ion"].geomean_reduction >= 1.3

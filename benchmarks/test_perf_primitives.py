@@ -1,0 +1,85 @@
+"""Microbenchmarks of the core primitives (pytest-benchmark timings).
+
+These are proper repeated-timing benchmarks (unlike the experiment
+regenerations, which run once): reliability-matrix construction, SMT
+mapping, full compilation, simulation, and success estimation.
+"""
+
+from repro.compiler import (
+    OptimizationLevel,
+    TriQCompiler,
+    compile_circuit,
+    compute_reliability,
+)
+from repro.devices import ibmq14_melbourne, umd_trapped_ion
+from repro.programs import bernstein_vazirani, qft_benchmark
+from repro.sim import (
+    ideal_distribution,
+    monte_carlo_success_rate,
+    simulate_statevector,
+)
+
+
+def test_reliability_matrix_ibmq14(benchmark):
+    device = ibmq14_melbourne()
+    matrix = benchmark(lambda: compute_reliability(device))
+    assert matrix.num_qubits == 14
+
+
+def test_smt_mapping_bv8_on_ibmq14(benchmark):
+    device = ibmq14_melbourne()
+    compiler = TriQCompiler(device, level=OptimizationLevel.OPT_1QCN)
+    circuit, _ = bernstein_vazirani(8)
+    from repro.ir.decompose import decompose_to_basis
+
+    decomposed = decompose_to_basis(circuit)
+    mapping = benchmark(lambda: compiler.map_qubits(decomposed))
+    assert len(mapping.placement) == 8
+
+
+def test_full_compile_qft_on_ibmq14(benchmark):
+    device = ibmq14_melbourne()
+    circuit, _ = qft_benchmark(4)
+    program = benchmark(
+        lambda: compile_circuit(
+            circuit, device, level=OptimizationLevel.OPT_1QCN
+        )
+    )
+    assert program.two_qubit_gate_count() > 0
+
+
+def test_full_compile_bv5_on_umdti(benchmark):
+    device = umd_trapped_ion()
+    circuit, _ = bernstein_vazirani(5)
+    program = benchmark(lambda: compile_circuit(circuit, device))
+    assert program.num_swaps == 0
+
+
+def test_statevector_simulation_14q(benchmark):
+    device = ibmq14_melbourne()
+    circuit, _ = bernstein_vazirani(8)
+    program = compile_circuit(circuit, device)
+    state = benchmark(lambda: simulate_statevector(program.circuit))
+    assert state.shape == (2**14,)
+
+
+def test_ideal_distribution_bv8(benchmark):
+    circuit, correct = bernstein_vazirani(8)
+    dist = benchmark(lambda: ideal_distribution(circuit))
+    assert dist[correct] > 0.999
+
+
+def test_success_estimation_toffoli_umdti(benchmark):
+    from repro.programs import toffoli_benchmark
+
+    device = umd_trapped_ion()
+    circuit, correct = toffoli_benchmark()
+    program = compile_circuit(circuit, device)
+    estimate = benchmark.pedantic(
+        lambda: monte_carlo_success_rate(
+            program.circuit, device, correct, fault_samples=50
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert estimate.success_rate > 0.5

@@ -1,0 +1,64 @@
+"""Pulse-level schedule analysis (the section-7 OpenPulse extension).
+
+Compares wall-clock schedule durations across technologies — the
+coherence-budget view of paper Figure 1 — and benchmarks the lowering
+itself.
+"""
+
+from conftest import emit
+from repro.compiler import compile_circuit
+from repro.devices import ibmq14_melbourne, rigetti_aspen3, umd_trapped_ion
+from repro.experiments.tables import format_table
+from repro.programs import bernstein_vazirani
+from repro.pulse import lower_to_pulses
+from repro.sim import coherence_survival
+
+
+def run_durations():
+    circuit, _ = bernstein_vazirani(4)
+    rows = []
+    for device in (ibmq14_melbourne(), rigetti_aspen3(), umd_trapped_ion()):
+        program = compile_circuit(circuit, device)
+        schedule = lower_to_pulses(program.circuit, device)
+        duration_us = schedule.duration_ns() / 1000.0
+        budget = device.coherence_time_us / max(duration_us, 1e-12)
+        rows.append(
+            (
+                device.name,
+                schedule.pulse_count(),
+                duration_us,
+                device.coherence_time_us,
+                budget,
+            )
+        )
+    return rows
+
+
+def test_schedule_durations_vs_coherence(benchmark):
+    rows = benchmark.pedantic(run_durations, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["Device", "Pulses", "BV4 duration (us)",
+             "Coherence (us)", "Coherence budget (x)"],
+            rows,
+            title="Pulse schedules: duration vs coherence (BV4, "
+            "TriQ-1QOptCN)",
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    # Trapped-ion gates are orders of magnitude slower in wall clock...
+    assert by_name["UMD Trapped Ion"][2] > 100 * by_name[
+        "IBM Q14 Melbourne"
+    ][2]
+    # ...but its coherence budget is still the most comfortable.
+    assert by_name["UMD Trapped Ion"][4] > by_name["IBM Q14 Melbourne"][4]
+    # Every machine fits BV4 inside its coherence window.
+    assert all(r[4] > 1.0 for r in rows)
+
+
+def test_pulse_lowering_throughput(benchmark):
+    device = ibmq14_melbourne()
+    circuit, _ = bernstein_vazirani(8)
+    program = compile_circuit(circuit, device)
+    schedule = benchmark(lambda: lower_to_pulses(program.circuit, device))
+    assert schedule.pulse_count() > 0

@@ -1,0 +1,51 @@
+"""Regenerates paper section 6.5: compile-time scaling to 72 qubits.
+
+Paper shape: TriQ-1QOptCN compiles supremacy circuits up to the
+72-qubit Bristlecone configuration; solver effort is bounded by the
+O(n^2) distinct-interacting-pair count and is independent of total gate
+count.
+"""
+
+from conftest import emit
+from repro.compiler import OptimizationLevel, TriQCompiler
+from repro.devices import google_bristlecone_72
+from repro.experiments import sec65_scaling
+from repro.ir.decompose import decompose_to_basis
+from repro.programs import supremacy_circuit
+
+
+def test_sec65_scaling_sweep(benchmark):
+    points = benchmark.pedantic(sec65_scaling.run, rounds=1, iterations=1)
+    emit(sec65_scaling.format_result(points))
+
+    sizes = [p.num_qubits for p in points]
+    assert sizes[-1] == 72
+    # Distinct pairs (solver variables) stay O(n^2) — for a grid, in
+    # fact O(n) in edges.
+    for point in points:
+        assert point.distinct_pairs <= point.num_qubits * 4
+    # The largest NISQ configuration compiles in reasonable time.
+    assert points[-1].compile_time_s < 120.0
+
+
+def test_sec65_gate_count_independence(benchmark):
+    """Mapping time must not scale with circuit depth (gate count)."""
+    device = google_bristlecone_72()
+    compiler = TriQCompiler(
+        device,
+        level=OptimizationLevel.OPT_1QCN,
+        node_limit=50_000,
+        time_limit_s=20.0,
+    )
+
+    def map_depth(depth: int) -> float:
+        circuit = decompose_to_basis(supremacy_circuit(72, depth, seed=1))
+        mapping = compiler.map_qubits(circuit)
+        return mapping.solver_time_s
+
+    shallow = benchmark.pedantic(
+        map_depth, args=(8,), rounds=1, iterations=1
+    )
+    deep = map_depth(64)
+    # 8x the gates must not cost anywhere near 8x the solver time.
+    assert deep < max(shallow, 0.5) * 4

@@ -1,0 +1,29 @@
+"""Regenerates paper section 7's architecture implications as data."""
+
+from conftest import emit
+from repro.experiments import sec7_insights
+
+
+def test_sec7_architecture_insights(benchmark):
+    result = benchmark.pedantic(sec7_insights.run, rounds=1, iterations=1)
+    emit(sec7_insights.format_result(result))
+
+    # Insight 1: the arbitrary Rxy interface needs fewer pulses.
+    assert result.pulses_by_vendor["umdti"] == 1
+    assert result.pulses_by_vendor["ibm"] == 2
+    assert result.pulses_by_vendor["rigetti"] == 2
+
+    # Insight 2: sparser topology -> strictly more 2Q gates for QFT.
+    gates = result.gates_by_topology
+    assert gates["full"] <= gates["grid"] <= gates["line"]
+    assert gates["full"] < gates["line"]
+
+    # Insight 3: noise-aware mapping finds more reliable edges even on
+    # the low-error trapped-ion machine.
+    unaware, aware = result.umdti_min_reliability
+    assert aware >= unaware
+
+    # Insight 4: fresh placements track drift at least as well as a
+    # stale day-0 placement.
+    stale, fresh = result.stale_vs_fresh
+    assert fresh >= stale

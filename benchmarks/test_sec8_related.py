@@ -1,0 +1,24 @@
+"""Regenerates paper section 8: BV4 vs prior noise-aware work.
+
+Paper shape: TriQ-compiled BV4 on the 5-qubit IBM machine, re-measured
+across 6 days of noise conditions, clearly beats the prior-reported
+0.23 success (paper: 0.43-0.51, average 0.47, ~2x).
+"""
+
+from conftest import emit
+from repro.experiments import sec8_related
+
+
+def test_sec8_bv4_across_days(benchmark):
+    result = benchmark.pedantic(
+        sec8_related.run,
+        kwargs={"days": 6, "fault_samples": 100},
+        rounds=1,
+        iterations=1,
+    )
+    emit(sec8_related.format_result(result))
+    assert len(result.success) == 6
+    # Clear improvement over the prior work's reported number.
+    assert result.average > result.prior_work * 1.3
+    # Day-to-day variation exists but stays in a sane band.
+    assert max(result.success) - min(result.success) < 0.5

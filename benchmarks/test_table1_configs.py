@@ -1,0 +1,18 @@
+"""Regenerates paper Table 1: compiler configurations."""
+
+from conftest import emit
+from repro.experiments import table1_configs
+
+
+def test_table1_compiler_matrix(benchmark):
+    rows = benchmark.pedantic(table1_configs.run, rounds=1, iterations=1)
+    emit(table1_configs.format_result(rows))
+    by_name = {r.name: r for r in rows}
+    assert not by_name["TriQ-N"].optimizes_1q
+    assert by_name["TriQ-1QOpt"].optimizes_1q
+    assert not by_name["TriQ-1QOpt"].optimizes_communication
+    assert by_name["TriQ-1QOptC"].optimizes_communication
+    assert not by_name["TriQ-1QOptC"].noise_aware
+    assert by_name["TriQ-1QOptCN"].noise_aware
+    assert not by_name["Qiskit"].noise_aware
+    assert not by_name["Quil"].noise_aware

@@ -1,0 +1,86 @@
+"""Noise-adaptive recompilation across calibration days.
+
+Run with::
+
+    python examples/noise_adaptive_recompilation.py
+
+The paper recommends recompiling programs against up-to-date calibration
+data (section 7, "Noise rates and variability").  This example compiles
+the same benchmark on IBMQ14 over a week of synthetic calibration days
+and compares three policies:
+
+* compile once, noise-aware, on day 0 and keep running the same binary,
+* recompile noise-aware every day (TriQ-1QOptCN),
+* the noise-unaware TriQ-1QOptC, which never reads calibration at all.
+"""
+
+from repro import (
+    OptimizationLevel,
+    bernstein_vazirani,
+    compile_circuit,
+    ibmq14_melbourne,
+    monte_carlo_success_rate,
+)
+from repro.experiments.stats import geomean
+from repro.experiments.tables import format_table
+
+DAYS = range(7)
+
+
+def main() -> None:
+    circuit, correct = bernstein_vazirani(6)
+
+    stale = compile_circuit(
+        circuit, ibmq14_melbourne(0), level=OptimizationLevel.OPT_1QCN, day=0
+    )
+
+    rows = []
+    fresh_rates, stale_rates, unaware_rates = [], [], []
+    for day in DAYS:
+        device = ibmq14_melbourne(day)
+        fresh = compile_circuit(
+            circuit, device, level=OptimizationLevel.OPT_1QCN, day=day
+        )
+        unaware = compile_circuit(
+            circuit, device, level=OptimizationLevel.OPT_1QC, day=day
+        )
+
+        def rate(program):
+            return monte_carlo_success_rate(
+                program.circuit, device, correct, day=day, fault_samples=80
+            ).success_rate
+
+        fresh_sr, stale_sr, unaware_sr = rate(fresh), rate(stale), rate(unaware)
+        fresh_rates.append(fresh_sr)
+        stale_rates.append(stale_sr)
+        unaware_rates.append(unaware_sr)
+        rows.append(
+            (day, fresh_sr, stale_sr, unaware_sr,
+             str(fresh.initial_mapping.placement))
+        )
+
+    print(
+        format_table(
+            ["Day", "Recompiled daily", "Compiled day 0", "Noise-unaware",
+             "Daily placement"],
+            rows,
+            title="BV6 on IBMQ14 across calibration days",
+        )
+    )
+    print()
+    print(f"geomean, recompiled daily : {geomean(fresh_rates):.3f}")
+    print(f"geomean, stale day-0 build: {geomean(stale_rates):.3f}")
+    print(f"geomean, noise-unaware    : {geomean(unaware_rates):.3f}")
+    print()
+    print(
+        "Expected shape: both noise-aware policies clearly beat the\n"
+        "noise-unaware compiler. Under this substrate's mild,\n"
+        "mean-reverting drift the day-0 placement stays near-optimal, so\n"
+        "daily recompilation roughly ties it; on hardware with regime\n"
+        "shifts between calibrations (the paper's Figure 3 shows 9x\n"
+        "swings), recompilation is what keeps the placement valid."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""QAOA for MaxCut: the optimization workload the paper's intro motivates.
+
+Run with::
+
+    python examples/qaoa_maxcut.py
+
+Optimizes depth-1 and depth-2 QAOA for MaxCut on a 4-node ring, then
+evaluates the optimized circuits on the study machines through the
+exact noise-channel model, reporting the approximation ratio each
+device actually delivers.
+"""
+
+from repro.apps import (
+    max_cut_value,
+    noisy_expected_cut,
+    optimize_qaoa,
+    ring_graph,
+)
+from repro.devices import (
+    ibmq5_tenerife,
+    ibmq16_rueschlikon,
+    umd_trapped_ion,
+)
+from repro.experiments.tables import format_table
+
+
+def main() -> None:
+    graph = ring_graph(4)
+    optimum = max_cut_value(graph)
+    print(f"MaxCut on the 4-cycle: optimum = {optimum}")
+
+    results = {
+        depth: optimize_qaoa(graph, depth=depth) for depth in (1, 2)
+    }
+    for depth, result in results.items():
+        print(
+            f"  p={depth}: ideal expected cut "
+            f"{result.expected_cut:.3f} "
+            f"(ratio {result.approximation_ratio:.3f})"
+        )
+    print()
+
+    rows = []
+    for device in (
+        umd_trapped_ion(), ibmq5_tenerife(), ibmq16_rueschlikon()
+    ):
+        row = [device.name]
+        for depth, result in results.items():
+            noisy = noisy_expected_cut(graph, result, device)
+            row.append(f"{noisy / optimum:.3f}")
+        rows.append(row)
+    print(
+        format_table(
+            ["Device", "p=1 ratio (noisy)", "p=2 ratio (noisy)"],
+            rows,
+            title="QAOA approximation ratio at the hardware level",
+        )
+    )
+    print()
+    print(
+        "Expected shape: deeper QAOA wins ideally (p=2 is exact on the\n"
+        "ring) but costs more 2Q gates, so on noisy machines the p=2\n"
+        "advantage shrinks - and the trapped-ion machine keeps the\n"
+        "most of it. The depth-vs-noise tradeoff is the NISQ dilemma\n"
+        "the paper's compiler exists to soften."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Writing programs in the Scaffold-like language.
+
+Run with::
+
+    python examples/scaffold_frontend.py
+
+The paper's toolflow starts from Scaffold source (a C-like quantum
+language) and resolves all classical control at compile time.  This
+example writes a parameterized GHZ-state preparation + parity check in
+the dialect, compiles it at two different sizes via compile-time
+defines (the "application input" of paper Figure 4), and runs the
+result on two different vendors.
+"""
+
+from repro import compile_circuit, ideal_distribution, rigetti_aspen3, umd_trapped_ion
+from repro.scaffold import compile_scaffold
+
+SOURCE = """
+// Prepare an N-qubit GHZ state, then disentangle it again so the
+// output is deterministic (a CHSH-style sanity circuit).
+const int N = 4;
+
+module ghz(qbit r[N]) {
+    H(r[0]);
+    for (int i = 0; i < N - 1; i++) {
+        CNOT(r[i], r[i+1]);
+    }
+}
+
+module unghz(qbit r[N]) {
+    for (int i = N - 2; i >= 0; i--) {
+        CNOT(r[i], r[i+1]);
+    }
+    H(r[0]);
+}
+
+module main(qbit q[N]) {
+    ghz(q);
+    unghz(q);
+    X(q[N-1]);          // make the answer visibly non-trivial
+    MeasZ(q);
+}
+"""
+
+
+def main() -> None:
+    for size in (4, 6):
+        circuit = compile_scaffold(SOURCE, defines={"N": size})
+        correct = "0" * (size - 1) + "1"
+        print(f"N={size}: {len(circuit)} IR instructions")
+        assert ideal_distribution(circuit)[correct] > 0.999
+
+        for device in (rigetti_aspen3(), umd_trapped_ion()):
+            if circuit.num_qubits > device.num_qubits:
+                print(f"  {device.name}: too large (X)")
+                continue
+            program = compile_circuit(circuit, device)
+            out = ideal_distribution(program.circuit)
+            print(
+                f"  {device.name}: {program.two_qubit_gate_count()} 2Q "
+                f"gates, ideal P({correct}) = {out[correct]:.4f}"
+            )
+        print()
+    print("Both sizes compile from the same source; only the define")
+    print("changed - exactly how the paper feeds application inputs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""VQE for molecular hydrogen: the chemistry workload the paper's
+introduction motivates.
+
+Run with::
+
+    python examples/vqe_h2.py
+
+Optimizes a hardware-efficient ansatz for the tapered 2-qubit H2
+Hamiltonian, then evaluates the *same* optimal parameters on each study
+machine through the exact noise-channel model — showing how device
+quality and compilation policy turn directly into chemistry error.
+"""
+
+from repro.apps import (
+    exact_ground_energy,
+    h2_hamiltonian,
+    noisy_energy,
+    optimize_vqe,
+)
+from repro.compiler import OptimizationLevel
+from repro.devices import (
+    ibmq5_tenerife,
+    ibmq14_melbourne,
+    rigetti_aspen3,
+    umd_trapped_ion,
+)
+from repro.experiments.tables import format_table
+
+#: "Chemical accuracy" threshold, in Hartree.
+CHEMICAL_ACCURACY = 1.6e-3
+
+
+def main() -> None:
+    hamiltonian = h2_hamiltonian()
+    exact = exact_ground_energy(hamiltonian)
+    params, vqe_energy = optimize_vqe(hamiltonian)
+    print(f"exact ground energy : {exact:.6f} Ha")
+    print(f"noiseless VQE energy: {vqe_energy:.6f} Ha "
+          f"(error {abs(vqe_energy - exact) * 1000:.3f} mHa)")
+    print()
+
+    rows = []
+    for device in (
+        umd_trapped_ion(),
+        ibmq5_tenerife(),
+        ibmq14_melbourne(),
+        rigetti_aspen3(),
+    ):
+        noise_aware = noisy_energy(
+            params, hamiltonian, device, level=OptimizationLevel.OPT_1QCN
+        )
+        noise_blind = noisy_energy(
+            params, hamiltonian, device, level=OptimizationLevel.OPT_1QC
+        )
+        rows.append(
+            (
+                device.name,
+                noise_aware,
+                (noise_aware - exact) * 1000,
+                (noise_blind - exact) * 1000,
+            )
+        )
+    print(
+        format_table(
+            ["Device", "VQE energy (Ha)",
+             "error, noise-aware (mHa)", "error, noise-blind (mHa)"],
+            rows,
+            title="H2 VQE at the hardware level",
+        )
+    )
+    print()
+    print(
+        "Expected shape: the trapped-ion machine comes closest to the\n"
+        "true energy, and noise-aware compilation reduces the error\n"
+        "wherever 2Q gates dominate the noise (IBM, UMD). On Rigetti,\n"
+        "whose 1Q error rates (~3.8%) rival its 2Q rates, TriQ's\n"
+        "2Q/readout-only mapping objective can misfire - an honest\n"
+        "limitation of the paper's formulation on that hardware.\n"
+        f"Chemical accuracy ({CHEMICAL_ACCURACY * 1000:.1f} mHa) remains\n"
+        "out of reach for every machine - the paper's NISQ reality check."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""repro: a full-stack reproduction of the TriQ multi-vendor quantum
+compiler study (Murali et al., ISCA 2019).
+
+Quick start::
+
+    from repro import compile_circuit, ibmq14_melbourne, bernstein_vazirani
+    from repro import monte_carlo_success_rate, OptimizationLevel
+
+    circuit, correct = bernstein_vazirani(4)
+    device = ibmq14_melbourne()
+    program = compile_circuit(circuit, device,
+                              level=OptimizationLevel.OPT_1QCN)
+    print(program.executable())                  # OpenQASM
+    print(monte_carlo_success_rate(program.circuit, device, correct))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.ir import Circuit, Instruction, decompose_to_basis
+from repro.devices import (
+    Device,
+    Topology,
+    Calibration,
+    CalibrationModel,
+    ibmq5_tenerife,
+    ibmq14_melbourne,
+    ibmq16_rueschlikon,
+    rigetti_agave,
+    rigetti_aspen1,
+    rigetti_aspen3,
+    umd_trapped_ion,
+    all_devices,
+    device_by_name,
+    example_8q_device,
+    google_bristlecone_72,
+)
+from repro.compiler import (
+    OptimizationLevel,
+    CompiledProgram,
+    TriQCompiler,
+    compile_circuit,
+    compute_reliability,
+)
+from repro.sim import (
+    ideal_distribution,
+    monte_carlo_success_rate,
+    estimated_success_probability,
+)
+from repro.programs import (
+    bernstein_vazirani,
+    hidden_shift,
+    qft_benchmark,
+    cuccaro_adder,
+    toffoli_benchmark,
+    fredkin_benchmark,
+    or_benchmark,
+    peres_benchmark,
+    toffoli_sequence,
+    fredkin_sequence,
+    supremacy_circuit,
+    standard_suite,
+    benchmark_by_name,
+)
+from repro.baselines import QiskitLikeCompiler, QuilLikeCompiler
+from repro.ir.draw import draw_circuit
+from repro.verify import verify_compilation, CompilationError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "decompose_to_basis",
+    "Device",
+    "Topology",
+    "Calibration",
+    "CalibrationModel",
+    "ibmq5_tenerife",
+    "ibmq14_melbourne",
+    "ibmq16_rueschlikon",
+    "rigetti_agave",
+    "rigetti_aspen1",
+    "rigetti_aspen3",
+    "umd_trapped_ion",
+    "all_devices",
+    "device_by_name",
+    "example_8q_device",
+    "google_bristlecone_72",
+    "OptimizationLevel",
+    "CompiledProgram",
+    "TriQCompiler",
+    "compile_circuit",
+    "compute_reliability",
+    "ideal_distribution",
+    "monte_carlo_success_rate",
+    "estimated_success_probability",
+    "bernstein_vazirani",
+    "hidden_shift",
+    "qft_benchmark",
+    "cuccaro_adder",
+    "toffoli_benchmark",
+    "fredkin_benchmark",
+    "or_benchmark",
+    "peres_benchmark",
+    "toffoli_sequence",
+    "fredkin_sequence",
+    "supremacy_circuit",
+    "standard_suite",
+    "benchmark_by_name",
+    "QiskitLikeCompiler",
+    "QuilLikeCompiler",
+    "draw_circuit",
+    "verify_compilation",
+    "CompilationError",
+]

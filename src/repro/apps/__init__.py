@@ -1,0 +1,45 @@
+"""Application workloads on top of the toolflow.
+
+The paper's introduction motivates QC with chemistry and search
+applications; this package builds representative ones on the public
+API, showing how compilation quality propagates into application-level
+metrics (e.g. VQE energy error).
+"""
+
+from repro.apps.qaoa import (
+    QaoaResult,
+    expected_cut,
+    max_cut_value,
+    noisy_expected_cut,
+    optimize_qaoa,
+    qaoa_circuit,
+    ring_graph,
+)
+from repro.apps.vqe import (
+    PauliTerm,
+    Hamiltonian,
+    h2_hamiltonian,
+    hardware_efficient_ansatz,
+    expectation_value,
+    exact_ground_energy,
+    optimize_vqe,
+    noisy_energy,
+)
+
+__all__ = [
+    "QaoaResult",
+    "expected_cut",
+    "max_cut_value",
+    "noisy_expected_cut",
+    "optimize_qaoa",
+    "qaoa_circuit",
+    "ring_graph",
+    "PauliTerm",
+    "Hamiltonian",
+    "h2_hamiltonian",
+    "hardware_efficient_ansatz",
+    "expectation_value",
+    "exact_ground_energy",
+    "optimize_vqe",
+    "noisy_energy",
+]

@@ -1,0 +1,23 @@
+"""Executable code generation (paper section 4.6).
+
+The analysis and optimization all happen in the core toolflow; these
+backends merely serialize the final hardware circuit into the syntax
+each machine accepts: OpenQASM 2.0 for IBM, Quil for Rigetti, and a
+low-level assembly syntax for the UMD trapped-ion system.  Parsers for
+OpenQASM and Quil support round-trip testing.
+"""
+
+from repro.backends.openqasm import emit_openqasm, parse_openqasm
+from repro.backends.quil import emit_quil, parse_quil
+from repro.backends.umdti_asm import emit_umdti_asm, parse_umdti_asm
+from repro.backends.dispatch import generate_code
+
+__all__ = [
+    "emit_openqasm",
+    "parse_openqasm",
+    "emit_quil",
+    "parse_quil",
+    "emit_umdti_asm",
+    "parse_umdti_asm",
+    "generate_code",
+]

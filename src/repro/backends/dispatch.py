@@ -1,0 +1,22 @@
+"""Vendor dispatch for executable generation."""
+
+from __future__ import annotations
+
+from repro.devices.device import Device
+from repro.devices.gatesets import VendorFamily
+from repro.ir.circuit import Circuit
+from repro.backends.openqasm import emit_openqasm
+from repro.backends.quil import emit_quil
+from repro.backends.umdti_asm import emit_umdti_asm
+
+
+def generate_code(circuit: Circuit, device: Device) -> str:
+    """Serialize a translated circuit in the device's executable format."""
+    family = device.gate_set.family
+    if family is VendorFamily.IBM:
+        return emit_openqasm(circuit)
+    if family is VendorFamily.RIGETTI:
+        return emit_quil(circuit)
+    if family is VendorFamily.UMDTI:
+        return emit_umdti_asm(circuit)
+    raise ValueError(f"no backend for vendor family {family!r}")

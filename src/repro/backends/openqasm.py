@@ -1,0 +1,140 @@
+"""OpenQASM 2.0 emission and parsing (IBM executable format)."""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.ir.circuit import Circuit
+from repro.ir.instruction import Instruction
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";'
+
+#: Gates serialized natively; everything else is rejected so that
+#: executable generation can only happen after full translation.
+_EMITTABLE = {"u1", "u2", "u3", "cx", "measure", "barrier"}
+#: Extra gates the parser accepts (for round-tripping IR-level tests).
+_PARSEABLE_1Q = {"h", "x", "y", "z", "s", "sdg", "t", "tdg", "id"}
+_PARSEABLE_1Q_PARAM = {"rx", "ry", "rz", "u1"}
+
+
+def _fmt(value: float) -> str:
+    """Angles as multiples of pi where clean, else decimal."""
+    if value == 0.0:
+        return "0"
+    ratio = value / math.pi
+    for denom in (1, 2, 4, 8):
+        scaled = ratio * denom
+        if abs(scaled - round(scaled)) < 1e-12:
+            num = int(round(scaled))
+            if num == 0:
+                return "0"
+            prefix = "-" if num < 0 else ""
+            num = abs(num)
+            head = "pi" if num == 1 else f"{num}*pi"
+            return f"{prefix}{head}" if denom == 1 else f"{prefix}{head}/{denom}"
+    return f"{value:.12g}"
+
+
+def emit_openqasm(circuit: Circuit, name: str = "q") -> str:
+    """Serialize a translated IBM circuit to OpenQASM 2.0."""
+    lines = [_HEADER]
+    lines.append(f"qreg {name}[{circuit.num_qubits}];")
+    lines.append(f"creg c[{circuit.num_qubits}];")
+    for inst in circuit:
+        if inst.name not in _EMITTABLE:
+            raise ValueError(
+                f"gate {inst.name!r} is not IBM software-visible; "
+                "translate before emitting OpenQASM"
+            )
+        if inst.is_barrier:
+            lines.append("barrier " + ", ".join(
+                f"{name}[{q}]" for q in range(circuit.num_qubits)
+            ) + ";")
+        elif inst.is_measurement:
+            lines.append(
+                f"measure {name}[{inst.qubits[0]}] -> c[{inst.cbits[0]}];"
+            )
+        else:
+            args = ",".join(f"{name}[{q}]" for q in inst.qubits)
+            if inst.params:
+                params = ",".join(_fmt(p) for p in inst.params)
+                lines.append(f"{inst.name}({params}) {args};")
+            else:
+                lines.append(f"{inst.name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+_TOKEN_RE = re.compile(
+    r"^(?P<gate>[a-z][a-z0-9_]*)\s*(?:\((?P<params>[^)]*)\))?\s*(?P<args>.*)$"
+)
+_QREG_RE = re.compile(r"^qreg\s+(?P<name>\w+)\[(?P<size>\d+)\]$")
+_MEASURE_RE = re.compile(
+    r"^measure\s+\w+\[(?P<q>\d+)\]\s*->\s*\w+\[(?P<c>\d+)\]$"
+)
+
+
+def _parse_angle(text: str) -> float:
+    """Evaluate simple pi-arithmetic like ``-3*pi/4`` or ``1.5708``."""
+    text = text.strip().replace(" ", "")
+    match = re.fullmatch(
+        r"(?P<sign>-?)(?:(?P<num>\d+)\*)?pi(?:/(?P<den>\d+))?", text
+    )
+    if match:
+        value = math.pi * float(match.group("num") or 1)
+        if match.group("den"):
+            value /= float(match.group("den"))
+        return -value if match.group("sign") else value
+    return float(text)
+
+
+def parse_openqasm(text: str) -> Circuit:
+    """Parse a subset of OpenQASM 2.0 back into a circuit."""
+    num_qubits = None
+    instructions: List[Instruction] = []
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip().rstrip(";").strip()
+        if not line or line.startswith(("OPENQASM", "include", "creg")):
+            continue
+        qreg = _QREG_RE.match(line)
+        if qreg:
+            num_qubits = int(qreg.group("size"))
+            continue
+        measure = _MEASURE_RE.match(line)
+        if measure:
+            instructions.append(
+                Instruction(
+                    "measure",
+                    (int(measure.group("q")),),
+                    (),
+                    (int(measure.group("c")),),
+                )
+            )
+            continue
+        if line.startswith("barrier"):
+            instructions.append(Instruction("barrier", ()))
+            continue
+        token = _TOKEN_RE.match(line)
+        if token is None:
+            raise ValueError(f"cannot parse OpenQASM line: {raw!r}")
+        gate = token.group("gate")
+        params = tuple(
+            _parse_angle(p)
+            for p in (token.group("params") or "").split(",")
+            if p.strip()
+        )
+        qubits = tuple(
+            int(m) for m in re.findall(r"\[(\d+)\]", token.group("args"))
+        )
+        known = (
+            gate in _EMITTABLE
+            or gate in _PARSEABLE_1Q
+            or gate in _PARSEABLE_1Q_PARAM
+        )
+        if not known:
+            raise ValueError(f"unsupported OpenQASM gate {gate!r}")
+        instructions.append(Instruction(gate, qubits, params))
+    if num_qubits is None:
+        raise ValueError("missing qreg declaration")
+    return Circuit(num_qubits, name="openqasm", instructions=instructions)

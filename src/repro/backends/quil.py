@@ -1,0 +1,116 @@
+"""Quil emission and parsing (Rigetti executable format)."""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.ir.circuit import Circuit
+from repro.ir.instruction import Instruction
+
+_EMITTABLE = {"rx", "rz", "cz", "measure", "barrier"}
+
+
+def _fmt(value: float) -> str:
+    ratio = value / math.pi
+    for denom in (1, 2, 4, 8):
+        scaled = ratio * denom
+        if abs(scaled - round(scaled)) < 1e-12:
+            num = int(round(scaled))
+            if num == 0:
+                return "0"
+            sign = "-" if num < 0 else ""
+            head = "pi" if abs(num) == 1 else f"{abs(num)}*pi"
+            return f"{sign}{head}" if denom == 1 else f"{sign}{head}/{denom}"
+    return f"{value:.12g}"
+
+
+def emit_quil(circuit: Circuit) -> str:
+    """Serialize a translated Rigetti circuit to Quil."""
+    lines: List[str] = [f"DECLARE ro BIT[{circuit.num_qubits}]"]
+    for inst in circuit:
+        if inst.name not in _EMITTABLE:
+            raise ValueError(
+                f"gate {inst.name!r} is not Rigetti software-visible; "
+                "translate before emitting Quil"
+            )
+        if inst.is_barrier:
+            lines.append("PRAGMA BARRIER")
+        elif inst.is_measurement:
+            lines.append(f"MEASURE {inst.qubits[0]} ro[{inst.cbits[0]}]")
+        elif inst.name == "cz":
+            lines.append(f"CZ {inst.qubits[0]} {inst.qubits[1]}")
+        else:
+            lines.append(
+                f"{inst.name.upper()}({_fmt(inst.params[0])}) {inst.qubits[0]}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+_GATE_RE = re.compile(
+    r"^(?P<gate>RX|RZ)\((?P<angle>[^)]*)\)\s+(?P<q>\d+)$"
+)
+_CZ_RE = re.compile(r"^CZ\s+(?P<a>\d+)\s+(?P<b>\d+)$")
+_MEASURE_RE = re.compile(r"^MEASURE\s+(?P<q>\d+)\s+ro\[(?P<c>\d+)\]$")
+
+
+def _parse_angle(text: str) -> float:
+    text = text.strip().replace(" ", "")
+    match = re.fullmatch(
+        r"(?P<sign>-?)(?:(?P<num>\d+)\*)?pi(?:/(?P<den>\d+))?", text
+    )
+    if match:
+        value = math.pi * float(match.group("num") or 1)
+        if match.group("den"):
+            value /= float(match.group("den"))
+        return -value if match.group("sign") else value
+    return float(text)
+
+
+def parse_quil(text: str, num_qubits: int = 0) -> Circuit:
+    """Parse emitted Quil back into a circuit.
+
+    ``num_qubits`` may be passed explicitly; otherwise it is inferred
+    from the DECLARE line or the largest qubit index used.
+    """
+    instructions: List[Instruction] = []
+    max_qubit = -1
+    for raw in text.splitlines():
+        line = raw.split("#")[0].strip()
+        if not line:
+            continue
+        declare = re.match(r"^DECLARE\s+ro\s+BIT\[(\d+)\]$", line)
+        if declare:
+            num_qubits = max(num_qubits, int(declare.group(1)))
+            continue
+        if line == "PRAGMA BARRIER":
+            instructions.append(Instruction("barrier", ()))
+            continue
+        measure = _MEASURE_RE.match(line)
+        if measure:
+            q, c = int(measure.group("q")), int(measure.group("c"))
+            max_qubit = max(max_qubit, q)
+            instructions.append(Instruction("measure", (q,), (), (c,)))
+            continue
+        cz = _CZ_RE.match(line)
+        if cz:
+            a, b = int(cz.group("a")), int(cz.group("b"))
+            max_qubit = max(max_qubit, a, b)
+            instructions.append(Instruction("cz", (a, b)))
+            continue
+        gate = _GATE_RE.match(line)
+        if gate:
+            q = int(gate.group("q"))
+            max_qubit = max(max_qubit, q)
+            instructions.append(
+                Instruction(
+                    gate.group("gate").lower(),
+                    (q,),
+                    (_parse_angle(gate.group("angle")),),
+                )
+            )
+            continue
+        raise ValueError(f"cannot parse Quil line: {raw!r}")
+    size = max(num_qubits, max_qubit + 1, 1)
+    return Circuit(size, name="quil", instructions=instructions)

@@ -1,0 +1,110 @@
+"""UMD trapped-ion assembly emission and parsing.
+
+The UMD system has no public executable format; the paper targets "a
+special low-level assembly code syntax".  We define a faithful stand-in:
+one pulse per line, angles in units of pi, e.g.::
+
+    RXY 0.500 0.000 Q2      # Rxy(theta=pi/2, phi=0) on ion 2
+    RZ -0.500 Q1
+    XX 0.250 Q0 Q3          # Ising interaction, chi = pi/4
+    MEAS Q0 -> C0
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.ir.circuit import Circuit
+from repro.ir.instruction import Instruction
+
+_EMITTABLE = {"rxy", "rz", "xx", "measure", "barrier"}
+
+
+def _fmt(value: float) -> str:
+    return f"{value / math.pi:.6f}"
+
+
+def emit_umdti_asm(circuit: Circuit) -> str:
+    """Serialize a translated UMDTI circuit to the assembly syntax."""
+    lines: List[str] = [f"; UMDTI program, {circuit.num_qubits} ions"]
+    for inst in circuit:
+        if inst.name not in _EMITTABLE:
+            raise ValueError(
+                f"gate {inst.name!r} is not UMDTI software-visible; "
+                "translate before emitting UMDTI assembly"
+            )
+        if inst.is_barrier:
+            lines.append("SYNC")
+        elif inst.is_measurement:
+            lines.append(f"MEAS Q{inst.qubits[0]} -> C{inst.cbits[0]}")
+        elif inst.name == "rxy":
+            theta, phi = inst.params
+            lines.append(f"RXY {_fmt(theta)} {_fmt(phi)} Q{inst.qubits[0]}")
+        elif inst.name == "rz":
+            lines.append(f"RZ {_fmt(inst.params[0])} Q{inst.qubits[0]}")
+        else:  # xx
+            lines.append(
+                f"XX {_fmt(inst.params[0])} Q{inst.qubits[0]} Q{inst.qubits[1]}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+_RXY_RE = re.compile(r"^RXY\s+(\S+)\s+(\S+)\s+Q(\d+)$")
+_RZ_RE = re.compile(r"^RZ\s+(\S+)\s+Q(\d+)$")
+_XX_RE = re.compile(r"^XX\s+(\S+)\s+Q(\d+)\s+Q(\d+)$")
+_MEAS_RE = re.compile(r"^MEAS\s+Q(\d+)\s*->\s*C(\d+)$")
+
+
+def parse_umdti_asm(text: str, num_qubits: int = 0) -> Circuit:
+    """Parse UMDTI assembly back into a circuit."""
+    instructions: List[Instruction] = []
+    max_qubit = -1
+    for raw in text.splitlines():
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        if line == "SYNC":
+            instructions.append(Instruction("barrier", ()))
+            continue
+        match = _RXY_RE.match(line)
+        if match:
+            q = int(match.group(3))
+            max_qubit = max(max_qubit, q)
+            instructions.append(
+                Instruction(
+                    "rxy",
+                    (q,),
+                    (
+                        float(match.group(1)) * math.pi,
+                        float(match.group(2)) * math.pi,
+                    ),
+                )
+            )
+            continue
+        match = _RZ_RE.match(line)
+        if match:
+            q = int(match.group(2))
+            max_qubit = max(max_qubit, q)
+            instructions.append(
+                Instruction("rz", (q,), (float(match.group(1)) * math.pi,))
+            )
+            continue
+        match = _XX_RE.match(line)
+        if match:
+            a, b = int(match.group(2)), int(match.group(3))
+            max_qubit = max(max_qubit, a, b)
+            instructions.append(
+                Instruction("xx", (a, b), (float(match.group(1)) * math.pi,))
+            )
+            continue
+        match = _MEAS_RE.match(line)
+        if match:
+            q, c = int(match.group(1)), int(match.group(2))
+            max_qubit = max(max_qubit, q)
+            instructions.append(Instruction("measure", (q,), (), (c,)))
+            continue
+        raise ValueError(f"cannot parse UMDTI assembly line: {raw!r}")
+    size = max(num_qubits, max_qubit + 1, 1)
+    return Circuit(size, name="umdti_asm", instructions=instructions)

@@ -1,0 +1,22 @@
+"""Reimplementations of the vendor compilers TriQ is compared against.
+
+The paper benchmarks against IBM Qiskit 0.6 and Rigetti Quil 1.9 and
+attributes their losses to specific, documented policies (section 6.3):
+
+* Qiskit "uses lexicographic mapping of qubits and performs swap
+  optimization using a greedy stochastic algorithm ... it always uses
+  the first few qubits in the device regardless of noise and program
+  communication requirements";
+* Quil "uses a simple initial qubit mapping, with insufficient
+  communication optimization and no noise-awareness".
+
+:class:`QiskitLikeCompiler` and :class:`QuilLikeCompiler` implement
+exactly those policies on top of the shared substrates, so the
+comparison isolates mapping/routing/noise policy rather than
+implementation accidents.
+"""
+
+from repro.baselines.qiskit_like import QiskitLikeCompiler
+from repro.baselines.quil_like import QuilLikeCompiler
+
+__all__ = ["QiskitLikeCompiler", "QuilLikeCompiler"]

@@ -1,0 +1,53 @@
+"""A Qiskit-0.6-like compiler: lexicographic mapping + stochastic swap.
+
+This is the IBM baseline of paper Figures 11(a, b).  It keeps Qiskit's
+strengths of the era (1Q gate collapsing into u1/u2/u3) and its
+documented weaknesses: program qubits land on hardware qubits 0..n-1
+regardless of noise or program shape, and swaps follow hop-count
+shortest paths with random tie-breaking.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+from repro.ir.decompose import decompose_to_basis
+from repro.compiler.mapping import default_mapping
+from repro.compiler.onequbit import optimize_single_qubit_gates
+from repro.compiler.pipeline import CompiledProgram
+from repro.compiler.translate import translate_two_qubit_gates
+from repro.baselines.router import greedy_route
+
+#: Label used in experiment tables (paper Table 1's "Qiskit" row).
+QISKIT_LABEL = "Qiskit"
+
+
+class QiskitLikeCompiler:
+    """The IBM vendor-baseline compiler."""
+
+    def __init__(self, device: Device, seed: int = 0) -> None:
+        self.device = device
+        self.seed = seed
+
+    def compile(self, circuit: Circuit) -> CompiledProgram:
+        started = time.monotonic()
+        decomposed = decompose_to_basis(circuit)
+        mapping = default_mapping(decomposed, self.device)
+        routed = greedy_route(
+            decomposed, self.device, mapping, seed=self.seed
+        )
+        translated = translate_two_qubit_gates(routed.circuit, self.device)
+        final = optimize_single_qubit_gates(translated, self.device.gate_set)
+        elapsed = time.monotonic() - started
+        return CompiledProgram(
+            circuit=final,
+            source_name=circuit.name,
+            device=self.device,
+            level=QISKIT_LABEL,
+            initial_mapping=mapping,
+            final_placement=routed.final_placement,
+            num_swaps=routed.num_swaps,
+            compile_time_s=elapsed,
+        )

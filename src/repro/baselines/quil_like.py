@@ -1,0 +1,52 @@
+"""A Quil-1.9-like compiler: simple mapping, hop-count routing.
+
+This is the Rigetti baseline of paper Figures 11(c, d): identity initial
+placement, deterministic hop-count routing with no lookahead and no
+noise-awareness, 1Q compression into the native rz/rx interface (the
+Quil compiler of the era did compress rotations).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+from repro.ir.decompose import decompose_to_basis
+from repro.compiler.mapping import default_mapping
+from repro.compiler.onequbit import optimize_single_qubit_gates
+from repro.compiler.pipeline import CompiledProgram
+from repro.compiler.translate import translate_two_qubit_gates
+from repro.baselines.router import greedy_route
+
+#: Label used in experiment tables (paper Table 1's "Quil" row).
+QUIL_LABEL = "Quil"
+
+
+class QuilLikeCompiler:
+    """The Rigetti vendor-baseline compiler."""
+
+    def __init__(self, device: Device, seed: int = 0) -> None:
+        self.device = device
+        self.seed = seed
+
+    def compile(self, circuit: Circuit) -> CompiledProgram:
+        started = time.monotonic()
+        decomposed = decompose_to_basis(circuit)
+        mapping = default_mapping(decomposed, self.device)
+        routed = greedy_route(
+            decomposed, self.device, mapping, seed=self.seed
+        )
+        translated = translate_two_qubit_gates(routed.circuit, self.device)
+        final = optimize_single_qubit_gates(translated, self.device.gate_set)
+        elapsed = time.monotonic() - started
+        return CompiledProgram(
+            circuit=final,
+            source_name=circuit.name,
+            device=self.device,
+            level=QUIL_LABEL,
+            initial_mapping=mapping,
+            final_placement=routed.final_placement,
+            num_swaps=routed.num_swaps,
+            compile_time_s=elapsed,
+        )

@@ -1,0 +1,86 @@
+"""Hop-count greedy routing shared by the baseline compilers.
+
+Unlike TriQ's router this one is noise-blind: it walks a shortest path
+by hop count, breaking ties (pseudo-)randomly the way Qiskit 0.6's
+greedy stochastic swap pass did.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+from repro.ir.dag import CircuitDag
+from repro.ir.gates import is_two_qubit
+from repro.compiler.mapping import InitialMapping
+from repro.compiler.routing import RoutedCircuit, _LiveMapping
+
+
+def _random_shortest_path(
+    graph: nx.Graph, src: int, dst: int, rng: np.random.Generator
+) -> List[int]:
+    """One hop-count shortest path, chosen uniformly among ties."""
+    # Walk greedily by distance-to-destination, randomizing tie-breaks;
+    # equivalent to sampling among shortest paths without enumerating
+    # them all.
+    lengths = nx.single_source_shortest_path_length(graph, dst)
+    path = [src]
+    node = src
+    while node != dst:
+        best = min(lengths[n] for n in graph.neighbors(node))
+        options = sorted(
+            n for n in graph.neighbors(node) if lengths[n] == best
+        )
+        node = int(options[rng.integers(len(options))])
+        path.append(node)
+    return path
+
+
+def greedy_route(
+    circuit: Circuit,
+    device: Device,
+    mapping: InitialMapping,
+    seed: int = 0,
+) -> RoutedCircuit:
+    """Route a decomposed circuit with hop-count-greedy swaps."""
+    rng = np.random.default_rng(seed)
+    graph = device.topology.graph
+    live = _LiveMapping(mapping, device.num_qubits)
+    out = Circuit(device.num_qubits, name=circuit.name)
+    num_swaps = 0
+    dag = CircuitDag(circuit)
+    for idx in dag.topological_order():
+        inst = circuit[idx]
+        if inst.is_barrier:
+            out.append(inst)
+            continue
+        if inst.num_qubits == 1:
+            out.append(inst.remap({inst.qubits[0]: live.hw(inst.qubits[0])}))
+            continue
+        if not is_two_qubit(inst.name):
+            raise ValueError(
+                f"baseline routing expects a decomposed circuit; found "
+                f"{inst.name!r}"
+            )
+        control, target = inst.qubits
+        hw_control, hw_target = live.hw(control), live.hw(target)
+        if not device.topology.are_coupled(hw_control, hw_target):
+            path = _random_shortest_path(graph, hw_control, hw_target, rng)
+            # Swap the control along the path until adjacent to target.
+            for a, b in zip(path[:-2], path[1:-1]):
+                out.add("swap", (a, b))
+                live.swap_hw(a, b)
+                num_swaps += 1
+            hw_control, hw_target = live.hw(control), live.hw(target)
+        out.append(inst.remap({control: hw_control, target: hw_target}))
+    final = tuple(live.hw(p) for p in range(circuit.num_qubits))
+    return RoutedCircuit(
+        circuit=out,
+        initial_mapping=mapping,
+        final_placement=final,
+        num_swaps=num_swaps,
+    )

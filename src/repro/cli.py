@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``devices`` — list the seven study machines with their Figure-1 stats.
+* ``benchmarks`` — list the 12-program suite.
+* ``compile`` — compile a suite benchmark or Scaffold file for a device
+  and print (or save) the vendor executable.
+* ``run`` — compile and estimate the success rate on the noisy
+  simulator.
+* ``experiment`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.compiler import OptimizationLevel, compile_circuit
+from repro.devices import all_devices, device_by_name
+from repro.programs import benchmark_by_name, standard_suite
+from repro.scaffold import compile_scaffold
+from repro.sim import monte_carlo_success_rate
+
+_LEVELS = {level.value.lower(): level for level in OptimizationLevel}
+_EXPERIMENTS = (
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1",
+)
+
+
+def _parse_level(text: str) -> OptimizationLevel:
+    key = text.lower()
+    if not key.startswith("triq-"):
+        key = f"triq-{key}"
+    if key not in _LEVELS:
+        known = ", ".join(sorted(_LEVELS))
+        raise argparse.ArgumentTypeError(
+            f"unknown optimization level {text!r}; choose from {known}"
+        )
+    return _LEVELS[key]
+
+
+def _load_program(args: argparse.Namespace):
+    if args.benchmark is not None:
+        return benchmark_by_name(args.benchmark).build()
+    with open(args.scaffold, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    defines = {}
+    for item in args.define or []:
+        name, _, value = item.partition("=")
+        defines[name] = int(value)
+    return compile_scaffold(source, defines=defines), None
+
+
+def _cmd_devices(_: argparse.Namespace) -> int:
+    from repro.experiments import fig1_devices
+
+    print(fig1_devices.format_result(fig1_devices.run()))
+    return 0
+
+
+def _cmd_benchmarks(_: argparse.Namespace) -> int:
+    from repro.experiments import fig7_benchmarks
+
+    print(fig7_benchmarks.format_result(fig7_benchmarks.run()))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    circuit, _ = _load_program(args)
+    device = device_by_name(args.device, day=args.day)
+    program = compile_circuit(circuit, device, level=args.level, day=args.day)
+    text = program.executable()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text, end="")
+    print(
+        f"# {device.name} | {args.level.value} | "
+        f"{program.two_qubit_gate_count()} 2Q gates | "
+        f"{program.one_qubit_pulse_count()} 1Q pulses | "
+        f"{program.num_swaps} swaps",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    circuit, correct = _load_program(args)
+    if correct is None:
+        print("error: `run` needs a suite benchmark (known correct answer)",
+              file=sys.stderr)
+        return 2
+    device = device_by_name(args.device, day=args.day)
+    program = compile_circuit(circuit, device, level=args.level, day=args.day)
+    estimate = monte_carlo_success_rate(
+        program.circuit,
+        device,
+        correct,
+        day=args.day,
+        fault_samples=args.fault_samples,
+    )
+    print(f"device        : {device.name} (day {args.day})")
+    print(f"compiler      : {args.level.value}")
+    print(f"2Q gates      : {program.two_qubit_gate_count()}")
+    print(f"1Q pulses     : {program.one_qubit_pulse_count()}")
+    print(f"success rate  : {estimate.success_rate:.4f}")
+    print(f"ideal rate    : {estimate.ideal_rate:.4f}")
+    print(f"clean-run prob: {estimate.no_fault_probability:.4f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig1_devices, fig2_gatesets, fig3_calibration, fig4_toolflow,
+        fig5_ir, fig6_reliability, fig7_benchmarks, table1_configs,
+    )
+
+    modules = {
+        "fig1": fig1_devices,
+        "fig2": fig2_gatesets,
+        "fig3": fig3_calibration,
+        "fig4": fig4_toolflow,
+        "fig5": fig5_ir,
+        "fig6": fig6_reliability,
+        "fig7": fig7_benchmarks,
+        "table1": table1_configs,
+    }
+    module = modules[args.name]
+    print(module.format_result(module.run()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TriQ reproduction: multi-vendor quantum compiler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the study machines").set_defaults(
+        func=_cmd_devices
+    )
+    sub.add_parser("benchmarks", help="list the benchmark suite").set_defaults(
+        func=_cmd_benchmarks
+    )
+
+    def add_program_args(p: argparse.ArgumentParser) -> None:
+        source = p.add_mutually_exclusive_group(required=True)
+        source.add_argument(
+            "--benchmark", "-b", help="suite benchmark name (e.g. BV4)"
+        )
+        source.add_argument(
+            "--scaffold", "-f", help="path to a Scaffold source file"
+        )
+        p.add_argument(
+            "--define", "-D", action="append", metavar="NAME=INT",
+            help="compile-time constant override for Scaffold input",
+        )
+        p.add_argument(
+            "--device", "-d", required=True,
+            help="device name (partial match, e.g. 'melbourne')",
+        )
+        p.add_argument(
+            "--level", "-l", type=_parse_level,
+            default=OptimizationLevel.OPT_1QCN,
+            help="optimization level (N, 1QOpt, 1QOptC, 1QOptCN)",
+        )
+        p.add_argument(
+            "--day", type=int, default=0, help="calibration day (default 0)"
+        )
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile and emit the vendor executable"
+    )
+    add_program_args(compile_parser)
+    compile_parser.add_argument("--output", "-o", help="write to file")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    run_parser = sub.add_parser(
+        "run", help="compile and estimate success rate"
+    )
+    add_program_args(run_parser)
+    run_parser.add_argument(
+        "--fault-samples", type=int, default=100,
+        help="Monte-Carlo fault configurations (default 100)",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment_parser.add_argument("name", choices=_EXPERIMENTS)
+    experiment_parser.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Commutation-aware gate motion: an optional extra optimization pass.
+
+The standard 1Q optimizer only merges *adjacent* 1Q gates.  Z-axis
+rotations additionally commute through the control of a CNOT/CZ and
+X-axis rotations through the target of a CNOT, so rotations separated by
+2Q gates can often still be merged (a trick the paper's section-7
+discussion of deeper hardware-software codesign anticipates, and which
+later Qiskit versions adopted).
+
+``commute_rotations_forward`` moves every movable 1Q rotation forward
+past commuting 2Q gates, bringing mergeable rotations next to each
+other; running :func:`repro.compiler.onequbit.optimize_single_qubit_gates`
+afterwards realizes the extra cancellations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import VIRTUAL_Z_GATES
+from repro.ir.instruction import Instruction
+
+#: 1Q gates that are Z-axis rotations (commute through cx/cz controls
+#: and through cz targets).
+_Z_AXIS = set(VIRTUAL_Z_GATES) - {"id"}
+#: 1Q gates that are X-axis rotations (commute through cx targets and
+#: through the xx interaction on either qubit).
+_X_AXIS = {"x", "rx"}
+
+
+def _commutes_past(inst: Instruction, other: Instruction) -> bool:
+    """Does 1Q gate ``inst`` commute with the following gate ``other``?"""
+    if not other.is_unitary:
+        return False
+    qubit = inst.qubits[0]
+    if qubit not in other.qubits:
+        return True  # disjoint gates always commute
+    if other.num_qubits != 2:
+        return False  # merging with 1Q gates is the optimizer's job
+    name = inst.name
+    if other.name == "cx":
+        control, target = other.qubits
+        if name in _Z_AXIS and qubit == control:
+            return True
+        if name in _X_AXIS and qubit == target:
+            return True
+        return False
+    if other.name == "cz":
+        return name in _Z_AXIS
+    if other.name == "xx":
+        return name in _X_AXIS
+    return False
+
+
+def commute_rotations_forward(circuit: Circuit) -> Circuit:
+    """Push movable rotations forward past commuting 2Q gates.
+
+    Iterates to a fixed point (bounded by the instruction count), so a
+    rotation can travel past several consecutive commuting gates.  The
+    result is unitarily identical to the input; only gate order changes.
+    """
+    instructions: List[Instruction] = list(circuit.instructions)
+    changed = True
+    passes = 0
+    while changed and passes <= len(instructions):
+        changed = False
+        passes += 1
+        index = 0
+        while index < len(instructions) - 1:
+            inst = instructions[index]
+            nxt = instructions[index + 1]
+            if (
+                inst.is_unitary
+                and inst.num_qubits == 1
+                and nxt.is_unitary
+                and nxt.num_qubits == 2
+                and inst.qubits[0] in nxt.qubits
+                and _commutes_past(inst, nxt)
+            ):
+                instructions[index], instructions[index + 1] = nxt, inst
+                changed = True
+                index += 2
+            else:
+                index += 1
+    return Circuit(
+        circuit.num_qubits, name=circuit.name, instructions=instructions
+    )

@@ -1,0 +1,239 @@
+"""Lookahead swap routing (SABRE-style), an alternative to the
+per-gate router.
+
+The baseline TriQ router (:mod:`repro.compiler.routing`) resolves each
+2Q gate independently along its most reliable path.  That is faithful
+to the paper, but a router that considers *upcoming* gates can often
+place one swap that serves several of them.  This module implements a
+reliability-weighted lookahead router:
+
+* gates become *ready* when their dependencies complete; ready 1Q gates
+  and hardware-adjacent 2Q gates are emitted eagerly,
+* when every ready 2Q gate needs routing, candidate swaps (hardware
+  edges touching any involved qubit) are scored by the decrease in
+  total reliability-distance of the ready gates plus a discounted term
+  for a window of upcoming gates,
+* reliability-distance between hardware qubits is ``-log`` of the
+  best swap-path reliability, so "closer" means "cheaper in error".
+
+Exposed through ``TriQCompiler(router="lookahead")`` and compared
+against the per-gate router in ``benchmarks/test_ablation_lookahead``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+from repro.ir.dag import CircuitDag
+from repro.ir.gates import is_two_qubit
+from repro.compiler.mapping import InitialMapping
+from repro.compiler.reliability import ReliabilityMatrix
+from repro.compiler.routing import RoutedCircuit, _LiveMapping
+
+#: Discount applied to the lookahead window's contribution.
+LOOKAHEAD_WEIGHT = 0.5
+#: How many upcoming 2Q gates to include in the heuristic.
+LOOKAHEAD_WINDOW = 12
+#: Safety valve: abort if a single gate needs more swaps than this.
+MAX_SWAPS_PER_GATE = 64
+
+
+def _distance_matrix(reliability: ReliabilityMatrix) -> np.ndarray:
+    """-log of best swap-path reliability: additive routing distance."""
+    with np.errstate(divide="ignore"):
+        distance = -np.log(
+            np.maximum(reliability.swap_reliability, 1e-300)
+        )
+    return distance
+
+
+class _GateTracker:
+    """Dependency tracking: which instructions are ready to schedule."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        dag = CircuitDag(circuit)
+        self.graph = dag.graph
+        self.pending_preds = {
+            node: self.graph.in_degree(node) for node in self.graph.nodes
+        }
+        self.ready: deque = deque(
+            node
+            for node in sorted(self.graph.nodes)
+            if self.pending_preds[node] == 0
+        )
+        self.emitted: Set[int] = set()
+
+    def complete(self, node: int) -> None:
+        self.emitted.add(node)
+        for successor in sorted(self.graph.successors(node)):
+            self.pending_preds[successor] -= 1
+            if self.pending_preds[successor] == 0:
+                self.ready.append(successor)
+
+    def upcoming_two_qubit(self, limit: int) -> List[int]:
+        """The next 2Q instructions in program order, not yet emitted."""
+        out = []
+        for idx in range(len(self.circuit)):
+            if idx in self.emitted:
+                continue
+            inst = self.circuit[idx]
+            if inst.is_unitary and is_two_qubit(inst.name):
+                out.append(idx)
+                if len(out) >= limit:
+                    break
+        return out
+
+
+def lookahead_route(
+    circuit: Circuit,
+    device: Device,
+    mapping: InitialMapping,
+    reliability: ReliabilityMatrix,
+    window: int = LOOKAHEAD_WINDOW,
+    lookahead_weight: float = LOOKAHEAD_WEIGHT,
+) -> RoutedCircuit:
+    """Route with reliability-weighted lookahead swap selection."""
+    live = _LiveMapping(mapping, device.num_qubits)
+    out = Circuit(device.num_qubits, name=circuit.name)
+    distance = _distance_matrix(reliability)
+    tracker = _GateTracker(circuit)
+    num_swaps = 0
+    edges = [tuple(sorted(edge)) for edge in device.topology.edges()]
+    last_swap: Optional[Tuple[int, int]] = None
+    # Measurements are deferred to the end: later swaps may still move
+    # a qubit's state, and the IR contract is terminal measurement.
+    deferred_measures: List[int] = []
+
+    def gate_distance(idx: int) -> float:
+        control, target = circuit[idx].qubits
+        return float(distance[live.hw(control), live.hw(target)])
+
+    while tracker.ready or any(
+        count > 0 for count in tracker.pending_preds.values()
+    ):
+        progressed = False
+        # Emit everything that requires no routing.
+        still_blocked: List[int] = []
+        while tracker.ready:
+            idx = tracker.ready.popleft()
+            inst = circuit[idx]
+            if inst.is_barrier:
+                out.append(inst)
+                tracker.complete(idx)
+                progressed = True
+            elif inst.is_measurement:
+                deferred_measures.append(idx)
+                tracker.complete(idx)
+                progressed = True
+            elif inst.num_qubits == 1:
+                out.append(
+                    inst.remap({inst.qubits[0]: live.hw(inst.qubits[0])})
+                )
+                tracker.complete(idx)
+                progressed = True
+            elif not is_two_qubit(inst.name):
+                raise ValueError(
+                    f"lookahead routing expects a decomposed circuit; "
+                    f"found {inst.name!r}"
+                )
+            else:
+                control, target = inst.qubits
+                if device.topology.are_coupled(
+                    live.hw(control), live.hw(target)
+                ):
+                    out.append(
+                        inst.remap(
+                            {
+                                control: live.hw(control),
+                                target: live.hw(target),
+                            }
+                        )
+                    )
+                    tracker.complete(idx)
+                    progressed = True
+                else:
+                    still_blocked.append(idx)
+        for idx in still_blocked:
+            tracker.ready.append(idx)
+        if progressed:
+            last_swap = None
+            continue
+        if not tracker.ready:
+            break  # all done
+
+        # Every ready gate needs routing: pick the best swap.
+        front = [idx for idx in tracker.ready]
+        upcoming = tracker.upcoming_two_qubit(window)
+        involved = {
+            live.hw(q) for idx in front for q in circuit[idx].qubits
+        }
+        candidates = [
+            edge
+            for edge in edges
+            if (edge[0] in involved or edge[1] in involved)
+            and edge != last_swap
+        ]
+        if not candidates:
+            candidates = edges
+
+        def score(edge: Tuple[int, int]) -> Tuple[float, float]:
+            a, b = edge
+            swap_cost = float(distance[a, b])
+
+            def after(hw: int) -> int:
+                if hw == a:
+                    return b
+                if hw == b:
+                    return a
+                return hw
+
+            def total(indices: Sequence[int]) -> Tuple[float, float]:
+                before_sum = after_sum = 0.0
+                for idx in indices:
+                    control, target = circuit[idx].qubits
+                    hc, ht = live.hw(control), live.hw(target)
+                    before_sum += float(distance[hc, ht])
+                    after_sum += float(distance[after(hc), after(ht)])
+                return before_sum, after_sum
+
+            front_before, front_after = total(front)
+            look_before, look_after = total(upcoming)
+            improvement = (front_before - front_after) + (
+                lookahead_weight * (look_before - look_after)
+            )
+            # Prefer big improvement; tie-break on cheap swaps.
+            return (improvement, -swap_cost)
+
+        best_edge = max(candidates, key=score)
+        improvement, _ = score(best_edge)
+        if improvement <= 0 and last_swap is not None:
+            # No strict progress possible without undoing: allow the
+            # reverse swap next round.
+            last_swap = None
+            continue
+        out.add("swap", best_edge)
+        live.swap_hw(*best_edge)
+        num_swaps += 1
+        last_swap = best_edge
+        if num_swaps > MAX_SWAPS_PER_GATE * max(
+            1, circuit.num_two_qubit_gates()
+        ):
+            raise RuntimeError("lookahead routing failed to converge")
+
+    for idx in deferred_measures:
+        inst = circuit[idx]
+        out.append(inst.remap({inst.qubits[0]: live.hw(inst.qubits[0])}))
+
+    final = tuple(live.hw(p) for p in range(circuit.num_qubits))
+    return RoutedCircuit(
+        circuit=out,
+        initial_mapping=mapping,
+        final_placement=final,
+        num_swaps=num_swaps,
+    )

@@ -1,0 +1,115 @@
+"""Qubit mapping: placing program qubits on hardware qubits (paper 4.3).
+
+Two policies:
+
+* :func:`default_mapping` — the identity/lexicographic placement used by
+  the unoptimized TriQ-N and TriQ-1QOpt levels (and, *sic*, by the
+  Qiskit 0.6 baseline).
+* :func:`smt_mapping` — constrained optimization over the reliability
+  matrix: pair terms for every distinct interacting program-qubit pair,
+  unary readout terms for every measured qubit, objective = maximize the
+  minimum term reliability, solved by :class:`repro.smt.MaxMinSolver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+from repro.ir.dag import interaction_pairs
+from repro.compiler.reliability import ReliabilityMatrix
+from repro.smt import AssignmentProblem, MaxMinSolver
+
+
+@dataclass(frozen=True)
+class InitialMapping:
+    """Program-qubit -> hardware-qubit placement.
+
+    ``placement[p]`` is the hardware qubit carrying program qubit ``p``.
+    """
+
+    placement: Tuple[int, ...]
+    num_hardware_qubits: int
+    #: Objective value reported by the solver (None for default mapping).
+    objective: Optional[float] = None
+    #: Solver search nodes (0 for default mapping).
+    solver_nodes: int = 0
+    #: Solver wall time in seconds.
+    solver_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(set(self.placement)) != len(self.placement):
+            raise ValueError("mapping must be injective")
+        for hw in self.placement:
+            if not 0 <= hw < self.num_hardware_qubits:
+                raise ValueError(f"hardware qubit {hw} out of range")
+
+    def hardware_qubit(self, program_qubit: int) -> int:
+        return self.placement[program_qubit]
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(enumerate(self.placement))
+
+
+def _check_fits(circuit: Circuit, device: Device) -> None:
+    if circuit.num_qubits > device.num_qubits:
+        raise ValueError(
+            f"{circuit.name!r} needs {circuit.num_qubits} qubits but "
+            f"{device.name} has only {device.num_qubits}"
+        )
+
+
+def default_mapping(circuit: Circuit, device: Device) -> InitialMapping:
+    """Lexicographic placement: program qubit ``p`` -> hardware qubit ``p``.
+
+    This ignores both topology and noise, "always using the first few
+    qubits in the device" (paper section 6.3 on Qiskit).
+    """
+    _check_fits(circuit, device)
+    return InitialMapping(
+        placement=tuple(range(circuit.num_qubits)),
+        num_hardware_qubits=device.num_qubits,
+    )
+
+
+def smt_mapping(
+    circuit: Circuit,
+    device: Device,
+    reliability: ReliabilityMatrix,
+    node_limit: int = 200_000,
+    time_limit_s: Optional[float] = 30.0,
+) -> InitialMapping:
+    """Reliability-optimized placement via the max-min solver.
+
+    Variables exist only for *distinct* interacting pairs, so the
+    problem size is O(n^2) in program qubits and independent of gate
+    count — the property behind the paper's 6.5 scaling result.
+    """
+    _check_fits(circuit, device)
+    num_program = circuit.num_qubits
+    problem = AssignmentProblem(num_program, device.num_qubits)
+    pair_scores = reliability.symmetric()
+    for pair in interaction_pairs(circuit):
+        a, b = sorted(pair)
+        problem.add_pair_term(a, b, pair_scores)
+    readout = np.maximum(reliability.readout, 1e-12)
+    measured = sorted(
+        {inst.qubits[0] for inst in circuit if inst.is_measurement}
+    )
+    for program_qubit in measured:
+        problem.add_unary_term(program_qubit, readout)
+    solver = MaxMinSolver(
+        problem, node_limit=node_limit, time_limit_s=time_limit_s
+    )
+    solution = solver.solve()
+    return InitialMapping(
+        placement=solution.assignment,
+        num_hardware_qubits=device.num_qubits,
+        objective=solution.objective,
+        solver_nodes=solution.stats.nodes,
+        solver_time_s=solution.stats.wall_time_s,
+    )

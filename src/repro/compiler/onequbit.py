@@ -1,0 +1,221 @@
+"""Single-qubit gate optimization via quaternions (paper section 4.5).
+
+Every 1Q gate is a Bloch-sphere rotation, hence a unit quaternion.  For
+each qubit the optimizer coalesces maximal runs of consecutive 1Q gates
+by quaternion multiplication, then re-expresses the product in the
+vendor's software-visible interface as *two error-free virtual-Z
+rotations plus the fewest possible physical pulses*:
+
+* IBM: ``u1`` (0 pulses) / ``u2`` (1 pulse) / ``u3`` (2 pulses),
+* Rigetti: ``rz``s around zero, one, or two ``Rx(pi/2)`` pulses,
+* UMD: at most one arbitrary-axis ``Rxy(theta, phi)`` pulse plus an
+  ``rz`` — the arbitrary equatorial rotation is why UMDTI sees the
+  largest 1Q gains (paper 6.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.devices.gatesets import GateSet, VendorFamily
+from repro.ir.circuit import Circuit
+from repro.ir.instruction import Instruction
+from repro.rotations import Quaternion, quaternion_to_zxz, quaternion_to_zyz
+
+_HALF_PI = math.pi / 2.0
+#: Rotations within this angle of identity are dropped outright.
+_ANGLE_TOL = 1e-9
+
+#: Physical X/Y pulses per software-visible 1Q gate.
+PULSES_PER_GATE: Dict[str, int] = {
+    "u1": 0,
+    "rz": 0,
+    "id": 0,
+    "u2": 1,
+    "rx": 1,
+    "rxy": 1,
+    "u3": 2,
+}
+
+
+def gate_quaternion(name: str, params=()) -> Quaternion:
+    """The rotation quaternion of a 1Q gate (global phase discarded)."""
+    if name == "id":
+        return Quaternion.identity()
+    if name == "h":
+        return Quaternion.from_axis_angle((1.0, 0.0, 1.0), math.pi)
+    if name == "x":
+        return Quaternion.rx(math.pi)
+    if name == "y":
+        return Quaternion.ry(math.pi)
+    if name == "z":
+        return Quaternion.rz(math.pi)
+    if name == "s":
+        return Quaternion.rz(_HALF_PI)
+    if name == "sdg":
+        return Quaternion.rz(-_HALF_PI)
+    if name == "t":
+        return Quaternion.rz(math.pi / 4.0)
+    if name == "tdg":
+        return Quaternion.rz(-math.pi / 4.0)
+    if name == "rx":
+        return Quaternion.rx(params[0])
+    if name == "ry":
+        return Quaternion.ry(params[0])
+    if name in ("rz", "u1"):
+        return Quaternion.rz(params[0])
+    if name == "rxy":
+        return Quaternion.rxy(params[0], params[1])
+    if name == "u2":
+        phi, lam = params
+        return gate_quaternion("u3", (_HALF_PI, phi, lam))
+    if name == "u3":
+        theta, phi, lam = params
+        # u3(theta, phi, lam) = Rz(phi) Ry(theta) Rz(lam) up to phase.
+        return (
+            Quaternion.rz(phi) * Quaternion.ry(theta) * Quaternion.rz(lam)
+        )
+    raise ValueError(f"gate {name!r} is not a known 1Q rotation")
+
+
+def _z_rotation_angle(q: Quaternion) -> float:
+    """The angle of a pure Z rotation quaternion."""
+    return 2.0 * math.atan2(q.z, q.w)
+
+
+def _emit_rz(qubit: int, angle: float, family: VendorFamily) -> List[Instruction]:
+    if abs(angle) < _ANGLE_TOL:
+        return []
+    name = "u1" if family is VendorFamily.IBM else "rz"
+    return [Instruction(name, (qubit,), (angle,))]
+
+
+def _emit_ibm(qubit: int, q: Quaternion) -> List[Instruction]:
+    angles = quaternion_to_zyz(q)
+    beta = angles.beta
+    if abs(beta) < _ANGLE_TOL:
+        return _emit_rz(qubit, angles.alpha + angles.gamma, VendorFamily.IBM)
+    if abs(beta - _HALF_PI) < _ANGLE_TOL:
+        return [Instruction("u2", (qubit,), (angles.gamma, angles.alpha))]
+    if abs(beta + _HALF_PI) < _ANGLE_TOL:
+        # Ry(-pi/2) = Rz(pi) Ry(pi/2) Rz(-pi): fold the extra Zs into
+        # the virtual rotations.
+        return [
+            Instruction(
+                "u2", (qubit,), (angles.gamma + math.pi, angles.alpha - math.pi)
+            )
+        ]
+    return [
+        Instruction("u3", (qubit,), (beta, angles.gamma, angles.alpha))
+    ]
+
+
+def _emit_rigetti(qubit: int, q: Quaternion) -> List[Instruction]:
+    angles = quaternion_to_zxz(q)
+    beta = angles.beta
+    if abs(beta) < _ANGLE_TOL:
+        return _emit_rz(qubit, angles.alpha + angles.gamma, VendorFamily.RIGETTI)
+    if abs(abs(beta) - _HALF_PI) < _ANGLE_TOL:
+        out = _emit_rz(qubit, angles.alpha, VendorFamily.RIGETTI)
+        out.append(
+            Instruction("rx", (qubit,), (math.copysign(_HALF_PI, beta),))
+        )
+        out.extend(_emit_rz(qubit, angles.gamma, VendorFamily.RIGETTI))
+        return out
+    # General rotation: two X90 pulses via the ZYZ/u3 identity
+    # u3(theta, phi, lam) = rz(lam); rx90; rz(theta+pi); rx90; rz(phi+pi).
+    zyz = quaternion_to_zyz(q)
+    out = _emit_rz(qubit, zyz.alpha, VendorFamily.RIGETTI)
+    out.append(Instruction("rx", (qubit,), (_HALF_PI,)))
+    out.extend(_emit_rz(qubit, zyz.beta + math.pi, VendorFamily.RIGETTI))
+    out.append(Instruction("rx", (qubit,), (_HALF_PI,)))
+    out.extend(_emit_rz(qubit, zyz.gamma + math.pi, VendorFamily.RIGETTI))
+    return out
+
+
+def _emit_umdti(qubit: int, q: Quaternion) -> List[Instruction]:
+    angles = quaternion_to_zxz(q)
+    beta = angles.beta
+    if abs(beta) < _ANGLE_TOL:
+        return _emit_rz(qubit, angles.alpha + angles.gamma, VendorFamily.UMDTI)
+    # Rz(gamma) Rx(beta) Rz(alpha) = Rz(gamma + alpha) Rxy(beta, -alpha):
+    # one physical pulse and one virtual Z.
+    out = [Instruction("rxy", (qubit,), (beta, -angles.alpha))]
+    out.extend(_emit_rz(qubit, angles.gamma + angles.alpha, VendorFamily.UMDTI))
+    return out
+
+
+def emit_rotation(
+    qubit: int, q: Quaternion, gate_set: GateSet
+) -> List[Instruction]:
+    """A composed rotation in the vendor's software-visible gate set."""
+    if q.is_identity():
+        return []
+    if q.is_z_rotation():
+        return _emit_rz(qubit, _z_rotation_angle(q), gate_set.family)
+    if gate_set.family is VendorFamily.IBM:
+        return _emit_ibm(qubit, q)
+    if gate_set.family is VendorFamily.RIGETTI:
+        return _emit_rigetti(qubit, q)
+    return _emit_umdti(qubit, q)
+
+
+def optimize_single_qubit_gates(
+    circuit: Circuit, gate_set: GateSet
+) -> Circuit:
+    """Coalesce 1Q gate runs into minimal native sequences.
+
+    The input may mix IR 1Q gates and vendor gates (e.g. CNOT framing
+    emitted by :mod:`repro.compiler.translate`); anything that is a 1Q
+    rotation is absorbed.  2Q gates, measurements and barriers flush the
+    pending rotation of the qubits they touch.
+    """
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    pending: Dict[int, Quaternion] = {}
+
+    def flush(qubit: int) -> None:
+        q = pending.pop(qubit, None)
+        if q is None:
+            return
+        for inst in emit_rotation(qubit, q, gate_set):
+            out.append(inst)
+
+    for inst in circuit:
+        if inst.is_unitary and inst.num_qubits == 1:
+            qubit = inst.qubits[0]
+            rotation = gate_quaternion(inst.name, inst.params)
+            pending[qubit] = (
+                rotation * pending.get(qubit, Quaternion.identity())
+            ).normalized()
+            continue
+        if inst.is_barrier:
+            for qubit in list(pending):
+                flush(qubit)
+        else:
+            for qubit in inst.qubits:
+                flush(qubit)
+        out.append(inst)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return out
+
+
+def count_pulses(circuit: Circuit) -> int:
+    """Number of physical X/Y pulses in a translated circuit.
+
+    This is what paper Figure 8 plots ("actual X and Y pulses applied on
+    the qubits").  The circuit must already be in software-visible gates.
+    """
+    total = 0
+    for inst in circuit:
+        if not inst.is_unitary or inst.num_qubits != 1:
+            continue
+        try:
+            total += PULSES_PER_GATE[inst.name]
+        except KeyError:
+            raise ValueError(
+                f"{inst.name!r} is not a software-visible 1Q gate; "
+                "translate the circuit before counting pulses"
+            ) from None
+    return total

@@ -1,0 +1,212 @@
+"""End-to-end compilation pipeline and the Table 1 optimization levels."""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+from repro.ir.decompose import decompose_to_basis
+from repro.compiler.mapping import InitialMapping, default_mapping, smt_mapping
+from repro.compiler.onequbit import count_pulses, optimize_single_qubit_gates
+from repro.compiler.reliability import ReliabilityMatrix, compute_reliability
+from repro.compiler.routing import route_circuit
+from repro.compiler.translate import (
+    naive_translate_1q,
+    translate_two_qubit_gates,
+)
+
+
+class OptimizationLevel(str, enum.Enum):
+    """The compiler configurations of paper Table 1."""
+
+    #: No optimization, default qubit mapping, naive gate translation.
+    N = "TriQ-N"
+    #: 1Q gate optimization, default qubit mapping.
+    OPT_1Q = "TriQ-1QOpt"
+    #: 1Q opt + communication-optimized mapping (noise-unaware).
+    OPT_1QC = "TriQ-1QOptC"
+    #: 1Q opt + communication- and noise-optimized mapping.
+    OPT_1QCN = "TriQ-1QOptCN"
+
+    @property
+    def optimizes_1q(self) -> bool:
+        return self is not OptimizationLevel.N
+
+    @property
+    def optimizes_communication(self) -> bool:
+        return self in (OptimizationLevel.OPT_1QC, OptimizationLevel.OPT_1QCN)
+
+    @property
+    def noise_aware(self) -> bool:
+        return self is OptimizationLevel.OPT_1QCN
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """Output of the TriQ pipeline (or a baseline) for one circuit.
+
+    ``level`` is an :class:`OptimizationLevel` for TriQ configurations
+    and a plain label string (``"Qiskit"``, ``"Quil"``) for the vendor
+    baselines.
+    """
+
+    circuit: Circuit
+    source_name: str
+    device: Device
+    level: Union[OptimizationLevel, str]
+    initial_mapping: InitialMapping
+    final_placement: Tuple[int, ...]
+    num_swaps: int
+    compile_time_s: float
+
+    # ------------------------------------------------------------------
+    # The metrics the paper's figures plot.
+    # ------------------------------------------------------------------
+    def two_qubit_gate_count(self) -> int:
+        """Hardware 2Q gates after all lowering (Figures 10, 11a)."""
+        return self.circuit.num_two_qubit_gates()
+
+    def one_qubit_pulse_count(self) -> int:
+        """Physical X/Y pulses (Figure 8)."""
+        return count_pulses(self.circuit)
+
+    def depth(self) -> int:
+        return self.circuit.depth()
+
+    def executable(self) -> str:
+        """Device-specific executable code (OpenQASM / Quil / UMDTI ASM)."""
+        from repro.backends import generate_code
+
+        return generate_code(self.circuit, self.device)
+
+
+class TriQCompiler:
+    """The TriQ toolflow for one target device (paper Figure 4).
+
+    Device-specific attributes — topology, gate set, noise data — are
+    inputs; the passes themselves are vendor-neutral.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        level: OptimizationLevel = OptimizationLevel.OPT_1QCN,
+        day: Optional[int] = None,
+        node_limit: int = 200_000,
+        time_limit_s: Optional[float] = 30.0,
+        router: str = "basic",
+        peephole: bool = False,
+        commute: bool = False,
+    ) -> None:
+        if router not in ("basic", "lookahead"):
+            raise ValueError(
+                f"unknown router {router!r}; choose 'basic' (per-gate "
+                "most-reliable path, the paper's) or 'lookahead'"
+            )
+        self.device = device
+        self.level = level
+        self.day = day
+        self.node_limit = node_limit
+        self.time_limit_s = time_limit_s
+        self.router = router
+        #: Optional post-routing cleanup (off by default so gate counts
+        #: match the paper's pipeline exactly).
+        self.peephole = peephole
+        #: Optional commutation-aware rotation motion before the 1Q
+        #: optimizer (off by default for the same reason).
+        self.commute = commute
+        self._reliability_unaware: Optional[ReliabilityMatrix] = None
+        self._reliability_aware: Optional[ReliabilityMatrix] = None
+
+    # ------------------------------------------------------------------
+    def reliability(self, noise_aware: bool) -> ReliabilityMatrix:
+        """The (cached) reliability matrix for this device and day."""
+        if noise_aware:
+            if self._reliability_aware is None:
+                self._reliability_aware = compute_reliability(
+                    self.device, noise_aware=True, day=self.day
+                )
+            return self._reliability_aware
+        if self._reliability_unaware is None:
+            self._reliability_unaware = compute_reliability(
+                self.device, noise_aware=False, day=self.day
+            )
+        return self._reliability_unaware
+
+    def map_qubits(self, circuit: Circuit) -> InitialMapping:
+        """The placement pass for the configured level."""
+        if not self.level.optimizes_communication:
+            return default_mapping(circuit, self.device)
+        reliability = self.reliability(self.level.noise_aware)
+        return smt_mapping(
+            circuit,
+            self.device,
+            reliability,
+            node_limit=self.node_limit,
+            time_limit_s=self.time_limit_s,
+        )
+
+    def compile(self, circuit: Circuit) -> CompiledProgram:
+        """Run the full pipeline on one program."""
+        started = time.monotonic()
+        decomposed = decompose_to_basis(circuit)
+        mapping = self.map_qubits(decomposed)
+        routing_reliability = self.reliability(self.level.noise_aware)
+        if self.router == "lookahead":
+            from repro.compiler.lookahead import lookahead_route
+
+            routed = lookahead_route(
+                decomposed, self.device, mapping, routing_reliability
+            )
+        else:
+            routed = route_circuit(
+                decomposed, self.device, mapping, routing_reliability
+            )
+        routed_circuit = routed.circuit
+        if self.peephole:
+            from repro.compiler.peephole import cancel_adjacent_gates
+            from repro.ir.decompose import decompose_to_basis as _lower
+
+            # Cancel at the CNOT level, where routing artifacts (swap
+            # chains meeting their gate) are visible.
+            routed_circuit = cancel_adjacent_gates(_lower(routed_circuit))
+        translated = translate_two_qubit_gates(routed_circuit, self.device)
+        if self.level.optimizes_1q:
+            if self.commute:
+                from repro.compiler.commute import (
+                    commute_rotations_forward,
+                )
+
+                translated = commute_rotations_forward(translated)
+            final = optimize_single_qubit_gates(
+                translated, self.device.gate_set
+            )
+        else:
+            final = naive_translate_1q(translated, self.device.gate_set)
+        elapsed = time.monotonic() - started
+        return CompiledProgram(
+            circuit=final,
+            source_name=circuit.name,
+            device=self.device,
+            level=self.level,
+            initial_mapping=mapping,
+            final_placement=routed.final_placement,
+            num_swaps=routed.num_swaps,
+            compile_time_s=elapsed,
+        )
+
+
+def compile_circuit(
+    circuit: Circuit,
+    device: Device,
+    level: OptimizationLevel = OptimizationLevel.OPT_1QCN,
+    day: Optional[int] = None,
+    **solver_options,
+) -> CompiledProgram:
+    """One-shot convenience wrapper around :class:`TriQCompiler`."""
+    compiler = TriQCompiler(device, level=level, day=day, **solver_options)
+    return compiler.compile(circuit)

@@ -1,0 +1,199 @@
+"""Reliability matrix computation (paper section 4.2, Figure 6).
+
+The matrix entry ``(c, t)`` estimates the end-to-end reliability of a 2Q
+operation between hardware qubits ``c`` and ``t``, *including* the swap
+routing needed to co-locate them:
+
+* each hardware edge carries the reliability of its 2Q gate,
+* a SWAP over an edge costs three 2Q gates, so its reliability is the
+  edge reliability cubed (plus orientation-fixing 1Q gates on IBM's
+  directed couplings),
+* the most reliable swap path is an all-pairs max-product shortest path
+  (Floyd-Warshall),
+* the final entry maximizes, over neighbors ``t'`` of ``t``, the product
+  of the path reliability ``c -> t'`` and the gate reliability
+  ``t' - t``.
+
+Setting ``noise_aware=False`` replaces every rate by the device average,
+which turns the computation into pure hop-count minimization — exactly
+what TriQ-1QOptC compiles with (paper Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.devices.calibration import Calibration
+from repro.devices.device import Device
+
+#: Guard for strictly-positive reliabilities (log/product safety).
+_MIN_RELIABILITY = 1e-12
+
+
+@dataclass
+class ReliabilityMatrix:
+    """End-to-end 2Q reliabilities plus routing metadata.
+
+    Attributes:
+        matrix: ``matrix[c, t]`` = best achievable reliability of a 2Q op
+            from ``c`` to ``t`` including routing (1.0 on the diagonal).
+        swap_reliability: ``swap_reliability[a, b]`` = best product of
+            per-edge swap reliabilities moving a qubit from ``a`` to
+            ``b`` (1.0 on the diagonal; accounts for multi-hop paths).
+        next_hop: ``next_hop[a, b]`` = first node after ``a`` on the most
+            reliable swap path to ``b`` (-1 when unreachable).
+        gate_reliability: per-ordered-pair direct gate reliability
+            including IBM direction-orientation overhead; 0 where no
+            hardware edge exists.
+        readout: per-qubit readout reliability vector.
+    """
+
+    matrix: np.ndarray
+    swap_reliability: np.ndarray
+    next_hop: np.ndarray
+    gate_reliability: np.ndarray
+    readout: np.ndarray
+
+    @property
+    def num_qubits(self) -> int:
+        return self.matrix.shape[0]
+
+    def swap_path(self, src: int, dst: int) -> List[int]:
+        """Nodes of the most reliable swap path, inclusive of endpoints."""
+        if src == dst:
+            return [src]
+        if self.next_hop[src, dst] < 0:
+            raise ValueError(f"qubits {src} and {dst} are disconnected")
+        path = [src]
+        node = src
+        while node != dst:
+            node = int(self.next_hop[node, dst])
+            path.append(node)
+            if len(path) > self.num_qubits:
+                raise RuntimeError("cycle in next-hop table")
+        return path
+
+    def best_neighbor(self, control: int, target: int) -> int:
+        """The neighbor ``t'`` of ``target`` maximizing path x gate
+        reliability for a 2Q gate from ``control`` (paper Figure 6).
+
+        For adjacent qubits this returns ``control`` itself.
+        """
+        candidates = np.flatnonzero(self.gate_reliability[:, target] > 0)
+        if candidates.size == 0:
+            raise ValueError(f"qubit {target} has no coupled neighbor")
+        scores = (
+            self.swap_reliability[control, candidates]
+            * self.gate_reliability[candidates, target]
+        )
+        return int(candidates[int(np.argmax(scores))])
+
+    def symmetric(self) -> np.ndarray:
+        """Direction-insensitive matrix for the mapper's pair terms.
+
+        Diagonal entries are set to 1.0 (they are never used: the
+        assignment is injective) so the matrix passes score validation.
+        """
+        sym = np.maximum(self.matrix, self.matrix.T)
+        sym = np.maximum(sym, _MIN_RELIABILITY)
+        np.fill_diagonal(sym, 1.0)
+        return sym
+
+
+def _orientation_factor(
+    device: Device, calibration: Calibration, control: int, target: int
+) -> float:
+    """Reliability cost of orienting a CNOT against the hardware direction.
+
+    Four Hadamards conjugate a reversed CNOT (paper section 4.5); each is
+    one physical 1Q gate on the respective qubit.
+    """
+    topology = device.topology
+    if not topology.directed or topology.supports_direction(control, target):
+        return 1.0
+    h_control = calibration.qubit_reliability(control)
+    h_target = calibration.qubit_reliability(target)
+    return (h_control * h_target) ** 2
+
+
+def compute_reliability(
+    device: Device,
+    noise_aware: bool = True,
+    day: Optional[int] = None,
+) -> ReliabilityMatrix:
+    """Build the reliability matrix for a device.
+
+    Args:
+        device: the target machine.
+        noise_aware: when False, compile against the device-average error
+            rates (the TriQ-1QOptC configuration).
+        day: calibration day (defaults to the device's current day).
+    """
+    calibration = device.calibration(day)
+    if not noise_aware:
+        calibration = calibration.uniform()
+    n = device.num_qubits
+    topology = device.topology
+
+    gate = np.zeros((n, n), dtype=float)
+    swap_edge = np.zeros((n, n), dtype=float)
+    for edge in topology.edges():
+        a, b = sorted(edge)
+        edge_rel = max(calibration.edge_reliability(a, b), _MIN_RELIABILITY)
+        gate[a, b] = edge_rel * _orientation_factor(device, calibration, a, b)
+        gate[b, a] = edge_rel * _orientation_factor(device, calibration, b, a)
+        # SWAP = 3 CNOTs; on directed hardware the middle one is reversed.
+        swap_rel = edge_rel**3
+        if topology.directed:
+            # One of the three CNOTs always runs against the hardware
+            # direction, whichever way the swap is oriented.
+            swap_rel *= _orientation_factor(
+                device,
+                calibration,
+                *((b, a) if topology.supports_direction(a, b) else (a, b)),
+            )
+        swap_edge[a, b] = swap_rel
+        swap_edge[b, a] = swap_rel
+
+    # Max-product all-pairs paths (Floyd-Warshall on the product semiring).
+    swap_best = swap_edge.copy()
+    np.fill_diagonal(swap_best, 1.0)
+    next_hop = np.full((n, n), -1, dtype=int)
+    for a in range(n):
+        next_hop[a, a] = a
+    for a, b in np.argwhere(swap_edge > 0):
+        next_hop[a, b] = b
+    for k in range(n):
+        candidate = np.outer(swap_best[:, k], swap_best[k, :])
+        better = candidate > swap_best * (1.0 + 1e-12)
+        np.fill_diagonal(better, False)
+        if better.any():
+            swap_best = np.where(better, candidate, swap_best)
+            rows = np.where(better)[0]
+            next_hop[better] = next_hop[rows, k]
+
+    # End-to-end matrix: route control next to the best neighbor of the
+    # target, then run the direct gate.
+    matrix = np.zeros((n, n), dtype=float)
+    for t in range(n):
+        neighbors = np.flatnonzero(gate[:, t] > 0)
+        if neighbors.size == 0:
+            continue
+        # matrix[c, t] = max over t' of swap_best[c, t'] * gate[t', t]
+        scores = swap_best[:, neighbors] * gate[neighbors, t][None, :]
+        matrix[:, t] = scores.max(axis=1)
+    np.fill_diagonal(matrix, 1.0)
+
+    readout = np.array(
+        [calibration.readout_reliability(q) for q in range(n)], dtype=float
+    )
+    return ReliabilityMatrix(
+        matrix=matrix,
+        swap_reliability=swap_best,
+        next_hop=next_hop,
+        gate_reliability=gate,
+        readout=readout,
+    )

@@ -1,0 +1,138 @@
+"""Gate and communication scheduling (paper section 4.4).
+
+Instructions are scheduled in topologically-sorted dependency order.
+When a 2Q gate's qubits are not adjacent on hardware, the router inserts
+SWAPs along the most reliable path from the control's current position
+to the best neighbor of the target (per the reliability matrix), updates
+the running program<->hardware mapping, and emits the now-local gate.
+Fully-connected devices (UMDTI) never need swaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+from repro.ir.dag import CircuitDag
+from repro.ir.gates import is_two_qubit
+from repro.ir.instruction import Instruction
+from repro.compiler.mapping import InitialMapping
+from repro.compiler.reliability import ReliabilityMatrix
+
+
+@dataclass
+class RoutedCircuit:
+    """Result of routing: a hardware-qubit circuit plus bookkeeping.
+
+    Attributes:
+        circuit: instructions over *hardware* qubits; 2Q gates only on
+            coupled pairs; inserted swaps appear as ``swap`` gates.
+        initial_mapping: the placement routing started from.
+        final_placement: where each program qubit ended up.
+        num_swaps: how many swap gates were inserted.
+    """
+
+    circuit: Circuit
+    initial_mapping: InitialMapping
+    final_placement: Tuple[int, ...]
+    num_swaps: int
+
+
+class _LiveMapping:
+    """Mutable program<->hardware qubit correspondence during routing."""
+
+    def __init__(self, mapping: InitialMapping, num_hardware: int) -> None:
+        self.program_to_hw: Dict[int, int] = dict(mapping.as_dict())
+        self.hw_to_program: Dict[int, int] = {
+            hw: p for p, hw in self.program_to_hw.items()
+        }
+        self.num_hardware = num_hardware
+
+    def hw(self, program_qubit: int) -> int:
+        return self.program_to_hw[program_qubit]
+
+    def swap_hw(self, a: int, b: int) -> None:
+        """Record that hardware qubits a and b exchanged their contents."""
+        pa = self.hw_to_program.get(a)
+        pb = self.hw_to_program.get(b)
+        if pa is not None:
+            self.program_to_hw[pa] = b
+        if pb is not None:
+            self.program_to_hw[pb] = a
+        self.hw_to_program[a], self.hw_to_program[b] = pb, pa
+        if self.hw_to_program[a] is None:
+            del self.hw_to_program[a]
+        if self.hw_to_program[b] is None:
+            del self.hw_to_program[b]
+
+
+def route_circuit(
+    circuit: Circuit,
+    device: Device,
+    mapping: InitialMapping,
+    reliability: ReliabilityMatrix,
+) -> RoutedCircuit:
+    """Schedule and route a decomposed circuit onto hardware qubits.
+
+    The input must already be in the {1Q, cx, measure, barrier} basis
+    (:func:`repro.ir.decompose.decompose_to_basis`).
+    """
+    live = _LiveMapping(mapping, device.num_qubits)
+    out = Circuit(device.num_qubits, name=circuit.name)
+    num_swaps = 0
+    dag = CircuitDag(circuit)
+    # Measurements are deferred to the end: swaps inserted for later
+    # gates may still move a measured qubit's state, and the IR
+    # contract is terminal measurement.
+    deferred_measures = []
+    for idx in dag.topological_order():
+        inst = circuit[idx]
+        if inst.is_barrier:
+            out.append(inst)
+            continue
+        if inst.is_measurement:
+            deferred_measures.append(inst)
+            continue
+        if inst.num_qubits == 1:
+            out.append(inst.remap({inst.qubits[0]: live.hw(inst.qubits[0])}))
+            continue
+        if not is_two_qubit(inst.name):
+            raise ValueError(
+                f"routing expects a decomposed circuit; found {inst.name!r} "
+                f"on {inst.num_qubits} qubits"
+            )
+        control, target = inst.qubits
+        hw_control, hw_target = live.hw(control), live.hw(target)
+        # Pick the target's most reliable neighbor (paper 4.2): for
+        # well-connected pairs this is the control itself; otherwise —
+        # including adjacent pairs whose direct edge is unusually bad —
+        # the control's data is swapped along the most reliable path.
+        best = reliability.best_neighbor(hw_control, hw_target)
+        if best != hw_control:
+            path = reliability.swap_path(hw_control, best)
+            for a, b in zip(path, path[1:]):
+                out.add("swap", (a, b))
+                live.swap_hw(a, b)
+                num_swaps += 1
+            hw_control, hw_target = live.hw(control), live.hw(target)
+            if not device.topology.are_coupled(hw_control, hw_target):
+                raise RuntimeError(
+                    f"routing failed to co-locate qubits {control} and "
+                    f"{target} (at {hw_control}, {hw_target})"
+                )
+        out.append(
+            inst.remap({control: hw_control, target: hw_target})
+        )
+    for inst in deferred_measures:
+        out.append(inst.remap({inst.qubits[0]: live.hw(inst.qubits[0])}))
+    final = tuple(
+        live.hw(p) for p in range(circuit.num_qubits)
+    )
+    return RoutedCircuit(
+        circuit=out,
+        initial_mapping=mapping,
+        final_placement=final,
+        num_swaps=num_swaps,
+    )

@@ -1,0 +1,225 @@
+"""Gate implementation: IR gates -> vendor software-visible gates.
+
+This realizes paper section 4.5's translations:
+
+* ``swap`` -> 3 CNOTs (all vendors),
+* IBM: CNOT is software-visible; reversed CNOTs are conjugated by
+  Hadamards to match the hardware direction,
+* Rigetti: ``CNOT c,t`` -> ``Rz(pi/2) t; Rx(pi/2) t; Rz(pi/2) t;
+  CZ c,t; Rz(pi/2) t; Rx(pi/2) t; Rz(pi/2) t``,
+* UMDTI: ``CNOT c,t`` -> ``Ry(pi/2) c; XX(pi/4) c,t; Ry(-pi/2) c;
+  Rx(-pi/2) t; Rz(-pi/2) c``.
+
+The 1Q *naive* translation used by the TriQ-N level maps each IR 1Q gate
+independently into the vendor interface without cross-gate optimization;
+the optimizing path lives in :mod:`repro.compiler.onequbit`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.devices.device import Device
+from repro.devices.gatesets import GateSet, VendorFamily
+from repro.ir.circuit import Circuit
+from repro.ir.instruction import Instruction
+
+_HALF_PI = math.pi / 2.0
+
+
+def _hadamard(gate_set: GateSet, qubit: int) -> List[Instruction]:
+    """A Hadamard in the vendor interface (used for CNOT reversal)."""
+    if gate_set.family is VendorFamily.IBM:
+        return [Instruction("u2", (qubit,), (0.0, math.pi))]
+    if gate_set.family is VendorFamily.RIGETTI:
+        return [
+            Instruction("rz", (qubit,), (_HALF_PI,)),
+            Instruction("rx", (qubit,), (_HALF_PI,)),
+            Instruction("rz", (qubit,), (_HALF_PI,)),
+        ]
+    # UMDTI: H = Rz(pi) then Ry(pi/2); the Z rotation is virtual.
+    return [
+        Instruction("rz", (qubit,), (math.pi,)),
+        Instruction("rxy", (qubit,), (_HALF_PI, _HALF_PI)),
+    ]
+
+
+def _cnot(device: Device, control: int, target: int) -> List[Instruction]:
+    """A CNOT on one hardware pair, in the vendor interface."""
+    gate_set = device.gate_set
+    if gate_set.family is VendorFamily.IBM:
+        if device.topology.supports_direction(control, target):
+            return [Instruction("cx", (control, target))]
+        if not device.topology.supports_direction(target, control):
+            raise ValueError(
+                f"no hardware CNOT between qubits {control} and {target}"
+            )
+        # Reverse a directed CNOT by conjugating both qubits with H.
+        out = _hadamard(gate_set, control) + _hadamard(gate_set, target)
+        out.append(Instruction("cx", (target, control)))
+        out += _hadamard(gate_set, control) + _hadamard(gate_set, target)
+        return out
+    if gate_set.family is VendorFamily.RIGETTI:
+        framing = [
+            Instruction("rz", (target,), (_HALF_PI,)),
+            Instruction("rx", (target,), (_HALF_PI,)),
+            Instruction("rz", (target,), (_HALF_PI,)),
+        ]
+        return framing + [Instruction("cz", (control, target))] + framing
+    # UMDTI: Molmer-Sorensen based CNOT (paper 4.5).
+    return [
+        Instruction("rxy", (control,), (_HALF_PI, _HALF_PI)),  # Ry(pi/2)
+        Instruction("xx", (control, target), (math.pi / 4.0,)),
+        Instruction("rxy", (control,), (-_HALF_PI, _HALF_PI)),  # Ry(-pi/2)
+        Instruction("rxy", (target,), (-_HALF_PI, 0.0)),  # Rx(-pi/2)
+        Instruction("rz", (control,), (-_HALF_PI,)),
+    ]
+
+
+def translate_two_qubit_gates(circuit: Circuit, device: Device) -> Circuit:
+    """Lower ``swap`` and ``cx`` to the device's 2Q interface.
+
+    Input is a routed hardware circuit; output contains only
+    software-visible 2Q gates (``cx``/``cz``/``xx``) on coupled pairs in
+    hardware-supported directions, with whatever 1Q framing that costs.
+    1Q gates pass through untouched (they are handled by the naive or
+    optimizing 1Q translation afterwards).
+    """
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for inst in circuit:
+        if inst.name == "swap":
+            a, b = inst.qubits
+            # SWAP = CNOT a,b; CNOT b,a; CNOT a,b (paper footnote 2).
+            for control, target in ((a, b), (b, a), (a, b)):
+                for lowered in _cnot(device, control, target):
+                    out.append(lowered)
+        elif inst.name == "cx":
+            for lowered in _cnot(device, *inst.qubits):
+                out.append(lowered)
+        elif inst.name in ("cz", "xx"):
+            out.append(inst)
+        else:
+            out.append(inst)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Naive 1Q translation (TriQ-N)
+# ----------------------------------------------------------------------
+
+def _naive_1q(gate_set: GateSet, inst: Instruction) -> List[Instruction]:
+    """One IR 1Q gate in the vendor interface, no cross-gate optimization.
+
+    Z-family gates become virtual-Z rotations on every vendor ("those
+    rotations are error-free on all 3 vendors" — paper 6.1); everything
+    else becomes the vendor's standard per-gate recipe.
+    """
+    (q,) = inst.qubits
+    name = inst.name
+    family = gate_set.family
+
+    z_angles = {
+        "z": math.pi,
+        "s": _HALF_PI,
+        "sdg": -_HALF_PI,
+        "t": math.pi / 4.0,
+        "tdg": -math.pi / 4.0,
+    }
+    if name == "id":
+        return []
+    if name in z_angles:
+        angle = z_angles[name]
+        if family is VendorFamily.IBM:
+            return [Instruction("u1", (q,), (angle,))]
+        return [Instruction("rz", (q,), (angle,))]
+    if name in ("rz", "u1"):
+        if family is VendorFamily.IBM:
+            return [Instruction("u1", (q,), inst.params)]
+        return [Instruction("rz", (q,), inst.params)]
+
+    if family is VendorFamily.IBM:
+        # Everything else becomes the standard u2/u3 recipe.
+        recipes = {
+            "h": ("u2", (0.0, math.pi)),
+            "x": ("u3", (math.pi, 0.0, math.pi)),
+            "y": ("u3", (math.pi, _HALF_PI, _HALF_PI)),
+        }
+        if name in recipes:
+            gate, params = recipes[name]
+            return [Instruction(gate, (q,), params)]
+        if name == "rx":
+            (theta,) = inst.params
+            return [Instruction("u3", (q,), (theta, -_HALF_PI, _HALF_PI))]
+        if name == "ry":
+            (theta,) = inst.params
+            return [Instruction("u3", (q,), (theta, 0.0, 0.0))]
+        if name in ("u2", "u3"):
+            return [inst]
+
+    if family is VendorFamily.RIGETTI:
+        if name == "h":
+            return [
+                Instruction("rz", (q,), (_HALF_PI,)),
+                Instruction("rx", (q,), (_HALF_PI,)),
+                Instruction("rz", (q,), (_HALF_PI,)),
+            ]
+        if name == "rx" and abs(abs(inst.params[0]) - _HALF_PI) < 1e-12:
+            return [inst]
+        # Everything else goes through the general two-pulse recipe
+        # U3(theta, phi, lam) = rz(lam); rx(pi/2); rz(theta + pi);
+        # rx(pi/2); rz(phi + pi) in application order.
+        generic = {
+            "x": (math.pi, 0.0, math.pi),
+            "y": (math.pi, _HALF_PI, _HALF_PI),
+        }
+        if name in generic:
+            theta, phi, lam = generic[name]
+        elif name == "rx":
+            theta, phi, lam = inst.params[0], -_HALF_PI, _HALF_PI
+        elif name == "ry":
+            theta, phi, lam = inst.params[0], 0.0, 0.0
+        else:
+            theta = phi = lam = None
+        if theta is not None:
+            return [
+                Instruction("rz", (q,), (lam,)),
+                Instruction("rx", (q,), (_HALF_PI,)),
+                Instruction("rz", (q,), (theta + math.pi,)),
+                Instruction("rx", (q,), (_HALF_PI,)),
+                Instruction("rz", (q,), (phi + math.pi,)),
+            ]
+
+    if family is VendorFamily.UMDTI:
+        if name == "h":
+            return [
+                Instruction("rz", (q,), (math.pi,)),
+                Instruction("rxy", (q,), (_HALF_PI, _HALF_PI)),
+            ]
+        if name == "x":
+            return [Instruction("rxy", (q,), (math.pi, 0.0))]
+        if name == "y":
+            return [Instruction("rxy", (q,), (math.pi, _HALF_PI))]
+        if name == "rx":
+            return [Instruction("rxy", (q,), (inst.params[0], 0.0))]
+        if name == "ry":
+            return [Instruction("rxy", (q,), (inst.params[0], _HALF_PI))]
+        if name == "rxy":
+            return [inst]
+
+    raise ValueError(
+        f"no naive {gate_set.family.value} translation for 1Q gate "
+        f"{name!r}"
+    )
+
+
+def naive_translate_1q(circuit: Circuit, gate_set: GateSet) -> Circuit:
+    """Translate every 1Q gate independently (the TriQ-N path)."""
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for inst in circuit:
+        if inst.is_unitary and inst.num_qubits == 1:
+            for lowered in _naive_1q(gate_set, inst):
+                out.append(lowered)
+        else:
+            out.append(inst)
+    return out

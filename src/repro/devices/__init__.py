@@ -1,0 +1,48 @@
+"""Device models of the seven NISQ machines studied in the paper.
+
+Each :class:`Device` bundles what the TriQ compiler takes as
+"device-specific inputs" (paper Figure 4): qubit count and coupling
+topology, the software-visible gate set, and a calibration snapshot of
+1Q / 2Q / readout error rates.  The calibration module also provides the
+synthetic daily-drift generator that stands in for the IBM Quantum
+Experience calibration feed (see DESIGN.md substitution table).
+"""
+
+from repro.devices.topology import Topology
+from repro.devices.gatesets import GateSet, VendorFamily, GATESET_BY_FAMILY
+from repro.devices.calibration import Calibration, CalibrationModel
+from repro.devices.device import Device
+from repro.devices.library import (
+    ibmq5_tenerife,
+    ibmq14_melbourne,
+    ibmq16_rueschlikon,
+    rigetti_agave,
+    rigetti_aspen1,
+    rigetti_aspen3,
+    umd_trapped_ion,
+    all_devices,
+    device_by_name,
+    example_8q_device,
+    google_bristlecone_72,
+)
+
+__all__ = [
+    "Topology",
+    "GateSet",
+    "VendorFamily",
+    "GATESET_BY_FAMILY",
+    "Calibration",
+    "CalibrationModel",
+    "Device",
+    "ibmq5_tenerife",
+    "ibmq14_melbourne",
+    "ibmq16_rueschlikon",
+    "rigetti_agave",
+    "rigetti_aspen1",
+    "rigetti_aspen3",
+    "umd_trapped_ion",
+    "all_devices",
+    "device_by_name",
+    "example_8q_device",
+    "google_bristlecone_72",
+]

@@ -1,0 +1,88 @@
+"""The :class:`Device` model: everything TriQ needs to target a machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.devices.calibration import Calibration, CalibrationModel
+from repro.devices.gatesets import GateSet, VendorFamily
+from repro.devices.topology import Topology
+
+
+@dataclass
+class Device:
+    """A QC machine as seen by the compiler (paper Figure 4's inputs).
+
+    Attributes:
+        name: machine name, e.g. ``"IBM Q14 Melbourne"``.
+        gate_set: the vendor software-visible interface.
+        topology: coupling graph (directed for IBM).
+        calibration_model: synthetic calibration feed for this machine.
+        coherence_time_us: representative coherence time (paper Figure 1).
+        gate_time_us: rough duration of one 2Q gate, for the optional
+            coherence-limit factor in the simulator.
+        day: which calibration day the device currently reports.
+    """
+
+    name: str
+    gate_set: GateSet
+    topology: Topology
+    calibration_model: CalibrationModel
+    coherence_time_us: float
+    gate_time_us: float = 0.3
+    day: int = 0
+    _calibration_cache: Dict[int, Calibration] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def num_qubits(self) -> int:
+        return self.topology.num_qubits
+
+    @property
+    def vendor(self) -> VendorFamily:
+        return self.gate_set.family
+
+    @property
+    def technology(self) -> str:
+        """Qubit implementation technology."""
+        if self.vendor is VendorFamily.UMDTI:
+            return "trapped ion"
+        return "superconducting"
+
+    def calibration(self, day: Optional[int] = None) -> Calibration:
+        """The calibration snapshot for ``day`` (default: current day)."""
+        if day is None:
+            day = self.day
+        if day not in self._calibration_cache:
+            self._calibration_cache[day] = self.calibration_model.snapshot(day)
+        return self._calibration_cache[day]
+
+    def on_day(self, day: int) -> "Device":
+        """A view of the same device as calibrated on another day."""
+        return Device(
+            name=self.name,
+            gate_set=self.gate_set,
+            topology=self.topology,
+            calibration_model=self.calibration_model,
+            coherence_time_us=self.coherence_time_us,
+            gate_time_us=self.gate_time_us,
+            day=day,
+        )
+
+    def coupled_pairs(self) -> List[FrozenSet[int]]:
+        return self.topology.edges()
+
+    def describe(self) -> str:
+        """One-line summary in the style of paper Figure 1."""
+        cal = self.calibration()
+        return (
+            f"{self.name}: {self.num_qubits} qubits, "
+            f"{self.topology.num_edges()} 2Q gates, "
+            f"{self.technology}, "
+            f"coherence {self.coherence_time_us:g} us, "
+            f"avg errors 1Q {100 * cal.average_single_qubit_error():.2f}% / "
+            f"2Q {100 * cal.average_two_qubit_error():.2f}% / "
+            f"RO {100 * cal.average_readout_error():.2f}%"
+        )

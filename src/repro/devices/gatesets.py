@@ -1,0 +1,97 @@
+"""Vendor gate sets: native operations and software-visible interfaces.
+
+This encodes paper Figure 2.  The distinction that matters to the
+compiler is (a) which 2Q gate the hardware implements (CNOT via cross
+resonance on IBM, CZ on Rigetti, the Ising XX gate on UMD), and (b) how
+many *physical pulses* an arbitrary 1Q rotation costs once the error-free
+virtual-Z rotations are factored out:
+
+* IBM exposes ``u1/u2/u3``; ``u3`` is realized with two X90 pulses,
+  ``u2`` with one, ``u1`` with none.
+* Rigetti exposes ``Rx(+-pi/2)`` and ``Rz``; a general rotation needs
+  two X90 pulses (Z-X90-Z-X90-Z), some need one, pure-Z rotations none.
+* UMD exposes the arbitrary equatorial rotation ``Rxy(theta, phi)`` —
+  any non-Z rotation costs exactly one pulse, which is why the 1Q
+  optimizer wins most there (paper section 6.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class VendorFamily(str, enum.Enum):
+    """The three hardware/software interfaces TriQ targets."""
+
+    IBM = "ibm"
+    RIGETTI = "rigetti"
+    UMDTI = "umdti"
+
+
+@dataclass(frozen=True)
+class GateSet:
+    """Software-visible interface of one vendor family."""
+
+    family: VendorFamily
+    #: Software-visible gate names accepted by the device executable format.
+    software_visible: Tuple[str, ...]
+    #: The hardware 2Q gate the compiler must translate ``cx`` into.
+    two_qubit_gate: str
+    #: Description of the native (pulse-level) gates, for documentation.
+    native_description: str
+    #: True when an arbitrary XY-plane rotation is a single pulse (UMD).
+    arbitrary_xy_rotation: bool
+    #: Physical pulses to realize a general (non-Z) 1Q rotation.
+    max_pulses_per_rotation: int
+    #: Number of 2Q gates a CNOT costs on this hardware (1 everywhere:
+    #: one CR, one CZ or one XX — the difference is in 1Q overhead).
+    two_qubit_gates_per_cnot: int = 1
+    #: 1Q gates added around the 2Q gate when building a CNOT.
+    framing_1q_gates_per_cnot: int = 0
+
+    def supports(self, gate_name: str) -> bool:
+        """True when a gate name is accepted by this interface."""
+        return gate_name in self.software_visible
+
+
+IBM_GATESET = GateSet(
+    family=VendorFamily.IBM,
+    software_visible=("u1", "u2", "u3", "cx", "measure", "barrier"),
+    two_qubit_gate="cx",
+    native_description="Rx(pi/2), Rz(lambda); CNOT built from cross resonance",
+    arbitrary_xy_rotation=False,
+    max_pulses_per_rotation=2,
+    framing_1q_gates_per_cnot=0,
+)
+
+RIGETTI_GATESET = GateSet(
+    family=VendorFamily.RIGETTI,
+    software_visible=("rx", "rz", "cz", "measure", "barrier"),
+    two_qubit_gate="cz",
+    native_description="Rx(+-pi/2), Rz(lambda); controlled-Z",
+    arbitrary_xy_rotation=False,
+    max_pulses_per_rotation=2,
+    # CNOT A,B = Rz B; Rx B; Rz B; CZ A,B; Rz B; Rx B; Rz B (paper 4.5):
+    # two physical X90 pulses of framing around each CZ.
+    framing_1q_gates_per_cnot=2,
+)
+
+UMDTI_GATESET = GateSet(
+    family=VendorFamily.UMDTI,
+    software_visible=("rxy", "rz", "xx", "measure", "barrier"),
+    two_qubit_gate="xx",
+    native_description="Rxy(theta, phi), Rz(lambda); Ising XX interaction",
+    arbitrary_xy_rotation=True,
+    max_pulses_per_rotation=1,
+    # CNOT = Ry(pi/2) A; XX(pi/4); Ry(-pi/2) A; Rx(-pi/2) B; Rz(-pi/2) A
+    # (paper 4.5): two physical pulses of framing around each XX.
+    framing_1q_gates_per_cnot=2,
+)
+
+GATESET_BY_FAMILY: Dict[VendorFamily, GateSet] = {
+    VendorFamily.IBM: IBM_GATESET,
+    VendorFamily.RIGETTI: RIGETTI_GATESET,
+    VendorFamily.UMDTI: UMDTI_GATESET,
+}

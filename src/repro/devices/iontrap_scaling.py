@@ -1,0 +1,117 @@
+"""Larger trapped-ion chains with distance-dependent gate errors.
+
+Paper section 6.3 closes with a prediction: "For larger ion traps,
+reduced interaction strengths and therefore higher error rates are
+expected between ions which are farther apart [37, 45].  This suggests
+that our noise-adaptive methods will be even more important then."
+
+This module models that regime so the prediction can be tested: an
+N-ion chain remains fully connected, but the 2Q error rate between ions
+``i`` and ``j`` grows with their chain distance::
+
+    error(i, j) = base * (1 + strength * (|i - j| - 1) ** exponent)
+
+on top of the usual per-gate lognormal spread.  The companion
+experiment (benchmarks/test_ext_large_iontrap.py) measures how the
+noise-adaptive advantage scales with chain length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+import numpy as np
+
+from repro.devices.calibration import Calibration
+from repro.devices.device import Device
+from repro.devices.gatesets import GATESET_BY_FAMILY, VendorFamily
+from repro.devices.library import StaticCalibrationModel
+from repro.devices.topology import Topology
+
+#: Error rates are clamped into this range after distance scaling.
+_MIN_ERROR, _MAX_ERROR = 1e-5, 0.5
+
+
+def distance_dependent_calibration(
+    num_ions: int,
+    base_two_qubit_error: float = 0.01,
+    distance_strength: float = 0.35,
+    distance_exponent: float = 1.0,
+    single_qubit_error: float = 0.002,
+    readout_error: float = 0.006,
+    spatial_sigma: float = 0.2,
+    seed: int = 0,
+) -> Calibration:
+    """A calibration snapshot with distance-dependent 2Q errors.
+
+    Args:
+        num_ions: chain length.
+        base_two_qubit_error: error of a nearest-neighbor gate.
+        distance_strength: fractional error growth per extra ion of
+            separation (0.35 means a gate across 4 ions is ~2x worse
+            than a neighbor gate at exponent 1).
+        distance_exponent: 1 for linear growth, >1 for super-linear
+            (long chains couple through ever-softer motional modes).
+        spatial_sigma: residual lognormal per-gate spread.
+        seed: RNG seed for the residual spread.
+    """
+    if num_ions < 2:
+        raise ValueError("need at least two ions")
+    if distance_strength < 0:
+        raise ValueError("distance strength must be non-negative")
+    rng = np.random.default_rng(seed)
+    two_qubit_error: Dict[FrozenSet[int], float] = {}
+    mu = -spatial_sigma**2 / 2.0
+    for a in range(num_ions):
+        for b in range(a + 1, num_ions):
+            distance = b - a
+            scale = 1.0 + distance_strength * (distance - 1) ** (
+                distance_exponent
+            )
+            noise = float(rng.lognormal(mu, spatial_sigma))
+            rate = base_two_qubit_error * scale * noise
+            two_qubit_error[frozenset((a, b))] = min(
+                max(rate, _MIN_ERROR), _MAX_ERROR
+            )
+    return Calibration(
+        two_qubit_error=two_qubit_error,
+        single_qubit_error={q: single_qubit_error for q in range(num_ions)},
+        readout_error={q: readout_error for q in range(num_ions)},
+    )
+
+
+def large_ion_trap(
+    num_ions: int,
+    distance_strength: float = 0.35,
+    distance_exponent: float = 1.0,
+    seed: int = 0,
+) -> Device:
+    """A fully-connected N-ion chain with distance-dependent errors."""
+    calibration = distance_dependent_calibration(
+        num_ions,
+        distance_strength=distance_strength,
+        distance_exponent=distance_exponent,
+        seed=seed,
+    )
+    return Device(
+        name=f"Ion chain {num_ions} (distance-dependent)",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.UMDTI],
+        topology=Topology.full(num_ions),
+        calibration_model=StaticCalibrationModel(calibration),
+        coherence_time_us=1.5e6,
+        gate_time_us=250.0,
+    )
+
+
+def error_vs_distance(device: Device) -> List[float]:
+    """Mean 2Q error at each chain distance (for plots/assertions)."""
+    calibration = device.calibration()
+    n = device.num_qubits
+    means = []
+    for distance in range(1, n):
+        rates = [
+            calibration.edge_error(a, a + distance)
+            for a in range(n - distance)
+        ]
+        means.append(sum(rates) / len(rates))
+    return means

@@ -1,0 +1,304 @@
+"""The seven machines of the study, plus auxiliary devices.
+
+Topology shapes and average error rates follow paper Figure 1; IBM
+coupling maps follow the published backend descriptions (Tenerife,
+Melbourne, Rueschlikon), Rigetti Aspen is the standard two-octagon
+lattice, and Agave exposes the 4-qubit line that was available during
+the study.  Per-gate calibration detail is synthesized by
+:class:`~repro.devices.calibration.CalibrationModel` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, FrozenSet, List
+
+from repro.devices.calibration import Calibration, CalibrationModel
+from repro.devices.device import Device
+from repro.devices.gatesets import (
+    GATESET_BY_FAMILY,
+    VendorFamily,
+)
+from repro.devices.topology import Topology
+
+
+class StaticCalibrationModel:
+    """A calibration feed that reports the same snapshot every day.
+
+    Used for textbook devices with hand-specified reliabilities, such as
+    the 8-qubit example of paper Figure 6.
+    """
+
+    def __init__(self, calibration: Calibration) -> None:
+        self._calibration = calibration
+
+    def snapshot(self, day: int = 0) -> Calibration:
+        return replace(self._calibration, day=day)
+
+    def series(self, days: int) -> List[Calibration]:
+        return [self.snapshot(day) for day in range(days)]
+
+
+def _superconducting_model(
+    topology: Topology,
+    mean_2q: float,
+    mean_1q: float,
+    mean_ro: float,
+    seed: int,
+) -> CalibrationModel:
+    # Wide log-normal spread: reproduces the up-to-9x variation across
+    # qubits and calibration days reported in paper section 3.3.
+    return CalibrationModel(
+        edges=topology.edges(),
+        num_qubits=topology.num_qubits,
+        mean_two_qubit_error=mean_2q,
+        mean_single_qubit_error=mean_1q,
+        mean_readout_error=mean_ro,
+        spatial_sigma=0.34,
+        drift_sigma=0.12,
+        drift_reversion=0.35,
+        seed=seed,
+    )
+
+
+def _trapped_ion_model(
+    topology: Topology,
+    mean_2q: float,
+    mean_1q: float,
+    mean_ro: float,
+    seed: int,
+) -> CalibrationModel:
+    # Ion qubits are identical and defect-free, but laser-control
+    # difficulty and motional-mode drift move 2Q error rates by 1-3
+    # percentage points around the ~1% mean (paper sections 3.3, 6.3) —
+    # small in absolute terms, large relative to the mean, which is why
+    # noise-adaptivity still pays on this machine (Figure 11e, f).
+    return CalibrationModel(
+        edges=topology.edges(),
+        num_qubits=topology.num_qubits,
+        mean_two_qubit_error=mean_2q,
+        mean_single_qubit_error=mean_1q,
+        mean_readout_error=mean_ro,
+        spatial_sigma=0.45,
+        drift_sigma=0.10,
+        drift_reversion=0.5,
+        seed=seed,
+    )
+
+
+def ibmq5_tenerife(day: int = 0) -> Device:
+    """IBM Q5 Tenerife: 5 qubits, 6 directed couplings, triangle + tail."""
+    topology = Topology(
+        5,
+        [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)],
+        directed=True,
+    )
+    return Device(
+        name="IBM Q5 Tenerife",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.IBM],
+        topology=topology,
+        calibration_model=_superconducting_model(
+            topology, 0.0476, 0.002, 0.0621, seed=5
+        ),
+        coherence_time_us=40.0,
+        gate_time_us=0.3,
+        day=day,
+    )
+
+
+def ibmq14_melbourne(day: int = 0) -> Device:
+    """IBM Q14 Melbourne: 14 qubits, 18 directed couplings, 2x7 ladder."""
+    topology = Topology(
+        14,
+        [
+            (1, 0), (1, 2), (2, 3), (4, 3), (4, 10), (5, 4),
+            (5, 6), (5, 9), (6, 8), (7, 8), (9, 8), (9, 10),
+            (11, 3), (11, 10), (11, 12), (12, 2), (13, 1), (13, 12),
+        ],
+        directed=True,
+    )
+    return Device(
+        name="IBM Q14 Melbourne",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.IBM],
+        topology=topology,
+        calibration_model=_superconducting_model(
+            topology, 0.0795, 0.0119, 0.0909, seed=14
+        ),
+        coherence_time_us=30.0,
+        gate_time_us=0.3,
+        day=day,
+    )
+
+
+def ibmq16_rueschlikon(day: int = 0) -> Device:
+    """IBM Q16 Rueschlikon: 16 qubits, 22 directed couplings, 2x8 ladder."""
+    topology = Topology(
+        16,
+        [
+            (1, 0), (1, 2), (2, 3), (3, 4), (3, 14), (5, 4),
+            (6, 5), (6, 7), (6, 11), (7, 10), (8, 7), (9, 8),
+            (9, 10), (11, 10), (12, 5), (12, 11), (12, 13), (13, 4),
+            (13, 14), (15, 0), (15, 2), (15, 14),
+        ],
+        directed=True,
+    )
+    return Device(
+        name="IBM Q16 Rueschlikon",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.IBM],
+        topology=topology,
+        calibration_model=_superconducting_model(
+            topology, 0.0714, 0.0022, 0.0415, seed=16
+        ),
+        coherence_time_us=40.0,
+        gate_time_us=0.3,
+        day=day,
+    )
+
+
+def rigetti_agave(day: int = 0) -> Device:
+    """Rigetti Agave: 8-qubit ring of which 4 qubits (a line) were usable."""
+    topology = Topology.line(4)
+    return Device(
+        name="Rigetti Agave",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.RIGETTI],
+        topology=topology,
+        calibration_model=_superconducting_model(
+            topology, 0.108, 0.0368, 0.1637, seed=81
+        ),
+        coherence_time_us=15.0,
+        gate_time_us=0.2,
+        day=day,
+    )
+
+
+def _aspen_topology() -> Topology:
+    """Two octagons joined by two rungs (standard Aspen lattice)."""
+    edges = [(i, (i + 1) % 8) for i in range(8)]
+    edges += [(8 + i, 8 + (i + 1) % 8) for i in range(8)]
+    edges += [(1, 14), (2, 13)]
+    return Topology(16, edges)
+
+
+def rigetti_aspen1(day: int = 0) -> Device:
+    """Rigetti Aspen-1: 16 qubits, 18 couplings."""
+    topology = _aspen_topology()
+    return Device(
+        name="Rigetti Aspen1",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.RIGETTI],
+        topology=topology,
+        calibration_model=_superconducting_model(
+            topology, 0.0892, 0.0343, 0.0556, seed=82
+        ),
+        coherence_time_us=20.0,
+        gate_time_us=0.2,
+        day=day,
+    )
+
+
+def rigetti_aspen3(day: int = 0) -> Device:
+    """Rigetti Aspen-3: same lattice as Aspen-1, better gates."""
+    topology = _aspen_topology()
+    return Device(
+        name="Rigetti Aspen3",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.RIGETTI],
+        topology=topology,
+        calibration_model=_superconducting_model(
+            topology, 0.0537, 0.0379, 0.0665, seed=83
+        ),
+        coherence_time_us=20.0,
+        gate_time_us=0.2,
+        day=day,
+    )
+
+
+def umd_trapped_ion(day: int = 0) -> Device:
+    """UMD trapped ion (UMDTI): 5 fully connected ions."""
+    topology = Topology.full(5)
+    return Device(
+        name="UMD Trapped Ion",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.UMDTI],
+        topology=topology,
+        calibration_model=_trapped_ion_model(
+            topology, 0.010, 0.002, 0.006, seed=135
+        ),
+        coherence_time_us=1.5e6,
+        gate_time_us=250.0,
+        day=day,
+    )
+
+
+def all_devices(day: int = 0) -> List[Device]:
+    """The seven machines of the study, in paper Figure 1 order."""
+    return [
+        ibmq5_tenerife(day),
+        ibmq14_melbourne(day),
+        ibmq16_rueschlikon(day),
+        rigetti_agave(day),
+        rigetti_aspen1(day),
+        rigetti_aspen3(day),
+        umd_trapped_ion(day),
+    ]
+
+
+def device_by_name(name: str, day: int = 0) -> Device:
+    """Look a study device up by (case-insensitive, partial) name."""
+    devices = all_devices(day)
+    wanted = name.lower().replace(" ", "")
+    for device in devices:
+        if wanted in device.name.lower().replace(" ", ""):
+            return device
+    known = ", ".join(d.name for d in devices)
+    raise KeyError(f"unknown device {name!r}; known devices: {known}")
+
+
+def example_8q_device() -> Device:
+    """The 8-qubit example of paper Figure 6, with its exact reliabilities.
+
+    Qubits 0-3 on the top row, 4-7 on the bottom; edge reliabilities as
+    labelled in Figure 6(a).
+    """
+    reliability: Dict[FrozenSet[int], float] = {
+        frozenset((0, 1)): 0.9,
+        frozenset((1, 2)): 0.8,
+        frozenset((2, 3)): 0.9,
+        frozenset((4, 5)): 0.9,
+        frozenset((5, 6)): 0.8,
+        frozenset((6, 7)): 0.9,
+        frozenset((0, 4)): 0.9,
+        frozenset((1, 5)): 0.9,
+        frozenset((2, 6)): 0.7,
+        frozenset((3, 7)): 0.8,
+    }
+    topology = Topology(8, [tuple(sorted(e)) for e in reliability])
+    calibration = Calibration(
+        two_qubit_error={e: 1.0 - r for e, r in reliability.items()},
+        single_qubit_error={q: 0.001 for q in range(8)},
+        readout_error={q: 0.02 for q in range(8)},
+    )
+    return Device(
+        name="Example 8Q (paper Fig. 6)",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.IBM],
+        topology=topology,
+        calibration_model=StaticCalibrationModel(calibration),
+        coherence_time_us=40.0,
+    )
+
+
+def google_bristlecone_72(day: int = 0, seed: int = 72) -> Device:
+    """A 72-qubit Bristlecone-style grid, for the scaling study (paper 6.5).
+
+    The paper assigned error rates by sampling IBM calibration history;
+    we give the grid an IBM-style calibration model.
+    """
+    topology = Topology.grid(6, 12)
+    return Device(
+        name="Google Bristlecone 72",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.IBM],
+        topology=topology,
+        calibration_model=_superconducting_model(
+            topology, 0.0714, 0.0022, 0.0415, seed=seed
+        ),
+        coherence_time_us=40.0,
+        gate_time_us=0.3,
+        day=day,
+    )

@@ -1,0 +1,141 @@
+"""Qubit coupling topologies.
+
+A topology records which hardware qubit pairs support a direct 2Q gate.
+IBM devices have *directed* couplings (the cross-resonance CNOT has a
+fixed hardware direction; reversing it costs extra 1Q gates — paper
+section 4.5), so the topology keeps both an undirected connectivity
+graph and the set of hardware-supported directions.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+import networkx as nx
+
+Edge = Tuple[int, int]
+
+
+class Topology:
+    """Coupling graph of a device.
+
+    Args:
+        num_qubits: number of hardware qubits.
+        directed_edges: pairs ``(control, target)`` supported in hardware.
+            For undirected technologies (CZ, XX) pass each pair once in
+            either order and set ``directed=False``.
+        directed: whether gate direction matters on this hardware.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        directed_edges: Iterable[Edge],
+        directed: bool = False,
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("topology needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.directed = directed
+        self._hardware_directions: Set[Edge] = set()
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_qubits))
+        for a, b in directed_edges:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range")
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            self.graph.add_edge(a, b)
+            self._hardware_directions.add((a, b))
+            if not directed:
+                self._hardware_directions.add((b, a))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def edges(self) -> List[FrozenSet[int]]:
+        """Undirected coupled pairs."""
+        return [frozenset(e) for e in self.graph.edges()]
+
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def are_coupled(self, a: int, b: int) -> bool:
+        """True when a direct 2Q gate (in some direction) exists."""
+        return self.graph.has_edge(a, b)
+
+    def supports_direction(self, control: int, target: int) -> bool:
+        """True when hardware natively drives control->target."""
+        return (control, target) in self._hardware_directions
+
+    def neighbors(self, q: int) -> List[int]:
+        return sorted(self.graph.neighbors(q))
+
+    def degree(self, q: int) -> int:
+        return self.graph.degree(q)
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance between two qubits."""
+        return nx.shortest_path_length(self.graph, a, b)
+
+    def is_fully_connected(self) -> bool:
+        """True when every qubit pair is directly coupled."""
+        n = self.num_qubits
+        return self.graph.number_of_edges() == n * (n - 1) // 2
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def describe(self) -> str:
+        """Short human-readable shape description."""
+        if self.is_fully_connected():
+            return f"fully connected ({self.num_qubits} qubits)"
+        return (
+            f"{self.num_qubits} qubits, {self.num_edges()} edges"
+            f"{', directed' if self.directed else ''}"
+        )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @staticmethod
+    def line(num_qubits: int) -> "Topology":
+        """Path graph 0-1-...-(n-1)."""
+        return Topology(
+            num_qubits, [(i, i + 1) for i in range(num_qubits - 1)]
+        )
+
+    @staticmethod
+    def ring(num_qubits: int) -> "Topology":
+        """Cycle graph."""
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        return Topology(num_qubits, edges)
+
+    @staticmethod
+    def grid(rows: int, cols: int) -> "Topology":
+        """2D nearest-neighbor grid, row-major qubit numbering."""
+        edges: List[Edge] = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return Topology(rows * cols, edges)
+
+    @staticmethod
+    def full(num_qubits: int) -> "Topology":
+        """All-to-all connectivity (trapped ion)."""
+        edges = [
+            (a, b)
+            for a in range(num_qubits)
+            for b in range(a + 1, num_qubits)
+        ]
+        return Topology(num_qubits, edges)
+
+    @staticmethod
+    def star(num_qubits: int, center: int = 0) -> "Topology":
+        """One central qubit coupled to all others."""
+        edges = [(center, q) for q in range(num_qubits) if q != center]
+        return Topology(num_qubits, edges)

@@ -1,0 +1,30 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module exposes a ``run(...)`` returning a plain-data result and a
+``format_table(result)`` rendering the same rows/series the paper
+reports.  The benchmark harness under ``benchmarks/`` regenerates each
+one; EXPERIMENTS.md records paper-vs-measured values.
+
+Index (see DESIGN.md for the full mapping):
+
+=========  ==========================================================
+fig1       device characteristics table
+fig2       native / software-visible gate sets
+fig3       daily 2Q error-rate variation (IBMQ14)
+fig5       BV4 IR listing
+fig6       example 8-qubit reliability matrix
+table1     compiler optimization levels
+fig8       native 1Q pulse counts, TriQ-N vs TriQ-1QOpt
+fig9       success rate, TriQ-N vs TriQ-1QOpt (IBMQ14, UMDTI)
+fig10      2Q gate counts and success, 1QOpt vs 1QOptC
+fig11      noise-adaptivity: vs Qiskit / Quil / 1QOptC
+fig12      12 benchmarks x 7 systems cross-platform success
+sec65      compile-time scaling on supremacy circuits
+sec8       BV4 success comparison vs prior noise-aware work
+=========  ==========================================================
+"""
+
+from repro.experiments.stats import geomean, improvement_ratios
+from repro.experiments.tables import format_table
+
+__all__ = ["geomean", "improvement_ratios", "format_table"]

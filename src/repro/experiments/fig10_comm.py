@@ -1,0 +1,102 @@
+"""Figure 10: communication optimization — 2Q gate counts and success.
+
+Panels (a, b): 2Q gate counts under TriQ-1QOpt (default mapping) vs
+TriQ-1QOptC (communication-optimized mapping) on IBMQ14 and Rigetti
+Agave; the paper reports up to 22x reduction on IBMQ14 (geomean 2.1x)
+and up to 3.5x on Agave (geomean 1.3x).  Panel (c): the corresponding
+IBMQ14 success rates, where QFT shows the noise-unaware pitfall that
+motivates Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compiler import OptimizationLevel
+from repro.devices import ibmq14_melbourne, rigetti_agave
+from repro.devices.device import Device
+from repro.experiments.runner import by_compiler, sweep
+from repro.experiments.stats import geomean
+from repro.experiments.tables import format_table
+
+
+@dataclass
+class Fig10Panel:
+    device: str
+    benchmarks: List[str]
+    gates_default: List[int]
+    gates_comm: List[int]
+    geomean_reduction: float
+    max_reduction: float
+    success_default: Optional[List[float]] = None
+    success_comm: Optional[List[float]] = None
+
+
+def run_device(
+    device: Device,
+    with_success: bool,
+    fault_samples: int = 100,
+) -> Fig10Panel:
+    results = sweep(
+        device,
+        [OptimizationLevel.OPT_1Q, OptimizationLevel.OPT_1QC],
+        with_success=with_success,
+        fault_samples=fault_samples,
+    )
+    grouped = by_compiler(results)
+    base = grouped[OptimizationLevel.OPT_1Q.value]
+    comm = grouped[OptimizationLevel.OPT_1QC.value]
+    ratios = [
+        b.two_qubit_gates / max(c.two_qubit_gates, 1)
+        for b, c in zip(base, comm)
+    ]
+    return Fig10Panel(
+        device=device.name,
+        benchmarks=[m.benchmark for m in base],
+        gates_default=[m.two_qubit_gates for m in base],
+        gates_comm=[m.two_qubit_gates for m in comm],
+        geomean_reduction=geomean(ratios),
+        max_reduction=max(ratios),
+        success_default=(
+            [m.success_rate for m in base] if with_success else None
+        ),
+        success_comm=(
+            [m.success_rate for m in comm] if with_success else None
+        ),
+    )
+
+
+def run(fault_samples: int = 100) -> List[Fig10Panel]:
+    """(a) IBMQ14 counts+success, (b) Agave counts."""
+    return [
+        run_device(ibmq14_melbourne(), True, fault_samples),
+        run_device(rigetti_agave(), False),
+    ]
+
+
+def format_result(panels: List[Fig10Panel]) -> str:
+    sections = []
+    for panel in panels:
+        headers = ["Benchmark", "TriQ-1QOpt 2Q", "TriQ-1QOptC 2Q"]
+        rows: List[tuple] = list(
+            zip(panel.benchmarks, panel.gates_default, panel.gates_comm)
+        )
+        if panel.success_default is not None:
+            headers += ["1QOpt success", "1QOptC success"]
+            rows = [
+                row + (sd, sc)
+                for row, sd, sc in zip(
+                    rows, panel.success_default, panel.success_comm
+                )
+            ]
+        table = format_table(
+            headers,
+            rows,
+            title=f"Figure 10: communication optimization on {panel.device}",
+        )
+        sections.append(
+            f"{table}\n2Q reduction: geomean "
+            f"{panel.geomean_reduction:.2f}x, max {panel.max_reduction:.2f}x"
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,233 @@
+"""Figure 11: the value of noise-adaptivity.
+
+Panels:
+
+* (a, b) IBMQ14: Qiskit vs TriQ-1QOptC vs TriQ-1QOptCN — 2Q gate counts
+  and success rate.  Paper: up to 28x over Qiskit (geomean 3.0x), up to
+  2.8x over TriQ-1QOptC (geomean 1.4x); Qiskit fails on 7/12.
+* (c, d) Rigetti Agave and Aspen1: Quil vs TriQ-1QOptCN.  Paper: up to
+  2.3x (geomean 1.45x).
+* (e, f) UMDTI: looped Toffoli / Fredkin sequences, TriQ-1QOptC vs
+  TriQ-1QOptCN.  Paper: up to 1.47x / 1.35x, gains growing with length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.compiler import OptimizationLevel, TriQCompiler
+from repro.devices import (
+    ibmq14_melbourne,
+    rigetti_agave,
+    rigetti_aspen1,
+    umd_trapped_ion,
+)
+from repro.devices.device import Device
+from repro.experiments.runner import by_compiler, sweep
+from repro.experiments.stats import is_failed_run, summarize_improvement
+from repro.experiments.tables import format_table
+from repro.programs import fredkin_sequence, toffoli_sequence
+from repro.sim import monte_carlo_success_rate
+
+
+@dataclass
+class Fig11IbmResult:
+    benchmarks: List[str]
+    gates: Dict[str, List[int]]
+    success: Dict[str, List[float]]
+    vs_qiskit_geomean: float
+    vs_qiskit_max: float
+    vs_comm_geomean: float
+    vs_comm_max: float
+    qiskit_failures: int
+
+
+def run_ibm(fault_samples: int = 100) -> Fig11IbmResult:
+    """Panels (a, b): IBMQ14."""
+    device = ibmq14_melbourne()
+    compilers = [
+        "Qiskit",
+        OptimizationLevel.OPT_1QC,
+        OptimizationLevel.OPT_1QCN,
+    ]
+    results = sweep(device, compilers, fault_samples=fault_samples)
+    grouped = by_compiler(results)
+    qiskit = grouped["Qiskit"]
+    comm = grouped[OptimizationLevel.OPT_1QC.value]
+    noise = grouped[OptimizationLevel.OPT_1QCN.value]
+    # The paper computes improvement over Qiskit from its measured
+    # correct-answer probability even on failed runs; the floor in
+    # improvement_ratios plays that role here.
+    gm_q, mx_q = summarize_improvement(
+        [m.success_rate for m in qiskit], [m.success_rate for m in noise]
+    )
+    # Against TriQ-1QOptC, exclude benchmarks where both configurations
+    # failed (noise-dominated, the paper's zero-height bars).
+    kept = [
+        (c.success_rate, n.success_rate)
+        for c, n in zip(comm, noise)
+        if not (is_failed_run(c.success_rate) and is_failed_run(n.success_rate))
+    ]
+    gm_c, mx_c = summarize_improvement(
+        [c for c, _ in kept], [n for _, n in kept]
+    )
+    failures = sum(1 for m in qiskit if is_failed_run(m.success_rate))
+    return Fig11IbmResult(
+        benchmarks=[m.benchmark for m in qiskit],
+        gates={
+            "Qiskit": [m.two_qubit_gates for m in qiskit],
+            "TriQ-1QOptC": [m.two_qubit_gates for m in comm],
+            "TriQ-1QOptCN": [m.two_qubit_gates for m in noise],
+        },
+        success={
+            "Qiskit": [m.success_rate for m in qiskit],
+            "TriQ-1QOptC": [m.success_rate for m in comm],
+            "TriQ-1QOptCN": [m.success_rate for m in noise],
+        },
+        vs_qiskit_geomean=gm_q,
+        vs_qiskit_max=mx_q,
+        vs_comm_geomean=gm_c,
+        vs_comm_max=mx_c,
+        qiskit_failures=failures,
+    )
+
+
+@dataclass
+class Fig11RigettiResult:
+    device: str
+    benchmarks: List[str]
+    success_quil: List[float]
+    success_triq: List[float]
+    geomean_improvement: float
+    max_improvement: float
+
+
+def run_rigetti(
+    device: Device, fault_samples: int = 100
+) -> Fig11RigettiResult:
+    """Panels (c, d): one Rigetti machine."""
+    results = sweep(
+        device,
+        ["Quil", OptimizationLevel.OPT_1QCN],
+        fault_samples=fault_samples,
+    )
+    grouped = by_compiler(results)
+    quil = grouped["Quil"]
+    triq = grouped[OptimizationLevel.OPT_1QCN.value]
+    gm, mx = summarize_improvement(
+        [m.success_rate for m in quil], [m.success_rate for m in triq]
+    )
+    return Fig11RigettiResult(
+        device=device.name,
+        benchmarks=[m.benchmark for m in quil],
+        success_quil=[m.success_rate for m in quil],
+        success_triq=[m.success_rate for m in triq],
+        geomean_improvement=gm,
+        max_improvement=mx,
+    )
+
+
+@dataclass
+class Fig11UmdtiResult:
+    gate: str
+    lengths: List[int]
+    success_comm: List[float]
+    success_noise: List[float]
+    max_improvement: float
+
+
+def run_umdti(
+    gate: str = "toffoli",
+    max_length: int = 8,
+    fault_samples: int = 100,
+    day: int = 0,
+) -> Fig11UmdtiResult:
+    """Panels (e, f): looped 3Q-gate sequences on UMDTI."""
+    device = umd_trapped_ion(day)
+    builder = toffoli_sequence if gate == "toffoli" else fredkin_sequence
+    lengths = list(range(1, max_length + 1))
+    success_comm: List[float] = []
+    success_noise: List[float] = []
+    for level, sink in (
+        (OptimizationLevel.OPT_1QC, success_comm),
+        (OptimizationLevel.OPT_1QCN, success_noise),
+    ):
+        compiler = TriQCompiler(device, level=level, day=day)
+        for length in lengths:
+            circuit, correct = builder(length)
+            program = compiler.compile(circuit)
+            estimate = monte_carlo_success_rate(
+                program.circuit,
+                device,
+                correct,
+                day=day,
+                fault_samples=fault_samples,
+            )
+            sink.append(estimate.success_rate)
+    improvements = [
+        n / max(c, 1e-3) for c, n in zip(success_comm, success_noise)
+    ]
+    return Fig11UmdtiResult(
+        gate=gate,
+        lengths=lengths,
+        success_comm=success_comm,
+        success_noise=success_noise,
+        max_improvement=max(improvements),
+    )
+
+
+def format_ibm(result: Fig11IbmResult) -> str:
+    rows = [
+        (
+            name,
+            result.gates["Qiskit"][i],
+            result.gates["TriQ-1QOptC"][i],
+            result.gates["TriQ-1QOptCN"][i],
+            result.success["Qiskit"][i],
+            result.success["TriQ-1QOptC"][i],
+            result.success["TriQ-1QOptCN"][i],
+        )
+        for i, name in enumerate(result.benchmarks)
+    ]
+    table = format_table(
+        ["Benchmark", "Qiskit 2Q", "1QOptC 2Q", "1QOptCN 2Q",
+         "Qiskit SR", "1QOptC SR", "1QOptCN SR"],
+        rows,
+        title="Figure 11(a, b): noise-adaptivity on IBMQ14",
+    )
+    return (
+        f"{table}\n"
+        f"TriQ-1QOptCN vs Qiskit: geomean {result.vs_qiskit_geomean:.2f}x, "
+        f"max {result.vs_qiskit_max:.1f}x (paper: 3.0x / 28x)\n"
+        f"TriQ-1QOptCN vs TriQ-1QOptC: geomean "
+        f"{result.vs_comm_geomean:.2f}x, max {result.vs_comm_max:.2f}x "
+        f"(paper: 1.4x / 2.8x)\n"
+        f"Qiskit failed runs: {result.qiskit_failures}/12 (paper: 7/12)"
+    )
+
+
+def format_rigetti(result: Fig11RigettiResult) -> str:
+    table = format_table(
+        ["Benchmark", "Quil SR", "TriQ-1QOptCN SR"],
+        list(
+            zip(result.benchmarks, result.success_quil, result.success_triq)
+        ),
+        title=f"Figure 11(c/d): {result.device}",
+    )
+    return (
+        f"{table}\nimprovement: geomean {result.geomean_improvement:.2f}x, "
+        f"max {result.max_improvement:.2f}x (paper: 1.45x / 2.3x)"
+    )
+
+
+def format_umdti(result: Fig11UmdtiResult) -> str:
+    table = format_table(
+        [f"#{result.gate}", "TriQ-1QOptC SR", "TriQ-1QOptCN SR"],
+        list(zip(result.lengths, result.success_comm, result.success_noise)),
+        title=f"Figure 11(e/f): {result.gate} sequences on UMDTI",
+    )
+    return (
+        f"{table}\nmax improvement {result.max_improvement:.2f}x "
+        f"(paper: 1.47x Toffoli / 1.35x Fredkin)"
+    )

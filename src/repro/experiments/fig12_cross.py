@@ -1,0 +1,73 @@
+"""Figure 12: all 12 benchmarks on all seven systems (TriQ-1QOptCN).
+
+The paper's headline cross-platform comparison: UMDTI leads where
+benchmarks fit its 5 qubits; application-topology match drives the
+superconducting ordering (triangle benchmarks favor IBMQ5's triangle);
+benchmarks too large for a machine are marked "X".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler import OptimizationLevel, TriQCompiler
+from repro.devices import all_devices
+from repro.experiments.tables import format_table
+from repro.programs import standard_suite
+from repro.sim import monte_carlo_success_rate
+
+
+@dataclass
+class Fig12Result:
+    benchmarks: List[str]
+    devices: List[str]
+    #: success[device][benchmark]; None where the benchmark is too big.
+    success: Dict[str, Dict[str, Optional[float]]]
+
+
+def run(fault_samples: int = 100, day: int = 0) -> Fig12Result:
+    suite = standard_suite()
+    devices = all_devices(day)
+    success: Dict[str, Dict[str, Optional[float]]] = {}
+    for device in devices:
+        compiler = TriQCompiler(
+            device, level=OptimizationLevel.OPT_1QCN, day=day
+        )
+        per_device: Dict[str, Optional[float]] = {}
+        for benchmark in suite:
+            circuit, correct = benchmark.build()
+            if circuit.num_qubits > device.num_qubits:
+                per_device[benchmark.name] = None
+                continue
+            program = compiler.compile(circuit)
+            estimate = monte_carlo_success_rate(
+                program.circuit,
+                device,
+                correct,
+                day=day,
+                fault_samples=fault_samples,
+            )
+            per_device[benchmark.name] = estimate.success_rate
+        success[device.name] = per_device
+    return Fig12Result(
+        benchmarks=[b.name for b in suite],
+        devices=[d.name for d in devices],
+        success=success,
+    )
+
+
+def format_result(result: Fig12Result) -> str:
+    rows = []
+    for device in result.devices:
+        row: List[object] = [device]
+        for benchmark in result.benchmarks:
+            value = result.success[device][benchmark]
+            row.append("X" if value is None else f"{value:.3f}")
+        rows.append(row)
+    return format_table(
+        ["System"] + result.benchmarks,
+        rows,
+        title="Figure 12: success rate, 12 benchmarks x 7 systems "
+        "(TriQ-1QOptCN)",
+    )

@@ -1,0 +1,54 @@
+"""Figure 1: characteristics of the seven devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.devices import all_devices
+from repro.experiments.tables import format_table
+
+
+@dataclass(frozen=True)
+class DeviceRow:
+    name: str
+    qubits: int
+    two_qubit_gates: int
+    coherence_us: float
+    err_1q_pct: float
+    err_2q_pct: float
+    err_ro_pct: float
+    topology: str
+
+
+def run(day: int = 0) -> List[DeviceRow]:
+    """One row per study machine, like paper Figure 1."""
+    rows = []
+    for device in all_devices(day):
+        calibration = device.calibration()
+        rows.append(
+            DeviceRow(
+                name=device.name,
+                qubits=device.num_qubits,
+                two_qubit_gates=device.topology.num_edges(),
+                coherence_us=device.coherence_time_us,
+                err_1q_pct=100 * calibration.average_single_qubit_error(),
+                err_2q_pct=100 * calibration.average_two_qubit_error(),
+                err_ro_pct=100 * calibration.average_readout_error(),
+                topology=device.topology.describe(),
+            )
+        )
+    return rows
+
+
+def format_result(rows: List[DeviceRow]) -> str:
+    return format_table(
+        ["Machine", "Qubits", "2Q Gates", "Coherence (us)",
+         "1Q Err (%)", "2Q Err (%)", "RO Err (%)", "Topology"],
+        [
+            (r.name, r.qubits, r.two_qubit_gates, f"{r.coherence_us:g}",
+             r.err_1q_pct, r.err_2q_pct, r.err_ro_pct, r.topology)
+            for r in rows
+        ],
+        title="Figure 1: device characteristics",
+    )

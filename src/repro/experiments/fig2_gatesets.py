@@ -1,0 +1,50 @@
+"""Figure 2: native and software-visible gates per vendor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.devices.gatesets import GATESET_BY_FAMILY
+from repro.experiments.tables import format_table
+
+
+@dataclass(frozen=True)
+class GateSetRow:
+    vendor: str
+    native: str
+    software_visible: str
+    two_qubit_gate: str
+    pulses_per_rotation: int
+
+
+def run() -> List[GateSetRow]:
+    rows = []
+    for family, gate_set in GATESET_BY_FAMILY.items():
+        visible = ", ".join(
+            g for g in gate_set.software_visible
+            if g not in ("measure", "barrier")
+        )
+        rows.append(
+            GateSetRow(
+                vendor=family.value,
+                native=gate_set.native_description,
+                software_visible=visible,
+                two_qubit_gate=gate_set.two_qubit_gate,
+                pulses_per_rotation=gate_set.max_pulses_per_rotation,
+            )
+        )
+    return rows
+
+
+def format_result(rows: List[GateSetRow]) -> str:
+    return format_table(
+        ["Vendor", "Native gates", "SW-visible", "2Q gate",
+         "Pulses/rotation"],
+        [
+            (r.vendor, r.native, r.software_visible, r.two_qubit_gate,
+             r.pulses_per_rotation)
+            for r in rows
+        ],
+        title="Figure 2: gate sets",
+    )

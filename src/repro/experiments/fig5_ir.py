@@ -1,0 +1,41 @@
+"""Figure 5: the BV4 program at the IR level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.ir.dag import CircuitDag
+from repro.programs import bernstein_vazirani
+
+
+@dataclass
+class IrSummary:
+    listing: str
+    op_counts: Dict[str, int]
+    depth: int
+    parallel_layers: int
+    correct: str
+
+
+def run() -> IrSummary:
+    circuit, correct = bernstein_vazirani(4)
+    dag = CircuitDag(circuit)
+    return IrSummary(
+        listing=str(circuit),
+        op_counts=dict(circuit.count_ops()),
+        depth=circuit.depth(),
+        parallel_layers=len(dag.layers()),
+        correct=correct,
+    )
+
+
+def format_result(result: IrSummary) -> str:
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(result.op_counts.items()))
+    return (
+        "Figure 5: BV4 IR\n"
+        f"{result.listing}\n"
+        f"ops: {counts}; depth {result.depth}; "
+        f"{result.parallel_layers} parallel layers; "
+        f"correct output {result.correct}"
+    )

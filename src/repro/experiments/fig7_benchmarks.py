@@ -1,0 +1,55 @@
+"""Figure 7: summary of the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir.dag import interaction_pairs
+from repro.ir.decompose import decompose_to_basis
+from repro.experiments.tables import format_table
+from repro.programs import standard_suite
+
+
+@dataclass(frozen=True)
+class BenchmarkRow:
+    name: str
+    qubits: int
+    one_qubit_gates: int
+    two_qubit_gates: int
+    distinct_pairs: int
+    interaction_shape: str
+    correct_output: str
+
+
+def run() -> List[BenchmarkRow]:
+    """One row per suite benchmark (gate counts after decomposition)."""
+    rows = []
+    for benchmark in standard_suite():
+        circuit, correct = benchmark.build()
+        lowered = decompose_to_basis(circuit)
+        rows.append(
+            BenchmarkRow(
+                name=benchmark.name,
+                qubits=circuit.num_qubits,
+                one_qubit_gates=lowered.num_single_qubit_gates(),
+                two_qubit_gates=lowered.num_two_qubit_gates(),
+                distinct_pairs=len(interaction_pairs(lowered)),
+                interaction_shape=benchmark.interaction_shape,
+                correct_output=correct,
+            )
+        )
+    return rows
+
+
+def format_result(rows: List[BenchmarkRow]) -> str:
+    return format_table(
+        ["Benchmark", "Qubits", "1Q gates", "2Q gates", "Pairs",
+         "Interaction shape", "Correct output"],
+        [
+            (r.name, r.qubits, r.one_qubit_gates, r.two_qubit_gates,
+             r.distinct_pairs, r.interaction_shape, r.correct_output)
+            for r in rows
+        ],
+        title="Figure 7: benchmark suite",
+    )

@@ -1,0 +1,83 @@
+"""Figure 9: success rate, TriQ-N vs TriQ-1QOpt (IBMQ14 and UMDTI).
+
+The paper reports up to 1.26x success improvement from 1Q optimization
+(geomean 1.09x on IBM, 1.03x on UMDTI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.compiler import OptimizationLevel
+from repro.devices import ibmq14_melbourne, umd_trapped_ion
+from repro.devices.device import Device
+from repro.experiments.runner import by_compiler, sweep
+from repro.experiments.stats import is_failed_run, summarize_improvement
+from repro.experiments.tables import format_table
+
+
+@dataclass
+class Fig9Result:
+    device: str
+    benchmarks: List[str]
+    success_n: List[float]
+    success_opt: List[float]
+    geomean_improvement: float
+    max_improvement: float
+    #: Benchmarks excluded from the aggregate because both configs
+    #: failed (the paper's zero-height bars: "the correct answer did
+    #: not dominate in the output distribution").
+    failed: List[str]
+
+
+def run_device(device: Device, fault_samples: int = 100) -> Fig9Result:
+    results = sweep(
+        device,
+        [OptimizationLevel.N, OptimizationLevel.OPT_1Q],
+        fault_samples=fault_samples,
+    )
+    grouped = by_compiler(results)
+    base = grouped[OptimizationLevel.N.value]
+    opt = grouped[OptimizationLevel.OPT_1Q.value]
+    kept_base, kept_opt, failed = [], [], []
+    for b, o in zip(base, opt):
+        if is_failed_run(b.success_rate) and is_failed_run(o.success_rate):
+            failed.append(b.benchmark)
+        else:
+            kept_base.append(b.success_rate)
+            kept_opt.append(o.success_rate)
+    gm, mx = summarize_improvement(kept_base, kept_opt)
+    return Fig9Result(
+        device=device.name,
+        benchmarks=[m.benchmark for m in base],
+        success_n=[m.success_rate for m in base],
+        success_opt=[m.success_rate for m in opt],
+        geomean_improvement=gm,
+        max_improvement=mx,
+        failed=failed,
+    )
+
+
+def run(fault_samples: int = 100) -> List[Fig9Result]:
+    return [
+        run_device(ibmq14_melbourne(), fault_samples),
+        run_device(umd_trapped_ion(), fault_samples),
+    ]
+
+
+def format_result(results: List[Fig9Result]) -> str:
+    sections = []
+    for result in results:
+        table = format_table(
+            ["Benchmark", "TriQ-N", "TriQ-1QOpt"],
+            list(zip(result.benchmarks, result.success_n, result.success_opt)),
+            title=f"Figure 9: measured success rate on {result.device}",
+        )
+        failed = ", ".join(result.failed) if result.failed else "none"
+        sections.append(
+            f"{table}\nimprovement (over non-failed runs): geomean "
+            f"{result.geomean_improvement:.2f}x, max "
+            f"{result.max_improvement:.2f}x; failed runs: {failed}"
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,147 @@
+"""Shared experiment plumbing: compile suites, measure success rates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.baselines import QiskitLikeCompiler, QuilLikeCompiler
+from repro.compiler import (
+    CompiledProgram,
+    OptimizationLevel,
+    TriQCompiler,
+)
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+from repro.programs import Benchmark, standard_suite
+from repro.sim import monte_carlo_success_rate
+
+#: Default Monte-Carlo fault samples per success measurement.  The
+#: paper uses 8192 hardware trials; our estimator is Rao-Blackwellized
+#: so ~100 fault configurations give comparable resolution.
+DEFAULT_FAULT_SAMPLES = 100
+
+CompilerName = Union[OptimizationLevel, str]
+
+
+@dataclass
+class Measurement:
+    """One compiled benchmark and (optionally) its measured success."""
+
+    benchmark: str
+    device: str
+    compiler: str
+    two_qubit_gates: int
+    one_qubit_pulses: int
+    depth: int
+    num_swaps: int
+    compile_time_s: float
+    success_rate: Optional[float] = None
+    correct: Optional[str] = None
+
+
+def fits(circuit: Circuit, device: Device) -> bool:
+    """Whether a benchmark fits the device (paper marks misfits 'X')."""
+    return circuit.num_qubits <= device.num_qubits
+
+
+def compile_with(
+    circuit: Circuit,
+    device: Device,
+    compiler: CompilerName,
+    day: Optional[int] = None,
+    seed: int = 0,
+) -> CompiledProgram:
+    """Compile under a TriQ level or a vendor baseline by name."""
+    if isinstance(compiler, OptimizationLevel):
+        return TriQCompiler(device, level=compiler, day=day).compile(circuit)
+    label = compiler.lower()
+    if label == "qiskit":
+        return QiskitLikeCompiler(device, seed=seed).compile(circuit)
+    if label == "quil":
+        return QuilLikeCompiler(device, seed=seed).compile(circuit)
+    raise ValueError(f"unknown compiler {compiler!r}")
+
+
+def measure(
+    benchmark: Benchmark,
+    device: Device,
+    compiler: CompilerName,
+    day: Optional[int] = None,
+    fault_samples: int = DEFAULT_FAULT_SAMPLES,
+    with_success: bool = True,
+    seed: int = 0,
+) -> Measurement:
+    """Compile one benchmark and optionally measure its success rate."""
+    circuit, correct = benchmark.build()
+    program = compile_with(circuit, device, compiler, day=day, seed=seed)
+    label = (
+        compiler.value
+        if isinstance(compiler, OptimizationLevel)
+        else str(compiler)
+    )
+    result = Measurement(
+        benchmark=benchmark.name,
+        device=device.name,
+        compiler=label,
+        two_qubit_gates=program.two_qubit_gate_count(),
+        one_qubit_pulses=program.one_qubit_pulse_count(),
+        depth=program.depth(),
+        num_swaps=program.num_swaps,
+        compile_time_s=program.compile_time_s,
+        correct=correct,
+    )
+    if with_success:
+        estimate = monte_carlo_success_rate(
+            program.circuit,
+            device,
+            correct,
+            day=day,
+            fault_samples=fault_samples,
+        )
+        result.success_rate = estimate.success_rate
+    return result
+
+
+def sweep(
+    device: Device,
+    compilers: Sequence[CompilerName],
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    day: Optional[int] = None,
+    fault_samples: int = DEFAULT_FAULT_SAMPLES,
+    with_success: bool = True,
+) -> List[Measurement]:
+    """Measure a benchmark suite under several compilers on one device.
+
+    Benchmarks that do not fit the device are skipped (the paper's "X"
+    marks).
+    """
+    if benchmarks is None:
+        benchmarks = standard_suite()
+    results = []
+    for benchmark in benchmarks:
+        circuit, _ = benchmark.build()
+        if not fits(circuit, device):
+            continue
+        for compiler in compilers:
+            results.append(
+                measure(
+                    benchmark,
+                    device,
+                    compiler,
+                    day=day,
+                    fault_samples=fault_samples,
+                    with_success=with_success,
+                )
+            )
+    return results
+
+
+def by_compiler(
+    results: Sequence[Measurement],
+) -> Dict[str, List[Measurement]]:
+    """Group measurements by compiler label, preserving order."""
+    grouped: Dict[str, List[Measurement]] = {}
+    for result in results:
+        grouped.setdefault(result.compiler, []).append(result)
+    return grouped

@@ -1,0 +1,77 @@
+"""Section 8: BV4 success vs the prior noise-aware work.
+
+The paper compares against a prior variability-aware policy that
+reported BV4 success of 0.23 on the 5-qubit IBM system, re-running TriQ
+on 6 days with different error conditions and obtaining 0.43-0.51
+(average 0.47, ~2x better).  We regenerate the same protocol: compile
+BV4 for IBMQ5 Tenerife with TriQ-1QOptCN on six calibration days and
+report the range and average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.compiler import OptimizationLevel, TriQCompiler
+from repro.devices import ibmq5_tenerife
+from repro.experiments.tables import format_table
+from repro.programs import bernstein_vazirani
+from repro.sim import monte_carlo_success_rate
+
+#: Success rate [65] reported for BV4 on the 5-qubit IBM machine.
+PRIOR_WORK_BV4 = 0.23
+
+
+@dataclass
+class Sec8Result:
+    days: List[int]
+    success: List[float]
+    average: float
+    prior_work: float
+
+    @property
+    def improvement(self) -> float:
+        return self.average / self.prior_work
+
+
+def run(days: int = 6, fault_samples: int = 150) -> Sec8Result:
+    circuit, correct = bernstein_vazirani(4)
+    success = []
+    day_list = list(range(days))
+    for day in day_list:
+        device = ibmq5_tenerife(day)
+        compiler = TriQCompiler(
+            device, level=OptimizationLevel.OPT_1QCN, day=day
+        )
+        program = compiler.compile(circuit)
+        estimate = monte_carlo_success_rate(
+            program.circuit,
+            device,
+            correct,
+            day=day,
+            fault_samples=fault_samples,
+        )
+        success.append(estimate.success_rate)
+    return Sec8Result(
+        days=day_list,
+        success=success,
+        average=sum(success) / len(success),
+        prior_work=PRIOR_WORK_BV4,
+    )
+
+
+def format_result(result: Sec8Result) -> str:
+    table = format_table(
+        ["Day", "BV4 success (TriQ-1QOptCN)"],
+        list(zip(result.days, result.success)),
+        title="Section 8: BV4 on IBMQ5 across noise days",
+    )
+    return (
+        f"{table}\n"
+        f"range {min(result.success):.2f}-{max(result.success):.2f}, "
+        f"average {result.average:.2f} "
+        f"(paper: 0.43-0.51, avg 0.47)\n"
+        f"vs prior work's reported {result.prior_work}: "
+        f"{result.improvement:.1f}x (paper: 2x)"
+    )

@@ -1,0 +1,56 @@
+"""Statistics helpers used across experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+#: Below this success rate a run counts as "failed" — the paper's
+#: zero-height bars, where "the correct answer did not dominate in the
+#: output distribution".  Such runs are noise-dominated both on hardware
+#: and in the Monte-Carlo estimator, so aggregates exclude them.
+FAILURE_THRESHOLD = 0.05
+
+
+def is_failed_run(success_rate: float) -> bool:
+    """True when a measured run counts as failed (paper's criterion)."""
+    return success_rate < FAILURE_THRESHOLD
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for improvement factors)."""
+    values = [v for v in values]
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def improvement_ratios(
+    baseline: Sequence[float],
+    improved: Sequence[float],
+    floor: float = 1e-3,
+) -> List[float]:
+    """Per-benchmark improvement factors ``improved / baseline``.
+
+    Success rates of zero (failed runs) are floored the way the paper
+    handles Qiskit's failures: "we used the measured probability of the
+    correct answer produced" even when it did not dominate; the floor
+    stands in for that residual probability.
+    """
+    if len(baseline) != len(improved):
+        raise ValueError("length mismatch")
+    return [
+        max(new, floor) / max(old, floor)
+        for old, new in zip(baseline, improved)
+    ]
+
+
+def summarize_improvement(
+    baseline: Sequence[float], improved: Sequence[float]
+) -> Tuple[float, float]:
+    """(geomean, max) improvement of ``improved`` over ``baseline``."""
+    ratios = improvement_ratios(baseline, improved)
+    return geomean(ratios), max(ratios)

@@ -1,0 +1,38 @@
+"""Gate-level intermediate representation of quantum programs.
+
+This is the artifact the ScaffCC-equivalent frontend produces and the
+TriQ compiler consumes (paper Figure 5): a list of 1Q / 2Q / readout
+operations over *program qubits*, with data dependencies implied by
+program order on each qubit.  Higher-level gates (Toffoli, Fredkin,
+Peres, Or) are decomposed into the universal {1Q rotations, CNOT} basis
+by :mod:`repro.ir.decompose` before mapping.
+"""
+
+from repro.ir.gates import (
+    GateSpec,
+    GATE_SPECS,
+    gate_matrix,
+    gate_spec,
+    is_measurement,
+    is_two_qubit,
+    is_single_qubit,
+)
+from repro.ir.instruction import Instruction
+from repro.ir.circuit import Circuit
+from repro.ir.dag import CircuitDag, interaction_counts
+from repro.ir.decompose import decompose_to_basis
+
+__all__ = [
+    "GateSpec",
+    "GATE_SPECS",
+    "gate_matrix",
+    "gate_spec",
+    "is_measurement",
+    "is_two_qubit",
+    "is_single_qubit",
+    "Instruction",
+    "Circuit",
+    "CircuitDag",
+    "interaction_counts",
+    "decompose_to_basis",
+]

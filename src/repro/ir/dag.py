@@ -1,0 +1,91 @@
+"""Dependency DAG over circuit instructions.
+
+Nodes are instruction indices; an edge ``u -> v`` means instruction ``v``
+shares a qubit with ``u`` and appears later, so ``u`` must execute first.
+The DAG provides the topologically-sorted schedule TriQ uses for gate and
+communication scheduling (paper section 4.4) and the 2Q interaction
+histogram consumed by the qubit mapper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, FrozenSet, List, Tuple
+
+import networkx as nx
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import is_two_qubit
+
+
+class CircuitDag:
+    """Explicit data-dependency graph of a circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        last_on_qubit: Dict[int, int] = {}
+        for idx, inst in enumerate(circuit):
+            self.graph.add_node(idx)
+            if inst.is_barrier:
+                # A barrier depends on everything seen so far.
+                for prev in list(last_on_qubit.values()):
+                    if prev != idx:
+                        self.graph.add_edge(prev, idx)
+                for q in range(circuit.num_qubits):
+                    last_on_qubit[q] = idx
+                continue
+            for q in inst.qubits:
+                if q in last_on_qubit:
+                    self.graph.add_edge(last_on_qubit[q], idx)
+                last_on_qubit[q] = idx
+
+    def topological_order(self) -> List[int]:
+        """Instruction indices in a valid execution order.
+
+        Ties are broken by original program order, which keeps the
+        schedule deterministic across runs.
+        """
+        return list(nx.lexicographical_topological_sort(self.graph))
+
+    def layers(self) -> List[List[int]]:
+        """ASAP layering: instructions in the same layer can run in parallel."""
+        level: Dict[int, int] = {}
+        for idx in self.topological_order():
+            preds = list(self.graph.predecessors(idx))
+            level[idx] = 1 + max((level[p] for p in preds), default=-1)
+        grouped: Dict[int, List[int]] = defaultdict(list)
+        for idx, lvl in level.items():
+            grouped[lvl].append(idx)
+        return [sorted(grouped[lvl]) for lvl in sorted(grouped)]
+
+    def critical_path_length(self) -> int:
+        """Depth of the DAG (same as ``Circuit.depth`` for barrier-free circuits)."""
+        return len(self.layers())
+
+
+def interaction_counts(circuit: Circuit) -> Counter:
+    """Histogram of 2Q interactions: ``{frozenset({a, b}): count}``.
+
+    This is the program's logical interaction graph; the qubit mapper
+    only creates variables for distinct pairs, which is what bounds the
+    solver at O(n^2) variables (paper section 6.5).
+    """
+    counts: Counter = Counter()
+    for inst in circuit:
+        if inst.is_unitary and is_two_qubit(inst.name):
+            counts[frozenset(inst.qubits)] += 1
+    return counts
+
+
+def interaction_pairs(circuit: Circuit) -> Tuple[FrozenSet[int], ...]:
+    """The distinct interacting qubit pairs, in first-seen order."""
+    seen = []
+    seen_set = set()
+    for inst in circuit:
+        if inst.is_unitary and is_two_qubit(inst.name):
+            pair = frozenset(inst.qubits)
+            if pair not in seen_set:
+                seen_set.add(pair)
+                seen.append(pair)
+    return tuple(seen)

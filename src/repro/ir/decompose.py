@@ -1,0 +1,107 @@
+"""Decomposition of composite gates into the {1Q, CNOT} IR basis.
+
+The ScaffCC frontend "automatically decomposes higher-level QC operations
+such as Toffoli gates into native 1Q and 2Q representations" (paper
+section 4.1); this module is that step.  The output uses only 1Q gates
+plus ``cx``, the vendor-neutral basis the TriQ passes operate on.
+Vendor-specific translation of ``cx`` into CZ or XX sequences happens
+later, in :mod:`repro.compiler.translate`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.circuit import Circuit
+from repro.ir.instruction import Instruction
+
+
+def _expand_ccx(a: int, b: int, c: int) -> List[Instruction]:
+    """Standard 6-CNOT, 7-T Toffoli network (Nielsen & Chuang fig. 4.9)."""
+    seq = [
+        ("h", (c,)),
+        ("cx", (b, c)),
+        ("tdg", (c,)),
+        ("cx", (a, c)),
+        ("t", (c,)),
+        ("cx", (b, c)),
+        ("tdg", (c,)),
+        ("cx", (a, c)),
+        ("t", (b,)),
+        ("t", (c,)),
+        ("h", (c,)),
+        ("cx", (a, b)),
+        ("t", (a,)),
+        ("tdg", (b,)),
+        ("cx", (a, b)),
+    ]
+    return [Instruction(name, qubits) for name, qubits in seq]
+
+
+def _expand_cswap(control: int, a: int, b: int) -> List[Instruction]:
+    """Fredkin via CNOT-conjugated Toffoli."""
+    out = [Instruction("cx", (b, a))]
+    out.extend(_expand_ccx(control, a, b))
+    out.append(Instruction("cx", (b, a)))
+    return out
+
+
+def _expand_peres(a: int, b: int, c: int) -> List[Instruction]:
+    """Peres gate = Toffoli followed by CNOT on the controls."""
+    out = _expand_ccx(a, b, c)
+    out.append(Instruction("cx", (a, b)))
+    return out
+
+
+def _expand_or(a: int, b: int, c: int) -> List[Instruction]:
+    """c ^= (a | b) by De Morgan: flip inputs, Toffoli, unflip, flip output."""
+    out = [Instruction("x", (a,)), Instruction("x", (b,))]
+    out.extend(_expand_ccx(a, b, c))
+    out.extend(
+        [Instruction("x", (a,)), Instruction("x", (b,)), Instruction("x", (c,))]
+    )
+    return out
+
+
+def _expand_swap(a: int, b: int) -> List[Instruction]:
+    """SWAP = 3 CNOTs (paper footnote 2)."""
+    return [
+        Instruction("cx", (a, b)),
+        Instruction("cx", (b, a)),
+        Instruction("cx", (a, b)),
+    ]
+
+
+def _expand_cz(a: int, b: int) -> List[Instruction]:
+    """CZ via Hadamard-conjugated CNOT (IR is CNOT-based)."""
+    return [
+        Instruction("h", (b,)),
+        Instruction("cx", (a, b)),
+        Instruction("h", (b,)),
+    ]
+
+
+_EXPANSIONS: Dict[str, Callable[..., List[Instruction]]] = {
+    "ccx": _expand_ccx,
+    "cswap": _expand_cswap,
+    "peres": _expand_peres,
+    "or": _expand_or,
+    "swap": _expand_swap,
+    "cz": _expand_cz,
+}
+
+
+def decompose_to_basis(circuit: Circuit) -> Circuit:
+    """Expand all composite gates into {1Q, ``cx``} instructions.
+
+    Idempotent: circuits already in the basis pass through unchanged.
+    """
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for inst in circuit:
+        expand = _EXPANSIONS.get(inst.name)
+        if expand is None:
+            out.append(inst)
+        else:
+            for lowered in expand(*inst.qubits):
+                out.append(lowered)
+    return out

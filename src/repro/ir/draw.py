@@ -1,0 +1,86 @@
+"""ASCII circuit rendering, in the style of paper Figure 5.
+
+Example::
+
+    >>> from repro.programs import bernstein_vazirani
+    >>> from repro.ir.draw import draw_circuit
+    >>> print(draw_circuit(bernstein_vazirani(4)[0]))
+    p0: -[H]------*----------[H]-[M]-
+    p1: -[H]------|--*-------[H]-[M]-
+    p2: -[H]------|--|--*----[H]-[M]-
+    p3: -[X]-[H]-(+)(+)(+)---[H]-[M]-
+
+Gates are placed into time slots by ASAP scheduling, so parallel gates
+share a column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.circuit import Circuit
+from repro.ir.dag import CircuitDag
+
+#: Compact labels for common gates.
+_LABELS = {
+    "measure": "M",
+    "sdg": "S+",
+    "tdg": "T+",
+    "swap": "x",
+}
+
+
+def _gate_label(inst) -> str:
+    base = _LABELS.get(inst.name, inst.name.upper())
+    if inst.params and inst.name not in ("u2", "u3"):
+        angle = inst.params[0]
+        return f"{base}({angle:.2g})"
+    return base
+
+
+def draw_circuit(circuit: Circuit, qubit_prefix: str = "p") -> str:
+    """Render a circuit as fixed-width ASCII art."""
+    layers = CircuitDag(circuit).layers()
+    columns: List[Dict[int, str]] = []
+    for layer in layers:
+        column: Dict[int, str] = {}
+        for idx in layer:
+            inst = circuit[idx]
+            if inst.is_barrier:
+                for qubit in range(circuit.num_qubits):
+                    column.setdefault(qubit, "|barrier|")
+                continue
+            if inst.name in ("cx", "cz") and inst.num_qubits == 2:
+                control, target = inst.qubits
+                column[control] = "*"
+                column[target] = "(+)" if inst.name == "cx" else "(Z)"
+                lo, hi = sorted(inst.qubits)
+                for between in range(lo + 1, hi):
+                    column.setdefault(between, "|")
+            elif inst.num_qubits >= 2:
+                label = _gate_label(inst)
+                for position, qubit in enumerate(inst.qubits):
+                    column[qubit] = f"[{label}:{position}]"
+                lo, hi = min(inst.qubits), max(inst.qubits)
+                for between in range(lo + 1, hi):
+                    column.setdefault(between, "|")
+            else:
+                column[inst.qubits[0]] = f"[{_gate_label(inst)}]"
+        columns.append(column)
+
+    widths = [
+        max((len(cell) for cell in column.values()), default=1)
+        for column in columns
+    ]
+    name_width = len(f"{qubit_prefix}{circuit.num_qubits - 1}")
+    lines = []
+    for qubit in range(circuit.num_qubits):
+        cells = []
+        for column, width in zip(columns, widths):
+            cell = column.get(qubit, "-" * width)
+            pad = width - len(cell)
+            left = pad // 2
+            cells.append("-" * left + cell + "-" * (pad - left))
+        label = f"{qubit_prefix}{qubit}:".ljust(name_width + 2)
+        lines.append(f"{label}-{'-'.join(cells)}-")
+    return "\n".join(lines)

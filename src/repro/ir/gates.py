@@ -1,0 +1,261 @@
+"""Gate definitions: arities, parameter counts and unitary matrices.
+
+Gate names are lower-case strings.  The set covers:
+
+* the vendor-neutral IR basis (``h``, ``x``, ``rz`` ..., ``cx``),
+* vendor software-visible gates (IBM ``u1/u2/u3``; Rigetti ``cz`` and
+  ``rx``/``rz``; UMD ``rxy`` and ``xx`` — see paper Figure 2),
+* composite multi-qubit gates used by the benchmarks (``ccx``,
+  ``cswap``, ``peres``, ``or``) which are decomposed before compilation,
+* pseudo-operations ``measure`` and ``barrier``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+def _mat_h(_: Sequence[float]) -> np.ndarray:
+    return np.array([[_SQRT1_2, _SQRT1_2], [_SQRT1_2, -_SQRT1_2]], dtype=complex)
+
+
+def _mat_x(_: Sequence[float]) -> np.ndarray:
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def _mat_y(_: Sequence[float]) -> np.ndarray:
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def _mat_z(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def _mat_s(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def _mat_sdg(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def _mat_t(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+
+
+def _mat_tdg(_: Sequence[float]) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+
+
+def _mat_rx(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _mat_ry(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _mat_rz(params: Sequence[float]) -> np.ndarray:
+    (theta,) = params
+    phase = np.exp(1j * theta / 2)
+    return np.array([[1 / phase, 0], [0, phase]], dtype=complex)
+
+
+def _mat_rxy(params: Sequence[float]) -> np.ndarray:
+    # Rotation by theta about the axis at angle phi in the XY plane:
+    # the UMD trapped-ion native 1Q gate.
+    theta, phi = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -1j * s * np.exp(-1j * phi)],
+            [-1j * s * np.exp(1j * phi), c],
+        ],
+        dtype=complex,
+    )
+
+
+def _mat_u1(params: Sequence[float]) -> np.ndarray:
+    (lam,) = params
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+def _mat_u2(params: Sequence[float]) -> np.ndarray:
+    phi, lam = params
+    return _mat_u3((math.pi / 2, phi, lam))
+
+
+def _mat_u3(params: Sequence[float]) -> np.ndarray:
+    theta, phi, lam = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def _mat_cx(_: Sequence[float]) -> np.ndarray:
+    # Qubit order convention: (control, target); basis |control target>.
+    return np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    )
+
+
+def _mat_cz(_: Sequence[float]) -> np.ndarray:
+    return np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def _mat_xx(params: Sequence[float]) -> np.ndarray:
+    # Ising interaction exp(-i * chi * X (x) X): the trapped-ion native
+    # 2Q gate (Molmer-Sorensen).  chi = pi/4 gives a maximally
+    # entangling gate.
+    (chi,) = params
+    c, s = math.cos(chi), math.sin(chi)
+    return np.array(
+        [
+            [c, 0, 0, -1j * s],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [-1j * s, 0, 0, c],
+        ],
+        dtype=complex,
+    )
+
+
+def _mat_swap(_: Sequence[float]) -> np.ndarray:
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def _mat_ccx(_: Sequence[float]) -> np.ndarray:
+    mat = np.eye(8, dtype=complex)
+    mat[[6, 7], :] = mat[[7, 6], :]
+    return mat
+
+
+def _mat_cswap(_: Sequence[float]) -> np.ndarray:
+    mat = np.eye(8, dtype=complex)
+    mat[[5, 6], :] = mat[[6, 5], :]
+    return mat
+
+
+def _mat_peres(_: Sequence[float]) -> np.ndarray:
+    # Peres gate = Toffoli(a, b, c) followed by CNOT(a, b).
+    ccx = _mat_ccx(())
+    cx_ab = np.kron(_mat_cx(()), np.eye(2, dtype=complex))
+    return cx_ab @ ccx
+
+
+def _mat_or(_: Sequence[float]) -> np.ndarray:
+    # OR gate: c ^= (a | b), built as X(a); X(b); Toffoli; X(a); X(b); X(c).
+    x = _mat_x(())
+    eye = np.eye(2, dtype=complex)
+    flips_ab = np.kron(np.kron(x, x), eye)
+    flip_c = np.kron(np.kron(eye, eye), x)
+    return flip_c @ flips_ab @ _mat_ccx(()) @ flips_ab
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of one gate type."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Optional[Callable[[Sequence[float]], np.ndarray]]
+    #: Human-readable description for documentation and error messages.
+    description: str = ""
+
+    def matrix(self, params: Sequence[float] = ()) -> np.ndarray:
+        """The unitary of this gate for the given parameters."""
+        if self.matrix_fn is None:
+            raise ValueError(f"gate {self.name!r} has no unitary matrix")
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate {self.name!r} takes {self.num_params} parameter(s), "
+                f"got {len(params)}"
+            )
+        return self.matrix_fn(params)
+
+
+GATE_SPECS: Dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        GateSpec("id", 1, 0, lambda _: np.eye(2, dtype=complex), "identity"),
+        GateSpec("h", 1, 0, _mat_h, "Hadamard"),
+        GateSpec("x", 1, 0, _mat_x, "Pauli X / NOT"),
+        GateSpec("y", 1, 0, _mat_y, "Pauli Y"),
+        GateSpec("z", 1, 0, _mat_z, "Pauli Z"),
+        GateSpec("s", 1, 0, _mat_s, "phase gate Rz(pi/2) up to phase"),
+        GateSpec("sdg", 1, 0, _mat_sdg, "inverse phase gate"),
+        GateSpec("t", 1, 0, _mat_t, "T gate Rz(pi/4) up to phase"),
+        GateSpec("tdg", 1, 0, _mat_tdg, "inverse T gate"),
+        GateSpec("rx", 1, 1, _mat_rx, "X-axis rotation"),
+        GateSpec("ry", 1, 1, _mat_ry, "Y-axis rotation"),
+        GateSpec("rz", 1, 1, _mat_rz, "Z-axis rotation (virtual, error-free)"),
+        GateSpec("rxy", 1, 2, _mat_rxy, "XY-plane axis rotation (UMD native)"),
+        GateSpec("u1", 1, 1, _mat_u1, "IBM u1 = diagonal phase"),
+        GateSpec("u2", 1, 2, _mat_u2, "IBM u2 = one-pulse rotation"),
+        GateSpec("u3", 1, 3, _mat_u3, "IBM u3 = general 1Q rotation"),
+        GateSpec("cx", 2, 0, _mat_cx, "controlled NOT"),
+        GateSpec("cz", 2, 0, _mat_cz, "controlled Z (Rigetti native)"),
+        GateSpec("xx", 2, 1, _mat_xx, "Ising XX interaction (UMD native)"),
+        GateSpec("swap", 2, 0, _mat_swap, "qubit exchange"),
+        GateSpec("ccx", 3, 0, _mat_ccx, "Toffoli"),
+        GateSpec("cswap", 3, 0, _mat_cswap, "Fredkin / controlled swap"),
+        GateSpec("peres", 3, 0, _mat_peres, "Peres gate"),
+        GateSpec("or", 3, 0, _mat_or, "logical OR into target"),
+        GateSpec("measure", 1, 0, None, "computational-basis readout"),
+        GateSpec("barrier", 0, 0, None, "scheduling barrier (any arity)"),
+    ]
+}
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Look up a gate spec; raises ``KeyError`` with a helpful message."""
+    try:
+        return GATE_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(GATE_SPECS))
+        raise KeyError(f"unknown gate {name!r}; known gates: {known}") from None
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """The unitary matrix of gate ``name`` with ``params``."""
+    return gate_spec(name).matrix(tuple(params))
+
+
+def is_measurement(name: str) -> bool:
+    """True for the readout pseudo-gate."""
+    return name == "measure"
+
+
+def is_single_qubit(name: str) -> bool:
+    """True for unitary gates acting on exactly one qubit."""
+    spec = gate_spec(name)
+    return spec.num_qubits == 1 and spec.matrix_fn is not None
+
+
+def is_two_qubit(name: str) -> bool:
+    """True for unitary gates acting on exactly two qubits."""
+    return gate_spec(name).num_qubits == 2
+
+
+#: Names of 1Q gates whose action is a pure Z rotation.  These are
+#: implemented as classical frame updates ("virtual Z") on all three
+#: vendors and contribute no physical error (paper section 4.5).
+VIRTUAL_Z_GATES: Tuple[str, ...] = ("rz", "u1", "z", "s", "sdg", "t", "tdg", "id")

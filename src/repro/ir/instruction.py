@@ -1,0 +1,77 @@
+"""A single gate application in a circuit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.ir.gates import gate_spec
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate applied to specific qubits.
+
+    Attributes:
+        name: lower-case gate name, a key of :data:`repro.ir.gates.GATE_SPECS`.
+        qubits: qubit indices the gate acts on, in gate-defined order
+            (e.g. ``(control, target)`` for ``cx``).
+        params: rotation angles or other real parameters.
+        cbits: classical bits written by a measurement (defaults to the
+            measured qubit index).
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+    cbits: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        spec = gate_spec(self.name)
+        if spec.name != "barrier" and len(self.qubits) != spec.num_qubits:
+            raise ValueError(
+                f"gate {self.name!r} expects {spec.num_qubits} qubit(s), "
+                f"got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in {self.name!r}: {self.qubits}")
+        if spec.num_params != len(self.params):
+            raise ValueError(
+                f"gate {self.name!r} expects {spec.num_params} parameter(s), "
+                f"got {self.params}"
+            )
+
+    @property
+    def is_measurement(self) -> bool:
+        return self.name == "measure"
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.name == "barrier"
+
+    @property
+    def is_unitary(self) -> bool:
+        return not (self.is_measurement or self.is_barrier)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def remap(self, mapping) -> "Instruction":
+        """Return a copy acting on ``mapping[q]`` for each qubit ``q``.
+
+        ``mapping`` is anything indexable by qubit (dict or sequence).
+        """
+        return Instruction(
+            self.name,
+            tuple(mapping[q] for q in self.qubits),
+            self.params,
+            self.cbits,
+        )
+
+    def __str__(self) -> str:
+        args = ", ".join(str(q) for q in self.qubits)
+        if self.params:
+            vals = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({vals}) {args}"
+        return f"{self.name} {args}"

@@ -1,0 +1,54 @@
+"""The benchmark programs of the study (paper Figure 7).
+
+Twelve benchmarks drawn from prior NISQ evaluation work: the
+Bernstein-Vazirani algorithm (BV4/6/8), the hidden shift algorithm
+(HS2/4/6), the multi-qubit gates Toffoli, Fredkin, Or and Peres, the
+quantum Fourier transform, and a ripple-carry adder.  Each benchmark has
+a known correct classical output, so success rate is well defined.
+Looped Toffoli/Fredkin sequences (Figure 11e, f) and Google-style
+supremacy circuits (section 6.5 scaling) are also provided.
+"""
+
+from repro.programs.bv import bernstein_vazirani
+from repro.programs.hiddenshift import hidden_shift
+from repro.programs.qft import qft_benchmark, qft_rotations
+from repro.programs.adder import cuccaro_adder
+from repro.programs.gates3q import (
+    toffoli_benchmark,
+    fredkin_benchmark,
+    or_benchmark,
+    peres_benchmark,
+    toffoli_sequence,
+    fredkin_sequence,
+)
+from repro.programs.supremacy import supremacy_circuit
+from repro.programs.grover import grover_search, optimal_iterations, ideal_success_probability
+from repro.programs.scaffold_sources import scaffold_benchmark, scaffold_suite
+from repro.programs.registry import (
+    Benchmark,
+    standard_suite,
+    benchmark_by_name,
+)
+
+__all__ = [
+    "bernstein_vazirani",
+    "hidden_shift",
+    "qft_benchmark",
+    "qft_rotations",
+    "cuccaro_adder",
+    "toffoli_benchmark",
+    "fredkin_benchmark",
+    "or_benchmark",
+    "peres_benchmark",
+    "toffoli_sequence",
+    "fredkin_sequence",
+    "supremacy_circuit",
+    "grover_search",
+    "optimal_iterations",
+    "ideal_success_probability",
+    "scaffold_benchmark",
+    "scaffold_suite",
+    "Benchmark",
+    "standard_suite",
+    "benchmark_by_name",
+]

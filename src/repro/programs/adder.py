@@ -1,0 +1,55 @@
+"""Cuccaro ripple-carry adder benchmark.
+
+A one-bit quantum full adder on four qubits (carry-in, a, b, carry-out)
+computing ``a + b + cin`` with ``b`` receiving the sum bit and the carry
+propagating to ``cout``.  With inputs ``a = b = 1, cin = 0`` the correct
+output is sum 0, carry 1 — deterministic, and rich in Toffoli structure.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ir.circuit import Circuit
+
+
+def _maj(circuit: Circuit, c: int, b: int, a: int) -> None:
+    """Majority gadget of the Cuccaro adder."""
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: Circuit, c: int, b: int, a: int) -> None:
+    """UnMajority-and-Add gadget (inverse of MAJ plus the sum)."""
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def cuccaro_adder(a_bit: int = 1, b_bit: int = 1, carry_in: int = 0) -> Tuple[Circuit, str]:
+    """One-bit Cuccaro adder; qubits are (cin, a, b, cout).
+
+    Returns ``(circuit, correct_output)`` where the output string lists
+    the measured values of (cin, a, b, cout): ``cin`` and ``a`` are
+    restored, ``b`` holds the sum bit and ``cout`` the carry.
+    """
+    for name, bit in (("a", a_bit), ("b", b_bit), ("carry_in", carry_in)):
+        if bit not in (0, 1):
+            raise ValueError(f"{name} must be 0 or 1, got {bit}")
+    cin, a, b, cout = 0, 1, 2, 3
+    circuit = Circuit(4, name="adder")
+    if carry_in:
+        circuit.x(cin)
+    if a_bit:
+        circuit.x(a)
+    if b_bit:
+        circuit.x(b)
+    _maj(circuit, cin, b, a)
+    circuit.cx(a, cout)
+    _uma(circuit, cin, b, a)
+    circuit.measure_all()
+    total = a_bit + b_bit + carry_in
+    sum_bit, carry_bit = total % 2, total // 2
+    correct = f"{carry_in}{a_bit}{sum_bit}{carry_bit}"
+    return circuit, correct

@@ -1,0 +1,56 @@
+"""Bernstein-Vazirani: recover a secret bitstring in one oracle query.
+
+The oracle computes ``f(x) = s . x`` (mod 2); with the ancilla prepared
+in ``|->``, phase kickback writes the secret onto the data register
+(paper Figure 5 shows the BV4 instance).  The data qubits all interact
+with the single ancilla, giving the program its star-shaped interaction
+graph — well matched to IBMQ14's grid, as paper section 6.2 notes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ir.circuit import Circuit
+
+
+def bernstein_vazirani(
+    num_qubits: int, secret: Optional[str] = None
+) -> Tuple[Circuit, str]:
+    """The BV circuit on ``num_qubits`` qubits (data + one ancilla).
+
+    Args:
+        num_qubits: total qubits; the secret has ``num_qubits - 1`` bits.
+        secret: the hidden bitstring (default all-ones, which maximizes
+            the 2Q interaction count as the paper's instances do).
+
+    Returns:
+        ``(circuit, correct_output)`` where the correct output covers all
+        measured qubits: the secret followed by the deterministic ``1``
+        of the ancilla.
+    """
+    if num_qubits < 2:
+        raise ValueError("BV needs at least one data qubit plus an ancilla")
+    num_data = num_qubits - 1
+    if secret is None:
+        secret = "1" * num_data
+    if len(secret) != num_data or set(secret) - {"0", "1"}:
+        raise ValueError(
+            f"secret must be a {num_data}-bit string, got {secret!r}"
+        )
+    ancilla = num_data
+    circuit = Circuit(num_qubits, name=f"bv{num_qubits}")
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(qubit, ancilla)
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    circuit.h(ancilla)
+    circuit.measure_all()
+    # Ancilla: |0> -X-H-> |-> is a phase eigenstate of the oracle; the
+    # final H returns it deterministically to |1>.
+    return circuit, secret + "1"

@@ -1,0 +1,77 @@
+"""Three-qubit gate benchmarks: Toffoli, Fredkin, Or, Peres.
+
+Each prepares a classical input with X gates, applies the composite gate
+(decomposed into 1Q + CNOT before compilation), and measures.  All have
+triangle-shaped interaction graphs — well matched to IBMQ5's triangle
+(paper section 6.4).  The looped sequence variants reproduce Figure
+11(e, f): stacking k copies tests noise-adaptivity on longer programs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ir.circuit import Circuit
+
+
+def toffoli_benchmark() -> Tuple[Circuit, str]:
+    """Toffoli on |110>: flips the target to give |111>."""
+    circuit = Circuit(3, name="toffoli")
+    circuit.x(0).x(1)
+    circuit.ccx(0, 1, 2)
+    circuit.measure_all()
+    return circuit, "111"
+
+
+def fredkin_benchmark() -> Tuple[Circuit, str]:
+    """Fredkin on |110>: the control swaps |10> -> |01> giving |101>."""
+    circuit = Circuit(3, name="fredkin")
+    circuit.x(0).x(1)
+    circuit.cswap(0, 1, 2)
+    circuit.measure_all()
+    return circuit, "101"
+
+
+def or_benchmark() -> Tuple[Circuit, str]:
+    """OR of a=1, b=0 into the target: |100> -> |101>."""
+    circuit = Circuit(3, name="or")
+    circuit.x(0)
+    circuit.add("or", (0, 1, 2))
+    circuit.measure_all()
+    return circuit, "101"
+
+
+def peres_benchmark() -> Tuple[Circuit, str]:
+    """Peres on |110>: Toffoli then CNOT on the controls -> |101>."""
+    circuit = Circuit(3, name="peres")
+    circuit.x(0).x(1)
+    circuit.add("peres", (0, 1, 2))
+    circuit.measure_all()
+    return circuit, "101"
+
+
+def toffoli_sequence(repetitions: int) -> Tuple[Circuit, str]:
+    """``repetitions`` chained Toffolis on |110> (paper Figure 11e).
+
+    Odd counts leave the target flipped, even counts restore it.
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one Toffoli")
+    circuit = Circuit(3, name=f"toffoli_x{repetitions}")
+    circuit.x(0).x(1)
+    for _ in range(repetitions):
+        circuit.ccx(0, 1, 2)
+    circuit.measure_all()
+    return circuit, "111" if repetitions % 2 else "110"
+
+
+def fredkin_sequence(repetitions: int) -> Tuple[Circuit, str]:
+    """``repetitions`` chained Fredkins on |110> (paper Figure 11f)."""
+    if repetitions < 1:
+        raise ValueError("need at least one Fredkin")
+    circuit = Circuit(3, name=f"fredkin_x{repetitions}")
+    circuit.x(0).x(1)
+    for _ in range(repetitions):
+        circuit.cswap(0, 1, 2)
+    circuit.measure_all()
+    return circuit, "101" if repetitions % 2 else "110"

@@ -1,0 +1,65 @@
+"""Quantum Fourier transform benchmark.
+
+The benchmark prepares the uniform superposition and applies the inverse
+QFT, which maps it exactly back to ``|0...0>`` — a deterministic output
+that exercises the full controlled-phase ladder (all-to-all interaction
+pattern, the *worst* topology match of the suite; see paper Figure 10c's
+QFT discussion).
+
+Controlled phase gates are decomposed into the {1Q, CNOT} basis as
+``cphase(t) = rz(t/2) a; rz(t/2) b; cx a,b; rz(-t/2) b; cx a,b``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.ir.circuit import Circuit
+
+
+def controlled_phase(circuit: Circuit, theta: float, a: int, b: int) -> None:
+    """Append a controlled-phase(theta) in the {1Q, cx} basis."""
+    circuit.rz(theta / 2.0, a)
+    circuit.rz(theta / 2.0, b)
+    circuit.cx(a, b)
+    circuit.rz(-theta / 2.0, b)
+    circuit.cx(a, b)
+
+
+def qft_rotations(circuit: Circuit, num_qubits: int, inverse: bool = False) -> None:
+    """Append the QFT (or inverse QFT) rotation network, without the
+    final bit-reversal swaps (conventional for NISQ benchmarks)."""
+    sign = -1.0 if inverse else 1.0
+    if inverse:
+        for target in range(num_qubits):
+            for control in range(target):
+                controlled_phase(
+                    circuit,
+                    sign * math.pi / 2 ** (target - control),
+                    control,
+                    target,
+                )
+            circuit.h(target)
+    else:
+        for target in reversed(range(num_qubits)):
+            circuit.h(target)
+            for control in reversed(range(target)):
+                controlled_phase(
+                    circuit,
+                    sign * math.pi / 2 ** (target - control),
+                    control,
+                    target,
+                )
+
+
+def qft_benchmark(num_qubits: int = 4) -> Tuple[Circuit, str]:
+    """Uniform superposition + inverse QFT -> deterministic ``|0...0>``."""
+    if num_qubits < 2:
+        raise ValueError("QFT benchmark needs at least 2 qubits")
+    circuit = Circuit(num_qubits, name=f"qft{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    qft_rotations(circuit, num_qubits, inverse=True)
+    circuit.measure_all()
+    return circuit, "0" * num_qubits

@@ -1,0 +1,78 @@
+"""Quantum-supremacy-style random circuits (paper section 6.5).
+
+Layered random circuits on a 2D grid in the style of Google's Cirq
+supremacy generators: each cycle applies random 1Q gates from
+{sqrt(X), sqrt(Y), T} followed by a pattern of CZ gates sweeping the
+grid's coupler classes.  Used only for compile-time scaling studies, so
+no correct output is defined; depth 128 on 72 qubits lands near the
+~2000 two-qubit gates the paper quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.ir.circuit import Circuit
+
+_HALF_PI = math.pi / 2.0
+
+
+def _grid_shape(num_qubits: int) -> Tuple[int, int]:
+    """A near-square grid holding ``num_qubits`` (rows*cols == n)."""
+    best = (1, num_qubits)
+    for rows in range(1, int(math.isqrt(num_qubits)) + 1):
+        if num_qubits % rows == 0:
+            best = (rows, num_qubits // rows)
+    return best
+
+
+def _coupler_classes(rows: int, cols: int) -> List[List[Tuple[int, int]]]:
+    """Eight interleaved CZ patterns covering the grid's edges."""
+    classes: List[List[Tuple[int, int]]] = [[] for _ in range(8)]
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                classes[(c % 2) * 2 + (r % 2)].append((q, q + 1))
+            if r + 1 < rows:
+                classes[4 + (r % 2) * 2 + (c % 2)].append((q, q + cols))
+    return [cls for cls in classes if cls]
+
+
+def supremacy_circuit(
+    num_qubits: int, depth: int, seed: int = 0
+) -> Circuit:
+    """A random supremacy-style circuit.
+
+    Args:
+        num_qubits: grid size (factored into a near-square grid).
+        depth: number of cycles; each cycle is one 1Q layer plus one CZ
+            pattern layer.
+        seed: RNG seed (deterministic generation).
+    """
+    if num_qubits < 2:
+        raise ValueError("supremacy circuits need at least 2 qubits")
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    rng = np.random.default_rng(seed)
+    rows, cols = _grid_shape(num_qubits)
+    classes = _coupler_classes(rows, cols)
+    circuit = Circuit(num_qubits, name=f"supremacy_{num_qubits}q_d{depth}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for cycle in range(depth):
+        for qubit in range(num_qubits):
+            choice = int(rng.integers(3))
+            if choice == 0:
+                circuit.rx(_HALF_PI, qubit)
+            elif choice == 1:
+                circuit.ry(_HALF_PI, qubit)
+            else:
+                circuit.t(qubit)
+        for a, b in classes[cycle % len(classes)]:
+            circuit.cz(a, b)
+    circuit.measure_all()
+    return circuit

@@ -1,0 +1,47 @@
+"""Pulse-level lowering: the paper's section-7 extension.
+
+The paper's architecture discussion closes with IBM's announcement of
+pulse-level qubit control ("akin to making micro-operations software
+visible").  This package implements that layer for all three vendors:
+software-visible gates are lowered to timed pulse schedules on drive
+and coupler channels, with virtual-Z rotations becoming zero-duration
+frame changes, and the schedule durations feed the coherence analysis
+of :mod:`repro.sim.success`.
+
+* :mod:`repro.pulse.shapes` — parametric pulse envelopes,
+* :mod:`repro.pulse.schedule` — channels, timed instructions, ASAP
+  scheduling,
+* :mod:`repro.pulse.lowering` — per-vendor gate -> pulse calibrations.
+"""
+
+from repro.pulse.shapes import Gaussian, GaussianSquare, Constant
+from repro.pulse.schedule import (
+    Channel,
+    Delay,
+    Play,
+    Schedule,
+    ShiftPhase,
+    drive_channel,
+    coupler_channel,
+)
+from repro.pulse.lowering import (
+    PulseCalibration,
+    default_calibration,
+    lower_to_pulses,
+)
+
+__all__ = [
+    "Gaussian",
+    "GaussianSquare",
+    "Constant",
+    "Channel",
+    "Delay",
+    "Play",
+    "Schedule",
+    "ShiftPhase",
+    "drive_channel",
+    "coupler_channel",
+    "PulseCalibration",
+    "default_calibration",
+    "lower_to_pulses",
+]

@@ -1,0 +1,159 @@
+"""Lowering software-visible gates to pulse schedules, per vendor.
+
+Durations are representative of the era's published numbers: IBM X90
+pulses ~36 ns and cross-resonance ~300 ns; Rigetti ~60 ns / ~200 ns
+flux-activated CZ; UMD Raman 1Q ~10 us and Molmer-Sorensen ~250 us.
+Virtual-Z gates lower to zero-duration frame changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.devices.device import Device
+from repro.devices.gatesets import VendorFamily
+from repro.ir.circuit import Circuit
+from repro.pulse.schedule import (
+    Play,
+    Schedule,
+    ShiftPhase,
+    coupler_channel,
+    drive_channel,
+)
+from repro.pulse.shapes import Constant, Gaussian, GaussianSquare
+
+
+@dataclass(frozen=True)
+class PulseCalibration:
+    """Per-device pulse timings (the pulse-level 'backend defaults')."""
+
+    x90_duration_ns: float
+    x90_sigma_ns: float
+    two_qubit_duration_ns: float
+    two_qubit_sigma_ns: float
+    measure_duration_ns: float
+
+    def x90(self) -> Gaussian:
+        return Gaussian(self.x90_duration_ns, 0.5, self.x90_sigma_ns)
+
+    def two_qubit(self) -> GaussianSquare:
+        return GaussianSquare(
+            self.two_qubit_duration_ns,
+            0.8,
+            self.two_qubit_sigma_ns,
+            max(self.two_qubit_duration_ns - 4 * self.two_qubit_sigma_ns, 0),
+        )
+
+    def measure(self) -> Constant:
+        return Constant(self.measure_duration_ns, 0.2)
+
+
+_DEFAULTS: Dict[VendorFamily, PulseCalibration] = {
+    VendorFamily.IBM: PulseCalibration(
+        x90_duration_ns=36.0,
+        x90_sigma_ns=9.0,
+        two_qubit_duration_ns=300.0,
+        two_qubit_sigma_ns=20.0,
+        measure_duration_ns=1000.0,
+    ),
+    VendorFamily.RIGETTI: PulseCalibration(
+        x90_duration_ns=60.0,
+        x90_sigma_ns=12.0,
+        two_qubit_duration_ns=200.0,
+        two_qubit_sigma_ns=15.0,
+        measure_duration_ns=1200.0,
+    ),
+    VendorFamily.UMDTI: PulseCalibration(
+        x90_duration_ns=10_000.0,
+        x90_sigma_ns=2_000.0,
+        two_qubit_duration_ns=250_000.0,
+        two_qubit_sigma_ns=20_000.0,
+        measure_duration_ns=100_000.0,
+    ),
+}
+
+
+def default_calibration(device: Device) -> PulseCalibration:
+    """The built-in pulse timings for a device's vendor family."""
+    return _DEFAULTS[device.gate_set.family]
+
+
+def _one_qubit_pulses(
+    inst, calibration: PulseCalibration
+) -> List:
+    """Pulses for one software-visible 1Q gate."""
+    qubit = inst.qubits[0]
+    channel = drive_channel(qubit)
+    name = inst.name
+    if name in ("u1", "rz"):
+        return [ShiftPhase(inst.params[0], channel)]
+    if name == "u2":
+        phi, lam = inst.params
+        return [
+            ShiftPhase(lam, channel),
+            Play(calibration.x90(), channel),
+            ShiftPhase(phi, channel),
+        ]
+    if name == "u3":
+        theta, phi, lam = inst.params
+        return [
+            ShiftPhase(lam, channel),
+            Play(calibration.x90(), channel),
+            ShiftPhase(theta, channel),
+            Play(calibration.x90(), channel),
+            ShiftPhase(phi, channel),
+        ]
+    if name == "rx":
+        return [Play(calibration.x90(), channel)]
+    if name == "rxy":
+        theta, phi = inst.params
+        # Phase-framed Raman pulse: rotate the frame, pulse, rotate back.
+        return [
+            ShiftPhase(-phi, channel),
+            Play(calibration.x90(), channel),
+            ShiftPhase(phi, channel),
+        ]
+    raise ValueError(
+        f"gate {name!r} is not software-visible; translate the circuit "
+        "before pulse lowering"
+    )
+
+
+def lower_to_pulses(circuit: Circuit, device: Device) -> Schedule:
+    """Lower a fully-translated hardware circuit to a pulse schedule.
+
+    The schedule is ASAP: each gate's pulse group starts as soon as all
+    its channels are free, so parallel gates on disjoint qubits overlap
+    exactly as the hardware would run them.
+    """
+    calibration = default_calibration(device)
+    schedule = Schedule(name=circuit.name)
+    for inst in circuit:
+        if inst.is_barrier:
+            schedule.barrier()
+            continue
+        if inst.is_measurement:
+            channel = drive_channel(inst.qubits[0])
+            schedule.append_group([Play(calibration.measure(), channel)])
+            continue
+        if inst.num_qubits == 1:
+            schedule.append_group(_one_qubit_pulses(inst, calibration))
+            continue
+        if inst.name in ("cx", "cz", "xx"):
+            a, b = inst.qubits
+            group = [
+                Play(calibration.two_qubit(), coupler_channel(a, b)),
+                # Echo/framing tones on both drive lines for the gate's
+                # duration window, modeled as the coupler pulse blocking
+                # both qubits.
+                Play(calibration.two_qubit(), drive_channel(a)),
+                Play(calibration.two_qubit(), drive_channel(b)),
+            ]
+            schedule.append_group(group)
+            continue
+        raise ValueError(
+            f"cannot lower {inst.name!r} to pulses; translate the "
+            "circuit first"
+        )
+    return schedule

@@ -1,0 +1,184 @@
+"""Channels, timed pulse instructions, and ASAP schedule construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.pulse.shapes import Constant, Gaussian, GaussianSquare
+
+PulseShape = Union[Gaussian, GaussianSquare, Constant]
+
+
+@dataclass(frozen=True, order=True)
+class Channel:
+    """A control line: per-qubit drive or per-pair coupler."""
+
+    kind: str  # "d" (drive) or "u" (coupler)
+    index: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"{self.kind}{'_'.join(str(i) for i in self.index)}"
+
+
+def drive_channel(qubit: int) -> Channel:
+    """The drive line of one qubit."""
+    return Channel("d", (qubit,))
+
+
+def coupler_channel(a: int, b: int) -> Channel:
+    """The 2Q interaction line of a qubit pair (order-insensitive)."""
+    return Channel("u", tuple(sorted((a, b))))
+
+
+@dataclass(frozen=True)
+class Play:
+    """Emit a pulse envelope on a channel."""
+
+    shape: PulseShape
+    channel: Channel
+
+    @property
+    def duration_ns(self) -> float:
+        return self.shape.duration_ns
+
+
+@dataclass(frozen=True)
+class ShiftPhase:
+    """A frame change: the pulse-level realization of virtual Z.
+
+    Zero duration and error-free — this is *why* Z rotations are free
+    (paper section 4.5).
+    """
+
+    phase: float
+    channel: Channel
+
+    @property
+    def duration_ns(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Idle time on a channel."""
+
+    duration_ns: float
+    channel: Channel
+
+
+Instruction = Union[Play, ShiftPhase, Delay]
+
+
+@dataclass(frozen=True)
+class TimedInstruction:
+    start_ns: float
+    instruction: Instruction
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.instruction.duration_ns
+
+
+class Schedule:
+    """A pulse program: instructions with explicit start times.
+
+    ``append`` places each instruction as early as possible (ASAP)
+    subject to channel availability; multi-channel operations (e.g. a
+    cross-resonance pulse plus its echo) can be grouped with
+    ``append_group`` so they start together.
+    """
+
+    def __init__(self, name: str = "schedule") -> None:
+        self.name = name
+        self._timed: List[TimedInstruction] = []
+        self._frontier: Dict[Channel, float] = {}
+
+    # ------------------------------------------------------------------
+    def append(self, instruction: Instruction) -> "Schedule":
+        start = self._frontier.get(instruction.channel, 0.0)
+        self._place(instruction, start)
+        return self
+
+    def append_group(self, instructions: Sequence[Instruction]) -> "Schedule":
+        """Schedule one gate's pulses as a unit.
+
+        The group starts when *all* its channels are free; within the
+        group, instructions on the same channel run back to back while
+        instructions on different channels start together.
+        """
+        channels = {inst.channel for inst in instructions}
+        start = max(
+            (self._frontier.get(channel, 0.0) for channel in channels),
+            default=0.0,
+        )
+        cursor = {channel: start for channel in channels}
+        for instruction in instructions:
+            at = cursor[instruction.channel]
+            self._place(instruction, at)
+            cursor[instruction.channel] = at + instruction.duration_ns
+        return self
+
+    def barrier(self, channels: Optional[Iterable[Channel]] = None) -> "Schedule":
+        """Align the given channels (all channels when omitted)."""
+        targets = list(channels) if channels is not None else list(
+            self._frontier
+        )
+        if not targets:
+            return self
+        tick = max(self._frontier.get(c, 0.0) for c in targets)
+        for channel in targets:
+            self._frontier[channel] = tick
+        return self
+
+    def _place(self, instruction: Instruction, start: float) -> None:
+        self._timed.append(TimedInstruction(start, instruction))
+        end = start + instruction.duration_ns
+        self._frontier[instruction.channel] = max(
+            self._frontier.get(instruction.channel, 0.0), end
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> Tuple[TimedInstruction, ...]:
+        return tuple(sorted(self._timed, key=lambda t: (t.start_ns, str(t.instruction.channel))))
+
+    def duration_ns(self) -> float:
+        """Total wall-clock duration."""
+        return max((t.end_ns for t in self._timed), default=0.0)
+
+    def channels(self) -> List[Channel]:
+        return sorted({t.instruction.channel for t in self._timed})
+
+    def pulse_count(self) -> int:
+        """Physical pulses (Play instructions; frame changes are free)."""
+        return sum(1 for t in self._timed if isinstance(t.instruction, Play))
+
+    def channel_occupancy(self, channel: Channel) -> float:
+        """Busy time of one channel, in ns."""
+        return sum(
+            t.instruction.duration_ns
+            for t in self._timed
+            if t.instruction.channel == channel
+            and isinstance(t.instruction, Play)
+        )
+
+    def describe(self) -> str:
+        """Human-readable timed listing."""
+        lines = [f"Schedule {self.name!r}: {self.duration_ns():.0f} ns, "
+                 f"{self.pulse_count()} pulses"]
+        for timed in self.instructions:
+            inst = timed.instruction
+            if isinstance(inst, Play):
+                body = (
+                    f"play {type(inst.shape).__name__.lower()}"
+                    f"({inst.shape.duration_ns:.0f} ns)"
+                )
+            elif isinstance(inst, ShiftPhase):
+                body = f"shift_phase({inst.phase:+.3f} rad)"
+            else:
+                body = f"delay({inst.duration_ns:.0f} ns)"
+            lines.append(
+                f"  t={timed.start_ns:9.1f}  {str(inst.channel):<8} {body}"
+            )
+        return "\n".join(lines)

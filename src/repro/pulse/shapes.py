@@ -1,0 +1,90 @@
+"""Parametric pulse envelopes.
+
+Durations are in nanoseconds; amplitudes are dimensionless in [0, 1].
+``samples(dt)`` renders the envelope for inspection and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Gaussian:
+    """A Gaussian envelope, the standard 1Q pulse shape."""
+
+    duration_ns: float
+    amplitude: float
+    sigma_ns: float
+
+    def __post_init__(self) -> None:
+        _validate(self.duration_ns, self.amplitude)
+        if self.sigma_ns <= 0:
+            raise ValueError("sigma must be positive")
+
+    def samples(self, dt_ns: float = 1.0) -> np.ndarray:
+        times = np.arange(0.0, self.duration_ns, dt_ns)
+        center = self.duration_ns / 2.0
+        return self.amplitude * np.exp(
+            -((times - center) ** 2) / (2.0 * self.sigma_ns**2)
+        )
+
+
+@dataclass(frozen=True)
+class GaussianSquare:
+    """Gaussian rise/fall with a flat top: the cross-resonance shape."""
+
+    duration_ns: float
+    amplitude: float
+    sigma_ns: float
+    width_ns: float
+
+    def __post_init__(self) -> None:
+        _validate(self.duration_ns, self.amplitude)
+        if self.sigma_ns <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0 <= self.width_ns <= self.duration_ns:
+            raise ValueError("flat-top width must fit inside the duration")
+
+    def samples(self, dt_ns: float = 1.0) -> np.ndarray:
+        times = np.arange(0.0, self.duration_ns, dt_ns)
+        ramp = (self.duration_ns - self.width_ns) / 2.0
+        rise_end = ramp
+        fall_start = self.duration_ns - ramp
+        out = np.empty_like(times)
+        for i, t in enumerate(times):
+            if t < rise_end:
+                out[i] = math.exp(
+                    -((t - rise_end) ** 2) / (2.0 * self.sigma_ns**2)
+                )
+            elif t > fall_start:
+                out[i] = math.exp(
+                    -((t - fall_start) ** 2) / (2.0 * self.sigma_ns**2)
+                )
+            else:
+                out[i] = 1.0
+        return self.amplitude * out
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A flat pulse (used for long trapped-ion Raman tones)."""
+
+    duration_ns: float
+    amplitude: float
+
+    def __post_init__(self) -> None:
+        _validate(self.duration_ns, self.amplitude)
+
+    def samples(self, dt_ns: float = 1.0) -> np.ndarray:
+        count = int(round(self.duration_ns / dt_ns))
+        return np.full(count, self.amplitude)
+
+
+def _validate(duration_ns: float, amplitude: float) -> None:
+    if duration_ns <= 0:
+        raise ValueError("pulse duration must be positive")
+    if not 0.0 < abs(amplitude) <= 1.0:
+        raise ValueError("pulse amplitude must be in (0, 1]")

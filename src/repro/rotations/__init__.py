@@ -1,0 +1,38 @@
+"""Rotation mathematics for single-qubit gate optimization.
+
+Single-qubit quantum gates are rotations of the Bloch sphere.  TriQ's 1Q
+optimization pass (paper section 4.5) represents each gate as a unit
+quaternion, composes runs of gates by quaternion multiplication, and
+re-expresses the product as a minimal sequence of native rotations with
+error-free virtual-Z gates.  This package provides the quaternion algebra,
+Euler-angle decompositions (ZXZ / ZYZ), and SU(2) conversions that pass
+relies on.
+"""
+
+from repro.rotations.quaternion import Quaternion
+from repro.rotations.euler import (
+    ZXZAngles,
+    ZYZAngles,
+    quaternion_to_zxz,
+    quaternion_to_zyz,
+    zxz_to_quaternion,
+    zyz_to_quaternion,
+)
+from repro.rotations.su2 import (
+    quaternion_to_unitary,
+    unitary_to_quaternion,
+    rotation_unitary,
+)
+
+__all__ = [
+    "Quaternion",
+    "ZXZAngles",
+    "ZYZAngles",
+    "quaternion_to_zxz",
+    "quaternion_to_zyz",
+    "zxz_to_quaternion",
+    "zyz_to_quaternion",
+    "quaternion_to_unitary",
+    "unitary_to_quaternion",
+    "rotation_unitary",
+]

@@ -1,0 +1,121 @@
+"""Euler-angle decompositions of Bloch-sphere rotations.
+
+TriQ re-expresses an arbitrary composed rotation as two Z-axis rotations
+sandwiching a single X- or Y-axis rotation (paper section 4.5).  Z-axis
+rotations are implemented classically ("virtual Z") on all three vendors
+and are therefore error-free, so this decomposition minimizes the number
+of physical pulses.
+
+Conventions match :mod:`repro.rotations.quaternion`: a decomposition
+``(alpha, beta, gamma)`` means *apply* ``Rz(alpha)`` first, then the
+middle rotation by ``beta``, then ``Rz(gamma)`` — i.e. the quaternion is
+``rz(gamma) * middle(beta) * rz(alpha)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.rotations.quaternion import ANGLE_ATOL, Quaternion
+
+
+def _wrap_angle(theta: float) -> float:
+    """Map an angle into ``(-pi, pi]``."""
+    wrapped = math.fmod(theta + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+@dataclass(frozen=True)
+class ZXZAngles:
+    """Angles of an ``Rz(gamma) . Rx(beta) . Rz(alpha)`` decomposition."""
+
+    alpha: float
+    beta: float
+    gamma: float
+
+
+@dataclass(frozen=True)
+class ZYZAngles:
+    """Angles of an ``Rz(gamma) . Ry(beta) . Rz(alpha)`` decomposition."""
+
+    alpha: float
+    beta: float
+    gamma: float
+
+
+def zxz_to_quaternion(angles: ZXZAngles) -> Quaternion:
+    """Compose ``Rz(alpha)`` then ``Rx(beta)`` then ``Rz(gamma)``."""
+    return (
+        Quaternion.rz(angles.gamma)
+        * Quaternion.rx(angles.beta)
+        * Quaternion.rz(angles.alpha)
+    )
+
+
+def zyz_to_quaternion(angles: ZYZAngles) -> Quaternion:
+    """Compose ``Rz(alpha)`` then ``Ry(beta)`` then ``Rz(gamma)``."""
+    return (
+        Quaternion.rz(angles.gamma)
+        * Quaternion.ry(angles.beta)
+        * Quaternion.rz(angles.alpha)
+    )
+
+
+def quaternion_to_zxz(q: Quaternion) -> ZXZAngles:
+    """Decompose a rotation into ZXZ Euler angles.
+
+    For ``q = rz(gamma) * rx(beta) * rz(alpha)`` the components satisfy::
+
+        w = cos(beta/2) * cos((alpha+gamma)/2)
+        z = cos(beta/2) * sin((alpha+gamma)/2)
+        x = sin(beta/2) * cos((gamma-alpha)/2)
+        y = sin(beta/2) * sin((gamma-alpha)/2)
+
+    which we invert with ``atan2``.  Degenerate cases (pure Z rotations,
+    beta = pi) pick the representative with ``gamma - alpha = 0``.
+    """
+    qn = q.normalized()
+    cos_half_beta = math.hypot(qn.w, qn.z)
+    sin_half_beta = math.hypot(qn.x, qn.y)
+    beta = 2.0 * math.atan2(sin_half_beta, cos_half_beta)
+    if cos_half_beta > ANGLE_ATOL:
+        half_sum = math.atan2(qn.z, qn.w)
+    else:
+        half_sum = 0.0
+    if sin_half_beta > ANGLE_ATOL:
+        half_diff = math.atan2(qn.y, qn.x)
+    else:
+        half_diff = 0.0
+    alpha = _wrap_angle(half_sum - half_diff)
+    gamma = _wrap_angle(half_sum + half_diff)
+    return ZXZAngles(alpha=alpha, beta=_wrap_angle(beta), gamma=gamma)
+
+
+def quaternion_to_zyz(q: Quaternion) -> ZYZAngles:
+    """Decompose a rotation into ZYZ Euler angles.
+
+    For ``q = rz(gamma) * ry(beta) * rz(alpha)``::
+
+        w = cos(beta/2) * cos((alpha+gamma)/2)
+        z = cos(beta/2) * sin((alpha+gamma)/2)
+        y = sin(beta/2) * cos((gamma-alpha)/2)
+        x = -sin(beta/2) * sin((gamma-alpha)/2)
+    """
+    qn = q.normalized()
+    cos_half_beta = math.hypot(qn.w, qn.z)
+    sin_half_beta = math.hypot(qn.x, qn.y)
+    beta = 2.0 * math.atan2(sin_half_beta, cos_half_beta)
+    if cos_half_beta > ANGLE_ATOL:
+        half_sum = math.atan2(qn.z, qn.w)
+    else:
+        half_sum = 0.0
+    if sin_half_beta > ANGLE_ATOL:
+        half_diff = math.atan2(-qn.x, qn.y)
+    else:
+        half_diff = 0.0
+    alpha = _wrap_angle(half_sum - half_diff)
+    gamma = _wrap_angle(half_sum + half_diff)
+    return ZYZAngles(alpha=alpha, beta=_wrap_angle(beta), gamma=gamma)

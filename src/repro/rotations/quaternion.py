@@ -1,0 +1,173 @@
+"""Unit quaternions representing Bloch-sphere rotations.
+
+Convention: a rotation by angle ``theta`` about unit axis ``(nx, ny, nz)``
+is the quaternion::
+
+    q = (cos(theta/2), sin(theta/2)*nx, sin(theta/2)*ny, sin(theta/2)*nz)
+
+Applying rotation ``a`` first and then rotation ``b`` corresponds to the
+quaternion product ``b * a``.  The quaternions ``q`` and ``-q`` describe
+the same rotation (they differ only by a global phase in SU(2)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+#: Tolerance used when deciding whether two rotations coincide.
+ANGLE_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Quaternion:
+    """An immutable quaternion ``w + x*i + y*j + z*k``."""
+
+    w: float
+    x: float
+    y: float
+    z: float
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity() -> "Quaternion":
+        """The identity rotation."""
+        return Quaternion(1.0, 0.0, 0.0, 0.0)
+
+    @staticmethod
+    def from_axis_angle(axis: Iterable[float], theta: float) -> "Quaternion":
+        """Rotation by ``theta`` radians about ``axis`` (need not be unit)."""
+        ax, ay, az = axis
+        norm = math.sqrt(ax * ax + ay * ay + az * az)
+        if norm < ANGLE_ATOL:
+            raise ValueError("rotation axis must be non-zero")
+        half = theta / 2.0
+        s = math.sin(half) / norm
+        return Quaternion(math.cos(half), s * ax, s * ay, s * az)
+
+    @staticmethod
+    def rx(theta: float) -> "Quaternion":
+        """Rotation about the X axis."""
+        half = theta / 2.0
+        return Quaternion(math.cos(half), math.sin(half), 0.0, 0.0)
+
+    @staticmethod
+    def ry(theta: float) -> "Quaternion":
+        """Rotation about the Y axis."""
+        half = theta / 2.0
+        return Quaternion(math.cos(half), 0.0, math.sin(half), 0.0)
+
+    @staticmethod
+    def rz(theta: float) -> "Quaternion":
+        """Rotation about the Z axis."""
+        half = theta / 2.0
+        return Quaternion(math.cos(half), 0.0, 0.0, math.sin(half))
+
+    @staticmethod
+    def rxy(theta: float, phi: float) -> "Quaternion":
+        """Rotation by ``theta`` about the axis at angle ``phi`` in the XY plane.
+
+        This is the native 1Q gate of the UMD trapped-ion machine
+        (paper Figure 2): an arbitrary-axis rotation confined to the
+        equatorial plane of the Bloch sphere.
+        """
+        return Quaternion.from_axis_angle(
+            (math.cos(phi), math.sin(phi), 0.0), theta
+        )
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "Quaternion") -> "Quaternion":
+        """Hamilton product.  ``b * a`` applies rotation ``a`` first."""
+        w1, x1, y1, z1 = self.w, self.x, self.y, self.z
+        w2, x2, y2, z2 = other.w, other.x, other.y, other.z
+        return Quaternion(
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        )
+
+    def conjugate(self) -> "Quaternion":
+        """The inverse rotation (for unit quaternions)."""
+        return Quaternion(self.w, -self.x, -self.y, -self.z)
+
+    def norm(self) -> float:
+        """Euclidean norm of the 4-vector."""
+        return math.sqrt(
+            self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+        )
+
+    def normalized(self) -> "Quaternion":
+        """Rescale to unit norm."""
+        n = self.norm()
+        if n < ANGLE_ATOL:
+            raise ValueError("cannot normalize a zero quaternion")
+        return Quaternion(self.w / n, self.x / n, self.y / n, self.z / n)
+
+    def canonical(self) -> "Quaternion":
+        """Fix the sign ambiguity: the first non-zero component is positive.
+
+        Useful for hashing / comparing rotations, since ``q`` and ``-q``
+        describe the same physical rotation.
+        """
+        for comp in (self.w, self.x, self.y, self.z):
+            if abs(comp) > ANGLE_ATOL:
+                if comp < 0:
+                    return Quaternion(-self.w, -self.x, -self.y, -self.z)
+                return self
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rotation_angle(self) -> float:
+        """The rotation angle in ``[0, 2*pi)``."""
+        q = self.normalized()
+        return 2.0 * math.atan2(
+            math.sqrt(q.x * q.x + q.y * q.y + q.z * q.z), q.w
+        )
+
+    def rotation_axis(self) -> Tuple[float, float, float]:
+        """The rotation axis; ``(0, 0, 1)`` for the identity by convention."""
+        q = self.normalized()
+        s = math.sqrt(q.x * q.x + q.y * q.y + q.z * q.z)
+        if s < ANGLE_ATOL:
+            return (0.0, 0.0, 1.0)
+        return (q.x / s, q.y / s, q.z / s)
+
+    def is_identity(self, atol: float = 1e-8) -> bool:
+        """True when this rotation is (numerically) the identity."""
+        q = self.normalized()
+        return abs(abs(q.w) - 1.0) <= atol
+
+    def is_z_rotation(self, atol: float = 1e-8) -> bool:
+        """True when the rotation is about the Z axis (including identity)."""
+        q = self.normalized()
+        return abs(q.x) <= atol and abs(q.y) <= atol
+
+    def approx_equal(self, other: "Quaternion", atol: float = 1e-8) -> bool:
+        """Rotation equality, insensitive to the global sign."""
+        a = self.normalized()
+        b = other.normalized()
+        dot = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z
+        return abs(abs(dot) - 1.0) <= atol
+
+    def rotate_vector(
+        self, vec: Tuple[float, float, float]
+    ) -> Tuple[float, float, float]:
+        """Apply the rotation to a 3-vector (Bloch vector)."""
+        q = self.normalized()
+        p = Quaternion(0.0, vec[0], vec[1], vec[2])
+        r = q * p * q.conjugate()
+        return (r.x, r.y, r.z)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Quaternion(w={self.w:.6g}, x={self.x:.6g}, "
+            f"y={self.y:.6g}, z={self.z:.6g})"
+        )

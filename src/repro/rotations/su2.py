@@ -1,0 +1,65 @@
+"""Conversions between quaternions and SU(2) matrices.
+
+A rotation quaternion ``q = (w, x, y, z)`` corresponds to the special
+unitary::
+
+    U = w*I - i*(x*sigma_x + y*sigma_y + z*sigma_z)
+
+so that ``U = exp(-i * theta/2 * n . sigma)`` for a rotation by ``theta``
+about axis ``n``.  These helpers let tests verify that quaternion algebra
+agrees with matrix multiplication of the underlying gates.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.rotations.quaternion import Quaternion
+
+_I2 = np.eye(2, dtype=complex)
+_SX = np.array([[0, 1], [1, 0]], dtype=complex)
+_SY = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_SZ = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def quaternion_to_unitary(q: Quaternion) -> np.ndarray:
+    """The SU(2) matrix of a rotation quaternion."""
+    qn = q.normalized()
+    return qn.w * _I2 - 1j * (qn.x * _SX + qn.y * _SY + qn.z * _SZ)
+
+
+def unitary_to_quaternion(unitary: np.ndarray) -> Quaternion:
+    """Invert :func:`quaternion_to_unitary`, discarding global phase.
+
+    Accepts any 2x2 unitary; the determinant phase is divided out before
+    extracting quaternion components, so e.g. the textbook ``X`` gate (a
+    U(2) matrix with determinant -1) maps to the ``Rx(pi)`` rotation.
+    """
+    mat = np.asarray(unitary, dtype=complex)
+    if mat.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 matrix, got shape {mat.shape}")
+    det = np.linalg.det(mat)
+    if abs(abs(det) - 1.0) > 1e-6:
+        raise ValueError("matrix is not unitary (|det| != 1)")
+    # Divide out the global phase so det(U) == 1.
+    mat = mat / cmath.sqrt(det)
+    w = mat[0, 0].real + mat[1, 1].real
+    x = -(mat[0, 1].imag + mat[1, 0].imag)
+    y = mat[1, 0].real - mat[0, 1].real
+    z = mat[1, 1].imag - mat[0, 0].imag
+    # The trace-based components above are 2x the quaternion; normalize.
+    q = Quaternion(w / 2.0, x / 2.0, y / 2.0, z / 2.0)
+    return q.normalized().canonical()
+
+
+def rotation_unitary(axis: str, theta: float) -> np.ndarray:
+    """The SU(2) matrix of ``R_axis(theta)`` for axis 'x', 'y' or 'z'."""
+    half = theta / 2.0
+    cos_h, sin_h = math.cos(half), math.sin(half)
+    sigma = {"x": _SX, "y": _SY, "z": _SZ}.get(axis.lower())
+    if sigma is None:
+        raise ValueError(f"unknown axis {axis!r}; expected 'x', 'y' or 'z'")
+    return cos_h * _I2 - 1j * sin_h * sigma

@@ -1,0 +1,39 @@
+"""A Scaffold-like C-ish frontend (the repo's ScaffCC equivalent).
+
+The paper's toolflow starts from programs in Scaffold, a C-like quantum
+language, lowered by ScaffCC to a flat gate-level IR with classical
+control resolved at compile time (paper section 4.1).  This package
+implements that path from scratch for a Scaffold-like dialect:
+
+* :mod:`repro.scaffold.lexer` — tokenization,
+* :mod:`repro.scaffold.parser` — recursive-descent parsing into an AST,
+* :mod:`repro.scaffold.lower` — compile-time evaluation: constant
+  folding, loop unrolling, module inlining, emitting a
+  :class:`repro.ir.Circuit`.
+
+Example::
+
+    source = '''
+    module main(qbit q[4]) {
+        for (int i = 0; i < 3; i++) { H(q[i]); }
+        X(q[3]); H(q[3]);
+        for (int i = 0; i < 3; i++) { CNOT(q[i], q[3]); }
+        for (int i = 0; i < 4; i++) { H(q[i]); MeasZ(q[i]); }
+    }
+    '''
+    circuit = compile_scaffold(source)
+"""
+
+from repro.scaffold.errors import ScaffoldError, ScaffoldSyntaxError
+from repro.scaffold.lexer import Token, tokenize
+from repro.scaffold.parser import parse_program
+from repro.scaffold.lower import compile_scaffold
+
+__all__ = [
+    "ScaffoldError",
+    "ScaffoldSyntaxError",
+    "Token",
+    "tokenize",
+    "parse_program",
+    "compile_scaffold",
+]

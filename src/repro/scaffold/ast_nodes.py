@@ -1,0 +1,141 @@
+"""AST node definitions for the Scaffold-like dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions (compile-time integer / float arithmetic)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    value: float
+    is_integer: bool
+
+
+@dataclass(frozen=True)
+class NameRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[NumberLiteral, NameRef, UnaryOp, BinaryOp]
+
+
+# ----------------------------------------------------------------------
+# Qubit references
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QubitRef:
+    """``q[i]`` or a bare scalar qbit name."""
+
+    register: str
+    index: Optional[Expr]  # None for scalar qbits / whole-register args
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GateCall:
+    """A builtin gate or user-module invocation."""
+
+    name: str
+    args: Tuple[Union[QubitRef, Expr], ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class IntDecl:
+    name: str
+    value: Expr
+    is_const: bool
+
+
+@dataclass(frozen=True)
+class Assignment:
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    """``for (int i = start; i < stop; i++)``-style loop."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr
+    #: Comparison operator of the condition ('<', '<=', '>', '>=').
+    comparison: str
+    body: Tuple["Statement", ...]
+
+
+@dataclass(frozen=True)
+class IfStatement:
+    condition: Expr
+    comparison: str
+    right: Expr
+    then_body: Tuple["Statement", ...]
+    else_body: Tuple["Statement", ...]
+
+
+Statement = Union[GateCall, IntDecl, Assignment, ForLoop, IfStatement]
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QbitParam:
+    """A qbit parameter: scalar (size None) or array of a given size."""
+
+    name: str
+    size: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class IntParam:
+    """A compile-time integer parameter of a module."""
+
+    name: str
+
+
+ModuleParam = Union[QbitParam, IntParam]
+
+
+@dataclass(frozen=True)
+class Module:
+    name: str
+    params: Tuple[ModuleParam, ...]
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class Program:
+    modules: Tuple[Module, ...]
+    constants: Tuple[IntDecl, ...] = field(default=())
+
+    def module(self, name: str) -> Module:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"no module named {name!r}")

@@ -1,0 +1,24 @@
+"""Error types for the Scaffold frontend."""
+
+from __future__ import annotations
+
+
+class ScaffoldError(Exception):
+    """Any error raised while compiling a Scaffold program."""
+
+
+class ScaffoldSyntaxError(ScaffoldError):
+    """A lexing or parsing failure, with source position."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ScaffoldNameError(ScaffoldError):
+    """Reference to an undeclared variable, register or module."""
+
+
+class ScaffoldTypeError(ScaffoldError):
+    """Wrong arity or argument kind in a gate or module call."""

@@ -1,0 +1,73 @@
+"""Tokenizer for the Scaffold-like dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.scaffold.errors import ScaffoldSyntaxError
+
+KEYWORDS = frozenset(
+    {"module", "qbit", "cbit", "int", "double", "for", "if", "else", "const", "return"}
+)
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*|/\*.*?\*/"),
+    ("NUMBER", r"\d+\.\d+(?:[eE][+-]?\d+)?|\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("OP", r"\+\+|--|<=|>=|==|!=|&&|\|\||[-+*/%<>=!]"),
+    ("PUNCT", r"[()\[\]{},;]"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+]
+_MASTER_RE = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC),
+    re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # NUMBER, IDENT, KEYWORD, OP, PUNCT, EOF
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.value!r} @ {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex a source string into tokens (comments/whitespace removed)."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for match in _MASTER_RE.finditer(source):
+        kind = match.lastgroup
+        value = match.group()
+        column = match.start() - line_start + 1
+        if kind in ("SKIP",):
+            continue
+        if kind in ("NEWLINE",):
+            line += 1
+            line_start = match.end()
+            continue
+        if kind == "COMMENT":
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + value.rfind("\n") + 1
+            continue
+        if kind == "MISMATCH":
+            raise ScaffoldSyntaxError(
+                f"unexpected character {value!r}", line, column
+            )
+        if kind == "IDENT" and value in KEYWORDS:
+            kind = "KEYWORD"
+        tokens.append(Token(kind, value, line, column))
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens

@@ -1,0 +1,445 @@
+"""Lowering: Scaffold AST -> gate-level IR circuit.
+
+Mirrors what ScaffCC does for the paper's toolflow: all classical
+control (loop bounds, conditionals, constants — the "application input")
+is resolved at compile time, modules are inlined, and the output is a
+flat :class:`repro.ir.Circuit` of 1Q/2Q/readout operations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.ir.circuit import Circuit
+from repro.scaffold.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    Expr,
+    ForLoop,
+    GateCall,
+    IfStatement,
+    IntDecl,
+    IntParam,
+    NameRef,
+    NumberLiteral,
+    Program,
+    QubitRef,
+    Statement,
+    UnaryOp,
+)
+from repro.scaffold.errors import (
+    ScaffoldError,
+    ScaffoldNameError,
+    ScaffoldTypeError,
+)
+from repro.scaffold.parser import parse_program
+
+#: Hard cap on loop unrolling, to catch runaway compile-time loops.
+MAX_UNROLL = 100_000
+#: Hard cap on module inlining depth (no recursion in the dialect).
+MAX_INLINE_DEPTH = 64
+
+#: Builtin gates: Scaffold name -> (IR gate, #qubits, #angle params).
+_BUILTINS = {
+    "H": ("h", 1, 0),
+    "X": ("x", 1, 0),
+    "Y": ("y", 1, 0),
+    "Z": ("z", 1, 0),
+    "S": ("s", 1, 0),
+    "Sdag": ("sdg", 1, 0),
+    "T": ("t", 1, 0),
+    "Tdag": ("tdg", 1, 0),
+    "Rx": ("rx", 1, 1),
+    "Ry": ("ry", 1, 1),
+    "Rz": ("rz", 1, 1),
+    "CNOT": ("cx", 2, 0),
+    "CZ": ("cz", 2, 0),
+    "SWAP": ("swap", 2, 0),
+    "Toffoli": ("ccx", 3, 0),
+    "Fredkin": ("cswap", 3, 0),
+}
+
+
+class _Scope:
+    """Lexically nested integer-variable environment."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.values: Dict[str, Union[int, float]] = {}
+
+    def lookup(self, name: str) -> Union[int, float]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.values:
+                return scope.values[name]
+            scope = scope.parent
+        raise ScaffoldNameError(f"undefined variable {name!r}")
+
+    def declare(self, name: str, value: Union[int, float]) -> None:
+        self.values[name] = value
+
+    def assign(self, name: str, value: Union[int, float]) -> None:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.values:
+                scope.values[name] = value
+                return
+            scope = scope.parent
+        raise ScaffoldNameError(f"assignment to undefined variable {name!r}")
+
+
+class _Lowering:
+    def __init__(
+        self,
+        program: Program,
+        circuit: Circuit,
+        const_scope: Optional[_Scope] = None,
+    ) -> None:
+        self.program = program
+        self.circuit = circuit
+        #: Global constants, visible from every module body.
+        self.const_scope = const_scope if const_scope is not None else _Scope()
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def eval_expr(self, expr: Expr, scope: _Scope) -> Union[int, float]:
+        if isinstance(expr, NumberLiteral):
+            return int(expr.value) if expr.is_integer else float(expr.value)
+        if isinstance(expr, NameRef):
+            if expr.name == "pi":
+                return math.pi
+            return scope.lookup(expr.name)
+        if isinstance(expr, UnaryOp):
+            value = self.eval_expr(expr.operand, scope)
+            if expr.op == "-":
+                return -value
+            raise ScaffoldError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, BinaryOp):
+            left = self.eval_expr(expr.left, scope)
+            right = self.eval_expr(expr.right, scope)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                if isinstance(left, int) and isinstance(right, int):
+                    return left // right
+                return left / right
+            if expr.op == "%":
+                return left % right
+            raise ScaffoldError(f"unknown operator {expr.op!r}")
+        raise ScaffoldError(f"cannot evaluate expression {expr!r}")
+
+    def eval_int(self, expr: Expr, scope: _Scope, what: str) -> int:
+        value = self.eval_expr(expr, scope)
+        if isinstance(value, float) and not value.is_integer():
+            raise ScaffoldTypeError(f"{what} must be an integer, got {value}")
+        return int(value)
+
+    @staticmethod
+    def compare(left: float, op: str, right: float) -> bool:
+        return {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+            "==": left == right,
+            "!=": left != right,
+        }[op]
+
+    # ------------------------------------------------------------------
+    # Qubit resolution
+    # ------------------------------------------------------------------
+    def resolve_qubit(
+        self,
+        ref: QubitRef,
+        qubits: Dict[str, List[int]],
+        scope: _Scope,
+    ) -> Union[int, List[int]]:
+        if ref.register not in qubits:
+            raise ScaffoldNameError(f"undefined qubit register {ref.register!r}")
+        register = qubits[ref.register]
+        if ref.index is None:
+            if len(register) == 1:
+                return register[0]
+            return list(register)
+        index = self.eval_int(ref.index, scope, "qubit index")
+        if not 0 <= index < len(register):
+            raise ScaffoldError(
+                f"index {index} out of range for register "
+                f"{ref.register!r} of size {len(register)}"
+            )
+        return register[index]
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def run_body(
+        self,
+        body: Sequence[Statement],
+        qubits: Dict[str, List[int]],
+        scope: _Scope,
+        depth: int,
+    ) -> None:
+        for statement in body:
+            self.run_statement(statement, qubits, scope, depth)
+
+    def run_statement(
+        self,
+        statement: Statement,
+        qubits: Dict[str, List[int]],
+        scope: _Scope,
+        depth: int,
+    ) -> None:
+        if isinstance(statement, IntDecl):
+            scope.declare(
+                statement.name,
+                self.eval_expr(statement.value, scope),
+            )
+        elif isinstance(statement, Assignment):
+            scope.assign(statement.name, self.eval_expr(statement.value, scope))
+        elif isinstance(statement, ForLoop):
+            self.run_for(statement, qubits, scope, depth)
+        elif isinstance(statement, IfStatement):
+            left = self.eval_expr(statement.condition, scope)
+            right = self.eval_expr(statement.right, scope)
+            body = (
+                statement.then_body
+                if self.compare(left, statement.comparison, right)
+                else statement.else_body
+            )
+            self.run_body(body, qubits, _Scope(scope), depth)
+        elif isinstance(statement, GateCall):
+            self.run_call(statement, qubits, scope, depth)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise ScaffoldError(f"unknown statement {statement!r}")
+
+    def run_for(
+        self,
+        loop: ForLoop,
+        qubits: Dict[str, List[int]],
+        scope: _Scope,
+        depth: int,
+    ) -> None:
+        value = self.eval_int(loop.start, scope, "loop start")
+        stop = self.eval_int(loop.stop, scope, "loop bound")
+        step = self.eval_int(loop.step, scope, "loop step")
+        if step == 0:
+            raise ScaffoldError("loop step must be non-zero")
+        iterations = 0
+        while self.compare(value, loop.comparison, stop):
+            iterations += 1
+            if iterations > MAX_UNROLL:
+                raise ScaffoldError(
+                    f"loop over {loop.var!r} exceeds {MAX_UNROLL} iterations"
+                )
+            inner = _Scope(scope)
+            inner.declare(loop.var, value)
+            self.run_body(loop.body, qubits, inner, depth)
+            value += step
+
+    def run_call(
+        self,
+        call: GateCall,
+        qubits: Dict[str, List[int]],
+        scope: _Scope,
+        depth: int,
+    ) -> None:
+        if call.name in ("MeasZ", "MeasX"):
+            self.run_measure(call, qubits, scope)
+            return
+        if call.name == "PrepZ":
+            self.run_prep(call, qubits, scope)
+            return
+        if call.name in _BUILTINS:
+            self.run_builtin(call, qubits, scope)
+            return
+        self.run_module_call(call, qubits, scope, depth)
+
+    def run_measure(
+        self, call: GateCall, qubits: Dict[str, List[int]], scope: _Scope
+    ) -> None:
+        if len(call.args) != 1 or not isinstance(call.args[0], QubitRef):
+            raise ScaffoldTypeError(f"{call.name} takes one qubit argument")
+        resolved = self.resolve_qubit(call.args[0], qubits, scope)
+        targets = resolved if isinstance(resolved, list) else [resolved]
+        for qubit in targets:
+            if call.name == "MeasX":
+                self.circuit.h(qubit)
+            self.circuit.measure(qubit)
+
+    def run_prep(
+        self, call: GateCall, qubits: Dict[str, List[int]], scope: _Scope
+    ) -> None:
+        if len(call.args) != 2 or not isinstance(call.args[0], QubitRef):
+            raise ScaffoldTypeError("PrepZ takes (qubit, 0|1)")
+        resolved = self.resolve_qubit(call.args[0], qubits, scope)
+        value = self.eval_int(call.args[1], scope, "PrepZ value")
+        if value not in (0, 1):
+            raise ScaffoldTypeError(f"PrepZ value must be 0 or 1, got {value}")
+        targets = resolved if isinstance(resolved, list) else [resolved]
+        # Qubits start in |0>; PrepZ(q, 1) is an X flip.
+        if value == 1:
+            for qubit in targets:
+                self.circuit.x(qubit)
+
+    def run_builtin(
+        self, call: GateCall, qubits: Dict[str, List[int]], scope: _Scope
+    ) -> None:
+        ir_name, num_qubits, num_angles = _BUILTINS[call.name]
+        if len(call.args) != num_qubits + num_angles:
+            raise ScaffoldTypeError(
+                f"{call.name} takes {num_qubits + num_angles} argument(s), "
+                f"got {len(call.args)} (line {call.line})"
+            )
+        qubit_args = []
+        for arg in call.args[:num_qubits]:
+            if not isinstance(arg, QubitRef):
+                raise ScaffoldTypeError(
+                    f"{call.name} expects qubit arguments (line {call.line})"
+                )
+            resolved = self.resolve_qubit(arg, qubits, scope)
+            if isinstance(resolved, list):
+                raise ScaffoldTypeError(
+                    f"{call.name} needs a single qubit, got whole register "
+                    f"{arg.register!r} (line {call.line})"
+                )
+            qubit_args.append(resolved)
+        angles = tuple(
+            float(self.eval_expr(arg, scope))
+            for arg in call.args[num_qubits:]
+        )
+        self.circuit.add(ir_name, tuple(qubit_args), angles)
+
+    def run_module_call(
+        self,
+        call: GateCall,
+        qubits: Dict[str, List[int]],
+        scope: _Scope,
+        depth: int,
+    ) -> None:
+        if depth >= MAX_INLINE_DEPTH:
+            raise ScaffoldError(
+                f"module inlining exceeds depth {MAX_INLINE_DEPTH} "
+                f"(recursive module {call.name!r}?)"
+            )
+        try:
+            module = self.program.module(call.name)
+        except KeyError:
+            raise ScaffoldNameError(
+                f"unknown gate or module {call.name!r} (line {call.line})"
+            ) from None
+        if len(call.args) != len(module.params):
+            raise ScaffoldTypeError(
+                f"module {call.name!r} takes {len(module.params)} "
+                f"argument(s), got {len(call.args)} (line {call.line})"
+            )
+        bound: Dict[str, List[int]] = {}
+        module_scope = _Scope(self.const_scope)
+        for param, arg in zip(module.params, call.args):
+            if isinstance(param, IntParam):
+                # A bare identifier parses as a QubitRef; when bound to
+                # an int parameter it names an integer variable instead.
+                if isinstance(arg, QubitRef) and arg.index is None:
+                    arg = NameRef(arg.register)
+                if isinstance(arg, QubitRef):
+                    raise ScaffoldTypeError(
+                        f"module {call.name!r} parameter {param.name!r} "
+                        f"is an int but got a qubit (line {call.line})"
+                    )
+                module_scope.declare(
+                    param.name, self.eval_int(arg, scope, "int argument")
+                )
+                continue
+            if not isinstance(arg, QubitRef):
+                raise ScaffoldTypeError(
+                    f"module {call.name!r} parameters are qbits "
+                    f"(line {call.line})"
+                )
+            resolved = self.resolve_qubit(arg, qubits, scope)
+            values = resolved if isinstance(resolved, list) else [resolved]
+            if param.size is not None:
+                expected = self.eval_int(param.size, module_scope, "param size")
+                if len(values) != expected:
+                    raise ScaffoldTypeError(
+                        f"module {call.name!r} parameter {param.name!r} "
+                        f"expects {expected} qubits, got {len(values)}"
+                    )
+            elif len(values) != 1:
+                raise ScaffoldTypeError(
+                    f"module {call.name!r} parameter {param.name!r} is a "
+                    f"scalar qbit but got a register of {len(values)}"
+                )
+            bound[param.name] = values
+        self.run_body(module.body, bound, module_scope, depth + 1)
+
+
+def compile_scaffold(
+    source: str,
+    entry: str = "main",
+    defines: Optional[Dict[str, int]] = None,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Compile Scaffold-like source into a gate-level circuit.
+
+    Args:
+        source: the program text.
+        entry: name of the entry module whose qbit parameters define the
+            circuit's qubit registers (allocated in declaration order).
+        defines: compile-time constant overrides — the "application
+            input" of paper Figure 4; these shadow ``const int``
+            declarations of the same name.
+        name: circuit name (defaults to the entry module's name).
+    """
+    program = parse_program(source)
+    try:
+        entry_module = program.module(entry)
+    except KeyError:
+        known = ", ".join(m.name for m in program.modules)
+        raise ScaffoldNameError(
+            f"no module named {entry!r}; program defines: {known}"
+        ) from None
+
+    const_scope = _Scope()
+    if defines:
+        for key, value in defines.items():
+            const_scope.declare(key, value)
+    # Fill a dummy 1-qubit circuit first so constant expressions can be
+    # evaluated before we know the register sizes.
+    bootstrap = _Lowering(program, Circuit(1))
+    for decl in program.constants:
+        if defines and decl.name in defines:
+            continue
+        const_scope.declare(
+            decl.name, bootstrap.eval_expr(decl.value, const_scope)
+        )
+
+    qubits: Dict[str, List[int]] = {}
+    next_qubit = 0
+    for param in entry_module.params:
+        if isinstance(param, IntParam):
+            raise ScaffoldTypeError(
+                f"entry module {entry!r} cannot take int parameters; "
+                f"use 'const int {param.name} = ...' with defines instead"
+            )
+        if param.size is None:
+            size = 1
+        else:
+            size = bootstrap.eval_int(param.size, const_scope, "register size")
+            if size < 1:
+                raise ScaffoldTypeError(
+                    f"register {param.name!r} must have positive size"
+                )
+        qubits[param.name] = list(range(next_qubit, next_qubit + size))
+        next_qubit += size
+    if next_qubit == 0:
+        raise ScaffoldTypeError(f"entry module {entry!r} declares no qubits")
+
+    circuit = Circuit(next_qubit, name=name or entry_module.name)
+    lowering = _Lowering(program, circuit, const_scope)
+    lowering.run_body(entry_module.body, qubits, _Scope(const_scope), depth=0)
+    return circuit

@@ -1,0 +1,338 @@
+"""Recursive-descent parser for the Scaffold-like dialect.
+
+Grammar (simplified)::
+
+    program    := (const_decl | module)*
+    const_decl := "const" "int" IDENT "=" expr ";"
+    module     := "module" IDENT "(" params? ")" block
+    params     := qbit_param ("," qbit_param)*
+    qbit_param := "qbit" IDENT ("[" expr "]")?
+    block      := "{" statement* "}"
+    statement  := gate_call ";" | int_decl ";" | assignment ";"
+                | for_loop | if_stmt
+    gate_call  := IDENT "(" args? ")"
+    for_loop   := "for" "(" "int" IDENT "=" expr ";" IDENT CMP expr ";"
+                  step ")" block
+    if_stmt    := "if" "(" expr CMP expr ")" block ("else" block)?
+    expr       := additive with * / % precedence, unary minus, parens
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.scaffold.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    Expr,
+    ForLoop,
+    GateCall,
+    IfStatement,
+    IntDecl,
+    IntParam,
+    Module,
+    NameRef,
+    NumberLiteral,
+    Program,
+    QbitParam,
+    QubitRef,
+    Statement,
+    UnaryOp,
+)
+from repro.scaffold.errors import ScaffoldSyntaxError
+from repro.scaffold.lexer import Token, tokenize
+
+_COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value if value is not None else kind
+            raise ScaffoldSyntaxError(
+                f"expected {wanted!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def match(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        modules = []
+        constants = []
+        while self.peek().kind != "EOF":
+            if self.peek().value == "const":
+                constants.append(self.parse_const_decl())
+            elif self.peek().value == "module":
+                modules.append(self.parse_module())
+            else:
+                token = self.peek()
+                raise ScaffoldSyntaxError(
+                    f"expected 'module' or 'const', found {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+        if not modules:
+            raise ScaffoldSyntaxError("program has no modules", 1, 1)
+        return Program(tuple(modules), tuple(constants))
+
+    def parse_const_decl(self) -> IntDecl:
+        self.expect("KEYWORD", "const")
+        self.expect("KEYWORD", "int")
+        name = self.expect("IDENT").value
+        self.expect("OP", "=")
+        value = self.parse_expr()
+        self.expect("PUNCT", ";")
+        return IntDecl(name, value, is_const=True)
+
+    def parse_module(self) -> Module:
+        self.expect("KEYWORD", "module")
+        name = self.expect("IDENT").value
+        self.expect("PUNCT", "(")
+        params: List[QbitParam] = []
+        if not self.match("PUNCT", ")"):
+            while True:
+                params.append(self.parse_qbit_param())
+                if self.match("PUNCT", ")"):
+                    break
+                self.expect("PUNCT", ",")
+        body = self.parse_block()
+        return Module(name, tuple(params), body)
+
+    def parse_qbit_param(self):
+        if self.match("KEYWORD", "int"):
+            return IntParam(self.expect("IDENT").value)
+        self.expect("KEYWORD", "qbit")
+        name = self.expect("IDENT").value
+        size: Optional[Expr] = None
+        if self.match("PUNCT", "["):
+            size = self.parse_expr()
+            self.expect("PUNCT", "]")
+        return QbitParam(name, size)
+
+    def parse_block(self) -> Tuple[Statement, ...]:
+        self.expect("PUNCT", "{")
+        statements: List[Statement] = []
+        while not self.match("PUNCT", "}"):
+            statements.append(self.parse_statement())
+        return tuple(statements)
+
+    def parse_statement(self) -> Statement:
+        token = self.peek()
+        if token.value == "for":
+            return self.parse_for()
+        if token.value == "if":
+            return self.parse_if()
+        if token.value in ("int", "const"):
+            is_const = self.match("KEYWORD", "const")
+            self.expect("KEYWORD", "int")
+            name = self.expect("IDENT").value
+            self.expect("OP", "=")
+            value = self.parse_expr()
+            self.expect("PUNCT", ";")
+            return IntDecl(name, value, is_const=is_const)
+        if token.kind == "IDENT":
+            if self.peek(1).value == "(":
+                call = self.parse_gate_call()
+                self.expect("PUNCT", ";")
+                return call
+            if self.peek(1).value == "=":
+                name = self.advance().value
+                self.expect("OP", "=")
+                value = self.parse_expr()
+                self.expect("PUNCT", ";")
+                return Assignment(name, value)
+        raise ScaffoldSyntaxError(
+            f"unexpected token {token.value!r}", token.line, token.column
+        )
+
+    def parse_gate_call(self) -> GateCall:
+        name_token = self.expect("IDENT")
+        self.expect("PUNCT", "(")
+        args: List[Union[QubitRef, Expr]] = []
+        if not self.match("PUNCT", ")"):
+            while True:
+                args.append(self.parse_argument())
+                if self.match("PUNCT", ")"):
+                    break
+                self.expect("PUNCT", ",")
+        return GateCall(name_token.value, tuple(args), name_token.line)
+
+    def parse_argument(self) -> Union[QubitRef, Expr]:
+        # A bare identifier (optionally indexed) could be a qubit
+        # reference or an integer variable; the lowering pass
+        # disambiguates by declared type.  Indexed names are always
+        # qubit references here; arithmetic forces an expression.
+        token = self.peek()
+        if token.kind == "IDENT" and self.peek(1).value == "[":
+            register = self.advance().value
+            self.expect("PUNCT", "[")
+            index = self.parse_expr()
+            self.expect("PUNCT", "]")
+            return QubitRef(register, index)
+        if (
+            token.kind == "IDENT"
+            and self.peek(1).value in (",", ")")
+        ):
+            return QubitRef(self.advance().value, None)
+        return self.parse_expr()
+
+    def parse_for(self) -> ForLoop:
+        self.expect("KEYWORD", "for")
+        self.expect("PUNCT", "(")
+        self.expect("KEYWORD", "int")
+        var = self.expect("IDENT").value
+        self.expect("OP", "=")
+        start = self.parse_expr()
+        self.expect("PUNCT", ";")
+        cond_var = self.expect("IDENT").value
+        if cond_var != var:
+            token = self.peek()
+            raise ScaffoldSyntaxError(
+                f"loop condition must test {var!r}", token.line, token.column
+            )
+        comparison = self.expect("OP").value
+        if comparison not in _COMPARISONS:
+            token = self.peek()
+            raise ScaffoldSyntaxError(
+                f"bad loop comparison {comparison!r}", token.line, token.column
+            )
+        stop = self.parse_expr()
+        self.expect("PUNCT", ";")
+        step = self.parse_step(var)
+        self.expect("PUNCT", ")")
+        body = self.parse_block()
+        return ForLoop(var, start, stop, step, comparison, body)
+
+    def parse_step(self, var: str) -> Expr:
+        token = self.expect("IDENT")
+        if token.value != var:
+            raise ScaffoldSyntaxError(
+                f"loop step must update {var!r}", token.line, token.column
+            )
+        op = self.expect("OP").value
+        if op == "++":
+            return NumberLiteral(1, True)
+        if op == "--":
+            return NumberLiteral(-1, True)
+        if op == "=":
+            # i = i + k / i = i - k
+            name = self.expect("IDENT")
+            if name.value != var:
+                raise ScaffoldSyntaxError(
+                    "loop step must be i = i +/- constant",
+                    name.line,
+                    name.column,
+                )
+            sign_token = self.expect("OP")
+            delta = self.parse_expr()
+            if sign_token.value == "+":
+                return delta
+            if sign_token.value == "-":
+                return UnaryOp("-", delta)
+            raise ScaffoldSyntaxError(
+                f"bad loop step operator {sign_token.value!r}",
+                sign_token.line,
+                sign_token.column,
+            )
+        raise ScaffoldSyntaxError(
+            f"bad loop step {op!r}", token.line, token.column
+        )
+
+    def parse_if(self) -> IfStatement:
+        self.expect("KEYWORD", "if")
+        self.expect("PUNCT", "(")
+        left = self.parse_expr()
+        comparison = self.expect("OP").value
+        if comparison not in _COMPARISONS:
+            token = self.peek()
+            raise ScaffoldSyntaxError(
+                f"bad comparison {comparison!r}", token.line, token.column
+            )
+        right = self.parse_expr()
+        self.expect("PUNCT", ")")
+        then_body = self.parse_block()
+        else_body: Tuple[Statement, ...] = ()
+        if self.match("KEYWORD", "else"):
+            else_body = self.parse_block()
+        return IfStatement(left, comparison, right, then_body, else_body)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_additive()
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.peek().kind == "OP" and self.peek().value in ("+", "-"):
+            op = self.advance().value
+            right = self.parse_multiplicative()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.peek().kind == "OP" and self.peek().value in ("*", "/", "%"):
+            op = self.advance().value
+            right = self.parse_unary()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.peek().kind == "OP" and self.peek().value == "-":
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            is_integer = "." not in token.value and "e" not in token.value.lower()
+            value = int(token.value) if is_integer else float(token.value)
+            return NumberLiteral(value, is_integer)
+        if token.kind == "IDENT":
+            self.advance()
+            return NameRef(token.value)
+        if token.value == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("PUNCT", ")")
+            return expr
+        raise ScaffoldSyntaxError(
+            f"unexpected token {token.value!r} in expression",
+            token.line,
+            token.column,
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse Scaffold-like source into a :class:`Program` AST."""
+    return _Parser(tokenize(source)).parse_program()

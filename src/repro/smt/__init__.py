@@ -1,0 +1,33 @@
+"""A small constraint-optimization solver: the repo's Z3 stand-in.
+
+The paper's qubit-mapping pass (section 4.3) expresses placement as a
+constrained-optimization problem over assignment variables and solves it
+with the Z3 SMT solver.  Z3 is not available offline, so this package
+implements the needed fragment from scratch:
+
+* injective finite-domain assignment (program qubit -> hardware qubit),
+* unary and pairwise *reliability terms* scoring an assignment,
+* a **max-min** objective — maximize the minimum term score — solved by
+  binary search over the score lattice with a forward-checking
+  backtracking feasibility oracle (this realizes the paper's
+  "prune bad solutions early in the search tree" argument),
+* a **product** objective solver, matching the prior-work formulation
+  the paper compares against, used for the ablation benchmarks.
+
+Both solvers are deterministic, enforce node budgets, and report search
+statistics so the scaling study (paper 6.5) can be reproduced.
+"""
+
+from repro.smt.problem import AssignmentProblem, PairTerm, UnaryTerm
+from repro.smt.solver import MaxMinSolver, Solution, SolverStats
+from repro.smt.product import ProductSolver
+
+__all__ = [
+    "AssignmentProblem",
+    "PairTerm",
+    "UnaryTerm",
+    "MaxMinSolver",
+    "ProductSolver",
+    "Solution",
+    "SolverStats",
+]

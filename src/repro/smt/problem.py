@@ -1,0 +1,165 @@
+"""Problem description: injective assignment with scored terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UnaryTerm:
+    """A score attached to one variable's value: ``scores[value]``.
+
+    In qubit mapping these are the readout reliabilities of the hardware
+    qubit a measured program qubit lands on.
+    """
+
+    var: int
+    scores: np.ndarray
+
+    def score(self, value: int) -> float:
+        return float(self.scores[value])
+
+
+@dataclass(frozen=True)
+class PairTerm:
+    """A score attached to a pair of variables: ``scores[val_u, val_v]``.
+
+    In qubit mapping these are the end-to-end 2Q reliabilities (from the
+    reliability matrix) between the hardware qubits two interacting
+    program qubits land on.
+    """
+
+    var_u: int
+    var_v: int
+    scores: np.ndarray
+
+    def score(self, value_u: int, value_v: int) -> float:
+        return float(self.scores[value_u, value_v])
+
+
+class AssignmentProblem:
+    """Assign each of ``num_vars`` variables a distinct value in
+    ``range(num_values)``, scored by unary and pairwise terms.
+
+    The solver-facing invariants:
+
+    * assignments are injective (two program qubits never share a
+      hardware qubit),
+    * every term's ``scores`` entries lie in ``(0, 1]`` — they are
+      reliabilities (success probabilities).
+    """
+
+    def __init__(self, num_vars: int, num_values: int) -> None:
+        if num_vars < 1:
+            raise ValueError("need at least one variable")
+        if num_values < num_vars:
+            raise ValueError(
+                f"cannot injectively assign {num_vars} variables to "
+                f"{num_values} values"
+            )
+        self.num_vars = num_vars
+        self.num_values = num_values
+        self.unary_terms: List[UnaryTerm] = []
+        self.pair_terms: List[PairTerm] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_unary_term(self, var: int, scores: Sequence[float]) -> None:
+        """Score variable ``var`` by ``scores[value]``."""
+        self._check_var(var)
+        arr = np.asarray(scores, dtype=float)
+        if arr.shape != (self.num_values,):
+            raise ValueError(
+                f"unary scores must have length {self.num_values}, "
+                f"got shape {arr.shape}"
+            )
+        self._check_scores(arr)
+        self.unary_terms.append(UnaryTerm(var, arr))
+
+    def add_pair_term(self, var_u: int, var_v: int, scores) -> None:
+        """Score the pair ``(var_u, var_v)`` by ``scores[val_u, val_v]``."""
+        self._check_var(var_u)
+        self._check_var(var_v)
+        if var_u == var_v:
+            raise ValueError("pair term needs two distinct variables")
+        arr = np.asarray(scores, dtype=float)
+        if arr.shape != (self.num_values, self.num_values):
+            raise ValueError(
+                f"pair scores must be {self.num_values}x{self.num_values}, "
+                f"got shape {arr.shape}"
+            )
+        self._check_scores(arr, ignore_diagonal=True)
+        self.pair_terms.append(PairTerm(var_u, var_v, arr))
+
+    def _check_var(self, var: int) -> None:
+        if not 0 <= var < self.num_vars:
+            raise ValueError(f"variable {var} out of range")
+
+    @staticmethod
+    def _check_scores(arr: np.ndarray, ignore_diagonal: bool = False) -> None:
+        check = arr
+        if ignore_diagonal and arr.ndim == 2:
+            check = arr[~np.eye(arr.shape[0], dtype=bool)]
+        if np.any(check <= 0.0) or np.any(check > 1.0):
+            raise ValueError("term scores must be reliabilities in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def term_scores(self, assignment: Sequence[int]) -> List[float]:
+        """All term scores under a complete assignment."""
+        scores = [t.score(assignment[t.var]) for t in self.unary_terms]
+        scores.extend(
+            t.score(assignment[t.var_u], assignment[t.var_v])
+            for t in self.pair_terms
+        )
+        return scores
+
+    def min_score(self, assignment: Sequence[int]) -> float:
+        """The max-min objective value of an assignment."""
+        scores = self.term_scores(assignment)
+        return min(scores) if scores else 1.0
+
+    def product_score(self, assignment: Sequence[int]) -> float:
+        """The product objective used by prior work (paper section 4.3)."""
+        product = 1.0
+        for score in self.term_scores(assignment):
+            product *= score
+        return product
+
+    def validate(self, assignment: Sequence[int]) -> None:
+        """Raise if an assignment violates the problem constraints."""
+        if len(assignment) != self.num_vars:
+            raise ValueError("assignment length mismatch")
+        if len(set(assignment)) != self.num_vars:
+            raise ValueError("assignment is not injective")
+        for value in assignment:
+            if not 0 <= value < self.num_values:
+                raise ValueError(f"value {value} out of range")
+
+    def candidate_thresholds(self) -> np.ndarray:
+        """Sorted unique scores: the lattice the max-min search walks."""
+        chunks = [t.scores for t in self.unary_terms]
+        chunks.extend(t.scores.ravel() for t in self.pair_terms)
+        if not chunks:
+            return np.array([1.0])
+        values = np.unique(np.concatenate([np.ravel(c) for c in chunks]))
+        return values[(values > 0.0) & (values <= 1.0)]
+
+    def neighbors(self) -> Dict[int, List[Tuple[int, np.ndarray]]]:
+        """Adjacency of the term graph: var -> [(other var, scores)].
+
+        The score matrix is oriented so that axis 0 indexes ``var``'s
+        value and axis 1 the neighbor's value.
+        """
+        adj: Dict[int, List[Tuple[int, np.ndarray]]] = {
+            v: [] for v in range(self.num_vars)
+        }
+        for term in self.pair_terms:
+            adj[term.var_u].append((term.var_v, term.scores))
+            adj[term.var_v].append((term.var_u, term.scores.T))
+        return adj

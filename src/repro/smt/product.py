@@ -1,0 +1,143 @@
+"""Product-objective solver: the prior-work formulation.
+
+Prior noise-adaptive mapping work maximized the *product* of operation
+reliabilities across the whole mapped graph.  Paper section 4.3 argues
+this forces the solver to place all qubits before a mapping can be
+discarded, which is why TriQ's max-min objective scales better.  This
+solver exists so the repo can reproduce that comparison: it runs
+branch-and-bound on the product objective with the (weaker) bound the
+formulation admits — partial product times an optimistic bound for
+unplaced terms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.smt.problem import AssignmentProblem
+from repro.smt.solver import Solution, SolverStats
+
+
+class ProductSolver:
+    """Branch-and-bound maximizing the product of term scores."""
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        node_limit: int = 200_000,
+        time_limit_s: Optional[float] = None,
+    ) -> None:
+        self.problem = problem
+        self.node_limit = node_limit
+        self.time_limit_s = time_limit_s
+        # Optimistic bound per term: its best possible score.
+        self._unary_best = {
+            id(t): float(t.scores.max()) for t in problem.unary_terms
+        }
+        self._pair_best = {
+            id(t): float(t.scores.max()) for t in problem.pair_terms
+        }
+
+    def solve(self) -> Solution:
+        started = time.monotonic()
+        stats = SolverStats()
+        problem = self.problem
+        deadline = (
+            started + self.time_limit_s if self.time_limit_s is not None else None
+        )
+
+        # Variable order: highest term-degree first.
+        adjacency = problem.neighbors()
+        order = sorted(
+            range(problem.num_vars), key=lambda v: (-len(adjacency[v]), v)
+        )
+        unary_by_var: Dict[int, List[np.ndarray]] = {}
+        for term in problem.unary_terms:
+            unary_by_var.setdefault(term.var, []).append(term.scores)
+
+        best_assignment: Optional[List[int]] = None
+        best_product = 0.0
+        used = np.zeros(problem.num_values, dtype=bool)
+        assignment = [-1] * problem.num_vars
+
+        # The optimistic product of all not-yet-scored terms.
+        full_bound = 1.0
+        for bound in self._unary_best.values():
+            full_bound *= bound
+        for bound in self._pair_best.values():
+            full_bound *= bound
+
+        def remaining_bound(depth: int) -> float:
+            # Terms become "scored" once both endpoints are placed; a
+            # precise incremental bound is possible but the point of
+            # this solver is to exhibit the formulation's weakness, so
+            # we use the simple optimistic bound over unscored terms.
+            bound = 1.0
+            placed = {order[i] for i in range(depth)}
+            for term in problem.unary_terms:
+                if term.var not in placed:
+                    bound *= self._unary_best[id(term)]
+            for term in problem.pair_terms:
+                if term.var_u not in placed or term.var_v not in placed:
+                    bound *= self._pair_best[id(term)]
+            return bound
+
+        def partial_product(depth: int) -> float:
+            placed = {order[i] for i in range(depth)}
+            product = 1.0
+            for term in problem.unary_terms:
+                if term.var in placed:
+                    product *= term.score(assignment[term.var])
+            for term in problem.pair_terms:
+                if term.var_u in placed and term.var_v in placed:
+                    product *= term.score(
+                        assignment[term.var_u], assignment[term.var_v]
+                    )
+            return product
+
+        def search(depth: int) -> None:
+            nonlocal best_assignment, best_product
+            if stats.nodes > self.node_limit or (
+                deadline is not None and time.monotonic() > deadline
+            ):
+                stats.proven_optimal = False
+                return
+            if depth == problem.num_vars:
+                product = problem.product_score(assignment)
+                if product > best_product:
+                    best_product = product
+                    best_assignment = list(assignment)
+                return
+            var = order[depth]
+            for value in range(problem.num_values):
+                if used[value]:
+                    continue
+                stats.nodes += 1
+                assignment[var] = value
+                used[value] = True
+                # Bound: achieved product so far times optimistic rest.
+                achieved = partial_product(depth + 1)
+                if achieved * remaining_bound(depth + 1) > best_product:
+                    search(depth + 1)
+                assignment[var] = -1
+                used[value] = False
+                if stats.nodes > self.node_limit:
+                    return
+
+        search(0)
+        if best_assignment is None:
+            # Budget too small to finish even one branch; fall back to
+            # identity-style assignment.
+            best_assignment = list(range(problem.num_vars))
+            best_product = problem.product_score(best_assignment)
+            stats.proven_optimal = False
+        stats.wall_time_s = time.monotonic() - started
+        return Solution(
+            assignment=tuple(best_assignment),
+            objective=best_product,
+            stats=stats,
+        )

@@ -1,0 +1,257 @@
+"""Max-min assignment solver.
+
+Maximizes the *minimum* term score of an injective assignment — the
+objective TriQ's mapper uses because it admits aggressive pruning: any
+partial assignment that already created a term below the incumbent bound
+can be discarded without placing the remaining qubits (paper 4.3).
+
+The implementation realizes that pruning as a binary search over the
+finite lattice of term scores.  For a threshold ``t`` the *feasibility
+oracle* runs forward-checking backtracking search: every domain value
+whose unary score is below ``t`` is deleted up front, and assigning a
+variable immediately deletes all neighbor values whose pair score drops
+below ``t`` — the search never explores a subtree containing a
+too-unreliable gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.smt.problem import AssignmentProblem
+
+
+@dataclass
+class SolverStats:
+    """Search-effort counters, for the scaling study."""
+
+    nodes: int = 0
+    feasibility_checks: int = 0
+    wall_time_s: float = 0.0
+    #: False when a node/time budget cut a feasibility check short, in
+    #: which case the answer is a (still valid) lower bound.
+    proven_optimal: bool = True
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An assignment and its objective value."""
+
+    assignment: Tuple[int, ...]
+    objective: float
+    stats: SolverStats
+
+
+class _FeasibilitySearch:
+    """Backtracking oracle: is there an assignment with all terms >= t?"""
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        threshold: float,
+        node_limit: int,
+        deadline: Optional[float],
+    ) -> None:
+        self.problem = problem
+        self.threshold = threshold
+        self.node_limit = node_limit
+        self.deadline = deadline
+        self.nodes = 0
+        self.exhausted_budget = False
+        num_vars, num_values = problem.num_vars, problem.num_values
+        # Initial domains: unary terms filter values up front.
+        self.domains = np.ones((num_vars, num_values), dtype=bool)
+        for term in problem.unary_terms:
+            self.domains[term.var] &= term.scores >= threshold
+        # Pair constraints as boolean matrices oriented (var, neighbor).
+        self.adjacency: Dict[int, List[Tuple[int, np.ndarray]]] = {
+            v: [] for v in range(num_vars)
+        }
+        for var, edges in problem.neighbors().items():
+            for other, scores in edges:
+                self.adjacency[var].append((other, scores >= threshold))
+
+    def run(self) -> Optional[List[int]]:
+        if not self.domains.any(axis=1).all():
+            return None
+        assignment: List[int] = [-1] * self.problem.num_vars
+        if self._search(assignment, self.domains):
+            return assignment
+        return None
+
+    def _select_variable(self, assignment: List[int], domains: np.ndarray) -> int:
+        """MRV heuristic, ties broken by term-graph degree then index."""
+        best_var, best_key = -1, None
+        for var in range(self.problem.num_vars):
+            if assignment[var] >= 0:
+                continue
+            key = (int(domains[var].sum()), -len(self.adjacency[var]), var)
+            if best_key is None or key < best_key:
+                best_var, best_key = var, key
+        return best_var
+
+    def _search(self, assignment: List[int], domains: np.ndarray) -> bool:
+        var = self._select_variable(assignment, domains)
+        if var < 0:
+            return True  # every variable assigned
+        candidates = np.flatnonzero(domains[var])
+        for value in candidates:
+            self.nodes += 1
+            if self.nodes > self.node_limit or (
+                self.deadline is not None and time.monotonic() > self.deadline
+            ):
+                self.exhausted_budget = True
+                return False
+            new_domains = domains.copy()
+            # Injectivity: the value is consumed.
+            new_domains[:, value] = False
+            new_domains[var] = False
+            new_domains[var, value] = True
+            # Forward-check pair constraints of the newly assigned var.
+            ok = True
+            for other, allowed in self.adjacency[var]:
+                if assignment[other] >= 0:
+                    if not allowed[value, assignment[other]]:
+                        ok = False
+                        break
+                else:
+                    new_domains[other] &= allowed[value]
+                    if not new_domains[other].any():
+                        ok = False
+                        break
+            if not ok:
+                continue
+            # Unassigned variables must all retain a value.
+            unassigned = [
+                v
+                for v in range(self.problem.num_vars)
+                if assignment[v] < 0 and v != var
+            ]
+            if unassigned and not new_domains[unassigned].any(axis=1).all():
+                continue
+            assignment[var] = int(value)
+            if self._search(assignment, new_domains):
+                return True
+            assignment[var] = -1
+            if self.exhausted_budget:
+                return False
+        return False
+
+
+class MaxMinSolver:
+    """Binary search over the score lattice with a feasibility oracle."""
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        node_limit: int = 200_000,
+        time_limit_s: Optional[float] = None,
+    ) -> None:
+        self.problem = problem
+        self.node_limit = node_limit
+        self.time_limit_s = time_limit_s
+
+    # ------------------------------------------------------------------
+    def greedy(self) -> Tuple[int, ...]:
+        """Constructive heuristic: highest-degree variables first, each
+        placed on the value that maximizes its worst incident score.
+
+        Always succeeds (injectivity is the only hard constraint) and
+        seeds the binary search with a lower bound.
+        """
+        problem = self.problem
+        adjacency = problem.neighbors()
+        unary: Dict[int, List[np.ndarray]] = {}
+        for term in problem.unary_terms:
+            unary.setdefault(term.var, []).append(term.scores)
+        order = sorted(
+            range(problem.num_vars),
+            key=lambda v: (-len(adjacency[v]), v),
+        )
+        assignment = [-1] * problem.num_vars
+        used = np.zeros(problem.num_values, dtype=bool)
+        for var in order:
+            best_value, best_key = -1, None
+            for value in range(problem.num_values):
+                if used[value]:
+                    continue
+                worst = 1.0
+                total = 0.0
+                for scores in unary.get(var, ()):
+                    worst = min(worst, float(scores[value]))
+                    total += float(scores[value])
+                for other, scores in adjacency[var]:
+                    if assignment[other] >= 0:
+                        s = float(scores[value, assignment[other]])
+                    else:
+                        # Optimistic: the neighbor may still take the
+                        # best remaining value.
+                        free = ~used
+                        free[value] = False
+                        s = float(scores[value, free].max())
+                    worst = min(worst, s)
+                    total += s
+                key = (worst, total, -value)
+                if best_key is None or key > best_key:
+                    best_value, best_key = value, key
+            assignment[var] = best_value
+            used[best_value] = True
+        return tuple(assignment)
+
+    def feasible(
+        self, threshold: float, stats: Optional[SolverStats] = None
+    ) -> Optional[Tuple[int, ...]]:
+        """An assignment with every term score >= ``threshold``, if found."""
+        deadline = None
+        if self.time_limit_s is not None:
+            deadline = time.monotonic() + self.time_limit_s
+        search = _FeasibilitySearch(
+            self.problem, threshold, self.node_limit, deadline
+        )
+        result = search.run()
+        if stats is not None:
+            stats.nodes += search.nodes
+            stats.feasibility_checks += 1
+            if search.exhausted_budget:
+                stats.proven_optimal = False
+        return tuple(result) if result is not None else None
+
+    def solve(self) -> Solution:
+        """Maximize the minimum term score."""
+        started = time.monotonic()
+        stats = SolverStats()
+        problem = self.problem
+        best = self.greedy()
+        problem.validate(best)
+        best_objective = problem.min_score(best)
+        thresholds = problem.candidate_thresholds()
+        # Only thresholds strictly above the incumbent are interesting.
+        lo = int(np.searchsorted(thresholds, best_objective, side="right"))
+        hi = len(thresholds) - 1
+        overall_deadline = (
+            started + self.time_limit_s if self.time_limit_s is not None else None
+        )
+        while lo <= hi:
+            if overall_deadline is not None and time.monotonic() > overall_deadline:
+                stats.proven_optimal = False
+                break
+            mid = (lo + hi) // 2
+            threshold = float(thresholds[mid])
+            result = self.feasible(threshold, stats)
+            if result is not None:
+                best = result
+                best_objective = problem.min_score(result)
+                lo = (
+                    int(np.searchsorted(thresholds, best_objective, side="right"))
+                )
+                lo = max(lo, mid + 1)
+            else:
+                hi = mid - 1
+        stats.wall_time_s = time.monotonic() - started
+        return Solution(
+            assignment=best, objective=best_objective, stats=stats
+        )

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import Device, Topology
+from repro.devices.gatesets import VendorFamily
+
+from tests.helpers import make_device
+
+
+@pytest.fixture
+def line4_ibm() -> Device:
+    """A 4-qubit IBM-style line device."""
+    return make_device(Topology.line(4), VendorFamily.IBM)
+
+
+@pytest.fixture
+def full5_umdti() -> Device:
+    """A 5-qubit fully connected UMD-style device."""
+    return make_device(
+        Topology.full(5),
+        VendorFamily.UMDTI,
+        two_qubit_error=0.01,
+        readout_error=0.006,
+    )

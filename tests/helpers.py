@@ -1,0 +1,64 @@
+"""Shared helper utilities for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices import Device, Topology
+from repro.devices.calibration import Calibration
+from repro.devices.gatesets import GATESET_BY_FAMILY, VendorFamily
+from repro.devices.library import StaticCalibrationModel
+
+
+def make_device(
+    topology: Topology,
+    family: VendorFamily = VendorFamily.IBM,
+    two_qubit_error: float = 0.05,
+    single_qubit_error: float = 0.002,
+    readout_error: float = 0.03,
+    name: str = "test device",
+) -> Device:
+    """A device with uniform, hand-set error rates."""
+    calibration = Calibration(
+        two_qubit_error={e: two_qubit_error for e in topology.edges()},
+        single_qubit_error={
+            q: single_qubit_error for q in range(topology.num_qubits)
+        },
+        readout_error={q: readout_error for q in range(topology.num_qubits)},
+    )
+    return Device(
+        name=name,
+        gate_set=GATESET_BY_FAMILY[family],
+        topology=topology,
+        calibration_model=StaticCalibrationModel(calibration),
+        coherence_time_us=100.0,
+    )
+
+
+def make_noiseless_device(
+    topology: Topology, family: VendorFamily = VendorFamily.IBM
+) -> Device:
+    """A device whose gates essentially never fail."""
+    return make_device(
+        topology,
+        family,
+        two_qubit_error=1e-5,
+        single_qubit_error=1e-5,
+        readout_error=1e-5,
+        name="noiseless device",
+    )
+
+
+def assert_equal_up_to_phase(
+    actual: np.ndarray, expected: np.ndarray, atol: float = 1e-8
+) -> None:
+    """Assert two unitaries are equal up to a global phase."""
+    idx = np.unravel_index(np.argmax(np.abs(expected)), expected.shape)
+    assert abs(expected[idx]) > 1e-12, "expected matrix is zero"
+    phase = actual[idx] / expected[idx]
+    assert abs(abs(phase) - 1.0) < 1e-6, (
+        f"matrices differ in magnitude: |phase| = {abs(phase)}"
+    )
+    np.testing.assert_allclose(actual, phase * expected, atol=atol)
+
+

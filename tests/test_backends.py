@@ -1,0 +1,166 @@
+"""Executable generation: emission, parsing, round trips."""
+
+import math
+
+import pytest
+
+from repro.backends import (
+    emit_openqasm,
+    emit_quil,
+    emit_umdti_asm,
+    generate_code,
+    parse_openqasm,
+    parse_quil,
+    parse_umdti_asm,
+)
+from repro.compiler import OptimizationLevel, compile_circuit
+from repro.devices import ibmq5_tenerife, rigetti_agave, umd_trapped_ion
+from repro.ir import Circuit
+from repro.programs import bernstein_vazirani
+from repro.sim import ideal_distribution
+
+
+def ibm_circuit():
+    circuit = Circuit(2)
+    circuit.add("u2", (0,), (0.0, math.pi))
+    circuit.add("u1", (1,), (math.pi / 4,))
+    circuit.add("u3", (1,), (0.3, -0.7, 1.1))
+    circuit.cx(0, 1)
+    circuit.measure_all()
+    return circuit
+
+
+class TestOpenQasm:
+    def test_emission_structure(self):
+        text = emit_openqasm(ibm_circuit())
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text
+        assert "cx q[0],q[1];" in text
+        assert "measure q[0] -> c[0];" in text
+
+    def test_pi_formatting(self):
+        text = emit_openqasm(ibm_circuit())
+        assert "u2(0,pi)" in text
+        assert "u1(pi/4)" in text
+
+    def test_rejects_untranslated_gates(self):
+        with pytest.raises(ValueError, match="not IBM software-visible"):
+            emit_openqasm(Circuit(1).h(0))
+
+    def test_roundtrip_preserves_distribution(self):
+        circuit = ibm_circuit()
+        parsed = parse_openqasm(emit_openqasm(circuit))
+        assert ideal_distribution(parsed) == pytest.approx(
+            ideal_distribution(circuit)
+        )
+
+    def test_parse_accepts_ir_gates(self):
+        text = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[2];\ncreg c[2];\n"
+            "h q[0];\nrx(-pi/2) q[1];\ncx q[0],q[1];\n"
+        )
+        parsed = parse_openqasm(text)
+        assert [i.name for i in parsed] == ["h", "rx", "cx"]
+        assert parsed[1].params[0] == pytest.approx(-math.pi / 2)
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ValueError):
+            parse_openqasm("qreg q[1];\nfoo q[0];")
+
+    def test_parse_requires_qreg(self):
+        with pytest.raises(ValueError, match="qreg"):
+            parse_openqasm("h q[0];")
+
+
+class TestQuil:
+    def rigetti_circuit(self):
+        circuit = Circuit(2)
+        circuit.add("rz", (0,), (math.pi / 2,))
+        circuit.add("rx", (0,), (math.pi / 2,))
+        circuit.cz(0, 1)
+        circuit.measure_all()
+        return circuit
+
+    def test_emission_structure(self):
+        text = emit_quil(self.rigetti_circuit())
+        assert "DECLARE ro BIT[2]" in text
+        assert "RZ(pi/2) 0" in text
+        assert "CZ 0 1" in text
+        assert "MEASURE 0 ro[0]" in text
+
+    def test_rejects_untranslated(self):
+        with pytest.raises(ValueError, match="not Rigetti"):
+            emit_quil(Circuit(2).cx(0, 1))
+
+    def test_roundtrip(self):
+        circuit = self.rigetti_circuit()
+        parsed = parse_quil(emit_quil(circuit))
+        assert ideal_distribution(parsed) == pytest.approx(
+            ideal_distribution(circuit)
+        )
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ValueError):
+            parse_quil("HADAMARD 0")
+
+
+class TestUmdtiAsm:
+    def umdti_circuit(self):
+        circuit = Circuit(2)
+        circuit.rxy(math.pi / 2, math.pi / 2, 0)
+        circuit.add("rz", (0,), (-math.pi / 2,))
+        circuit.xx(math.pi / 4, 0, 1)
+        circuit.measure_all()
+        return circuit
+
+    def test_emission_structure(self):
+        text = emit_umdti_asm(self.umdti_circuit())
+        assert "RXY 0.500000 0.500000 Q0" in text
+        assert "XX 0.250000 Q0 Q1" in text
+        assert "MEAS Q0 -> C0" in text
+
+    def test_rejects_untranslated(self):
+        with pytest.raises(ValueError, match="not UMDTI"):
+            emit_umdti_asm(Circuit(1).h(0))
+
+    def test_roundtrip(self):
+        circuit = self.umdti_circuit()
+        parsed = parse_umdti_asm(emit_umdti_asm(circuit))
+        assert ideal_distribution(parsed) == pytest.approx(
+            ideal_distribution(circuit), abs=1e-6
+        )
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ValueError):
+            parse_umdti_asm("LASER Q0")
+
+
+class TestDispatchRoundTrips:
+    """Compiled executables must round-trip with identical semantics."""
+
+    def test_ibm_compiled_roundtrip(self):
+        circuit, correct = bernstein_vazirani(4)
+        program = compile_circuit(circuit, ibmq5_tenerife())
+        parsed = parse_openqasm(program.executable())
+        assert ideal_distribution(parsed)[correct] == pytest.approx(1.0)
+
+    def test_rigetti_compiled_roundtrip(self):
+        circuit, correct = bernstein_vazirani(4)
+        program = compile_circuit(circuit, rigetti_agave())
+        parsed = parse_quil(program.executable())
+        assert ideal_distribution(parsed)[correct] == pytest.approx(1.0)
+
+    def test_umdti_compiled_roundtrip(self):
+        circuit, correct = bernstein_vazirani(4)
+        program = compile_circuit(circuit, umd_trapped_ion())
+        parsed = parse_umdti_asm(program.executable())
+        # Angles serialize at 6 decimals; allow tiny drift.
+        assert ideal_distribution(parsed)[correct] == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_generate_code_dispatch(self):
+        circuit, _ = bernstein_vazirani(4)
+        ibm = compile_circuit(circuit, ibmq5_tenerife())
+        assert generate_code(ibm.circuit, ibm.device).startswith("OPENQASM")

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_level_aliases(self):
+        args = build_parser().parse_args(
+            ["compile", "-b", "BV4", "-d", "umd", "-l", "1qoptcn"]
+        )
+        assert args.level.value == "TriQ-1QOptCN"
+
+    def test_bad_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compile", "-b", "BV4", "-d", "umd", "-l", "turbo"]
+            )
+
+    def test_benchmark_and_scaffold_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compile", "-b", "BV4", "-f", "x.scaffold", "-d", "umd"]
+            )
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "IBM Q14 Melbourne" in out
+        assert "UMD Trapped Ion" in out
+
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "BV8" in out and "QFT" in out
+
+    def test_compile_to_stdout(self, capsys):
+        assert main(["compile", "-b", "HS2", "-d", "tenerife"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OPENQASM 2.0;")
+
+    def test_compile_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.quil"
+        assert (
+            main(
+                ["compile", "-b", "HS2", "-d", "agave", "-o", str(target)]
+            )
+            == 0
+        )
+        assert "DECLARE ro" in target.read_text()
+
+    def test_compile_scaffold_with_defines(self, tmp_path, capsys):
+        source = tmp_path / "prog.scaffold"
+        source.write_text(
+            "const int N = 2;\n"
+            "module main(qbit q[N]) {"
+            " for (int i = 0; i < N; i++) { H(q[i]); MeasZ(q[i]); } }"
+        )
+        assert (
+            main(
+                ["compile", "-f", str(source), "-D", "N=3", "-d", "umd"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # The define took effect: three classical bits are measured.
+        assert "-> C2" in out
+        assert "-> C3" not in out
+
+    def test_run_reports_success(self, capsys):
+        assert (
+            main(
+                ["run", "-b", "Toffoli", "-d", "umd",
+                 "--fault-samples", "20"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "success rate" in out
+
+    def test_run_rejects_scaffold_input(self, tmp_path, capsys):
+        source = tmp_path / "prog.scaffold"
+        source.write_text("module main(qbit q) { H(q); MeasZ(q); }")
+        assert main(["run", "-f", str(source), "-d", "umd"]) == 2
+
+    @pytest.mark.parametrize(
+        "name", ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1"]
+    )
+    def test_experiments(self, name, capsys):
+        assert main(["experiment", name]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_device_errors(self):
+        with pytest.raises(KeyError):
+            main(["compile", "-b", "BV4", "-d", "sycamore"])

@@ -1,0 +1,115 @@
+"""Tests for the lookahead (SABRE-style) router."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import make_device
+from repro.compiler import OptimizationLevel, TriQCompiler
+from repro.compiler.lookahead import lookahead_route
+from repro.compiler.mapping import default_mapping
+from repro.compiler.reliability import compute_reliability
+from repro.devices import Topology, ibmq14_melbourne
+from repro.ir import Circuit, decompose_to_basis
+from repro.programs import bernstein_vazirani, qft_benchmark
+from repro.sim import ideal_distribution
+
+
+def route(circuit, device):
+    decomposed = decompose_to_basis(circuit)
+    mapping = default_mapping(decomposed, device)
+    reliability = compute_reliability(device)
+    return lookahead_route(decomposed, device, mapping, reliability)
+
+
+class TestInvariants:
+    def test_all_2q_on_coupled_pairs(self):
+        device = make_device(Topology.line(5))
+        circuit = Circuit(5).cx(0, 4).cx(1, 3).cx(0, 2).measure_all()
+        routed = route(circuit, device)
+        for inst in routed.circuit:
+            if inst.is_unitary and inst.num_qubits == 2:
+                assert device.topology.are_coupled(*inst.qubits)
+
+    def test_semantics_preserved(self):
+        device = make_device(Topology.line(5))
+        circuit = Circuit(5).h(0).cx(0, 4).cx(1, 3).x(2).measure_all()
+        routed = route(circuit, device)
+        assert ideal_distribution(routed.circuit) == pytest.approx(
+            ideal_distribution(circuit)
+        )
+
+    def test_adjacent_gates_need_no_swaps(self):
+        device = make_device(Topology.line(4))
+        routed = route(Circuit(2).cx(0, 1).cx(1, 0), device)
+        assert routed.num_swaps == 0
+
+    def test_rejects_undcomposed(self):
+        device = make_device(Topology.line(4))
+        circuit = Circuit(3).ccx(0, 1, 2)
+        mapping = default_mapping(circuit, device)
+        reliability = compute_reliability(device)
+        with pytest.raises(ValueError, match="decomposed"):
+            lookahead_route(circuit, device, mapping, reliability)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_random_circuits_preserved(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        device = make_device(Topology.ring(5))
+        circuit = Circuit(4)
+        for _ in range(10):
+            kind = rng.integers(3)
+            if kind == 0:
+                circuit.h(int(rng.integers(4)))
+            elif kind == 1:
+                circuit.t(int(rng.integers(4)))
+            else:
+                a, b = rng.choice(4, size=2, replace=False)
+                circuit.cx(int(a), int(b))
+        circuit.measure_all()
+        routed = route(circuit, device)
+        assert ideal_distribution(routed.circuit) == pytest.approx(
+            ideal_distribution(circuit), abs=1e-9
+        )
+
+
+class TestSharedSwaps:
+    def test_one_swap_serves_consecutive_gates(self):
+        # Two gates both blocked on the same separation: lookahead
+        # routing resolves them with fewer swaps than per-gate routing.
+        from repro.compiler.routing import route_circuit
+
+        device = make_device(Topology.line(4))
+        circuit = Circuit(4).cx(0, 3).cx(3, 0).cx(0, 3)
+        decomposed = decompose_to_basis(circuit)
+        mapping = default_mapping(decomposed, device)
+        reliability = compute_reliability(device)
+        ahead = lookahead_route(decomposed, device, mapping, reliability)
+        basic = route_circuit(decomposed, device, mapping, reliability)
+        assert ahead.num_swaps <= basic.num_swaps
+
+    def test_pipeline_integration(self):
+        device = ibmq14_melbourne()
+        circuit, correct = bernstein_vazirani(6)
+        compiler = TriQCompiler(
+            device, level=OptimizationLevel.OPT_1QCN, router="lookahead"
+        )
+        program = compiler.compile(circuit)
+        assert ideal_distribution(program.circuit)[correct] == pytest.approx(
+            1.0
+        )
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            TriQCompiler(ibmq14_melbourne(), router="teleport")
+
+    def test_qft_routes_correctly(self):
+        device = ibmq14_melbourne()
+        circuit, correct = qft_benchmark(4)
+        compiler = TriQCompiler(device, router="lookahead")
+        program = compiler.compile(circuit)
+        assert ideal_distribution(program.circuit)[correct] == pytest.approx(
+            1.0
+        )

@@ -1,0 +1,101 @@
+"""Tests for the peephole cancellation pass."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import assert_equal_up_to_phase
+from repro.compiler.peephole import cancel_adjacent_gates
+from repro.ir import Circuit
+from repro.sim import circuit_unitary
+
+
+class TestCancellation:
+    def test_double_cx_cancels(self):
+        circuit = Circuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_reversed_cx_does_not_cancel(self):
+        circuit = Circuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 2
+
+    def test_double_h_cancels(self):
+        circuit = Circuit(1).h(0).h(0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_intervening_gate_blocks(self):
+        circuit = Circuit(2).cx(0, 1).h(0).cx(0, 1)
+        assert len(cancel_adjacent_gates(circuit)) == 3
+
+    def test_disjoint_gate_does_not_block(self):
+        circuit = Circuit(3).cx(0, 1).h(2).cx(0, 1)
+        out = cancel_adjacent_gates(circuit)
+        assert [i.name for i in out] == ["h"]
+
+    def test_barrier_blocks(self):
+        circuit = Circuit(1).h(0)
+        circuit.barrier()
+        circuit.h(0)
+        out = cancel_adjacent_gates(circuit)
+        assert out.count_ops()["h"] == 2
+
+    def test_cascade_collapses(self):
+        # h x x h -> h h -> nothing.
+        circuit = Circuit(1).h(0).x(0).x(0).h(0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_rotations_merge(self):
+        circuit = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        out = cancel_adjacent_gates(circuit)
+        assert len(out) == 1
+        assert out[0].params[0] == pytest.approx(0.7)
+
+    def test_rotations_cancel_to_identity(self):
+        circuit = Circuit(1).rx(0.9, 0).rx(-0.9, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_full_turn_cancels(self):
+        circuit = Circuit(1).rz(math.pi, 0).rz(math.pi, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_partial_overlap_blocks(self):
+        # cx(0,1) ... cx(1,2): sharing one qubit must block.
+        circuit = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        assert len(cancel_adjacent_gates(circuit)) == 3
+
+    def test_measurements_untouched(self):
+        circuit = Circuit(1).h(0).h(0).measure(0)
+        out = cancel_adjacent_gates(circuit)
+        assert [i.name for i in out] == ["measure"]
+
+
+class TestSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_circuits_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = Circuit(3)
+        gates = ["h", "x", "z", "cx", "cz", "rz"]
+        for _ in range(14):
+            name = gates[rng.integers(len(gates))]
+            if name in ("cx", "cz"):
+                a, b = rng.choice(3, size=2, replace=False)
+                circuit.add(name, (int(a), int(b)))
+            elif name == "rz":
+                circuit.rz(float(rng.uniform(-3, 3)), int(rng.integers(3)))
+            else:
+                circuit.add(name, (int(rng.integers(3)),))
+        out = cancel_adjacent_gates(circuit)
+        assert len(out) <= len(circuit)
+        if len(out) == 0:
+            expected = circuit_unitary(circuit)
+            ratio = expected[0, 0]
+            np.testing.assert_allclose(
+                expected, ratio * np.eye(8), atol=1e-8
+            )
+        else:
+            assert_equal_up_to_phase(
+                circuit_unitary(out), circuit_unitary(circuit), atol=1e-8
+            )

@@ -1,0 +1,158 @@
+"""Vendor gate translation must preserve unitaries exactly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from tests.helpers import assert_equal_up_to_phase, make_device
+from repro.compiler.translate import (
+    naive_translate_1q,
+    translate_two_qubit_gates,
+)
+from repro.devices import Topology
+from repro.devices.gatesets import GATESET_BY_FAMILY, VendorFamily
+from repro.ir import Circuit, gate_matrix
+from repro.sim import circuit_unitary
+
+IBM = GATESET_BY_FAMILY[VendorFamily.IBM]
+RIGETTI = GATESET_BY_FAMILY[VendorFamily.RIGETTI]
+UMDTI = GATESET_BY_FAMILY[VendorFamily.UMDTI]
+
+
+def device_for(family, directed=False):
+    topo = Topology(2, [(0, 1)], directed=directed)
+    return make_device(topo, family)
+
+
+class TestCnotTranslation:
+    @pytest.mark.parametrize(
+        "family",
+        [VendorFamily.IBM, VendorFamily.RIGETTI, VendorFamily.UMDTI],
+    )
+    def test_cx_unitary_preserved(self, family):
+        device = device_for(family)
+        circuit = Circuit(2).cx(0, 1)
+        translated = translate_two_qubit_gates(circuit, device)
+        assert_equal_up_to_phase(
+            circuit_unitary(translated), gate_matrix("cx")
+        )
+
+    def test_ibm_reversed_direction_uses_hadamards(self):
+        device = device_for(VendorFamily.IBM, directed=True)
+        # Hardware supports 0->1 only; ask for 1->0.
+        circuit = Circuit(2).cx(1, 0)
+        translated = translate_two_qubit_gates(circuit, device)
+        # The emitted cx must be hardware-oriented.
+        cx_insts = [i for i in translated if i.name == "cx"]
+        assert all(i.qubits == (0, 1) for i in cx_insts)
+        assert_equal_up_to_phase(
+            circuit_unitary(translated),
+            circuit_unitary(Circuit(2).cx(1, 0)),
+        )
+
+    def test_rigetti_emits_one_cz_per_cnot(self):
+        device = device_for(VendorFamily.RIGETTI)
+        translated = translate_two_qubit_gates(Circuit(2).cx(0, 1), device)
+        assert translated.count_ops()["cz"] == 1
+        assert "cx" not in translated.count_ops()
+
+    def test_umdti_emits_one_xx_per_cnot(self):
+        device = device_for(VendorFamily.UMDTI)
+        translated = translate_two_qubit_gates(Circuit(2).cx(0, 1), device)
+        counts = translated.count_ops()
+        assert counts["xx"] == 1
+        assert translated[1].params == (math.pi / 4,)
+
+    @pytest.mark.parametrize(
+        "family",
+        [VendorFamily.IBM, VendorFamily.RIGETTI, VendorFamily.UMDTI],
+    )
+    def test_swap_lowered_to_three_2q_gates(self, family):
+        device = device_for(family)
+        circuit = Circuit(2).add("swap", (0, 1))
+        translated = translate_two_qubit_gates(circuit, device)
+        assert translated.num_two_qubit_gates() == 3
+        assert_equal_up_to_phase(
+            circuit_unitary(translated), gate_matrix("swap")
+        )
+
+    def test_swap_on_directed_hardware(self):
+        device = device_for(VendorFamily.IBM, directed=True)
+        circuit = Circuit(2).add("swap", (0, 1))
+        translated = translate_two_qubit_gates(circuit, device)
+        assert_equal_up_to_phase(
+            circuit_unitary(translated), gate_matrix("swap")
+        )
+
+    def test_uncoupled_pair_rejected(self):
+        device = make_device(Topology.line(3), VendorFamily.IBM)
+        # line(3) is undirected -> both directions fine, so use directed.
+        device = make_device(
+            Topology(3, [(0, 1)], directed=True), VendorFamily.IBM
+        )
+        with pytest.raises(ValueError, match="no hardware CNOT"):
+            translate_two_qubit_gates(Circuit(3).cx(0, 2), device)
+
+
+NAIVE_1Q_GATES = [
+    ("h", ()),
+    ("x", ()),
+    ("y", ()),
+    ("z", ()),
+    ("s", ()),
+    ("sdg", ()),
+    ("t", ()),
+    ("tdg", ()),
+    ("rx", (0.7,)),
+    ("ry", (-1.2,)),
+    ("rz", (2.1,)),
+]
+
+
+class TestNaive1QTranslation:
+    @pytest.mark.parametrize("gate,params", NAIVE_1Q_GATES)
+    @pytest.mark.parametrize(
+        "gate_set", [IBM, RIGETTI, UMDTI], ids=lambda g: g.family.value
+    )
+    def test_unitary_preserved(self, gate, params, gate_set):
+        circuit = Circuit(1).add(gate, (0,), params)
+        translated = naive_translate_1q(circuit, gate_set)
+        assert_equal_up_to_phase(
+            circuit_unitary(translated),
+            gate_matrix(gate, params),
+        )
+
+    @pytest.mark.parametrize(
+        "gate_set", [IBM, RIGETTI, UMDTI], ids=lambda g: g.family.value
+    )
+    def test_output_is_software_visible(self, gate_set):
+        circuit = Circuit(1)
+        for gate, params in NAIVE_1Q_GATES:
+            circuit.add(gate, (0,), params)
+        translated = naive_translate_1q(circuit, gate_set)
+        for inst in translated:
+            assert gate_set.supports(inst.name), inst.name
+
+    def test_z_family_is_virtual_everywhere(self):
+        # Z rotations become u1/rz: zero pulses on every vendor.
+        from repro.compiler.onequbit import count_pulses
+
+        circuit = Circuit(1).z(0).s(0).t(0).tdg(0).sdg(0).rz(0.3, 0)
+        for gate_set in (IBM, RIGETTI, UMDTI):
+            translated = naive_translate_1q(circuit, gate_set)
+            assert count_pulses(translated) == 0
+
+    def test_identity_dropped(self):
+        circuit = Circuit(1).add("id", (0,))
+        for gate_set in (IBM, RIGETTI, UMDTI):
+            assert len(naive_translate_1q(circuit, gate_set)) == 0
+
+    def test_umdti_x_is_single_pulse(self):
+        translated = naive_translate_1q(Circuit(1).x(0), UMDTI)
+        assert [i.name for i in translated] == ["rxy"]
+
+    def test_measure_passes_through(self):
+        circuit = Circuit(1).h(0).measure(0)
+        translated = naive_translate_1q(circuit, IBM)
+        assert translated.count_ops()["measure"] == 1

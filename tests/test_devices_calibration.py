@@ -1,0 +1,123 @@
+"""Tests for calibration data and the synthetic drift model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import CalibrationModel, Topology
+from repro.devices.calibration import Calibration
+
+
+def make_model(**overrides):
+    topo = Topology.line(4)
+    defaults = dict(
+        edges=topo.edges(),
+        num_qubits=4,
+        mean_two_qubit_error=0.05,
+        mean_single_qubit_error=0.002,
+        mean_readout_error=0.03,
+        seed=42,
+    )
+    defaults.update(overrides)
+    return CalibrationModel(**defaults)
+
+
+class TestCalibration:
+    def test_edge_error_symmetric_key(self):
+        cal = make_model().snapshot()
+        assert cal.edge_error(0, 1) == cal.edge_error(1, 0)
+
+    def test_missing_edge(self):
+        cal = make_model().snapshot()
+        with pytest.raises(KeyError, match="no calibrated 2Q gate"):
+            cal.edge_error(0, 3)
+
+    def test_reliability_complements_error(self):
+        cal = make_model().snapshot()
+        assert cal.edge_reliability(0, 1) == pytest.approx(
+            1 - cal.edge_error(0, 1)
+        )
+        assert cal.qubit_reliability(2) == pytest.approx(
+            1 - cal.qubit_error(2)
+        )
+        assert cal.readout_reliability(2) == pytest.approx(
+            1 - cal.readout_error[2]
+        )
+
+    def test_uniform_blinds_variation(self):
+        cal = make_model().snapshot()
+        uniform = cal.uniform()
+        rates = set(uniform.two_qubit_error.values())
+        assert len(rates) == 1
+        assert rates.pop() == pytest.approx(cal.average_two_qubit_error())
+
+    def test_spread_factor(self):
+        cal = Calibration(
+            two_qubit_error={frozenset((0, 1)): 0.01, frozenset((1, 2)): 0.09},
+            single_qubit_error={0: 0.001, 1: 0.001, 2: 0.001},
+            readout_error={0: 0.01, 1: 0.01, 2: 0.01},
+        )
+        assert cal.spread_factor() == pytest.approx(9.0)
+
+
+class TestModel:
+    def test_snapshot_deterministic(self):
+        model = make_model()
+        a = model.snapshot(day=3)
+        b = model.snapshot(day=3)
+        assert a.two_qubit_error == b.two_qubit_error
+
+    def test_different_days_differ(self):
+        model = make_model()
+        a = model.snapshot(day=0)
+        b = model.snapshot(day=1)
+        assert a.two_qubit_error != b.two_qubit_error
+
+    def test_different_seeds_differ(self):
+        a = make_model(seed=1).snapshot()
+        b = make_model(seed=2).snapshot()
+        assert a.two_qubit_error != b.two_qubit_error
+
+    def test_series_length(self):
+        assert len(make_model().series(5)) == 5
+
+    def test_mean_tracks_published_average(self):
+        # Across many edges/days the synthetic rates should stay near
+        # the published device average.
+        topo = Topology.full(8)
+        model = CalibrationModel(
+            edges=topo.edges(),
+            num_qubits=8,
+            mean_two_qubit_error=0.05,
+            mean_single_qubit_error=0.002,
+            mean_readout_error=0.03,
+            spatial_sigma=0.3,
+            seed=0,
+        )
+        rates = []
+        for day in range(20):
+            rates.extend(model.snapshot(day).two_qubit_error.values())
+        assert np.mean(rates) == pytest.approx(0.05, rel=0.4)
+
+    def test_rates_clamped_to_probability_range(self):
+        model = make_model(
+            mean_two_qubit_error=0.5, spatial_sigma=2.0, drift_sigma=2.0
+        )
+        for day in range(10):
+            cal = model.snapshot(day)
+            for rate in cal.two_qubit_error.values():
+                assert 0.0 < rate < 1.0
+
+    def test_narrow_sigma_gives_narrow_spread(self):
+        wide = make_model(spatial_sigma=0.5, drift_sigma=0.2, seed=9)
+        narrow = make_model(spatial_sigma=0.05, drift_sigma=0.02, seed=9)
+
+        def spread(model):
+            rates = []
+            for day in range(10):
+                rates.extend(model.snapshot(day).two_qubit_error.values())
+            return max(rates) / min(rates)
+
+        assert spread(narrow) < spread(wide)
+
+    def test_day_recorded(self):
+        assert make_model().snapshot(day=7).day == 7

@@ -1,0 +1,133 @@
+"""Tests for device configuration serialization."""
+
+import json
+
+import pytest
+
+from repro.devices import (
+    Topology,
+    ibmq5_tenerife,
+    rigetti_agave,
+    umd_trapped_ion,
+)
+from repro.devices.config import (
+    device_from_dict,
+    device_from_json,
+    device_to_dict,
+    device_to_json,
+    load_device,
+    save_device,
+)
+from repro.compiler import compile_circuit
+from repro.programs import bernstein_vazirani
+
+
+def minimal_config():
+    return {
+        "name": "my 4q line",
+        "vendor": "rigetti",
+        "num_qubits": 4,
+        "edges": [[0, 1], [1, 2], [2, 3]],
+        "directed": False,
+        "coherence_time_us": 20.0,
+        "calibration": {
+            "two_qubit_error": {"0-1": 0.05, "1-2": 0.06, "2-3": 0.05},
+            "single_qubit_error": [0.002, 0.002, 0.003, 0.002],
+            "readout_error": [0.03, 0.04, 0.03, 0.03],
+        },
+    }
+
+
+class TestFromDict:
+    def test_minimal(self):
+        device = device_from_dict(minimal_config())
+        assert device.num_qubits == 4
+        assert device.vendor.value == "rigetti"
+        assert device.calibration().edge_error(1, 2) == pytest.approx(0.06)
+
+    def test_compiles_programs(self):
+        device = device_from_dict(minimal_config())
+        circuit, correct = bernstein_vazirani(4)
+        program = compile_circuit(circuit, device)
+        from repro.sim import ideal_distribution
+
+        assert ideal_distribution(program.circuit)[correct] > 0.999
+
+    def test_missing_key(self):
+        config = minimal_config()
+        del config["calibration"]
+        with pytest.raises(KeyError, match="missing key"):
+            device_from_dict(config)
+
+    def test_unknown_vendor(self):
+        config = minimal_config()
+        config["vendor"] = "dwave"
+        with pytest.raises(ValueError, match="unknown vendor"):
+            device_from_dict(config)
+
+    def test_missing_edge_rate(self):
+        config = minimal_config()
+        del config["calibration"]["two_qubit_error"]["1-2"]
+        with pytest.raises(ValueError, match="missing 2Q error"):
+            device_from_dict(config)
+
+    def test_wrong_rate_count(self):
+        config = minimal_config()
+        config["calibration"]["readout_error"] = [0.01]
+        with pytest.raises(ValueError, match="4 rates"):
+            device_from_dict(config)
+
+    def test_directed_edges(self):
+        config = minimal_config()
+        config["vendor"] = "ibm"
+        config["directed"] = True
+        device = device_from_dict(config)
+        assert device.topology.supports_direction(0, 1)
+        assert not device.topology.supports_direction(1, 0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [ibmq5_tenerife, rigetti_agave, umd_trapped_ion],
+        ids=lambda f: f.__name__,
+    )
+    def test_study_devices_roundtrip(self, factory):
+        original = factory()
+        restored = device_from_json(device_to_json(original))
+        assert restored.name == original.name
+        assert restored.vendor is original.vendor
+        assert restored.num_qubits == original.num_qubits
+        assert restored.topology.edges() == original.topology.edges()
+        cal_a = original.calibration()
+        cal_b = restored.calibration()
+        for edge in original.topology.edges():
+            assert cal_b.edge_error(*edge) == pytest.approx(
+                cal_a.edge_error(*edge)
+            )
+
+    def test_directed_directions_survive(self):
+        original = ibmq5_tenerife()
+        restored = device_from_json(device_to_json(original))
+        assert restored.topology.supports_direction(1, 0)
+        assert not restored.topology.supports_direction(0, 1)
+
+    def test_json_is_valid(self):
+        text = device_to_json(umd_trapped_ion())
+        parsed = json.loads(text)
+        assert parsed["vendor"] == "umdti"
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "device.json"
+        save_device(rigetti_agave(), str(path))
+        device = load_device(str(path))
+        assert device.name == "Rigetti Agave"
+
+    def test_snapshot_day_selectable(self):
+        original = rigetti_agave()
+        day0 = device_from_json(device_to_json(original, day=0))
+        day3 = device_from_json(device_to_json(original, day=3))
+        assert (
+            day0.calibration().two_qubit_error
+            != day3.calibration().two_qubit_error
+        )

@@ -1,0 +1,61 @@
+"""Tests for vendor gate-set descriptions (paper Figure 2)."""
+
+import pytest
+
+from repro.devices.gatesets import (
+    GATESET_BY_FAMILY,
+    IBM_GATESET,
+    RIGETTI_GATESET,
+    UMDTI_GATESET,
+    VendorFamily,
+)
+
+
+class TestFamilies:
+    def test_three_families(self):
+        assert set(GATESET_BY_FAMILY) == {
+            VendorFamily.IBM,
+            VendorFamily.RIGETTI,
+            VendorFamily.UMDTI,
+        }
+
+    def test_family_values(self):
+        assert VendorFamily("ibm") is VendorFamily.IBM
+        with pytest.raises(ValueError):
+            VendorFamily("google")
+
+
+class TestFigure2Facts:
+    def test_two_qubit_gates(self):
+        assert IBM_GATESET.two_qubit_gate == "cx"
+        assert RIGETTI_GATESET.two_qubit_gate == "cz"
+        assert UMDTI_GATESET.two_qubit_gate == "xx"
+
+    def test_software_visible_membership(self):
+        assert IBM_GATESET.supports("u3")
+        assert not IBM_GATESET.supports("cz")
+        assert RIGETTI_GATESET.supports("cz")
+        assert not RIGETTI_GATESET.supports("u3")
+        assert UMDTI_GATESET.supports("rxy")
+        assert not UMDTI_GATESET.supports("cx")
+
+    def test_measure_and_barrier_everywhere(self):
+        for gate_set in GATESET_BY_FAMILY.values():
+            assert gate_set.supports("measure")
+            assert gate_set.supports("barrier")
+
+    def test_only_umdti_has_arbitrary_xy(self):
+        assert UMDTI_GATESET.arbitrary_xy_rotation
+        assert not IBM_GATESET.arbitrary_xy_rotation
+        assert not RIGETTI_GATESET.arbitrary_xy_rotation
+
+    def test_pulse_budgets(self):
+        assert UMDTI_GATESET.max_pulses_per_rotation == 1
+        assert IBM_GATESET.max_pulses_per_rotation == 2
+        assert RIGETTI_GATESET.max_pulses_per_rotation == 2
+
+    def test_cnot_framing_costs(self):
+        # IBM's CNOT is native; Rigetti and UMD pay 1Q framing per CNOT.
+        assert IBM_GATESET.framing_1q_gates_per_cnot == 0
+        assert RIGETTI_GATESET.framing_1q_gates_per_cnot > 0
+        assert UMDTI_GATESET.framing_1q_gates_per_cnot > 0

@@ -1,0 +1,87 @@
+"""Tests for the distance-dependent ion-chain models."""
+
+import pytest
+
+from repro.compiler import OptimizationLevel, compile_circuit
+from repro.devices.iontrap_scaling import (
+    distance_dependent_calibration,
+    error_vs_distance,
+    large_ion_trap,
+)
+from repro.programs import toffoli_benchmark
+from repro.sim import ideal_distribution
+
+
+class TestCalibration:
+    def test_error_grows_with_distance(self):
+        cal = distance_dependent_calibration(
+            8, distance_strength=0.5, spatial_sigma=0.0
+        )
+        nn = cal.edge_error(0, 1)
+        far = cal.edge_error(0, 7)
+        assert far > nn
+        # Linear exponent: distance 7 is 1 + 0.5*6 = 4x the base.
+        assert far / nn == pytest.approx(4.0, rel=1e-6)
+
+    def test_superlinear_exponent(self):
+        linear = distance_dependent_calibration(
+            6, distance_strength=0.3, distance_exponent=1.0,
+            spatial_sigma=0.0,
+        )
+        quad = distance_dependent_calibration(
+            6, distance_strength=0.3, distance_exponent=2.0,
+            spatial_sigma=0.0,
+        )
+        assert quad.edge_error(0, 5) > linear.edge_error(0, 5)
+
+    def test_zero_strength_is_flat(self):
+        cal = distance_dependent_calibration(
+            5, distance_strength=0.0, spatial_sigma=0.0
+        )
+        rates = set(round(r, 12) for r in cal.two_qubit_error.values())
+        assert len(rates) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two ions"):
+            distance_dependent_calibration(1)
+        with pytest.raises(ValueError, match="non-negative"):
+            distance_dependent_calibration(4, distance_strength=-0.1)
+
+    def test_rates_clamped(self):
+        cal = distance_dependent_calibration(
+            9, base_two_qubit_error=0.2, distance_strength=5.0
+        )
+        assert all(r <= 0.5 for r in cal.two_qubit_error.values())
+
+
+class TestDevice:
+    def test_fully_connected(self):
+        device = large_ion_trap(7)
+        assert device.topology.is_fully_connected()
+        assert device.vendor.value == "umdti"
+
+    def test_error_vs_distance_profile(self):
+        device = large_ion_trap(8, distance_strength=0.4)
+        profile = error_vs_distance(device)
+        assert len(profile) == 7
+        assert profile[-1] > profile[0]
+
+    def test_compiles_benchmarks(self):
+        device = large_ion_trap(6)
+        circuit, correct = toffoli_benchmark()
+        program = compile_circuit(circuit, device)
+        assert program.num_swaps == 0
+        assert ideal_distribution(program.circuit)[correct] == pytest.approx(
+            1.0
+        )
+
+    def test_noise_aware_prefers_near_ions(self):
+        # With strong distance penalties the noise-aware mapper should
+        # pick a compact triple.
+        device = large_ion_trap(9, distance_strength=1.0, seed=4)
+        circuit, _ = toffoli_benchmark()
+        program = compile_circuit(
+            circuit, device, level=OptimizationLevel.OPT_1QCN
+        )
+        placement = sorted(program.initial_mapping.placement)
+        assert placement[-1] - placement[0] <= 4  # compact cluster

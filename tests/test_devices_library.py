@@ -1,0 +1,124 @@
+"""The seven study devices must match paper Figure 1's facts."""
+
+import pytest
+
+from repro.devices import (
+    all_devices,
+    device_by_name,
+    example_8q_device,
+    google_bristlecone_72,
+    ibmq5_tenerife,
+    ibmq14_melbourne,
+    ibmq16_rueschlikon,
+    rigetti_agave,
+    rigetti_aspen1,
+    rigetti_aspen3,
+    umd_trapped_ion,
+)
+from repro.devices.gatesets import VendorFamily
+
+# (factory, qubits, 2Q gate count, coherence us) straight from Figure 1.
+FIGURE1 = [
+    (ibmq5_tenerife, 5, 6, 40.0),
+    (ibmq14_melbourne, 14, 18, 30.0),
+    (ibmq16_rueschlikon, 16, 22, 40.0),
+    (rigetti_agave, 4, 3, 15.0),
+    (rigetti_aspen1, 16, 18, 20.0),
+    (rigetti_aspen3, 16, 18, 20.0),
+    (umd_trapped_ion, 5, 10, 1.5e6),
+]
+
+
+@pytest.mark.parametrize("factory,qubits,edges,coherence", FIGURE1)
+def test_figure1_characteristics(factory, qubits, edges, coherence):
+    device = factory()
+    assert device.num_qubits == qubits
+    assert device.topology.num_edges() == edges
+    assert device.coherence_time_us == coherence
+    assert device.topology.is_connected()
+
+
+@pytest.mark.parametrize("factory,qubits,edges,coherence", FIGURE1)
+def test_average_errors_near_figure1(factory, qubits, edges, coherence):
+    # Synthetic calibrations are centred on the published averages.
+    paper = {
+        "IBM Q5 Tenerife": (0.002, 0.0476, 0.0621),
+        "IBM Q14 Melbourne": (0.0119, 0.0795, 0.0909),
+        "IBM Q16 Rueschlikon": (0.0022, 0.0714, 0.0415),
+        "Rigetti Agave": (0.0368, 0.108, 0.1637),
+        "Rigetti Aspen1": (0.0343, 0.0892, 0.0556),
+        "Rigetti Aspen3": (0.0379, 0.0537, 0.0665),
+        "UMD Trapped Ion": (0.002, 0.010, 0.006),
+    }
+    device = factory()
+    err_1q, err_2q, err_ro = paper[device.name]
+    cal = device.calibration()
+    assert cal.average_single_qubit_error() == pytest.approx(err_1q, rel=0.5)
+    assert cal.average_two_qubit_error() == pytest.approx(err_2q, rel=0.5)
+    assert cal.average_readout_error() == pytest.approx(err_ro, rel=0.5)
+
+
+class TestVendorsAndTechnology:
+    def test_vendor_families(self):
+        assert ibmq5_tenerife().vendor is VendorFamily.IBM
+        assert rigetti_agave().vendor is VendorFamily.RIGETTI
+        assert umd_trapped_ion().vendor is VendorFamily.UMDTI
+
+    def test_technology(self):
+        assert umd_trapped_ion().technology == "trapped ion"
+        assert ibmq14_melbourne().technology == "superconducting"
+
+    def test_ibm_directed(self):
+        topo = ibmq5_tenerife().topology
+        assert topo.directed
+        assert topo.supports_direction(1, 0)
+        assert not topo.supports_direction(0, 1)
+
+    def test_umdti_fully_connected(self):
+        assert umd_trapped_ion().topology.is_fully_connected()
+
+    def test_tenerife_triangle(self):
+        # Qubits 0, 1, 2 form the triangle the 3Q benchmarks fit.
+        topo = ibmq5_tenerife().topology
+        assert topo.are_coupled(0, 1)
+        assert topo.are_coupled(1, 2)
+        assert topo.are_coupled(0, 2)
+
+
+class TestLookup:
+    def test_all_devices_order(self):
+        names = [d.name for d in all_devices()]
+        assert names[0] == "IBM Q5 Tenerife"
+        assert names[-1] == "UMD Trapped Ion"
+
+    def test_device_by_name_partial(self):
+        assert device_by_name("melbourne").num_qubits == 14
+        assert device_by_name("Aspen1").name == "Rigetti Aspen1"
+
+    def test_device_by_name_unknown(self):
+        with pytest.raises(KeyError, match="known devices"):
+            device_by_name("sycamore")
+
+    def test_on_day_view(self):
+        base = ibmq14_melbourne()
+        later = base.on_day(5)
+        assert later.day == 5
+        assert later.calibration().day == 5
+        assert base.calibration(5).two_qubit_error == (
+            later.calibration().two_qubit_error
+        )
+
+
+class TestAuxiliaryDevices:
+    def test_example_device_reliabilities(self):
+        device = example_8q_device()
+        cal = device.calibration()
+        assert cal.edge_reliability(0, 1) == pytest.approx(0.9)
+        assert cal.edge_reliability(2, 6) == pytest.approx(0.7)
+        # Static model: same data every day.
+        assert device.calibration(5).two_qubit_error == cal.two_qubit_error
+
+    def test_bristlecone_shape(self):
+        device = google_bristlecone_72()
+        assert device.num_qubits == 72
+        assert device.topology.are_coupled(0, 12)

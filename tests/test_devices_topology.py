@@ -1,0 +1,85 @@
+"""Tests for coupling topologies."""
+
+import pytest
+
+from repro.devices import Topology
+
+
+class TestBuilders:
+    def test_line(self):
+        topo = Topology.line(4)
+        assert topo.num_edges() == 3
+        assert topo.are_coupled(1, 2)
+        assert not topo.are_coupled(0, 2)
+
+    def test_ring(self):
+        topo = Topology.ring(5)
+        assert topo.num_edges() == 5
+        assert topo.are_coupled(4, 0)
+
+    def test_grid(self):
+        topo = Topology.grid(2, 3)
+        assert topo.num_qubits == 6
+        # 2*(3-1) horizontal + 3 vertical = 7 edges.
+        assert topo.num_edges() == 7
+        assert topo.are_coupled(0, 3)
+        assert not topo.are_coupled(0, 4)
+
+    def test_full(self):
+        topo = Topology.full(5)
+        assert topo.is_fully_connected()
+        assert topo.num_edges() == 10
+
+    def test_star(self):
+        topo = Topology.star(4)
+        assert topo.degree(0) == 3
+        assert topo.degree(1) == 1
+
+
+class TestValidation:
+    def test_edge_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Topology(2, [(0, 2)])
+
+    def test_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Topology(2, [(1, 1)])
+
+    def test_empty_topology(self):
+        with pytest.raises(ValueError):
+            Topology(0, [])
+
+
+class TestDirected:
+    def test_directed_supports_only_given_direction(self):
+        topo = Topology(2, [(0, 1)], directed=True)
+        assert topo.supports_direction(0, 1)
+        assert not topo.supports_direction(1, 0)
+        assert topo.are_coupled(1, 0)  # coupling is symmetric
+
+    def test_undirected_supports_both(self):
+        topo = Topology(2, [(0, 1)])
+        assert topo.supports_direction(0, 1)
+        assert topo.supports_direction(1, 0)
+
+
+class TestQueries:
+    def test_distance(self):
+        topo = Topology.line(5)
+        assert topo.distance(0, 4) == 4
+        assert topo.distance(2, 2) == 0
+
+    def test_neighbors_sorted(self):
+        topo = Topology.ring(4)
+        assert topo.neighbors(0) == [1, 3]
+
+    def test_describe_full(self):
+        assert "fully connected" in Topology.full(3).describe()
+
+    def test_describe_directed(self):
+        topo = Topology(3, [(0, 1), (1, 2)], directed=True)
+        assert "directed" in topo.describe()
+
+    def test_connected(self):
+        assert Topology.line(3).is_connected()
+        assert not Topology(3, [(0, 1)]).is_connected()

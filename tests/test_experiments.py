@@ -1,0 +1,152 @@
+"""Tests for the experiment harness (cheap experiments run fully)."""
+
+import pytest
+
+from repro.experiments import geomean, improvement_ratios
+from repro.experiments.stats import summarize_improvement
+from repro.experiments.tables import format_table
+from repro.experiments import (
+    fig1_devices,
+    fig2_gatesets,
+    fig3_calibration,
+    fig5_ir,
+    fig6_reliability,
+    table1_configs,
+)
+from repro.experiments.runner import (
+    by_compiler,
+    compile_with,
+    fits,
+    measure,
+)
+from repro.compiler import OptimizationLevel
+from repro.devices import ibmq5_tenerife, rigetti_agave
+from repro.ir import Circuit
+from repro.programs import benchmark_by_name
+
+
+class TestStats:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_improvement_ratios_floor_zero_baselines(self):
+        ratios = improvement_ratios([0.0, 0.5], [0.5, 0.5])
+        assert ratios[0] == pytest.approx(500.0)
+        assert ratios[1] == pytest.approx(1.0)
+
+    def test_summarize(self):
+        gm, mx = summarize_improvement([0.1, 0.2], [0.2, 0.2])
+        assert mx == pytest.approx(2.0)
+        assert gm == pytest.approx((2.0 * 1.0) ** 0.5)
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [(1, 2.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [(1, 2)])
+
+
+class TestCheapExperiments:
+    def test_fig1(self):
+        rows = fig1_devices.run()
+        assert len(rows) == 7
+        assert "IBM Q5 Tenerife" in fig1_devices.format_result(rows)
+
+    def test_fig2(self):
+        rows = fig2_gatesets.run()
+        assert {r.vendor for r in rows} == {"ibm", "rigetti", "umdti"}
+        assert "Pulses" in fig2_gatesets.format_result(rows)
+
+    def test_fig3_spread_in_paper_band(self):
+        result = fig3_calibration.run(days=26)
+        assert 4.0 <= result.spread_factor <= 20.0
+        assert result.average_error == pytest.approx(0.0795, rel=0.4)
+        assert "9x" in fig3_calibration.format_result(result)
+
+    def test_fig5(self):
+        result = fig5_ir.run()
+        assert result.op_counts["cx"] == 3
+        assert result.correct == "1111"
+        assert "BV4" in fig5_ir.format_result(result)
+
+    def test_fig6_matches_paper(self):
+        result = fig6_reliability.run()
+        assert result.max_abs_error < 0.01
+        assert result.swap_path_1_to_5 == [1, 5]
+        assert "0.58" in fig6_reliability.format_result(result)
+
+    def test_table1(self):
+        rows = table1_configs.run()
+        names = [r.name for r in rows]
+        assert names[:4] == [
+            "TriQ-N", "TriQ-1QOpt", "TriQ-1QOptC", "TriQ-1QOptCN"
+        ]
+        assert "Qiskit" in names and "Quil" in names
+
+
+class TestRunner:
+    def test_fits(self):
+        assert fits(Circuit(4), ibmq5_tenerife())
+        assert not fits(Circuit(6), ibmq5_tenerife())
+
+    def test_compile_with_level(self):
+        circuit, _ = benchmark_by_name("Toffoli").build()
+        program = compile_with(
+            circuit, ibmq5_tenerife(), OptimizationLevel.OPT_1Q
+        )
+        assert program.level is OptimizationLevel.OPT_1Q
+
+    def test_compile_with_baseline_names(self):
+        circuit, _ = benchmark_by_name("Toffoli").build()
+        assert compile_with(circuit, ibmq5_tenerife(), "Qiskit").level == (
+            "Qiskit"
+        )
+        assert compile_with(circuit, rigetti_agave(), "quil").level == "Quil"
+
+    def test_compile_with_unknown(self):
+        circuit, _ = benchmark_by_name("Toffoli").build()
+        with pytest.raises(ValueError, match="unknown compiler"):
+            compile_with(circuit, ibmq5_tenerife(), "cirq")
+
+    def test_measure_without_success(self):
+        result = measure(
+            benchmark_by_name("HS2"),
+            ibmq5_tenerife(),
+            OptimizationLevel.OPT_1QCN,
+            with_success=False,
+        )
+        assert result.success_rate is None
+        assert result.two_qubit_gates >= 1
+
+    def test_measure_with_success(self):
+        result = measure(
+            benchmark_by_name("HS2"),
+            ibmq5_tenerife(),
+            OptimizationLevel.OPT_1QCN,
+            fault_samples=20,
+        )
+        assert 0.0 <= result.success_rate <= 1.0
+
+    def test_by_compiler_grouping(self):
+        result = measure(
+            benchmark_by_name("HS2"),
+            ibmq5_tenerife(),
+            OptimizationLevel.OPT_1QCN,
+            with_success=False,
+        )
+        grouped = by_compiler([result])
+        assert list(grouped) == ["TriQ-1QOptCN"]

@@ -1,0 +1,40 @@
+"""Unit tests for the section-7 insights experiment module."""
+
+import pytest
+
+from repro.experiments import sec7_insights
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sec7_insights.run()
+
+
+class TestSec7Insights:
+    def test_pulse_budgets(self, result):
+        assert result.pulses_by_vendor == {
+            "ibm": 2, "rigetti": 2, "umdti": 1
+        }
+
+    def test_topology_ordering(self, result):
+        gates = result.gates_by_topology
+        assert gates["full"] <= gates["grid"] <= gates["line"]
+
+    def test_full_connectivity_needs_no_swaps(self, result):
+        # QFT4 in the {1Q, cx} basis has 12 CNOTs; full connectivity
+        # should need exactly those.
+        assert result.gates_by_topology["full"] == 12
+
+    def test_noise_awareness_on_umdti(self, result):
+        unaware, aware = result.umdti_min_reliability
+        assert aware >= unaware
+        assert 0 < unaware <= 1 and 0 < aware <= 1
+
+    def test_fresh_placement_tracks_drift(self, result):
+        stale, fresh = result.stale_vs_fresh
+        assert fresh >= stale
+
+    def test_formatting(self, result):
+        text = sec7_insights.format_result(result)
+        assert "Insight 1" in text
+        assert "Insight 4" in text

@@ -1,0 +1,41 @@
+"""Smoke test for the consolidated report generator (structural mode)."""
+
+import pytest
+
+from repro.experiments.report import generate_report, main
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def fast_report(self):
+        return generate_report(include_success=False,
+                               scaling_sizes=[(2, 3), (2, 4)])
+
+    def test_all_structural_sections_present(self, fast_report):
+        for heading in (
+            "Figure 1", "Figure 2", "Figure 3", "Figure 5", "Figure 6",
+            "Table 1", "Figure 7", "Figure 8", "Section 6.5", "Section 7",
+        ):
+            assert heading in fast_report, heading
+
+    def test_success_sections_skipped_in_fast_mode(self, fast_report):
+        assert "Figure 12" not in fast_report
+        assert "Section 8" not in fast_report
+
+    def test_paper_references_included(self, fast_report):
+        assert "**Paper:**" in fast_report
+        assert "geomean" in fast_report
+
+    def test_progress_callback(self):
+        seen = []
+        generate_report(
+            include_success=False,
+            scaling_sizes=[(2, 3)],
+            progress=seen.append,
+        )
+        assert "Figure 6" in seen
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["--fast", "-o", str(target)]) == 0
+        assert "Figure 1" in target.read_text()

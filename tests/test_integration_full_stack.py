@@ -1,0 +1,121 @@
+"""Full-stack integration: Scaffold source -> TriQ -> executable -> sim.
+
+This is the paper's Figure 4 pipeline end to end, exercised on real
+study devices across all three vendors.
+"""
+
+import pytest
+
+from repro import (
+    OptimizationLevel,
+    all_devices,
+    compile_circuit,
+    ibmq14_melbourne,
+    ibmq16_rueschlikon,
+    rigetti_aspen3,
+    standard_suite,
+    umd_trapped_ion,
+)
+from repro.backends import parse_openqasm, parse_quil, parse_umdti_asm
+from repro.scaffold import compile_scaffold
+from repro.sim import ideal_distribution, monte_carlo_success_rate
+
+TOFFOLI_SCAFFOLD = """
+// Toffoli benchmark: inputs |110>, expected |111>.
+module main(qbit q[3]) {
+    X(q[0]); X(q[1]);
+    Toffoli(q[0], q[1], q[2]);
+    MeasZ(q);
+}
+"""
+
+ADDER_SCAFFOLD = """
+// One-bit Cuccaro adder, a = b = 1.
+module maj(qbit c, qbit b, qbit a) {
+    CNOT(a, b); CNOT(a, c); Toffoli(c, b, a);
+}
+module uma(qbit c, qbit b, qbit a) {
+    Toffoli(c, b, a); CNOT(a, c); CNOT(c, b);
+}
+module main(qbit cin, qbit a, qbit b, qbit cout) {
+    PrepZ(a, 1); PrepZ(b, 1);
+    maj(cin, b, a);
+    CNOT(a, cout);
+    uma(cin, b, a);
+    MeasZ(cin); MeasZ(a); MeasZ(b); MeasZ(cout);
+}
+"""
+
+
+class TestScaffoldToHardware:
+    @pytest.mark.parametrize(
+        "factory,parser",
+        [
+            (ibmq14_melbourne, parse_openqasm),
+            (rigetti_aspen3, parse_quil),
+            (umd_trapped_ion, parse_umdti_asm),
+        ],
+        ids=["ibm", "rigetti", "umdti"],
+    )
+    def test_toffoli_from_source_to_executable(self, factory, parser):
+        device = factory()
+        circuit = compile_scaffold(TOFFOLI_SCAFFOLD)
+        program = compile_circuit(circuit, device)
+        parsed = parser(program.executable())
+        assert ideal_distribution(parsed)["111"] == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_adder_from_source(self):
+        circuit = compile_scaffold(ADDER_SCAFFOLD)
+        program = compile_circuit(circuit, ibmq16_rueschlikon())
+        assert ideal_distribution(program.circuit)["0101"] == pytest.approx(
+            1.0
+        )
+
+
+class TestCrossPlatformOrderings:
+    """The paper's qualitative conclusions must hold on the substrate."""
+
+    def test_noise_adaptive_beats_qiskit_like_on_ibm(self):
+        from repro.baselines import QiskitLikeCompiler
+        from repro.programs import bernstein_vazirani
+
+        device = ibmq14_melbourne()
+        circuit, correct = bernstein_vazirani(8)
+        qiskit = QiskitLikeCompiler(device).compile(circuit)
+        triq = compile_circuit(
+            circuit, device, level=OptimizationLevel.OPT_1QCN
+        )
+        sr_qiskit = monte_carlo_success_rate(
+            qiskit.circuit, device, correct, fault_samples=60
+        ).success_rate
+        sr_triq = monte_carlo_success_rate(
+            triq.circuit, device, correct, fault_samples=60
+        ).success_rate
+        assert sr_triq > sr_qiskit * 1.5
+
+    def test_umdti_beats_superconducting_on_3q_benchmarks(self):
+        # Figure 12: low gate errors + full connectivity lead on UMDTI.
+        from repro.programs import fredkin_benchmark
+
+        circuit, correct = fredkin_benchmark()
+        rates = {}
+        for device in (umd_trapped_ion(), ibmq14_melbourne()):
+            program = compile_circuit(circuit, device)
+            rates[device.name] = monte_carlo_success_rate(
+                program.circuit, device, correct, fault_samples=60
+            ).success_rate
+        assert rates["UMD Trapped Ion"] > rates["IBM Q14 Melbourne"]
+
+    def test_every_study_device_compiles_the_fitting_suite(self):
+        for device in all_devices():
+            for benchmark in standard_suite():
+                circuit, correct = benchmark.build()
+                if circuit.num_qubits > device.num_qubits:
+                    continue
+                program = compile_circuit(
+                    circuit, device, level=OptimizationLevel.OPT_1QC
+                )
+                assert program.two_qubit_gate_count() >= 0
+                assert len(program.executable()) > 0

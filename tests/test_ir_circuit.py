@@ -1,0 +1,128 @@
+"""Tests for the Circuit container and Instruction validation."""
+
+import pytest
+
+from repro.ir import Circuit, Instruction
+
+
+class TestInstruction:
+    def test_valid(self):
+        inst = Instruction("cx", (0, 1))
+        assert inst.num_qubits == 2
+        assert inst.is_unitary
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="expects 2 qubit"):
+            Instruction("cx", (0,))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Instruction("cx", (1, 1))
+
+    def test_wrong_params(self):
+        with pytest.raises(ValueError, match="parameter"):
+            Instruction("rx", (0,))
+
+    def test_remap(self):
+        inst = Instruction("cx", (0, 1)).remap({0: 5, 1: 3})
+        assert inst.qubits == (5, 3)
+
+    def test_remap_preserves_cbits(self):
+        inst = Instruction("measure", (0,), (), (0,)).remap({0: 7})
+        assert inst.qubits == (7,)
+        assert inst.cbits == (0,)
+
+    def test_str_with_params(self):
+        assert "rx(0.5) 2" in str(Instruction("rx", (2,), (0.5,)))
+
+
+class TestCircuitConstruction:
+    def test_builder_chaining(self):
+        circ = Circuit(2).h(0).cx(0, 1).measure_all()
+        assert len(circ) == 4
+        assert circ.count_ops() == {"h": 1, "cx": 1, "measure": 2}
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Circuit(2).h(2)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_measure_default_cbit(self):
+        circ = Circuit(3).measure(1)
+        assert circ[0].cbits == (1,)
+
+    def test_measure_explicit_cbit(self):
+        circ = Circuit(3).measure(1, cbit=0)
+        assert circ[0].cbits == (0,)
+
+    def test_iteration_and_indexing(self):
+        circ = Circuit(1).x(0).h(0)
+        assert [i.name for i in circ] == ["x", "h"]
+        assert circ[1].name == "h"
+
+
+class TestCircuitAnalysis:
+    def test_depth_parallel_gates(self):
+        circ = Circuit(2).h(0).h(1)
+        assert circ.depth() == 1
+
+    def test_depth_serial_gates(self):
+        circ = Circuit(2).h(0).cx(0, 1).h(1)
+        assert circ.depth() == 3
+
+    def test_depth_with_barrier(self):
+        circ = Circuit(2).h(0)
+        circ.barrier()
+        circ.h(1)
+        assert circ.depth() == 2
+
+    def test_two_qubit_gate_count(self):
+        circ = Circuit(3).h(0).cx(0, 1).cz(1, 2).swap(0, 2).measure_all()
+        assert circ.num_two_qubit_gates() == 3
+        assert circ.num_single_qubit_gates() == 1
+
+    def test_used_qubits(self):
+        circ = Circuit(5).h(1).cx(1, 3)
+        assert circ.used_qubits() == (1, 3)
+
+
+class TestCircuitTransforms:
+    def test_copy_is_independent(self):
+        circ = Circuit(1).x(0)
+        other = circ.copy()
+        other.h(0)
+        assert len(circ) == 1
+        assert len(other) == 2
+
+    def test_remap(self):
+        circ = Circuit(2).cx(0, 1)
+        mapped = circ.remap({0: 3, 1: 1}, num_qubits=4)
+        assert mapped[0].qubits == (3, 1)
+        assert mapped.num_qubits == 4
+
+    def test_compose(self):
+        a = Circuit(2).h(0)
+        b = Circuit(2).cx(0, 1)
+        a.compose(b)
+        assert [i.name for i in a] == ["h", "cx"]
+
+    def test_compose_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(1).compose(Circuit(2))
+
+    def test_repeated_moves_measurements_to_end(self):
+        circ = Circuit(1).x(0).measure(0)
+        tripled = circ.repeated(3)
+        names = [i.name for i in tripled]
+        assert names == ["x", "x", "x", "measure"]
+
+    def test_repeated_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Circuit(1).x(0).repeated(0)
+
+    def test_without_measurements(self):
+        circ = Circuit(1).x(0).measure(0)
+        assert [i.name for i in circ.without_measurements()] == ["x"]

@@ -1,0 +1,100 @@
+"""Tests for the circuit dependency DAG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import Circuit
+from repro.ir.dag import CircuitDag, interaction_counts, interaction_pairs
+
+
+def random_circuit_strategy(num_qubits: int = 4, max_gates: int = 30):
+    gate = st.one_of(
+        st.tuples(st.just("h"), st.integers(0, num_qubits - 1)),
+        st.tuples(
+            st.just("cx"),
+            st.integers(0, num_qubits - 1),
+            st.integers(0, num_qubits - 1),
+        ).filter(lambda t: t[1] != t[2]),
+    )
+    return st.lists(gate, max_size=max_gates).map(_build)
+
+
+def _build(gates):
+    circ = Circuit(4)
+    for gate in gates:
+        if gate[0] == "h":
+            circ.h(gate[1])
+        else:
+            circ.cx(gate[1], gate[2])
+    return circ
+
+
+class TestTopologicalOrder:
+    def test_respects_qubit_order(self):
+        circ = Circuit(2).h(0).cx(0, 1).h(1)
+        order = CircuitDag(circ).topological_order()
+        assert order.index(0) < order.index(1) < order.index(2)
+
+    def test_independent_gates_keep_program_order(self):
+        circ = Circuit(2).h(1).h(0)
+        order = CircuitDag(circ).topological_order()
+        assert order == [0, 1]
+
+    @given(random_circuit_strategy())
+    def test_order_is_valid(self, circ):
+        order = CircuitDag(circ).topological_order()
+        assert sorted(order) == list(range(len(circ)))
+        position = {idx: pos for pos, idx in enumerate(order)}
+        last_on_qubit = {}
+        for idx, inst in enumerate(circ):
+            for q in inst.qubits:
+                if q in last_on_qubit:
+                    assert position[last_on_qubit[q]] < position[idx]
+                last_on_qubit[q] = idx
+
+
+class TestLayers:
+    def test_parallel_hadamards_one_layer(self):
+        circ = Circuit(3).h(0).h(1).h(2)
+        layers = CircuitDag(circ).layers()
+        assert len(layers) == 1
+        assert sorted(layers[0]) == [0, 1, 2]
+
+    def test_bv4_layering(self):
+        # Figure 5: X first on the ancilla, H's in parallel, then CXs.
+        from repro.programs import bernstein_vazirani
+
+        circ, _ = bernstein_vazirani(4)
+        dag = CircuitDag(circ)
+        layers = dag.layers()
+        assert dag.critical_path_length() == len(layers)
+        # First layer holds the data H's and the ancilla X.
+        first_names = {circ[i].name for i in layers[0]}
+        assert first_names == {"h", "x"}
+
+    def test_barrier_forces_new_layer(self):
+        circ = Circuit(2).h(0)
+        circ.barrier()
+        circ.h(1)
+        layers = CircuitDag(circ).layers()
+        # h(1) must come after the barrier layer.
+        assert len(layers) == 3
+
+
+class TestInteractions:
+    def test_counts(self):
+        circ = Circuit(3).cx(0, 1).cx(1, 0).cx(1, 2)
+        counts = interaction_counts(circ)
+        assert counts[frozenset((0, 1))] == 2
+        assert counts[frozenset((1, 2))] == 1
+
+    def test_pairs_first_seen_order(self):
+        circ = Circuit(3).cx(1, 2).cx(0, 1).cx(2, 1)
+        assert interaction_pairs(circ) == (
+            frozenset((1, 2)),
+            frozenset((0, 1)),
+        )
+
+    def test_measure_not_counted(self):
+        circ = Circuit(2).cx(0, 1).measure_all()
+        assert sum(interaction_counts(circ).values()) == 1

@@ -1,0 +1,70 @@
+"""Decomposition correctness: every expansion preserves the unitary."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import assert_equal_up_to_phase
+from repro.ir import Circuit, decompose_to_basis, gate_matrix
+from repro.sim import circuit_unitary
+
+
+@pytest.mark.parametrize(
+    "gate,qubits",
+    [
+        ("ccx", (0, 1, 2)),
+        ("cswap", (0, 1, 2)),
+        ("peres", (0, 1, 2)),
+        ("or", (0, 1, 2)),
+        ("swap", (0, 1)),
+        ("cz", (0, 1)),
+    ],
+)
+def test_expansion_preserves_unitary(gate, qubits):
+    num_qubits = len(qubits)
+    circ = Circuit(num_qubits).add(gate, qubits)
+    lowered = decompose_to_basis(circ)
+    assert_equal_up_to_phase(
+        circuit_unitary(lowered), gate_matrix(gate)
+    )
+
+
+def test_output_is_in_basis():
+    circ = Circuit(3).ccx(0, 1, 2).cswap(0, 1, 2).swap(0, 2)
+    lowered = decompose_to_basis(circ)
+    for inst in lowered:
+        assert inst.num_qubits == 1 or inst.name == "cx"
+
+
+def test_idempotent():
+    circ = Circuit(2).h(0).cx(0, 1).measure_all()
+    once = decompose_to_basis(circ)
+    twice = decompose_to_basis(once)
+    assert [str(i) for i in once] == [str(i) for i in twice]
+
+
+def test_permuted_qubits():
+    # Toffoli with scrambled qubit roles still matches its matrix.
+    circ = Circuit(3).add("ccx", (2, 0, 1))
+    lowered = decompose_to_basis(circ)
+    reference = Circuit(3).add("ccx", (2, 0, 1))
+    assert_equal_up_to_phase(
+        circuit_unitary(lowered), circuit_unitary(reference)
+    )
+
+
+def test_measure_and_barrier_pass_through():
+    circ = Circuit(2).ccx_free = Circuit(2)
+    circ = Circuit(2).h(0)
+    circ.barrier()
+    circ.measure_all()
+    lowered = decompose_to_basis(circ)
+    names = [i.name for i in lowered]
+    assert names == ["h", "barrier", "measure", "measure"]
+
+
+def test_toffoli_gate_budget():
+    # The standard network: 6 CNOTs, 9 single-qubit gates.
+    lowered = decompose_to_basis(Circuit(3).ccx(0, 1, 2))
+    counts = lowered.count_ops()
+    assert counts["cx"] == 6
+    assert lowered.num_single_qubit_gates() == 9

@@ -1,0 +1,61 @@
+"""Tests for the ASCII circuit drawer."""
+
+from repro.ir import Circuit
+from repro.ir.draw import draw_circuit
+from repro.programs import bernstein_vazirani
+
+
+class TestDrawCircuit:
+    def test_every_qubit_gets_a_line(self):
+        circuit, _ = bernstein_vazirani(4)
+        text = draw_circuit(circuit)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("p0:")
+        assert lines[3].startswith("p3:")
+
+    def test_gate_labels_present(self):
+        circuit, _ = bernstein_vazirani(4)
+        text = draw_circuit(circuit)
+        assert "[H]" in text
+        assert "[X]" in text
+        assert "(+)" in text  # CNOT target
+        assert "[M]" in text  # measurement
+
+    def test_cx_control_and_target_symbols(self):
+        text = draw_circuit(Circuit(2).cx(0, 1))
+        lines = text.splitlines()
+        assert "*" in lines[0]
+        assert "(+)" in lines[1]
+
+    def test_cz_target_symbol(self):
+        text = draw_circuit(Circuit(2).cz(0, 1))
+        assert "(Z)" in text
+
+    def test_vertical_wire_through_middle_qubits(self):
+        text = draw_circuit(Circuit(3).cx(0, 2))
+        middle = text.splitlines()[1]
+        assert "|" in middle
+
+    def test_parallel_gates_share_column(self):
+        parallel = draw_circuit(Circuit(2).h(0).h(1))
+        serial = draw_circuit(Circuit(2).h(0).cx(0, 1).h(1))
+        assert len(parallel.splitlines()[0]) < len(serial.splitlines()[0])
+
+    def test_rotation_angle_shown(self):
+        text = draw_circuit(Circuit(1).rx(0.5, 0))
+        assert "RX(0.5)" in text
+
+    def test_multiqubit_composite_positions(self):
+        text = draw_circuit(Circuit(3).ccx(0, 1, 2))
+        assert "[CCX:0]" in text
+        assert "[CCX:2]" in text
+
+    def test_lines_equal_length(self):
+        circuit, _ = bernstein_vazirani(6)
+        lines = draw_circuit(circuit).splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_custom_prefix(self):
+        text = draw_circuit(Circuit(1).h(0), qubit_prefix="q")
+        assert text.startswith("q0:")

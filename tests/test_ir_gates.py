@@ -1,0 +1,137 @@
+"""Tests for gate specifications and matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir.gates import (
+    GATE_SPECS,
+    VIRTUAL_Z_GATES,
+    gate_matrix,
+    gate_spec,
+    is_measurement,
+    is_single_qubit,
+    is_two_qubit,
+)
+
+
+def _is_unitary(mat: np.ndarray) -> bool:
+    return np.allclose(mat @ mat.conj().T, np.eye(mat.shape[0]), atol=1e-10)
+
+
+class TestSpecs:
+    def test_all_specs_consistent(self):
+        for name, spec in GATE_SPECS.items():
+            assert spec.name == name
+
+    def test_unknown_gate_message(self):
+        with pytest.raises(KeyError, match="known gates"):
+            gate_spec("frobnicate")
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(ValueError):
+            gate_spec("measure").matrix()
+
+    def test_param_count_enforced(self):
+        with pytest.raises(ValueError):
+            gate_matrix("rx", ())
+        with pytest.raises(ValueError):
+            gate_matrix("h", (1.0,))
+
+    def test_predicates(self):
+        assert is_measurement("measure")
+        assert not is_measurement("x")
+        assert is_single_qubit("h")
+        assert not is_single_qubit("cx")
+        assert is_two_qubit("cx")
+        assert is_two_qubit("xx")
+        assert not is_two_qubit("ccx")
+
+    def test_virtual_z_gates_are_diagonal(self):
+        for name in VIRTUAL_Z_GATES:
+            spec = gate_spec(name)
+            params = (0.7,) * spec.num_params
+            mat = gate_matrix(name, params)
+            off_diagonal = mat - np.diag(np.diag(mat))
+            assert np.allclose(off_diagonal, 0)
+
+
+class TestMatrices:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            (name, (0.7,) * spec.num_params)
+            for name, spec in GATE_SPECS.items()
+            if spec.matrix_fn is not None
+        ],
+    )
+    def test_all_gates_unitary(self, name, params):
+        mat = gate_matrix(name, params)
+        spec = gate_spec(name)
+        assert mat.shape == (2**spec.num_qubits, 2**spec.num_qubits)
+        assert _is_unitary(mat)
+
+    def test_cx_action(self):
+        cx = gate_matrix("cx")
+        # |10> -> |11> (control is the most significant bit).
+        state = np.zeros(4)
+        state[0b10] = 1
+        np.testing.assert_allclose(
+            cx @ state, np.eye(4)[0b11], atol=1e-12
+        )
+
+    def test_cz_symmetric(self):
+        cz = gate_matrix("cz")
+        np.testing.assert_allclose(cz, cz.T)
+
+    def test_xx_maximally_entangling_at_quarter_pi(self):
+        xx = gate_matrix("xx", (math.pi / 4,))
+        state = xx @ np.eye(4)[0]
+        # |00> -> (|00> - i|11>)/sqrt(2).
+        assert abs(state[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(state[3]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_xx_zero_angle_is_identity(self):
+        np.testing.assert_allclose(gate_matrix("xx", (0.0,)), np.eye(4))
+
+    def test_ccx_permutation(self):
+        ccx = gate_matrix("ccx")
+        state = np.zeros(8)
+        state[0b110] = 1
+        np.testing.assert_allclose(ccx @ state, np.eye(8)[0b111])
+
+    def test_cswap_permutation(self):
+        cswap = gate_matrix("cswap")
+        state = np.zeros(8)
+        state[0b110] = 1  # control=1, a=1, b=0
+        np.testing.assert_allclose(cswap @ state, np.eye(8)[0b101])
+
+    def test_peres_is_toffoli_then_cx(self):
+        peres = gate_matrix("peres")
+        ccx = gate_matrix("ccx")
+        cx_ab = np.kron(gate_matrix("cx"), np.eye(2))
+        np.testing.assert_allclose(peres, cx_ab @ ccx, atol=1e-12)
+
+    def test_or_truth_table(self):
+        or_gate = gate_matrix("or")
+        for a in (0, 1):
+            for b in (0, 1):
+                state = np.zeros(8)
+                state[(a << 2) | (b << 1)] = 1
+                out = or_gate @ state
+                expected_index = (a << 2) | (b << 1) | (a | b)
+                assert abs(out[expected_index]) == pytest.approx(1.0)
+
+    def test_u2_is_u3_half_pi(self):
+        np.testing.assert_allclose(
+            gate_matrix("u2", (0.3, 0.4)),
+            gate_matrix("u3", (math.pi / 2, 0.3, 0.4)),
+        )
+
+    def test_rz_vs_u1_phase_relation(self):
+        lam = 0.9
+        rz = gate_matrix("rz", (lam,))
+        u1 = gate_matrix("u1", (lam,))
+        phase = np.exp(1j * lam / 2)
+        np.testing.assert_allclose(rz * phase, u1, atol=1e-12)

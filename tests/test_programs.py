@@ -1,0 +1,199 @@
+"""Every benchmark must produce its stated correct answer ideally."""
+
+import pytest
+
+from repro.ir import decompose_to_basis
+from repro.programs import (
+    bernstein_vazirani,
+    cuccaro_adder,
+    fredkin_benchmark,
+    fredkin_sequence,
+    hidden_shift,
+    or_benchmark,
+    peres_benchmark,
+    qft_benchmark,
+    standard_suite,
+    benchmark_by_name,
+    supremacy_circuit,
+    toffoli_benchmark,
+    toffoli_sequence,
+)
+from repro.sim import ideal_distribution
+
+
+class TestStandardSuite:
+    def test_twelve_benchmarks(self):
+        suite = standard_suite()
+        assert len(suite) == 12
+        assert [b.name for b in suite] == [
+            "BV4", "BV6", "BV8", "HS2", "HS4", "HS6",
+            "Toffoli", "Fredkin", "Or", "Peres", "QFT", "Adder",
+        ]
+
+    @pytest.mark.parametrize(
+        "bench", standard_suite(), ids=lambda b: b.name
+    )
+    def test_correct_answer_is_deterministic(self, bench):
+        circuit, correct = bench.build()
+        distribution = ideal_distribution(circuit)
+        assert distribution[correct] == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "bench", standard_suite(), ids=lambda b: b.name
+    )
+    def test_decomposed_form_equivalent(self, bench):
+        circuit, correct = bench.build()
+        lowered = decompose_to_basis(circuit)
+        assert ideal_distribution(lowered)[correct] == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_lookup_by_name(self):
+        assert benchmark_by_name("qft").name == "QFT"
+        with pytest.raises(KeyError, match="known"):
+            benchmark_by_name("shor")
+
+    def test_num_qubits(self):
+        assert benchmark_by_name("BV8").num_qubits == 8
+        assert benchmark_by_name("Toffoli").num_qubits == 3
+
+
+class TestBernsteinVazirani:
+    def test_custom_secret(self):
+        circuit, correct = bernstein_vazirani(5, secret="0101")
+        assert correct == "01011"
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+
+    def test_cnot_count_tracks_secret_weight(self):
+        circuit, _ = bernstein_vazirani(5, secret="0101")
+        assert circuit.count_ops()["cx"] == 2
+
+    def test_star_interaction_shape(self):
+        from repro.ir.dag import interaction_pairs
+
+        circuit, _ = bernstein_vazirani(4)
+        pairs = interaction_pairs(circuit)
+        assert all(3 in pair for pair in pairs)
+
+    def test_bad_secret_rejected(self):
+        with pytest.raises(ValueError, match="bit string"):
+            bernstein_vazirani(4, secret="12")
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(1)
+
+
+class TestHiddenShift:
+    def test_custom_shift(self):
+        circuit, correct = hidden_shift(4, shift="0110")
+        assert correct == "0110"
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            hidden_shift(3)
+
+    def test_disjoint_pair_interactions(self):
+        from repro.ir.dag import interaction_pairs
+
+        circuit, _ = hidden_shift(6)
+        pairs = interaction_pairs(circuit)
+        assert set(pairs) == {
+            frozenset((0, 1)), frozenset((2, 3)), frozenset((4, 5))
+        }
+
+
+class TestThreeQubitGates:
+    def test_toffoli(self):
+        circuit, correct = toffoli_benchmark()
+        assert correct == "111"
+
+    def test_fredkin(self):
+        circuit, correct = fredkin_benchmark()
+        assert correct == "101"
+
+    def test_or_truth(self):
+        circuit, correct = or_benchmark()
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+
+    def test_peres(self):
+        circuit, correct = peres_benchmark()
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_toffoli_sequence_parity(self, k):
+        circuit, correct = toffoli_sequence(k)
+        assert correct == ("111" if k % 2 else "110")
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 7])
+    def test_fredkin_sequence_parity(self, k):
+        circuit, correct = fredkin_sequence(k)
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+
+    def test_sequence_rejects_zero(self):
+        with pytest.raises(ValueError):
+            toffoli_sequence(0)
+        with pytest.raises(ValueError):
+            fredkin_sequence(0)
+
+    def test_sequence_length_grows(self):
+        short, _ = toffoli_sequence(1)
+        long, _ = toffoli_sequence(5)
+        assert len(long) > len(short)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (1, 0, 0), (0, 1, 1),
+                                         (1, 1, 0), (1, 1, 1)])
+    def test_all_input_combinations(self, a, b, cin):
+        circuit, correct = cuccaro_adder(a, b, cin)
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+        total = a + b + cin
+        assert correct == f"{cin}{a}{total % 2}{total // 2}"
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(2, 0, 0)
+
+
+class TestQft:
+    def test_output_all_zeros(self):
+        circuit, correct = qft_benchmark(4)
+        assert correct == "0000"
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+
+    def test_all_to_all_interactions(self):
+        from repro.ir.dag import interaction_pairs
+
+        circuit, _ = qft_benchmark(4)
+        assert len(interaction_pairs(circuit)) == 6
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            qft_benchmark(1)
+
+
+class TestSupremacy:
+    def test_deterministic(self):
+        a = supremacy_circuit(6, 8, seed=3)
+        b = supremacy_circuit(6, 8, seed=3)
+        assert [str(i) for i in a] == [str(i) for i in b]
+
+    def test_seed_changes_circuit(self):
+        a = supremacy_circuit(6, 8, seed=3)
+        b = supremacy_circuit(6, 8, seed=4)
+        assert [str(i) for i in a] != [str(i) for i in b]
+
+    def test_gate_density(self):
+        # 72 qubits at depth 128 should land near the paper's ~2000 2Q
+        # gates.
+        circuit = supremacy_circuit(72, 128, seed=0)
+        assert 1500 <= circuit.num_two_qubit_gates() <= 3000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            supremacy_circuit(1, 8)
+        with pytest.raises(ValueError):
+            supremacy_circuit(4, 0)

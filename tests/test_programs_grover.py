@@ -1,0 +1,71 @@
+"""Tests for the Grover search workload."""
+
+import pytest
+
+from repro import compile_circuit, ibmq5_tenerife, umd_trapped_ion
+from repro.programs.grover import (
+    grover_search,
+    ideal_success_probability,
+    optimal_iterations,
+)
+from repro.sim import ideal_distribution
+
+
+class TestTheory:
+    def test_optimal_iterations(self):
+        assert optimal_iterations(2) == 1
+        assert optimal_iterations(3) == 2
+
+    def test_two_qubit_success_is_exact(self):
+        assert ideal_success_probability(2, 1) == pytest.approx(1.0)
+
+    def test_three_qubit_success(self):
+        assert ideal_success_probability(3, 2) == pytest.approx(
+            0.9453, abs=1e-3
+        )
+
+
+class TestCircuit:
+    @pytest.mark.parametrize("marked", ["11", "01", "10", "00"])
+    def test_two_qubit_finds_any_marked_state(self, marked):
+        circuit, out = grover_search(2, marked)
+        assert out == marked
+        assert ideal_distribution(circuit)[marked] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("marked", ["111", "010", "100"])
+    def test_three_qubit_marked_state_dominates(self, marked):
+        circuit, out = grover_search(3, marked)
+        distribution = ideal_distribution(circuit)
+        assert distribution[marked] == pytest.approx(
+            ideal_success_probability(3, 2), abs=1e-9
+        )
+        assert max(distribution, key=distribution.get) == marked
+
+    def test_more_iterations_overshoot(self):
+        # Grover over-rotates past the optimum.
+        circuit, marked = grover_search(3, iterations=4)
+        over = ideal_distribution(circuit)[marked]
+        assert over < ideal_success_probability(3, 2)
+
+    def test_unsupported_size(self):
+        with pytest.raises(ValueError, match="supports"):
+            grover_search(4)
+
+    def test_bad_marked_state(self):
+        with pytest.raises(ValueError, match="bit string"):
+            grover_search(2, marked="2x")
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            grover_search(2, iterations=0)
+
+
+class TestCompiled:
+    def test_compiles_and_stays_correct(self):
+        circuit, marked = grover_search(3)
+        for device in (ibmq5_tenerife(), umd_trapped_ion()):
+            program = compile_circuit(circuit, device)
+            distribution = ideal_distribution(program.circuit)
+            assert distribution[marked] == pytest.approx(
+                ideal_success_probability(3, 2), abs=1e-9
+            )

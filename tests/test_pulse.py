@@ -1,0 +1,176 @@
+"""Tests for the pulse-level lowering extension."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_circuit
+from repro.devices import ibmq5_tenerife, rigetti_agave, umd_trapped_ion
+from repro.ir import Circuit
+from repro.programs import bernstein_vazirani
+from repro.pulse import (
+    Channel,
+    Gaussian,
+    GaussianSquare,
+    Constant,
+    Play,
+    Schedule,
+    ShiftPhase,
+    coupler_channel,
+    default_calibration,
+    drive_channel,
+    lower_to_pulses,
+)
+
+
+class TestShapes:
+    def test_gaussian_peak_at_center(self):
+        shape = Gaussian(100.0, 0.5, 20.0)
+        samples = shape.samples()
+        assert samples.max() == pytest.approx(0.5, rel=1e-3)
+        assert np.argmax(samples) == pytest.approx(50, abs=1)
+
+    def test_gaussian_square_flat_top(self):
+        shape = GaussianSquare(200.0, 0.8, 10.0, 120.0)
+        samples = shape.samples()
+        flat = samples[60:140]
+        np.testing.assert_allclose(flat, 0.8, atol=1e-9)
+
+    def test_constant(self):
+        assert len(Constant(50.0, 0.2).samples()) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gaussian(-1.0, 0.5, 5.0)
+        with pytest.raises(ValueError):
+            Gaussian(10.0, 1.5, 5.0)
+        with pytest.raises(ValueError):
+            GaussianSquare(100.0, 0.5, 10.0, 150.0)
+
+
+class TestSchedule:
+    def test_asap_on_one_channel(self):
+        schedule = Schedule()
+        pulse = Gaussian(100.0, 0.5, 20.0)
+        schedule.append(Play(pulse, drive_channel(0)))
+        schedule.append(Play(pulse, drive_channel(0)))
+        starts = [t.start_ns for t in schedule.instructions]
+        assert starts == [0.0, 100.0]
+        assert schedule.duration_ns() == 200.0
+
+    def test_parallel_channels_overlap(self):
+        schedule = Schedule()
+        pulse = Gaussian(100.0, 0.5, 20.0)
+        schedule.append(Play(pulse, drive_channel(0)))
+        schedule.append(Play(pulse, drive_channel(1)))
+        assert schedule.duration_ns() == 100.0
+
+    def test_group_starts_together(self):
+        schedule = Schedule()
+        short = Gaussian(50.0, 0.5, 10.0)
+        long = Gaussian(100.0, 0.5, 20.0)
+        schedule.append(Play(long, drive_channel(0)))
+        schedule.append_group(
+            [Play(short, drive_channel(0)), Play(short, drive_channel(1))]
+        )
+        starts = {
+            str(t.instruction.channel): t.start_ns
+            for t in schedule.instructions
+            if t.start_ns > 0
+        }
+        assert starts == {"d0": 100.0, "d1": 100.0}
+
+    def test_shift_phase_costs_nothing(self):
+        schedule = Schedule()
+        schedule.append(ShiftPhase(1.2, drive_channel(0)))
+        assert schedule.duration_ns() == 0.0
+        assert schedule.pulse_count() == 0
+
+    def test_barrier_aligns(self):
+        schedule = Schedule()
+        pulse = Gaussian(100.0, 0.5, 20.0)
+        schedule.append(Play(pulse, drive_channel(0)))
+        schedule.append(Play(pulse, drive_channel(1)))
+        schedule.barrier()
+        schedule.append(Play(pulse, drive_channel(1)))
+        last = max(t.start_ns for t in schedule.instructions)
+        assert last == 100.0
+
+    def test_coupler_channel_order_insensitive(self):
+        assert coupler_channel(3, 1) == coupler_channel(1, 3)
+        assert str(coupler_channel(1, 3)) == "u1_3"
+
+    def test_occupancy(self):
+        schedule = Schedule()
+        pulse = Gaussian(100.0, 0.5, 20.0)
+        schedule.append(Play(pulse, drive_channel(0)))
+        schedule.append(Play(pulse, drive_channel(0)))
+        assert schedule.channel_occupancy(drive_channel(0)) == 200.0
+        assert schedule.channel_occupancy(drive_channel(1)) == 0.0
+
+
+class TestLowering:
+    def test_virtual_z_is_zero_duration(self):
+        device = ibmq5_tenerife()
+        circuit = Circuit(device.num_qubits)
+        circuit.add("u1", (0,), (0.7,))
+        schedule = lower_to_pulses(circuit, device)
+        assert schedule.duration_ns() == 0.0
+        assert schedule.pulse_count() == 0
+
+    def test_u3_is_two_pulses(self):
+        device = ibmq5_tenerife()
+        circuit = Circuit(device.num_qubits)
+        circuit.add("u3", (0,), (0.3, 0.1, -0.2))
+        schedule = lower_to_pulses(circuit, device)
+        assert schedule.pulse_count() == 2
+        assert schedule.duration_ns() == pytest.approx(72.0)
+
+    def test_compiled_bv4_schedules_on_all_vendors(self):
+        circuit, _ = bernstein_vazirani(4)
+        for device in (ibmq5_tenerife(), rigetti_agave(), umd_trapped_ion()):
+            program = compile_circuit(circuit, device)
+            schedule = lower_to_pulses(program.circuit, device)
+            assert schedule.duration_ns() > 0
+            # Pulse count at the schedule level matches the compiler's
+            # 1Q pulse metric plus 2Q + measurement pulses.
+            plays_2q = sum(
+                1
+                for t in schedule.instructions
+                if isinstance(t.instruction, Play)
+                and t.instruction.channel.kind == "u"
+            )
+            assert plays_2q == program.two_qubit_gate_count()
+
+    def test_trapped_ion_schedules_are_slow(self):
+        # Microseconds vs nanoseconds: the technology gap of Figure 1.
+        circuit, _ = bernstein_vazirani(4)
+        ibm = compile_circuit(circuit, ibmq5_tenerife())
+        umd = compile_circuit(circuit, umd_trapped_ion())
+        t_ibm = lower_to_pulses(ibm.circuit, ibm.device).duration_ns()
+        t_umd = lower_to_pulses(umd.circuit, umd.device).duration_ns()
+        assert t_umd > 100 * t_ibm
+
+    def test_rejects_untranslated(self):
+        device = ibmq5_tenerife()
+        circuit = Circuit(device.num_qubits).h(0)
+        with pytest.raises(ValueError, match="translate"):
+            lower_to_pulses(circuit, device)
+
+    def test_describe_listing(self):
+        device = ibmq5_tenerife()
+        circuit = Circuit(device.num_qubits)
+        circuit.add("u2", (0,), (0.0, 0.0)).cx(1, 0)
+        schedule = lower_to_pulses(circuit, device)
+        text = schedule.describe()
+        assert "play" in text and "shift_phase" in text
+        assert "u0_1" in text
+
+    def test_parallel_gates_overlap_in_time(self):
+        device = ibmq5_tenerife()
+        circuit = Circuit(device.num_qubits)
+        circuit.add("u2", (0,), (0.0, 0.0))
+        circuit.add("u2", (3,), (0.0, 0.0))
+        schedule = lower_to_pulses(circuit, device)
+        # Two disjoint 1Q gates: total duration is one pulse, not two.
+        calibration = default_calibration(device)
+        assert schedule.duration_ns() == calibration.x90_duration_ns

@@ -1,0 +1,95 @@
+"""Tests for ZXZ / ZYZ Euler decompositions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rotations import (
+    Quaternion,
+    quaternion_to_zxz,
+    quaternion_to_zyz,
+    zxz_to_quaternion,
+    zyz_to_quaternion,
+)
+
+angles = st.floats(
+    min_value=-4 * math.pi,
+    max_value=4 * math.pi,
+    allow_nan=False,
+    allow_infinity=False,
+)
+axes = st.tuples(
+    st.floats(min_value=-1, max_value=1),
+    st.floats(min_value=-1, max_value=1),
+    st.floats(min_value=-1, max_value=1),
+).filter(lambda v: math.sqrt(sum(c * c for c in v)) > 1e-3)
+rotations = st.builds(
+    lambda axis, theta: Quaternion.from_axis_angle(axis, theta), axes, angles
+)
+
+
+class TestZxz:
+    def test_pure_x(self):
+        angles_out = quaternion_to_zxz(Quaternion.rx(0.8))
+        assert angles_out.beta == pytest.approx(0.8)
+        # alpha and gamma only matter mod the Z structure; roundtrip:
+        assert zxz_to_quaternion(angles_out).approx_equal(Quaternion.rx(0.8))
+
+    def test_pure_z(self):
+        angles_out = quaternion_to_zxz(Quaternion.rz(1.3))
+        assert angles_out.beta == pytest.approx(0.0, abs=1e-9)
+        assert angles_out.alpha + angles_out.gamma == pytest.approx(1.3)
+
+    def test_identity(self):
+        angles_out = quaternion_to_zxz(Quaternion.identity())
+        assert angles_out.beta == pytest.approx(0.0, abs=1e-12)
+
+    def test_hadamard(self):
+        h = Quaternion.from_axis_angle((1, 0, 1), math.pi)
+        assert zxz_to_quaternion(quaternion_to_zxz(h)).approx_equal(h)
+
+    def test_beta_range(self):
+        # beta is reported in [0, pi] (sin(beta/2) >= 0 by construction).
+        q = Quaternion.rx(-0.9)
+        angles_out = quaternion_to_zxz(q)
+        assert 0 <= angles_out.beta <= math.pi + 1e-9
+        assert zxz_to_quaternion(angles_out).approx_equal(q)
+
+    @given(rotations)
+    def test_roundtrip(self, q):
+        assert zxz_to_quaternion(quaternion_to_zxz(q)).approx_equal(
+            q, atol=1e-7
+        )
+
+    @given(angles, angles, angles)
+    def test_forward_then_extract(self, alpha, beta, gamma):
+        from repro.rotations.euler import ZXZAngles
+
+        q = zxz_to_quaternion(ZXZAngles(alpha, beta, gamma))
+        assert zxz_to_quaternion(quaternion_to_zxz(q)).approx_equal(
+            q, atol=1e-7
+        )
+
+
+class TestZyz:
+    def test_pure_y(self):
+        angles_out = quaternion_to_zyz(Quaternion.ry(0.8))
+        assert angles_out.beta == pytest.approx(0.8)
+
+    def test_pure_z(self):
+        angles_out = quaternion_to_zyz(Quaternion.rz(-0.4))
+        assert angles_out.beta == pytest.approx(0.0, abs=1e-9)
+        assert angles_out.alpha + angles_out.gamma == pytest.approx(-0.4)
+
+    @given(rotations)
+    def test_roundtrip(self, q):
+        assert zyz_to_quaternion(quaternion_to_zyz(q)).approx_equal(
+            q, atol=1e-7
+        )
+
+    @given(rotations)
+    def test_zxz_and_zyz_agree(self, q):
+        via_zxz = zxz_to_quaternion(quaternion_to_zxz(q))
+        via_zyz = zyz_to_quaternion(quaternion_to_zyz(q))
+        assert via_zxz.approx_equal(via_zyz, atol=1e-7)

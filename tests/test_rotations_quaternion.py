@@ -1,0 +1,135 @@
+"""Unit and property tests for quaternion rotation algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rotations import Quaternion
+
+angles = st.floats(
+    min_value=-4 * math.pi,
+    max_value=4 * math.pi,
+    allow_nan=False,
+    allow_infinity=False,
+)
+axes = st.tuples(
+    st.floats(min_value=-1, max_value=1),
+    st.floats(min_value=-1, max_value=1),
+    st.floats(min_value=-1, max_value=1),
+).filter(lambda v: math.sqrt(v[0] ** 2 + v[1] ** 2 + v[2] ** 2) > 1e-3)
+
+
+def random_quaternions() -> st.SearchStrategy:
+    return st.builds(
+        lambda axis, theta: Quaternion.from_axis_angle(axis, theta),
+        axes,
+        angles,
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        q = Quaternion.identity()
+        assert q.is_identity()
+        assert q.norm() == pytest.approx(1.0)
+
+    def test_rx_matches_axis_angle(self):
+        a = Quaternion.rx(0.7)
+        b = Quaternion.from_axis_angle((1, 0, 0), 0.7)
+        assert a.approx_equal(b)
+
+    def test_ry_rz_axes(self):
+        assert Quaternion.ry(0.5).rotation_axis() == pytest.approx((0, 1, 0))
+        assert Quaternion.rz(0.5).rotation_axis() == pytest.approx((0, 0, 1))
+
+    def test_rxy_phi_zero_is_rx(self):
+        assert Quaternion.rxy(1.2, 0.0).approx_equal(Quaternion.rx(1.2))
+
+    def test_rxy_phi_half_pi_is_ry(self):
+        assert Quaternion.rxy(1.2, math.pi / 2).approx_equal(
+            Quaternion.ry(1.2)
+        )
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Quaternion.from_axis_angle((0, 0, 0), 1.0)
+
+    def test_axis_normalization(self):
+        a = Quaternion.from_axis_angle((2, 0, 0), 0.9)
+        assert a.approx_equal(Quaternion.rx(0.9))
+
+
+class TestAlgebra:
+    def test_rz_composition_adds_angles(self):
+        composed = Quaternion.rz(0.3) * Quaternion.rz(0.4)
+        assert composed.approx_equal(Quaternion.rz(0.7))
+
+    def test_conjugate_inverts(self):
+        q = Quaternion.from_axis_angle((1, 2, 3), 0.8)
+        assert (q * q.conjugate()).is_identity()
+
+    def test_x_then_z_is_not_z_then_x(self):
+        xz = Quaternion.rz(math.pi / 2) * Quaternion.rx(math.pi / 2)
+        zx = Quaternion.rx(math.pi / 2) * Quaternion.rz(math.pi / 2)
+        assert not xz.approx_equal(zx)
+
+    def test_rotate_vector_x_about_z(self):
+        rotated = Quaternion.rz(math.pi / 2).rotate_vector((1, 0, 0))
+        assert rotated == pytest.approx((0, 1, 0), abs=1e-12)
+
+    def test_normalize_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Quaternion(0, 0, 0, 0).normalized()
+
+
+class TestQueries:
+    def test_rotation_angle(self):
+        assert Quaternion.rx(0.9).rotation_angle() == pytest.approx(0.9)
+
+    def test_is_z_rotation(self):
+        assert Quaternion.rz(1.1).is_z_rotation()
+        assert not Quaternion.rx(1.1).is_z_rotation()
+        assert Quaternion.identity().is_z_rotation()
+
+    def test_canonical_sign(self):
+        q = Quaternion(-0.5, 0.5, 0.5, 0.5)
+        canonical = q.canonical()
+        assert canonical.w > 0
+        assert canonical.approx_equal(q)
+
+    def test_minus_q_same_rotation(self):
+        q = Quaternion.from_axis_angle((1, 1, 0), 1.0)
+        minus = Quaternion(-q.w, -q.x, -q.y, -q.z)
+        assert q.approx_equal(minus)
+
+
+class TestProperties:
+    @given(random_quaternions(), random_quaternions())
+    def test_product_is_unit_norm(self, a, b):
+        assert (a * b).norm() == pytest.approx(1.0, abs=1e-9)
+
+    @given(random_quaternions(), random_quaternions(), random_quaternions())
+    def test_associativity(self, a, b, c):
+        left = (a * b) * c
+        right = a * (b * c)
+        assert left.approx_equal(right, atol=1e-7)
+
+    @given(random_quaternions())
+    def test_conjugate_is_inverse(self, q):
+        assert (q * q.conjugate()).is_identity(atol=1e-7)
+
+    @given(random_quaternions(), axes)
+    def test_rotation_preserves_length(self, q, vec):
+        rotated = q.rotate_vector(vec)
+        assert np.linalg.norm(rotated) == pytest.approx(
+            np.linalg.norm(vec), abs=1e-7
+        )
+
+    @given(random_quaternions(), random_quaternions(), axes)
+    def test_composition_matches_sequential_rotation(self, a, b, vec):
+        # b * a applies a first.
+        sequential = b.rotate_vector(a.rotate_vector(vec))
+        composed = (b * a).rotate_vector(vec)
+        assert composed == pytest.approx(sequential, abs=1e-6)

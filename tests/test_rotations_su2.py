@@ -1,0 +1,103 @@
+"""Tests for quaternion <-> SU(2) conversions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import gate_matrix
+from repro.rotations import (
+    Quaternion,
+    quaternion_to_unitary,
+    rotation_unitary,
+    unitary_to_quaternion,
+)
+
+angles = st.floats(
+    min_value=-4 * math.pi,
+    max_value=4 * math.pi,
+    allow_nan=False,
+    allow_infinity=False,
+)
+axes = st.tuples(
+    st.floats(min_value=-1, max_value=1),
+    st.floats(min_value=-1, max_value=1),
+    st.floats(min_value=-1, max_value=1),
+).filter(lambda v: math.sqrt(sum(c * c for c in v)) > 1e-3)
+rotations = st.builds(
+    lambda axis, theta: Quaternion.from_axis_angle(axis, theta), axes, angles
+)
+
+
+class TestQuaternionToUnitary:
+    def test_identity(self):
+        np.testing.assert_allclose(
+            quaternion_to_unitary(Quaternion.identity()), np.eye(2)
+        )
+
+    @pytest.mark.parametrize("axis", ["x", "y", "z"])
+    def test_matches_rotation_unitary(self, axis):
+        theta = 0.77
+        q = getattr(Quaternion, f"r{axis}")(theta)
+        np.testing.assert_allclose(
+            quaternion_to_unitary(q),
+            rotation_unitary(axis, theta),
+            atol=1e-12,
+        )
+
+    def test_rotation_unitary_matches_gate_matrix(self):
+        theta = 1.1
+        for axis in "xyz":
+            np.testing.assert_allclose(
+                rotation_unitary(axis, theta),
+                gate_matrix(f"r{axis}", (theta,)),
+                atol=1e-12,
+            )
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            rotation_unitary("w", 1.0)
+
+    @given(rotations)
+    def test_output_is_special_unitary(self, q):
+        mat = quaternion_to_unitary(q)
+        np.testing.assert_allclose(
+            mat @ mat.conj().T, np.eye(2), atol=1e-9
+        )
+        assert np.linalg.det(mat) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestUnitaryToQuaternion:
+    def test_pauli_x_maps_to_rx_pi(self):
+        q = unitary_to_quaternion(gate_matrix("x"))
+        assert q.approx_equal(Quaternion.rx(math.pi))
+
+    def test_hadamard(self):
+        q = unitary_to_quaternion(gate_matrix("h"))
+        expected = Quaternion.from_axis_angle((1, 0, 1), math.pi)
+        assert q.approx_equal(expected)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            unitary_to_quaternion(np.eye(4))
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            unitary_to_quaternion(np.array([[1, 0], [0, 2]]))
+
+    @given(rotations)
+    def test_roundtrip(self, q):
+        back = unitary_to_quaternion(quaternion_to_unitary(q))
+        assert back.approx_equal(q, atol=1e-6)
+
+    @given(rotations, rotations)
+    def test_multiplication_homomorphism(self, a, b):
+        # Quaternion product corresponds to matrix product.
+        product_mat = quaternion_to_unitary(b) @ quaternion_to_unitary(a)
+        expected = quaternion_to_unitary(b * a)
+        # Equal up to a global sign (SU(2) double cover).
+        close = np.allclose(product_mat, expected, atol=1e-8) or np.allclose(
+            product_mat, -expected, atol=1e-8
+        )
+        assert close

@@ -1,0 +1,117 @@
+"""Property-based tests: routing invariants on random circuits/devices.
+
+These encode the contracts every router must satisfy:
+
+* all 2Q gates in the output act on hardware-coupled pairs,
+* the classical output distribution is exactly preserved,
+* measurement cbits stay in program-qubit order,
+* the final placement is a valid injection.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import make_device
+from repro.baselines.router import greedy_route
+from repro.compiler.mapping import default_mapping
+from repro.compiler.reliability import compute_reliability
+from repro.compiler.routing import route_circuit
+from repro.devices import Topology
+from repro.ir import Circuit, decompose_to_basis
+from repro.sim import ideal_distribution
+
+
+def topologies():
+    return st.sampled_from([
+        Topology.line(5),
+        Topology.ring(6),
+        Topology.grid(2, 3),
+        Topology.star(5),
+        Topology.full(4),
+    ])
+
+
+@st.composite
+def circuits(draw, max_qubits: int = 4, max_gates: int = 14):
+    num_qubits = draw(st.integers(2, max_qubits))
+    circuit = Circuit(num_qubits, name="random")
+    num_gates = draw(st.integers(1, max_gates))
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            circuit.h(draw(st.integers(0, num_qubits - 1)))
+        elif kind == 1:
+            circuit.rz(
+                draw(st.floats(-3, 3, allow_nan=False)),
+                draw(st.integers(0, num_qubits - 1)),
+            )
+        elif kind == 2:
+            circuit.x(draw(st.integers(0, num_qubits - 1)))
+        else:
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 1))
+            if a != b:
+                circuit.cx(a, b)
+    circuit.measure_all()
+    return circuit
+
+
+@settings(max_examples=40, deadline=None)
+@given(topologies(), circuits())
+def test_triq_router_invariants(topology, circuit):
+    if circuit.num_qubits > topology.num_qubits:
+        return
+    device = make_device(topology)
+    decomposed = decompose_to_basis(circuit)
+    mapping = default_mapping(decomposed, device)
+    reliability = compute_reliability(device)
+    routed = route_circuit(decomposed, device, mapping, reliability)
+
+    for inst in routed.circuit:
+        if inst.is_unitary and inst.num_qubits == 2:
+            assert device.topology.are_coupled(*inst.qubits)
+
+    placement = routed.final_placement
+    assert len(set(placement)) == len(placement)
+
+    cbits = sorted(
+        inst.cbits[0] for inst in routed.circuit if inst.is_measurement
+    )
+    assert cbits == list(range(circuit.num_qubits))
+
+    assert ideal_distribution(routed.circuit) == pytest.approx(
+        ideal_distribution(circuit), abs=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(topologies(), circuits(), st.integers(0, 3))
+def test_baseline_router_invariants(topology, circuit, seed):
+    if circuit.num_qubits > topology.num_qubits:
+        return
+    device = make_device(topology)
+    decomposed = decompose_to_basis(circuit)
+    mapping = default_mapping(decomposed, device)
+    routed = greedy_route(decomposed, device, mapping, seed=seed)
+
+    for inst in routed.circuit:
+        if inst.is_unitary and inst.num_qubits == 2:
+            assert device.topology.are_coupled(*inst.qubits)
+    assert ideal_distribution(routed.circuit) == pytest.approx(
+        ideal_distribution(circuit), abs=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuits(max_qubits=4))
+def test_full_pipeline_preserves_distribution(circuit):
+    from repro.compiler import OptimizationLevel, compile_circuit
+
+    device = make_device(Topology.grid(2, 3))
+    program = compile_circuit(
+        circuit, device, level=OptimizationLevel.OPT_1QCN
+    )
+    assert ideal_distribution(program.circuit) == pytest.approx(
+        ideal_distribution(circuit), abs=1e-7
+    )

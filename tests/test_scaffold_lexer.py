@@ -1,0 +1,59 @@
+"""Tests for the Scaffold tokenizer."""
+
+import pytest
+
+from repro.scaffold import ScaffoldSyntaxError, tokenize
+
+
+class TestTokenize:
+    def test_simple_statement(self):
+        tokens = tokenize("H(q[0]);")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "IDENT", "PUNCT", "IDENT", "PUNCT", "NUMBER", "PUNCT",
+            "PUNCT", "PUNCT", "EOF",
+        ]
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("module for int qbit const")
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_identifier_not_keyword(self):
+        tokens = tokenize("modules fortune")
+        assert all(t.kind == "IDENT" for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e3 2.5e-2")
+        values = [t.value for t in tokens[:-1]]
+        assert values[0] == "42"
+        assert values[1] == "3.14"
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("H(q); // apply hadamard\nX(q);")
+        names = [t.value for t in tokens if t.kind == "IDENT"]
+        assert names == ["H", "q", "X", "q"]
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("H(q); /* multi\nline */ X(q);")
+        names = [t.value for t in tokens if t.kind == "IDENT"]
+        assert names == ["H", "q", "X", "q"]
+
+    def test_line_numbers_track_newlines(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("  abc")
+        assert tokens[0].column == 3
+
+    def test_two_char_operators(self):
+        tokens = tokenize("i++ j <= k == l")
+        ops = [t.value for t in tokens if t.kind == "OP"]
+        assert ops == ["++", "<=", "=="]
+
+    def test_bad_character(self):
+        with pytest.raises(ScaffoldSyntaxError, match="unexpected character"):
+            tokenize("H(q) @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"

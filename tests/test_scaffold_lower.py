@@ -1,0 +1,250 @@
+"""Tests for Scaffold lowering: unrolling, inlining, semantics."""
+
+import math
+
+import pytest
+
+from repro.ir import Circuit
+from repro.programs import bernstein_vazirani
+from repro.scaffold import compile_scaffold
+from repro.scaffold.errors import (
+    ScaffoldError,
+    ScaffoldNameError,
+    ScaffoldTypeError,
+)
+from repro.sim import ideal_distribution
+
+BV_SOURCE = """
+const int N = 4;
+module main(qbit q[N]) {
+    for (int i = 0; i < N - 1; i++) { H(q[i]); }
+    X(q[N-1]); H(q[N-1]);
+    for (int i = 0; i < N - 1; i++) { CNOT(q[i], q[N-1]); }
+    for (int i = 0; i < N; i++) { H(q[i]); MeasZ(q[i]); }
+}
+"""
+
+
+class TestBasics:
+    def test_gate_emission(self):
+        circuit = compile_scaffold("module main(qbit q[2]) { H(q[0]); CNOT(q[0], q[1]); }")
+        assert [i.name for i in circuit] == ["h", "cx"]
+
+    def test_scalar_qbit(self):
+        circuit = compile_scaffold("module main(qbit a, qbit b) { CNOT(a, b); }")
+        assert circuit.num_qubits == 2
+        assert circuit[0].qubits == (0, 1)
+
+    def test_rotation_with_pi(self):
+        circuit = compile_scaffold("module main(qbit q) { Rz(q, pi / 2); }")
+        assert circuit[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_measz_records_cbit(self):
+        circuit = compile_scaffold("module main(qbit q[2]) { MeasZ(q[1]); }")
+        assert circuit[0].cbits == (1,)
+
+    def test_measx_adds_hadamard(self):
+        circuit = compile_scaffold("module main(qbit q) { MeasX(q); }")
+        assert [i.name for i in circuit] == ["h", "measure"]
+
+    def test_prepz_one_flips(self):
+        circuit = compile_scaffold("module main(qbit q) { PrepZ(q, 1); H(q); }")
+        assert [i.name for i in circuit] == ["x", "h"]
+
+    def test_prepz_zero_is_noop(self):
+        circuit = compile_scaffold("module main(qbit q) { PrepZ(q, 0); H(q); }")
+        assert [i.name for i in circuit] == ["h"]
+
+    def test_whole_register_measure(self):
+        circuit = compile_scaffold("module main(qbit q[3]) { MeasZ(q); }")
+        assert circuit.count_ops()["measure"] == 3
+
+
+class TestControlFlow:
+    def test_loop_unrolling(self):
+        circuit = compile_scaffold(
+            "module main(qbit q[4]) { for (int i = 0; i < 4; i++) { H(q[i]); } }"
+        )
+        assert [i.qubits[0] for i in circuit] == [0, 1, 2, 3]
+
+    def test_loop_with_stride(self):
+        circuit = compile_scaffold(
+            "module main(qbit q[6]) {"
+            " for (int i = 0; i < 6; i = i + 2) { H(q[i]); } }"
+        )
+        assert [i.qubits[0] for i in circuit] == [0, 2, 4]
+
+    def test_countdown_loop(self):
+        circuit = compile_scaffold(
+            "module main(qbit q[3]) {"
+            " for (int i = 2; i >= 0; i--) { H(q[i]); } }"
+        )
+        assert [i.qubits[0] for i in circuit] == [2, 1, 0]
+
+    def test_nested_loops(self):
+        circuit = compile_scaffold(
+            "module main(qbit q[2]) {"
+            " for (int i = 0; i < 2; i++) {"
+            "   for (int j = 0; j < 2; j++) { H(q[j]); } } }"
+        )
+        assert len(circuit) == 4
+
+    def test_if_true_branch(self):
+        circuit = compile_scaffold(
+            "module main(qbit q) { if (2 > 1) { H(q); } else { X(q); } }"
+        )
+        assert circuit[0].name == "h"
+
+    def test_if_false_branch(self):
+        circuit = compile_scaffold(
+            "module main(qbit q) { if (2 < 1) { H(q); } else { X(q); } }"
+        )
+        assert circuit[0].name == "x"
+
+    def test_variable_assignment(self):
+        circuit = compile_scaffold(
+            "module main(qbit q[4]) { int k = 1; k = k + 2; H(q[k]); }"
+        )
+        assert circuit[0].qubits == (3,)
+
+    def test_runaway_loop_guard(self):
+        with pytest.raises(ScaffoldError, match="iterations"):
+            compile_scaffold(
+                "module main(qbit q) {"
+                " for (int i = 0; i < 200000; i++) { H(q); } }"
+            )
+
+
+class TestModulesAndDefines:
+    def test_module_inlining(self):
+        circuit = compile_scaffold(
+            "module bell(qbit a, qbit b) { H(a); CNOT(a, b); }\n"
+            "module main(qbit q[4]) { bell(q[0], q[1]); bell(q[2], q[3]); }"
+        )
+        assert [i.name for i in circuit] == ["h", "cx", "h", "cx"]
+        assert circuit[3].qubits == (2, 3)
+
+    def test_register_passed_whole(self):
+        circuit = compile_scaffold(
+            "module ghz(qbit r[3]) { H(r[0]); CNOT(r[0], r[1]); CNOT(r[1], r[2]); }\n"
+            "module main(qbit q[3]) { ghz(q); }"
+        )
+        assert len(circuit) == 3
+
+    def test_defines_override_consts(self):
+        source = (
+            "const int N = 2;\n"
+            "module main(qbit q[N]) {"
+            " for (int i = 0; i < N; i++) { H(q[i]); } }"
+        )
+        assert compile_scaffold(source).num_qubits == 2
+        assert compile_scaffold(source, defines={"N": 5}).num_qubits == 5
+
+    def test_recursion_guard(self):
+        with pytest.raises(ScaffoldError, match="depth"):
+            compile_scaffold(
+                "module loop(qbit a) { loop(a); }\n"
+                "module main(qbit q) { loop(q); }"
+            )
+
+    def test_unknown_gate(self):
+        with pytest.raises(ScaffoldNameError, match="unknown gate"):
+            compile_scaffold("module main(qbit q) { Hadamard(q); }")
+
+    def test_wrong_module_arity(self):
+        with pytest.raises(ScaffoldTypeError, match="argument"):
+            compile_scaffold(
+                "module bell(qbit a, qbit b) { CNOT(a, b); }\n"
+                "module main(qbit q[2]) { bell(q[0]); }"
+            )
+
+    def test_register_size_mismatch(self):
+        with pytest.raises(ScaffoldTypeError, match="expects"):
+            compile_scaffold(
+                "module ghz(qbit r[3]) { H(r[0]); }\n"
+                "module main(qbit q[2]) { ghz(q); }"
+            )
+
+    def test_missing_entry_module(self):
+        with pytest.raises(ScaffoldNameError, match="no module named"):
+            compile_scaffold("module helper(qbit q) { H(q); }")
+
+
+class TestErrors:
+    def test_index_out_of_range(self):
+        with pytest.raises(ScaffoldError, match="out of range"):
+            compile_scaffold("module main(qbit q[2]) { H(q[2]); }")
+
+    def test_undefined_register(self):
+        with pytest.raises(ScaffoldNameError, match="undefined qubit"):
+            compile_scaffold("module main(qbit q) { H(r); }")
+
+    def test_undefined_variable(self):
+        with pytest.raises(ScaffoldNameError, match="undefined variable"):
+            compile_scaffold("module main(qbit q[4]) { H(q[k]); }")
+
+    def test_non_integer_index(self):
+        with pytest.raises(ScaffoldTypeError, match="integer"):
+            compile_scaffold("module main(qbit q[4]) { H(q[1.5]); }")
+
+
+class TestSemantics:
+    def test_bv4_matches_builtin(self):
+        circuit = compile_scaffold(BV_SOURCE)
+        reference, correct = bernstein_vazirani(4)
+        assert ideal_distribution(circuit) == pytest.approx(
+            ideal_distribution(reference)
+        )
+        assert ideal_distribution(circuit)[correct] == pytest.approx(1.0)
+
+    def test_parameterized_bv(self):
+        circuit = compile_scaffold(BV_SOURCE, defines={"N": 6})
+        reference, _ = bernstein_vazirani(6)
+        assert ideal_distribution(circuit) == pytest.approx(
+            ideal_distribution(reference)
+        )
+
+    def test_loop_body_scoping(self):
+        # The loop variable must not leak out of the loop.
+        with pytest.raises(ScaffoldNameError):
+            compile_scaffold(
+                "module main(qbit q[4]) {"
+                " for (int i = 0; i < 2; i++) { H(q[i]); }"
+                " H(q[i]); }"
+            )
+
+
+class TestIntModuleParams:
+    def test_int_param_bound_from_literal(self):
+        circuit = compile_scaffold(
+            "module rot(qbit q, int d) { Rz(q, pi / d); }\n"
+            "module main(qbit q) { rot(q, 4); }"
+        )
+        assert circuit[0].params[0] == pytest.approx(math.pi / 4)
+
+    def test_int_param_bound_from_expression(self):
+        circuit = compile_scaffold(
+            "module rot(qbit q, int d) { Rz(q, pi / d); }\n"
+            "module main(qbit q) { int k = 3; rot(q, k + 1); }"
+        )
+        assert circuit[0].params[0] == pytest.approx(math.pi / 4)
+
+    def test_int_param_bound_from_bare_variable(self):
+        # A bare name parses as a qubit ref; the int parameter rebinds
+        # it as a variable reference.
+        circuit = compile_scaffold(
+            "module rot(qbit q, int d) { Rz(q, pi / d); }\n"
+            "module main(qbit q) { int k = 8; rot(q, k); }"
+        )
+        assert circuit[0].params[0] == pytest.approx(math.pi / 8)
+
+    def test_qubit_passed_to_int_param_rejected(self):
+        with pytest.raises(ScaffoldTypeError, match="is an int"):
+            compile_scaffold(
+                "module rot(qbit q, int d) { Rz(q, pi / d); }\n"
+                "module main(qbit q, qbit r) { rot(q, r[0]); }"
+            )
+
+    def test_entry_module_int_param_rejected(self):
+        with pytest.raises(ScaffoldTypeError, match="cannot take int"):
+            compile_scaffold("module main(qbit q, int n) { H(q); }")

@@ -1,0 +1,121 @@
+"""Tests for the Scaffold parser."""
+
+import pytest
+
+from repro.scaffold import ScaffoldSyntaxError, parse_program
+from repro.scaffold.ast_nodes import (
+    BinaryOp,
+    ForLoop,
+    GateCall,
+    IfStatement,
+    IntDecl,
+    NumberLiteral,
+    QubitRef,
+)
+
+
+class TestModules:
+    def test_simple_module(self):
+        program = parse_program("module main(qbit q[3]) { H(q[0]); }")
+        module = program.module("main")
+        assert module.params[0].name == "q"
+        assert isinstance(module.body[0], GateCall)
+
+    def test_scalar_qbit_param(self):
+        program = parse_program("module main(qbit a) { X(a); }")
+        assert program.module("main").params[0].size is None
+
+    def test_multiple_modules(self):
+        program = parse_program(
+            "module bell(qbit a, qbit b) { H(a); CNOT(a, b); }\n"
+            "module main(qbit q[2]) { bell(q[0], q[1]); }"
+        )
+        assert {m.name for m in program.modules} == {"bell", "main"}
+
+    def test_missing_module_keyword(self):
+        with pytest.raises(ScaffoldSyntaxError, match="module"):
+            parse_program("int x = 3;")
+
+    def test_unknown_module_lookup(self):
+        program = parse_program("module main(qbit q) { H(q); }")
+        with pytest.raises(KeyError):
+            program.module("other")
+
+    def test_const_declarations(self):
+        program = parse_program(
+            "const int N = 4; module main(qbit q[N]) { H(q[0]); }"
+        )
+        assert program.constants[0].name == "N"
+
+
+class TestStatements:
+    def test_for_loop(self):
+        program = parse_program(
+            "module main(qbit q[4]) {"
+            " for (int i = 0; i < 4; i++) { H(q[i]); } }"
+        )
+        loop = program.module("main").body[0]
+        assert isinstance(loop, ForLoop)
+        assert loop.var == "i"
+        assert loop.comparison == "<"
+
+    def test_for_loop_with_step(self):
+        program = parse_program(
+            "module main(qbit q[8]) {"
+            " for (int i = 0; i < 8; i = i + 2) { H(q[i]); } }"
+        )
+        loop = program.module("main").body[0]
+        assert isinstance(loop, ForLoop)
+
+    def test_for_wrong_variable_in_condition(self):
+        with pytest.raises(ScaffoldSyntaxError, match="loop condition"):
+            parse_program(
+                "module main(qbit q[4]) {"
+                " for (int i = 0; j < 4; i++) { H(q[i]); } }"
+            )
+
+    def test_if_else(self):
+        program = parse_program(
+            "module main(qbit q[2]) {"
+            " if (1 == 1) { H(q[0]); } else { X(q[0]); } }"
+        )
+        stmt = program.module("main").body[0]
+        assert isinstance(stmt, IfStatement)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_int_decl_and_assignment(self):
+        program = parse_program(
+            "module main(qbit q) { int k = 2; k = k * 3; H(q); }"
+        )
+        body = program.module("main").body
+        assert isinstance(body[0], IntDecl)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ScaffoldSyntaxError):
+            parse_program("module main(qbit q) { H(q) }")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        program = parse_program("module main(qbit q) { Rz(q, 1 + 2 * 3); }")
+        call = program.module("main").body[0]
+        expr = call.args[1]
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        program = parse_program("module main(qbit q) { Rz(q, (1 + 2) * 3); }")
+        expr = program.module("main").body[0].args[1]
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        program = parse_program("module main(qbit q) { Rz(q, -pi / 2); }")
+        assert program.module("main").body[0].args[1] is not None
+
+    def test_indexed_arg_is_qubit_ref(self):
+        program = parse_program("module main(qbit q[2]) { CNOT(q[0], q[1]); }")
+        call = program.module("main").body[0]
+        assert all(isinstance(arg, QubitRef) for arg in call.args)

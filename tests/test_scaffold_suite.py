@@ -1,0 +1,64 @@
+"""The Scaffold-source suite must match the builtin benchmarks."""
+
+import pytest
+
+from repro.programs import benchmark_by_name
+from repro.programs.scaffold_sources import (
+    SCAFFOLD_SUITE,
+    scaffold_benchmark,
+    scaffold_suite,
+)
+from repro.sim import ideal_distribution
+
+NAMES = list(SCAFFOLD_SUITE)
+
+
+class TestScaffoldSuite:
+    def test_all_twelve_present(self):
+        assert len(NAMES) == 12
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_correct_output(self, name):
+        circuit, correct = scaffold_benchmark(name)
+        assert ideal_distribution(circuit)[correct] == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_matches_builtin_distribution(self, name):
+        from_source, correct_src = scaffold_benchmark(name)
+        builtin, correct_builtin = benchmark_by_name(name).build()
+        assert correct_src == correct_builtin
+        assert from_source.num_qubits == builtin.num_qubits
+        assert ideal_distribution(from_source) == pytest.approx(
+            ideal_distribution(builtin), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("name", ["BV6", "HS4", "QFT"])
+    def test_same_two_qubit_structure(self, name):
+        from repro.ir import decompose_to_basis
+        from repro.ir.dag import interaction_counts
+
+        from_source, _ = scaffold_benchmark(name)
+        builtin, _ = benchmark_by_name(name).build()
+        assert interaction_counts(
+            decompose_to_basis(from_source)
+        ) == interaction_counts(decompose_to_basis(builtin))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            scaffold_benchmark("Shor")
+
+    def test_suite_iteration(self):
+        suite = scaffold_suite()
+        assert [name for name, _, _ in suite] == NAMES
+
+    @pytest.mark.parametrize("name", ["BV4", "Toffoli", "QFT"])
+    def test_compiles_for_hardware(self, name):
+        from repro import compile_circuit, ibmq14_melbourne
+
+        circuit, correct = scaffold_benchmark(name)
+        program = compile_circuit(circuit, ibmq14_melbourne())
+        assert ideal_distribution(program.circuit)[correct] == pytest.approx(
+            1.0, abs=1e-9
+        )

@@ -1,0 +1,130 @@
+"""Tests for the Pauli fault-injection noise model."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import make_device
+from repro.devices import Topology
+from repro.ir import Circuit
+from repro.ir.instruction import Instruction
+from repro.sim.noise import (
+    NoiseModel,
+    instruction_error_probability,
+)
+
+
+def calibration():
+    return make_device(
+        Topology.line(3),
+        two_qubit_error=0.1,
+        single_qubit_error=0.01,
+        readout_error=0.05,
+    ).calibration()
+
+
+class TestErrorProbabilities:
+    def test_virtual_z_is_free(self):
+        cal = calibration()
+        for name, params in (("rz", (0.3,)), ("u1", (0.3,)), ("t", ()),
+                             ("s", ()), ("z", ())):
+            inst = Instruction(name, (0,), params)
+            assert instruction_error_probability(inst, cal) == 0.0
+
+    def test_single_pulse_rate(self):
+        cal = calibration()
+        inst = Instruction("u2", (0,), (0.0, 0.1))
+        assert instruction_error_probability(inst, cal) == pytest.approx(0.01)
+
+    def test_u3_counts_two_pulses(self):
+        cal = calibration()
+        inst = Instruction("u3", (0,), (0.1, 0.2, 0.3))
+        assert instruction_error_probability(inst, cal) == pytest.approx(
+            1 - 0.99**2
+        )
+
+    def test_two_qubit_uses_edge_rate(self):
+        cal = calibration()
+        inst = Instruction("cx", (0, 1))
+        assert instruction_error_probability(inst, cal) == pytest.approx(0.1)
+
+    def test_swap_counts_three_gates(self):
+        cal = calibration()
+        inst = Instruction("swap", (1, 2))
+        assert instruction_error_probability(inst, cal) == pytest.approx(
+            1 - 0.9**3
+        )
+
+    def test_measure_and_barrier_free_here(self):
+        cal = calibration()
+        assert instruction_error_probability(
+            Instruction("measure", (0,), (), (0,)), cal
+        ) == 0.0
+        assert instruction_error_probability(
+            Instruction("barrier", ()), cal
+        ) == 0.0
+
+
+class TestNoiseModel:
+    def device(self):
+        return make_device(
+            Topology.line(3),
+            two_qubit_error=0.1,
+            single_qubit_error=0.01,
+            readout_error=0.05,
+        )
+
+    def test_locations_skip_free_gates(self):
+        circuit = Circuit(3).h(0).rz(0.3, 0).cx(0, 1).measure_all()
+        model = NoiseModel.from_device(self.device(), circuit)
+        assert model.total_locations() == 2  # h and cx
+
+    def test_no_fault_probability(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 2)
+        model = NoiseModel.from_device(self.device(), circuit)
+        assert model.no_fault_probability() == pytest.approx(0.9 * 0.9)
+
+    def test_readout_errors_recorded(self):
+        circuit = Circuit(3).measure_all()
+        model = NoiseModel.from_device(self.device(), circuit)
+        assert model.readout_error[0] == pytest.approx(0.05)
+
+    def test_sampling_deterministic_with_seeded_rng(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 2).h(0)
+        model = NoiseModel.from_device(self.device(), circuit)
+        a = model.sample_faults(np.random.default_rng(7))
+        b = model.sample_faults(np.random.default_rng(7))
+        assert a == b
+
+    def test_sample_faulty_configuration_never_empty(self):
+        circuit = Circuit(3).cx(0, 1)
+        model = NoiseModel.from_device(self.device(), circuit)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert model.sample_faulty_configuration(rng)
+
+    def test_fault_rate_statistics(self):
+        # Empirical fault frequency must track the error probability.
+        circuit = Circuit(3).cx(0, 1)
+        model = NoiseModel.from_device(self.device(), circuit)
+        rng = np.random.default_rng(123)
+        faults = sum(bool(model.sample_faults(rng)) for _ in range(4000))
+        assert faults / 4000 == pytest.approx(0.1, abs=0.02)
+
+    def test_two_qubit_faults_touch_gate_qubits_only(self):
+        circuit = Circuit(3).cx(1, 2)
+        model = NoiseModel.from_device(self.device(), circuit)
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            for fault in model.sample_faulty_configuration(rng):
+                for pauli in fault.paulis:
+                    assert pauli.qubits[0] in (1, 2)
+
+    def test_injections_format(self):
+        circuit = Circuit(3).cx(0, 1)
+        model = NoiseModel.from_device(self.device(), circuit)
+        rng = np.random.default_rng(2)
+        faults = model.sample_faulty_configuration(rng)
+        injections = model.faults_as_injections(faults)
+        position, inst = injections[0]
+        assert position == 0
+        assert inst.name in ("x", "y", "z")

@@ -1,0 +1,167 @@
+"""Tests for the dense state-vector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Circuit, gate_matrix
+from repro.ir.instruction import Instruction
+from repro.sim import (
+    apply_instruction,
+    circuit_unitary,
+    ideal_distribution,
+    simulate_statevector,
+)
+from repro.sim.statevector import (
+    apply_unitary,
+    distribution_from_state,
+    measurement_wiring,
+    zero_state,
+)
+
+
+class TestApplyUnitary:
+    def test_x_on_qubit0_is_msb(self):
+        state = zero_state(2)
+        out = apply_unitary(state, gate_matrix("x"), (0,), 2)
+        # Qubit 0 is the most significant bit: |00> -> |10> = index 2.
+        np.testing.assert_allclose(out, np.eye(4)[2])
+
+    def test_x_on_qubit1_is_lsb(self):
+        out = apply_unitary(zero_state(2), gate_matrix("x"), (1,), 2)
+        np.testing.assert_allclose(out, np.eye(4)[1])
+
+    def test_matches_kron_for_adjacent_qubits(self):
+        rng = np.random.default_rng(0)
+        state = rng.normal(size=4) + 1j * rng.normal(size=4)
+        state /= np.linalg.norm(state)
+        cx = gate_matrix("cx")
+        np.testing.assert_allclose(
+            apply_unitary(state, cx, (0, 1), 2), cx @ state, atol=1e-12
+        )
+
+    def test_reversed_qubit_order(self):
+        # cx with control=1, target=0 on a 2-qubit register.
+        state = zero_state(2)
+        state = apply_unitary(state, gate_matrix("x"), (1,), 2)  # |01>
+        out = apply_unitary(state, gate_matrix("cx"), (1, 0), 2)
+        np.testing.assert_allclose(out, np.eye(4)[0b11])
+
+    def test_norm_preserved(self):
+        rng = np.random.default_rng(1)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        state /= np.linalg.norm(state)
+        out = apply_unitary(state, gate_matrix("ccx"), (2, 0, 1), 3)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+
+class TestSimulate:
+    def test_bell_state(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        state = simulate_statevector(circuit)
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / math.sqrt(2)
+        np.testing.assert_allclose(state, expected, atol=1e-12)
+
+    def test_measure_is_noop_on_state(self):
+        circuit = Circuit(1).h(0).measure(0)
+        state = simulate_statevector(circuit)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_fault_injection_changes_state(self):
+        circuit = Circuit(1).h(0).h(0)
+        clean = simulate_statevector(circuit)
+        faulty = simulate_statevector(
+            circuit, faults=[(0, Instruction("z", (0,)))]
+        )
+        # H Z H = X, so the faulty run ends in |1>.
+        np.testing.assert_allclose(np.abs(clean) ** 2, [1, 0], atol=1e-12)
+        np.testing.assert_allclose(np.abs(faulty) ** 2, [0, 1], atol=1e-12)
+
+    def test_initial_state_respected(self):
+        circuit = Circuit(1).x(0)
+        start = np.array([0, 1], dtype=complex)
+        out = simulate_statevector(circuit, initial_state=start)
+        np.testing.assert_allclose(out, [1, 0], atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_circuits_preserve_norm(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = Circuit(3)
+        for _ in range(15):
+            kind = rng.integers(3)
+            if kind == 0:
+                circuit.h(int(rng.integers(3)))
+            elif kind == 1:
+                circuit.rx(float(rng.uniform(-3, 3)), int(rng.integers(3)))
+            else:
+                a, b = rng.choice(3, size=2, replace=False)
+                circuit.cx(int(a), int(b))
+        state = simulate_statevector(circuit)
+        assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCircuitUnitary:
+    def test_single_gate(self):
+        np.testing.assert_allclose(
+            circuit_unitary(Circuit(1).h(0)), gate_matrix("h")
+        )
+
+    def test_composition_order(self):
+        circuit = Circuit(1).x(0).h(0)
+        np.testing.assert_allclose(
+            circuit_unitary(circuit),
+            gate_matrix("h") @ gate_matrix("x"),
+            atol=1e-12,
+        )
+
+    def test_rejects_measurement(self):
+        with pytest.raises(ValueError, match="measurement-free"):
+            circuit_unitary(Circuit(1).measure(0))
+
+    def test_unitarity(self):
+        circuit = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2).swap(0, 2)
+        mat = circuit_unitary(circuit)
+        np.testing.assert_allclose(
+            mat @ mat.conj().T, np.eye(8), atol=1e-10
+        )
+
+
+class TestDistributions:
+    def test_deterministic_circuit(self):
+        circuit = Circuit(2).x(0).measure_all()
+        assert ideal_distribution(circuit) == pytest.approx({"10": 1.0})
+
+    def test_uniform_superposition(self):
+        circuit = Circuit(2).h(0).h(1).measure_all()
+        dist = ideal_distribution(circuit)
+        assert dist == pytest.approx(
+            {"00": 0.25, "01": 0.25, "10": 0.25, "11": 0.25}
+        )
+
+    def test_partial_measurement_marginalizes(self):
+        circuit = Circuit(2).h(0).cx(0, 1).measure(0, cbit=0)
+        dist = ideal_distribution(circuit)
+        assert dist == pytest.approx({"0": 0.5, "1": 0.5})
+
+    def test_cbit_remapping(self):
+        # Measure qubit 0 into cbit 1 and vice versa.
+        circuit = Circuit(2).x(0)
+        circuit.measure(0, cbit=1).measure(1, cbit=0)
+        assert ideal_distribution(circuit) == pytest.approx({"01": 1.0})
+
+    def test_no_measurements_rejected(self):
+        with pytest.raises(ValueError, match="no measurements"):
+            ideal_distribution(Circuit(1).h(0))
+
+    def test_wiring_order(self):
+        circuit = Circuit(2).measure(1).measure(0)
+        assert measurement_wiring(circuit) == [(1, 1), (0, 0)]
+
+    def test_probabilities_sum_to_one(self):
+        circuit = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2).measure_all()
+        dist = ideal_distribution(circuit)
+        assert sum(dist.values()) == pytest.approx(1.0)

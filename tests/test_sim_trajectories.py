@@ -1,0 +1,75 @@
+"""Tests for shot-by-shot trajectory sampling."""
+
+import pytest
+
+from tests.helpers import make_device, make_noiseless_device
+from repro.devices import Topology
+from repro.ir import Circuit
+from repro.sim import monte_carlo_success_rate
+from repro.sim.trajectories import sample_counts, success_rate_from_counts
+
+
+def bell():
+    return Circuit(2).x(0).cx(0, 1).measure_all()
+
+
+class TestSampleCounts:
+    def test_total_trials(self):
+        device = make_device(Topology.line(2))
+        counts = sample_counts(bell(), device, trials=200)
+        assert sum(counts.values()) == 200
+
+    def test_noiseless_deterministic(self):
+        device = make_noiseless_device(Topology.line(2))
+        counts = sample_counts(bell(), device, trials=300)
+        assert counts["11"] >= 299  # readout error is 1e-5
+
+    def test_noiseless_superposition_splits(self):
+        device = make_noiseless_device(Topology.line(2))
+        circuit = Circuit(2).h(0).measure(0, cbit=0).measure(1, cbit=1)
+        counts = sample_counts(circuit, device, trials=2000, seed=3)
+        assert counts["00"] + counts["10"] == 2000
+        assert 800 < counts["00"] < 1200
+
+    def test_deterministic_given_seed(self):
+        device = make_device(Topology.line(2))
+        a = sample_counts(bell(), device, trials=100, seed=9)
+        b = sample_counts(bell(), device, trials=100, seed=9)
+        assert a == b
+
+    def test_requires_measurements(self):
+        device = make_device(Topology.line(2))
+        with pytest.raises(ValueError, match="no measurements"):
+            sample_counts(Circuit(2).h(0), device)
+
+    def test_requires_positive_trials(self):
+        device = make_device(Topology.line(2))
+        with pytest.raises(ValueError, match="one trial"):
+            sample_counts(bell(), device, trials=0)
+
+    def test_agrees_with_estimator(self):
+        # The raw-shots protocol and the Rao-Blackwellized estimator
+        # measure the same quantity.
+        device = make_device(
+            Topology.line(2), two_qubit_error=0.1, readout_error=0.05
+        )
+        counts = sample_counts(bell(), device, trials=6000, seed=21)
+        raw = success_rate_from_counts(counts, "11")
+        estimate = monte_carlo_success_rate(
+            bell(), device, "11", fault_samples=2000
+        )
+        assert raw == pytest.approx(estimate.success_rate, abs=0.03)
+
+
+class TestSuccessFromCounts:
+    def test_fraction(self):
+        from collections import Counter
+
+        counts = Counter({"11": 75, "00": 25})
+        assert success_rate_from_counts(counts, "11") == 0.75
+
+    def test_empty_rejected(self):
+        from collections import Counter
+
+        with pytest.raises(ValueError):
+            success_rate_from_counts(Counter(), "11")

@@ -1,0 +1,83 @@
+"""Structural tests for the assignment-problem description."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import AssignmentProblem, MaxMinSolver
+
+
+def scores(n, seed=0):
+    rng = np.random.default_rng(seed)
+    mat = rng.uniform(0.4, 0.99, (n, n))
+    mat = (mat + mat.T) / 2
+    np.fill_diagonal(mat, 1.0)
+    return mat
+
+
+class TestNeighbors:
+    def test_orientation(self):
+        problem = AssignmentProblem(3, 4)
+        mat = scores(4)
+        problem.add_pair_term(0, 2, mat)
+        adjacency = problem.neighbors()
+        # From var 0's perspective, axis 0 indexes var 0's value.
+        other, oriented = adjacency[0][0]
+        assert other == 2
+        np.testing.assert_allclose(oriented, mat)
+        # From var 2's perspective the matrix is transposed.
+        other, oriented = adjacency[2][0]
+        assert other == 0
+        np.testing.assert_allclose(oriented, mat.T)
+
+    def test_isolated_variable_has_no_neighbors(self):
+        problem = AssignmentProblem(3, 4)
+        problem.add_pair_term(0, 1, scores(4))
+        assert problem.neighbors()[2] == []
+
+
+class TestScores:
+    def test_term_scores_order(self):
+        problem = AssignmentProblem(2, 3)
+        problem.add_unary_term(0, [0.9, 0.8, 0.7])
+        mat = scores(3)
+        problem.add_pair_term(0, 1, mat)
+        values = problem.term_scores([1, 2])
+        assert values[0] == pytest.approx(0.8)
+        assert values[1] == pytest.approx(mat[1, 2])
+
+    def test_product_score(self):
+        problem = AssignmentProblem(2, 3)
+        problem.add_unary_term(0, [0.5, 0.5, 0.5])
+        problem.add_unary_term(1, [0.4, 0.4, 0.4])
+        assert problem.product_score([0, 1]) == pytest.approx(0.2)
+
+
+class TestObjectiveProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_maxmin_at_least_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        num_vars = int(rng.integers(2, 5))
+        num_values = int(rng.integers(num_vars, 7))
+        problem = AssignmentProblem(num_vars, num_values)
+        mat = scores(num_values, seed)
+        for a in range(num_vars - 1):
+            problem.add_pair_term(a, a + 1, mat)
+        solver = MaxMinSolver(problem)
+        greedy_obj = problem.min_score(solver.greedy())
+        assert solver.solve().objective >= greedy_obj - 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_objective_matches_reported_assignment(self, seed):
+        rng = np.random.default_rng(seed)
+        num_values = int(rng.integers(3, 7))
+        problem = AssignmentProblem(3, num_values)
+        mat = scores(num_values, seed)
+        problem.add_pair_term(0, 1, mat)
+        problem.add_pair_term(1, 2, mat)
+        solution = MaxMinSolver(problem).solve()
+        assert solution.objective == pytest.approx(
+            problem.min_score(solution.assignment)
+        )

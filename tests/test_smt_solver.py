@@ -1,0 +1,162 @@
+"""Tests for the max-min assignment solver (the Z3 stand-in)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import AssignmentProblem, MaxMinSolver, ProductSolver
+
+
+def symmetric_scores(n: int, rng: np.random.Generator) -> np.ndarray:
+    mat = rng.uniform(0.3, 0.99, (n, n))
+    mat = (mat + mat.T) / 2
+    np.fill_diagonal(mat, 1.0)
+    return mat
+
+
+def brute_force_maxmin(problem: AssignmentProblem):
+    best, best_score = None, -1.0
+    for perm in itertools.permutations(
+        range(problem.num_values), problem.num_vars
+    ):
+        score = problem.min_score(perm)
+        if score > best_score:
+            best, best_score = perm, score
+    return best, best_score
+
+
+class TestProblem:
+    def test_rejects_more_vars_than_values(self):
+        with pytest.raises(ValueError, match="injectively"):
+            AssignmentProblem(4, 3)
+
+    def test_rejects_bad_unary_shape(self):
+        problem = AssignmentProblem(2, 3)
+        with pytest.raises(ValueError, match="length 3"):
+            problem.add_unary_term(0, [0.5, 0.5])
+
+    def test_rejects_out_of_range_scores(self):
+        problem = AssignmentProblem(2, 3)
+        with pytest.raises(ValueError, match="reliabilities"):
+            problem.add_unary_term(0, [0.5, 0.0, 0.5])
+
+    def test_rejects_same_var_pair(self):
+        problem = AssignmentProblem(2, 3)
+        with pytest.raises(ValueError, match="distinct"):
+            problem.add_pair_term(1, 1, np.full((3, 3), 0.5))
+
+    def test_min_score_no_terms(self):
+        problem = AssignmentProblem(2, 3)
+        assert problem.min_score([0, 1]) == 1.0
+
+    def test_validate_catches_duplicates(self):
+        problem = AssignmentProblem(2, 3)
+        with pytest.raises(ValueError, match="injective"):
+            problem.validate([1, 1])
+
+    def test_candidate_thresholds_sorted_unique(self):
+        problem = AssignmentProblem(2, 3)
+        problem.add_unary_term(0, [0.5, 0.7, 0.5])
+        thresholds = problem.candidate_thresholds()
+        assert list(thresholds) == sorted(set(thresholds))
+
+
+class TestGreedy:
+    def test_greedy_is_valid(self):
+        rng = np.random.default_rng(0)
+        problem = AssignmentProblem(4, 6)
+        scores = symmetric_scores(6, rng)
+        problem.add_pair_term(0, 1, scores)
+        problem.add_pair_term(1, 2, scores)
+        problem.add_pair_term(2, 3, scores)
+        assignment = MaxMinSolver(problem).greedy()
+        problem.validate(assignment)
+
+
+class TestSolve:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_optimal_vs_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        num_vars = int(rng.integers(2, 5))
+        num_values = int(rng.integers(num_vars, 7))
+        problem = AssignmentProblem(num_vars, num_values)
+        scores = symmetric_scores(num_values, rng)
+        for a in range(num_vars - 1):
+            problem.add_pair_term(a, a + 1, scores)
+        problem.add_unary_term(0, rng.uniform(0.5, 0.99, num_values))
+        solution = MaxMinSolver(problem).solve()
+        _, brute = brute_force_maxmin(problem)
+        assert solution.objective == pytest.approx(brute)
+        assert solution.stats.proven_optimal
+
+    def test_feasible_threshold_query(self):
+        problem = AssignmentProblem(2, 3)
+        problem.add_unary_term(0, [0.9, 0.5, 0.5])
+        problem.add_unary_term(1, [0.5, 0.9, 0.5])
+        assert MaxMinSolver(problem).feasible(0.8) == (0, 1)
+        assert MaxMinSolver(problem).feasible(0.95) is None
+
+    def test_node_limit_still_returns_valid(self):
+        rng = np.random.default_rng(3)
+        problem = AssignmentProblem(6, 8)
+        scores = symmetric_scores(8, rng)
+        for a in range(5):
+            problem.add_pair_term(a, a + 1, scores)
+        solution = MaxMinSolver(problem, node_limit=5).solve()
+        problem.validate(solution.assignment)
+        assert solution.objective > 0
+
+    def test_stats_populated(self):
+        problem = AssignmentProblem(2, 3)
+        problem.add_unary_term(0, [0.9, 0.5, 0.5])
+        solution = MaxMinSolver(problem).solve()
+        # Greedy may already hit the optimum (no search needed), but the
+        # result must be exact and timing recorded.
+        assert solution.objective == pytest.approx(0.9)
+        assert solution.stats.wall_time_s >= 0
+        assert solution.stats.proven_optimal
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_instances_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        num_vars = int(rng.integers(2, 4))
+        num_values = int(rng.integers(num_vars, 6))
+        problem = AssignmentProblem(num_vars, num_values)
+        scores = symmetric_scores(num_values, rng)
+        pairs = list(itertools.combinations(range(num_vars), 2))
+        for a, b in pairs[: int(rng.integers(1, len(pairs) + 1))]:
+            problem.add_pair_term(a, b, scores)
+        solution = MaxMinSolver(problem).solve()
+        _, brute = brute_force_maxmin(problem)
+        assert solution.objective == pytest.approx(brute)
+
+
+class TestProductSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimal_vs_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        problem = AssignmentProblem(3, 5)
+        scores = symmetric_scores(5, rng)
+        problem.add_pair_term(0, 1, scores)
+        problem.add_pair_term(1, 2, scores)
+        solution = ProductSolver(problem).solve()
+        brute = max(
+            problem.product_score(p)
+            for p in itertools.permutations(range(5), 3)
+        )
+        assert solution.objective == pytest.approx(brute)
+
+    def test_product_explores_more_nodes_than_maxmin(self):
+        # The paper's scalability argument: the product objective cannot
+        # prune until qubits are placed, so it searches more.
+        rng = np.random.default_rng(11)
+        problem = AssignmentProblem(5, 8)
+        scores = symmetric_scores(8, rng)
+        for a in range(4):
+            problem.add_pair_term(a, a + 1, scores)
+        maxmin = MaxMinSolver(problem).solve()
+        product = ProductSolver(problem).solve()
+        assert product.stats.nodes > maxmin.stats.nodes

@@ -1,0 +1,71 @@
+"""Tests for the public compilation verifier."""
+
+import pytest
+
+from repro import compile_circuit, ibmq14_melbourne, umd_trapped_ion
+from repro.ir import Circuit
+from repro.programs import bernstein_vazirani, qft_benchmark
+from repro.verify import (
+    CompilationError,
+    assert_distributions_close,
+    distribution_distance,
+    verify_compilation,
+)
+
+
+class TestDistributionDistance:
+    def test_identical(self):
+        assert distribution_distance({"0": 1.0}, {"0": 1.0}) == 0.0
+
+    def test_disjoint(self):
+        assert distribution_distance({"0": 1.0}, {"1": 1.0}) == pytest.approx(
+            1.0
+        )
+
+    def test_partial_overlap(self):
+        a = {"00": 0.5, "11": 0.5}
+        b = {"00": 0.25, "11": 0.75}
+        assert distribution_distance(a, b) == pytest.approx(0.25)
+
+    def test_assert_close_raises_with_detail(self):
+        with pytest.raises(CompilationError, match="TV distance"):
+            assert_distributions_close({"0": 1.0}, {"1": 1.0})
+
+
+class TestVerifyCompilation:
+    def test_verifies_real_compilations(self):
+        circuit, _ = bernstein_vazirani(6)
+        program = compile_circuit(circuit, ibmq14_melbourne())
+        report = verify_compilation(circuit, program)
+        assert report.ok
+        assert report.device_name == "IBM Q14 Melbourne"
+        assert report.total_variation_distance < 1e-9
+
+    def test_verifies_probabilistic_outputs(self):
+        # A circuit with a genuinely random output still verifies: the
+        # distributions (not samples) are compared.
+        circuit = Circuit(2).h(0).cx(0, 1).measure_all()
+        program = compile_circuit(circuit, umd_trapped_ion())
+        assert verify_compilation(circuit, program).ok
+
+    def test_detects_broken_compilation(self):
+        circuit, _ = qft_benchmark(4)
+        program = compile_circuit(circuit, ibmq14_melbourne())
+        # Sabotage: swap the program's circuit for a different one.
+        import dataclasses
+
+        wrong = Circuit(program.circuit.num_qubits)
+        wrong.x(0)
+        for q in range(4):
+            wrong.measure(q)
+        broken = dataclasses.replace(program, circuit=wrong)
+        with pytest.raises(CompilationError):
+            verify_compilation(circuit, broken)
+
+    def test_source_without_measurement_rejected(self):
+        circuit = Circuit(2).h(0)
+        program = compile_circuit(
+            Circuit(2).h(0).measure_all(), umd_trapped_ion()
+        )
+        with pytest.raises(ValueError, match="no measurements"):
+            verify_compilation(circuit, program)
