@@ -8,12 +8,10 @@ routing pressure is highest.
 """
 
 from conftest import emit
-import numpy as np
 
 from repro.compiler import OptimizationLevel, TriQCompiler
 from repro.devices import ibmq14_melbourne
 from repro.experiments.tables import format_table
-from repro.experiments.stats import geomean
 from repro.programs import standard_suite
 from repro.sim import ideal_distribution
 

@@ -1,0 +1,88 @@
+"""Micro-benchmark for the parallel sweep engine and its compile cache.
+
+Times the same IBMQ14 sweep three ways — cold serial, cold parallel,
+and warm (cache-served) — and reports the speedup and hit rate.  The
+PR's acceptance bar is a >=3x warm-over-cold-serial speedup on a
+14-qubit device, which the Monte-Carlo memoization provides with a wide
+margin.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.cache import open_cache
+from repro.compiler import OptimizationLevel
+from repro.devices import ibmq14_melbourne
+from repro.experiments.parallel import run_sweep
+from repro.experiments.tables import format_table
+
+LEVELS = [OptimizationLevel.OPT_1Q, OptimizationLevel.OPT_1QCN]
+FAULT_SAMPLES = 40
+
+
+def run_comparison(tmp_dir):
+    device = ibmq14_melbourne()
+    cache = open_cache(tmp_dir / "cache")
+    kwargs = dict(fault_samples=FAULT_SAMPLES, cache=cache)
+
+    started = time.perf_counter()
+    cold = run_sweep(device, LEVELS, **kwargs)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = run_sweep(device, LEVELS, **kwargs)
+    warm_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm_parallel = run_sweep(device, LEVELS, workers=2, **kwargs)
+    warm_parallel_s = time.perf_counter() - started
+
+    rows = [
+        ("cold serial", cold.mode, f"{cold_s:.2f}",
+         f"{100 * cold.cache_hit_rate:.0f}%"),
+        ("warm serial", warm.mode, f"{warm_s:.2f}",
+         f"{100 * warm.cache_hit_rate:.0f}%"),
+        ("warm 2-worker", warm_parallel.mode, f"{warm_parallel_s:.2f}",
+         f"{100 * warm_parallel.cache_hit_rate:.0f}%"),
+    ]
+    return {
+        "table": format_table(
+            ["Run", "Mode", "Wall (s)", "Artifact hits"],
+            rows,
+            title=f"Parallel sweep engine on {device.name}",
+        ),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_parallel_s": warm_parallel_s,
+        "warm": warm,
+        "warm_parallel": warm_parallel,
+        "cold": cold,
+    }
+
+
+def test_perf_parallel_sweep(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        run_comparison, args=(tmp_path,), rounds=1, iterations=1
+    )
+    speedup = result["cold_s"] / max(result["warm_s"], 1e-9)
+    emit(
+        f"{result['table']}\n"
+        f"warm-over-cold speedup: {speedup:.1f}x "
+        f"(acceptance bar: >=3x)"
+    )
+
+    # Acceptance: warm repeated sweep at least 3x faster than cold serial.
+    assert speedup >= 3.0
+    # Every task of both warm runs is served from the artifact cache.
+    assert all(t.cache_hit for t in result["warm"].tasks)
+    assert all(t.cache_hit for t in result["warm_parallel"].tasks)
+    # Cache-served runs reproduce the cold measurements byte-for-byte
+    # (modulo the cache_hit provenance flag itself).
+    def identity(report):
+        return [
+            {**m.__dict__, "cache_hit": None} for m in report.measurements
+        ]
+
+    assert identity(result["warm"]) == identity(result["cold"])
+    assert identity(result["warm_parallel"]) == identity(result["cold"])

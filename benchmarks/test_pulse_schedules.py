@@ -11,7 +11,6 @@ from repro.devices import ibmq14_melbourne, rigetti_aspen3, umd_trapped_ion
 from repro.experiments.tables import format_table
 from repro.programs import bernstein_vazirani
 from repro.pulse import lower_to_pulses
-from repro.sim import coherence_survival
 
 
 def run_durations():

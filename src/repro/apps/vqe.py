@@ -17,7 +17,7 @@ small instance — the tapered two-qubit H2 Hamiltonian — end to end:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import minimize
@@ -247,7 +247,6 @@ def _embed_hamiltonian(
     num_qubits: int,
 ) -> np.ndarray:
     """Expand H onto the hardware register via the final placement."""
-    labels_by_hw: Dict[int, str] = {}
     total = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)
     for term in hamiltonian.terms:
         labels = ["I"] * num_qubits

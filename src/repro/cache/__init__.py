@@ -1,0 +1,55 @@
+"""Persistent compile cache (the sweep engine's storage layer).
+
+The paper's evaluation grid recompiles identical (circuit, device,
+calibration day, level) cells across every figure; this package
+memoizes those artifacts on disk so repeated sweeps — serial or fanned
+out over a process pool — pay for each distinct cell once:
+
+* :mod:`repro.cache.keys` — stable SHA-256 keys over circuit structure,
+  device calibration content, and compiler configuration;
+* :mod:`repro.cache.store` — the content-addressed on-disk store with
+  atomic writes and corrupted-entry recovery;
+* :mod:`repro.cache.active` — the per-process active-cache handle that
+  lets the compiler pipeline memoize reliability matrices without
+  threading a cache argument through every call.
+"""
+
+from repro.cache.active import activate_cache, cache_context, get_active_cache
+from repro.cache.keys import (
+    CACHE_SCHEMA_VERSION,
+    circuit_fingerprint,
+    compile_key,
+    device_fingerprint,
+    digest,
+    reliability_key,
+    success_key,
+)
+from repro.cache.store import (
+    CACHE_DIR_ENV,
+    Cache,
+    CacheStats,
+    CompileCache,
+    NullCache,
+    default_cache_dir,
+    open_cache,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "Cache",
+    "CacheStats",
+    "CompileCache",
+    "NullCache",
+    "activate_cache",
+    "cache_context",
+    "circuit_fingerprint",
+    "compile_key",
+    "default_cache_dir",
+    "device_fingerprint",
+    "digest",
+    "get_active_cache",
+    "open_cache",
+    "reliability_key",
+    "success_key",
+]

@@ -1,0 +1,39 @@
+"""Per-process "active cache" used for cross-layer memoization.
+
+The compiler pipeline sits several calls below the sweep engine, so the
+cache handle travels out of band: the engine (or a pool worker's
+initializer) activates a cache for the process, and deep callees like
+:meth:`repro.compiler.TriQCompiler.reliability` consult it via
+:func:`get_active_cache`.  This module deliberately imports nothing from
+the compiler or experiments layers, so either side can import it freely.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ACTIVE = None
+
+
+def activate_cache(cache) -> None:
+    """Make ``cache`` (or None) this process's active cache."""
+    global _ACTIVE
+    _ACTIVE = cache
+
+
+def get_active_cache():
+    """The process's active cache handle, or None when caching is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def cache_context(cache) -> Iterator[None]:
+    """Temporarily activate ``cache`` for the calling process."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    try:
+        yield
+    finally:
+        _ACTIVE = previous

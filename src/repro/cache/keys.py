@@ -1,0 +1,132 @@
+"""Stable cache keys for compilation and simulation artifacts.
+
+Keys must be identical across processes, interpreter runs, and machines
+(``PYTHONHASHSEED`` varies per process, so ``hash()`` is useless here).
+Every key is the SHA-256 digest of a canonical text encoding of the
+underlying data:
+
+* a circuit is its qubit count plus the ordered instruction list
+  (name, qubits, params, cbits), with floats rendered by ``repr`` —
+  Python's shortest round-trip representation, stable per value;
+* a device is its name, the resolved calibration day, and the *content*
+  of that day's calibration snapshot (per-edge 2Q, per-qubit 1Q and
+  readout error rates), so a drifted calibration can never alias a
+  cached artifact;
+* compiler configuration is the level/baseline label plus the pipeline
+  options that affect output.
+
+``CACHE_SCHEMA_VERSION`` is mixed into every digest; bump it whenever
+the pipeline or the artifact payload format changes meaning, and all
+previously cached entries become silent misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Mapping, Optional
+
+from repro.devices.device import Device
+from repro.ir.circuit import Circuit
+
+#: Bump to invalidate every existing cache entry at once.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _encode(value: Any) -> str:
+    """Canonical, order-stable text encoding of plain data."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_encode(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_encode(v) for v in value)) + "}"
+    if isinstance(value, Mapping):
+        items = sorted((_encode(k), _encode(v)) for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    raise TypeError(f"cannot encode {type(value).__name__!r} into a cache key")
+
+
+def digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    text = _encode([CACHE_SCHEMA_VERSION, *parts])
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Digest of the circuit *structure* (name excluded on purpose)."""
+    return digest(
+        "circuit",
+        circuit.num_qubits,
+        [
+            (inst.name, inst.qubits, inst.params, inst.cbits)
+            for inst in circuit
+        ],
+    )
+
+
+def device_fingerprint(device: Device, day: Optional[int] = None) -> str:
+    """Digest of the device identity plus one day's calibration content."""
+    resolved = device.day if day is None else day
+    calibration = device.calibration(resolved)
+    return digest(
+        "device",
+        device.name,
+        resolved,
+        sorted(
+            (tuple(sorted(edge)), rate)
+            for edge, rate in calibration.two_qubit_error.items()
+        ),
+        sorted(calibration.single_qubit_error.items()),
+        sorted(calibration.readout_error.items()),
+    )
+
+
+def compile_key(
+    circuit: Circuit,
+    device: Device,
+    compiler_label: str,
+    day: Optional[int] = None,
+    options: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Key of one compiled-program artifact."""
+    return "cp-" + digest(
+        "compile",
+        circuit_fingerprint(circuit),
+        device_fingerprint(device, day),
+        compiler_label,
+        dict(options or {}),
+    )
+
+
+def reliability_key(
+    device: Device, noise_aware: bool, day: Optional[int] = None
+) -> str:
+    """Key of one :func:`repro.compiler.reliability.compute_reliability`."""
+    return "rm-" + digest(
+        "reliability", device_fingerprint(device, day), noise_aware
+    )
+
+
+def success_key(
+    circuit: Circuit,
+    device: Device,
+    correct: str,
+    day: Optional[int] = None,
+    fault_samples: int = 0,
+    seed: int = 0,
+) -> str:
+    """Key of one Monte-Carlo success estimate.
+
+    The estimator is deterministic given its seed, so memoizing it is
+    sound; the key covers everything that feeds the RNG and the model.
+    """
+    return "sr-" + digest(
+        "success",
+        circuit_fingerprint(circuit),
+        device_fingerprint(device, day),
+        correct,
+        fault_samples,
+        seed,
+    )

@@ -8,24 +8,34 @@ Commands:
   and print (or save) the vendor executable.
 * ``run`` — compile and estimate the success rate on the noisy
   simulator.
+* ``sweep`` — measure a benchmark suite under several compilers on one
+  device, optionally fanned out over a process pool.
 * ``experiment`` — regenerate one of the paper's tables/figures.
+
+Compilation artifacts and Monte-Carlo estimates are cached on disk by
+default (``--cache-dir`` to relocate, ``--no-cache`` to disable); sweep
+commands accept ``--workers`` to parallelize over processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
-from repro.compiler import OptimizationLevel, compile_circuit
-from repro.devices import all_devices, device_by_name
-from repro.programs import benchmark_by_name, standard_suite
+from repro.cache import open_cache
+from repro.compiler import OptimizationLevel
+from repro.devices import device_by_name
+from repro.programs import benchmark_by_name
 from repro.scaffold import compile_scaffold
 from repro.sim import monte_carlo_success_rate
 
 _LEVELS = {level.value.lower(): level for level in OptimizationLevel}
+_BASELINES = {"qiskit": "Qiskit", "quil": "Quil"}
 _EXPERIMENTS = (
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1",
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "table1",
 )
 
 
@@ -39,6 +49,39 @@ def _parse_level(text: str) -> OptimizationLevel:
             f"unknown optimization level {text!r}; choose from {known}"
         )
     return _LEVELS[key]
+
+
+def _parse_compilers(text: str) -> List:
+    """Comma-separated TriQ levels and/or baselines (``qiskit``/``quil``)."""
+    compilers = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if item.lower() in _BASELINES:
+            compilers.append(_BASELINES[item.lower()])
+        else:
+            compilers.append(_parse_level(item))
+    if not compilers:
+        raise argparse.ArgumentTypeError("no compilers given")
+    return compilers
+
+
+def _open_cli_cache(args: argparse.Namespace):
+    """The cache handle the flags ask for (on by default)."""
+    return open_cache(args.cache_dir, enabled=not args.no_cache)
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="compile-cache location (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent compile cache",
+    )
 
 
 def _load_program(args: argparse.Namespace):
@@ -68,9 +111,13 @@ def _cmd_benchmarks(_: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import compile_with_cache
+
     circuit, _ = _load_program(args)
     device = device_by_name(args.device, day=args.day)
-    program = compile_circuit(circuit, device, level=args.level, day=args.day)
+    program, _ = compile_with_cache(
+        circuit, device, args.level, day=args.day, cache=_open_cli_cache(args)
+    )
     text = program.executable()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -89,13 +136,17 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import compile_with_cache
+
     circuit, correct = _load_program(args)
     if correct is None:
         print("error: `run` needs a suite benchmark (known correct answer)",
               file=sys.stderr)
         return 2
     device = device_by_name(args.device, day=args.day)
-    program = compile_circuit(circuit, device, level=args.level, day=args.day)
+    program, _ = compile_with_cache(
+        circuit, device, args.level, day=args.day, cache=_open_cli_cache(args)
+    )
     estimate = monte_carlo_success_rate(
         program.circuit,
         device,
@@ -113,10 +164,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import run_sweep
+    from repro.experiments.tables import format_table
+
+    benchmarks = None
+    if args.benchmarks:
+        benchmarks = [
+            benchmark_by_name(name.strip())
+            for name in args.benchmarks.split(",")
+            if name.strip()
+        ]
+    cache = _open_cli_cache(args)
+    report = run_sweep(
+        device_by_name(args.device, day=args.day),
+        args.levels,
+        benchmarks=benchmarks,
+        day=args.day,
+        fault_samples=args.fault_samples,
+        with_success=not args.no_success,
+        workers=args.workers,
+        cache=cache,
+        base_seed=args.seed,
+    )
+    headers = ["Benchmark", "Compiler", "2Q", "1Q pulses", "Depth", "Swaps"]
+    rows = [
+        [m.benchmark, m.compiler, m.two_qubit_gates, m.one_qubit_pulses,
+         m.depth, m.num_swaps]
+        for m in report.measurements
+    ]
+    if not args.no_success:
+        headers.append("Success")
+        for row, m in zip(rows, report.measurements):
+            row.append(m.success_rate)
+    print(
+        format_table(
+            headers,
+            [tuple(row) for row in rows],
+            title=f"Sweep: {report.measurements[0].device}"
+            if report.measurements
+            else "Sweep: (no fitting benchmarks)",
+        )
+    )
+    print(report.summary(), file=sys.stderr)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         fig1_devices, fig2_gatesets, fig3_calibration, fig4_toolflow,
-        fig5_ir, fig6_reliability, fig7_benchmarks, table1_configs,
+        fig5_ir, fig6_reliability, fig7_benchmarks, fig8_1q, fig9_success,
+        fig10_comm, table1_configs,
     )
 
     modules = {
@@ -127,10 +225,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "fig5": fig5_ir,
         "fig6": fig6_reliability,
         "fig7": fig7_benchmarks,
+        "fig8": fig8_1q,
+        "fig9": fig9_success,
+        "fig10": fig10_comm,
         "table1": table1_configs,
     }
     module = modules[args.name]
-    print(module.format_result(module.run()))
+    # Sweep-backed figures accept engine options; static tables do not.
+    accepted = inspect.signature(module.run).parameters
+    kwargs = {}
+    if "workers" in accepted:
+        kwargs["workers"] = args.workers
+        cache = _open_cli_cache(args)
+        kwargs["cache_dir"] = getattr(cache, "root", None)
+    print(module.format_result(module.run(**kwargs)))
     return 0
 
 
@@ -178,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_program_args(compile_parser)
     compile_parser.add_argument("--output", "-o", help="write to file")
+    _add_cache_args(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
     run_parser = sub.add_parser(
@@ -188,12 +297,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-samples", type=int, default=100,
         help="Monte-Carlo fault configurations (default 100)",
     )
+    _add_cache_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="measure a benchmark suite under several compilers",
+    )
+    sweep_parser.add_argument(
+        "--device", "-d", required=True,
+        help="device name (partial match, e.g. 'melbourne')",
+    )
+    sweep_parser.add_argument(
+        "--levels", "-l", type=_parse_compilers,
+        default=[OptimizationLevel.OPT_1QCN],
+        help="comma-separated levels/baselines "
+             "(e.g. 'N,1QOptCN,qiskit'; default 1QOptCN)",
+    )
+    sweep_parser.add_argument(
+        "--benchmarks", "-b", default=None,
+        help="comma-separated suite benchmark names (default: all 12)",
+    )
+    sweep_parser.add_argument(
+        "--day", type=int, default=0, help="calibration day (default 0)"
+    )
+    sweep_parser.add_argument(
+        "--fault-samples", type=int, default=100,
+        help="Monte-Carlo fault configurations (default 100)",
+    )
+    sweep_parser.add_argument(
+        "--no-success", action="store_true",
+        help="compile only; skip the Monte-Carlo success estimate",
+    )
+    sweep_parser.add_argument(
+        "--workers", "-w", type=int, default=1,
+        help="process-pool width (default 1: serial)",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed for derived per-task seeds (default: legacy "
+             "fixed seeds)",
+    )
+    _add_cache_args(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
     experiment_parser.add_argument("name", choices=_EXPERIMENTS)
+    experiment_parser.add_argument(
+        "--workers", "-w", type=int, default=1,
+        help="process-pool width for sweep-backed figures (default 1)",
+    )
+    _add_cache_args(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
     return parser
 

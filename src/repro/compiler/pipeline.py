@@ -5,10 +5,13 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.cache.active import get_active_cache
+from repro.cache.keys import reliability_key
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
+from repro.ir.instruction import Instruction
 from repro.ir.decompose import decompose_to_basis
 from repro.compiler.mapping import InitialMapping, default_mapping, smt_mapping
 from repro.compiler.onequbit import count_pulses, optimize_single_qubit_gates
@@ -83,6 +86,100 @@ class CompiledProgram:
 
         return generate_code(self.circuit, self.device)
 
+    # ------------------------------------------------------------------
+    # Artifact serialization (the compile cache's storage format).
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-data artifact for the on-disk compile cache.
+
+        The device is deliberately excluded: the cache key already pins
+        device identity and calibration content, and the loader
+        reattaches the caller's live :class:`Device`.
+        """
+        return {
+            "instructions": [
+                (inst.name, inst.qubits, inst.params, inst.cbits)
+                for inst in self.circuit
+            ],
+            "num_qubits": self.circuit.num_qubits,
+            "circuit_name": self.circuit.name,
+            "source_name": self.source_name,
+            "level": (
+                self.level.value
+                if isinstance(self.level, OptimizationLevel)
+                else self.level
+            ),
+            "placement": tuple(self.initial_mapping.placement),
+            "num_hardware_qubits": self.initial_mapping.num_hardware_qubits,
+            "objective": self.initial_mapping.objective,
+            "solver_nodes": self.initial_mapping.solver_nodes,
+            "solver_time_s": self.initial_mapping.solver_time_s,
+            "final_placement": tuple(self.final_placement),
+            "num_swaps": self.num_swaps,
+            "compile_time_s": self.compile_time_s,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], device: Device
+    ) -> "CompiledProgram":
+        """Rebuild a compiled program from :meth:`to_payload` output."""
+        circuit = Circuit(
+            payload["num_qubits"],
+            name=payload["circuit_name"],
+            instructions=(
+                Instruction(name, tuple(qubits), tuple(params), tuple(cbits))
+                for name, qubits, params, cbits in payload["instructions"]
+            ),
+        )
+        level: Union[OptimizationLevel, str]
+        try:
+            level = OptimizationLevel(payload["level"])
+        except ValueError:
+            level = payload["level"]
+        mapping = InitialMapping(
+            placement=tuple(payload["placement"]),
+            num_hardware_qubits=payload["num_hardware_qubits"],
+            objective=payload["objective"],
+            solver_nodes=payload["solver_nodes"],
+            solver_time_s=payload["solver_time_s"],
+        )
+        return cls(
+            circuit=circuit,
+            source_name=payload["source_name"],
+            device=device,
+            level=level,
+            initial_mapping=mapping,
+            final_placement=tuple(payload["final_placement"]),
+            num_swaps=payload["num_swaps"],
+            compile_time_s=payload["compile_time_s"],
+        )
+
+
+def _memoized_reliability(
+    device: Device, noise_aware: bool, day: Optional[int]
+) -> ReliabilityMatrix:
+    """Compute a reliability matrix, consulting the active cache."""
+    cache = get_active_cache()
+    if cache is None:
+        return compute_reliability(device, noise_aware=noise_aware, day=day)
+    key = reliability_key(device, noise_aware, day)
+    payload = cache.get(key)
+    if payload is not None:
+        return ReliabilityMatrix(**payload)
+    matrix = compute_reliability(device, noise_aware=noise_aware, day=day)
+    cache.put(
+        key,
+        {
+            "matrix": matrix.matrix,
+            "swap_reliability": matrix.swap_reliability,
+            "next_hop": matrix.next_hop,
+            "gate_reliability": matrix.gate_reliability,
+            "readout": matrix.readout,
+        },
+    )
+    return matrix
+
 
 class TriQCompiler:
     """The TriQ toolflow for one target device (paper Figure 4).
@@ -124,16 +221,22 @@ class TriQCompiler:
 
     # ------------------------------------------------------------------
     def reliability(self, noise_aware: bool) -> ReliabilityMatrix:
-        """The (cached) reliability matrix for this device and day."""
+        """The (cached) reliability matrix for this device and day.
+
+        Memoized per compiler instance, and — when a cache is active
+        (see :mod:`repro.cache.active`) — persistently on disk, so
+        repeated sweeps and pool workers share one computation per
+        (device, calibration day, noise-awareness) triple.
+        """
         if noise_aware:
             if self._reliability_aware is None:
-                self._reliability_aware = compute_reliability(
-                    self.device, noise_aware=True, day=self.day
+                self._reliability_aware = _memoized_reliability(
+                    self.device, True, self.day
                 )
             return self._reliability_aware
         if self._reliability_unaware is None:
-            self._reliability_unaware = compute_reliability(
-                self.device, noise_aware=False, day=self.day
+            self._reliability_unaware = _memoized_reliability(
+                self.device, False, self.day
             )
         return self._reliability_unaware
 

@@ -11,13 +11,12 @@ Fully-connected devices (UMDTI) never need swaps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
 from repro.ir.dag import CircuitDag
 from repro.ir.gates import is_two_qubit
-from repro.ir.instruction import Instruction
 from repro.compiler.mapping import InitialMapping
 from repro.compiler.reliability import ReliabilityMatrix
 

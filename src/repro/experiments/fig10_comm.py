@@ -37,12 +37,16 @@ def run_device(
     device: Device,
     with_success: bool,
     fault_samples: int = 100,
+    workers: int = 1,
+    cache_dir=None,
 ) -> Fig10Panel:
     results = sweep(
         device,
         [OptimizationLevel.OPT_1Q, OptimizationLevel.OPT_1QC],
         with_success=with_success,
         fault_samples=fault_samples,
+        workers=workers,
+        cache_dir=cache_dir,
     )
     grouped = by_compiler(results)
     base = grouped[OptimizationLevel.OPT_1Q.value]
@@ -67,11 +71,15 @@ def run_device(
     )
 
 
-def run(fault_samples: int = 100) -> List[Fig10Panel]:
+def run(
+    fault_samples: int = 100, workers: int = 1, cache_dir=None
+) -> List[Fig10Panel]:
     """(a) IBMQ14 counts+success, (b) Agave counts."""
     return [
-        run_device(ibmq14_melbourne(), True, fault_samples),
-        run_device(rigetti_agave(), False),
+        run_device(
+            ibmq14_melbourne(), True, fault_samples, workers, cache_dir
+        ),
+        run_device(rigetti_agave(), False, workers=workers, cache_dir=cache_dir),
     ]
 
 

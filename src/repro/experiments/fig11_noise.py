@@ -17,12 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.compiler import OptimizationLevel, TriQCompiler
-from repro.devices import (
-    ibmq14_melbourne,
-    rigetti_agave,
-    rigetti_aspen1,
-    umd_trapped_ion,
-)
+from repro.devices import ibmq14_melbourne, umd_trapped_ion
 from repro.devices.device import Device
 from repro.experiments.runner import by_compiler, sweep
 from repro.experiments.stats import is_failed_run, summarize_improvement
@@ -43,7 +38,9 @@ class Fig11IbmResult:
     qiskit_failures: int
 
 
-def run_ibm(fault_samples: int = 100) -> Fig11IbmResult:
+def run_ibm(
+    fault_samples: int = 100, workers: int = 1, cache_dir=None
+) -> Fig11IbmResult:
     """Panels (a, b): IBMQ14."""
     device = ibmq14_melbourne()
     compilers = [
@@ -51,7 +48,13 @@ def run_ibm(fault_samples: int = 100) -> Fig11IbmResult:
         OptimizationLevel.OPT_1QC,
         OptimizationLevel.OPT_1QCN,
     ]
-    results = sweep(device, compilers, fault_samples=fault_samples)
+    results = sweep(
+        device,
+        compilers,
+        fault_samples=fault_samples,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     grouped = by_compiler(results)
     qiskit = grouped["Qiskit"]
     comm = grouped[OptimizationLevel.OPT_1QC.value]
@@ -104,13 +107,18 @@ class Fig11RigettiResult:
 
 
 def run_rigetti(
-    device: Device, fault_samples: int = 100
+    device: Device,
+    fault_samples: int = 100,
+    workers: int = 1,
+    cache_dir=None,
 ) -> Fig11RigettiResult:
     """Panels (c, d): one Rigetti machine."""
     results = sweep(
         device,
         ["Quil", OptimizationLevel.OPT_1QCN],
         fault_samples=fault_samples,
+        workers=workers,
+        cache_dir=cache_dir,
     )
     grouped = by_compiler(results)
     quil = grouped["Quil"]

@@ -29,11 +29,15 @@ class Fig8Result:
     max_reduction: float
 
 
-def run_device(device: Device) -> Fig8Result:
+def run_device(
+    device: Device, workers: int = 1, cache_dir=None
+) -> Fig8Result:
     results = sweep(
         device,
         [OptimizationLevel.N, OptimizationLevel.OPT_1Q],
         with_success=False,
+        workers=workers,
+        cache_dir=cache_dir,
     )
     grouped = by_compiler(results)
     base = grouped[OptimizationLevel.N.value]
@@ -52,12 +56,12 @@ def run_device(device: Device) -> Fig8Result:
     )
 
 
-def run() -> List[Fig8Result]:
+def run(workers: int = 1, cache_dir=None) -> List[Fig8Result]:
     """The three panels: IBMQ14, Rigetti Agave, UMDTI."""
     return [
-        run_device(ibmq14_melbourne()),
-        run_device(rigetti_agave()),
-        run_device(umd_trapped_ion()),
+        run_device(ibmq14_melbourne(), workers, cache_dir),
+        run_device(rigetti_agave(), workers, cache_dir),
+        run_device(umd_trapped_ion(), workers, cache_dir),
     ]
 
 

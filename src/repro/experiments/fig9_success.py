@@ -31,11 +31,18 @@ class Fig9Result:
     failed: List[str]
 
 
-def run_device(device: Device, fault_samples: int = 100) -> Fig9Result:
+def run_device(
+    device: Device,
+    fault_samples: int = 100,
+    workers: int = 1,
+    cache_dir=None,
+) -> Fig9Result:
     results = sweep(
         device,
         [OptimizationLevel.N, OptimizationLevel.OPT_1Q],
         fault_samples=fault_samples,
+        workers=workers,
+        cache_dir=cache_dir,
     )
     grouped = by_compiler(results)
     base = grouped[OptimizationLevel.N.value]
@@ -59,10 +66,12 @@ def run_device(device: Device, fault_samples: int = 100) -> Fig9Result:
     )
 
 
-def run(fault_samples: int = 100) -> List[Fig9Result]:
+def run(
+    fault_samples: int = 100, workers: int = 1, cache_dir=None
+) -> List[Fig9Result]:
     return [
-        run_device(ibmq14_melbourne(), fault_samples),
-        run_device(umd_trapped_ion(), fault_samples),
+        run_device(ibmq14_melbourne(), fault_samples, workers, cache_dir),
+        run_device(umd_trapped_ion(), fault_samples, workers, cache_dir),
     ]
 
 

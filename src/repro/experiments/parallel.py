@@ -1,0 +1,351 @@
+"""The parallel experiment execution engine.
+
+The paper's evaluation is a large grid — benchmarks x compiler levels x
+devices x calibration days — whose cells are embarrassingly parallel:
+each is one compile plus one Monte-Carlo estimate, with no shared
+mutable state.  :func:`run_sweep` fans that grid out over a
+``ProcessPoolExecutor`` and layers the :mod:`repro.cache` store
+underneath, so identical cells are computed once *across* figure
+scripts and worker processes.
+
+Determinism: every task carries explicit seeds.  By default the legacy
+constants are used (compile seed 0, Monte-Carlo seed 1234 — exactly
+what the serial path has always done), so existing figures reproduce
+unchanged; passing ``base_seed`` derives a distinct, stable seed per
+task from the task's identity, never from scheduling order.  Either
+way a task's result is a pure function of its description, which is
+what makes ``workers=4`` byte-identical to ``workers=1``.
+
+Fallback: tasks cross process boundaries by *name* (benchmark registry
+name, device library name), because benchmark factories are closures
+and do not pickle.  Grids over ad-hoc benchmarks or devices, pools
+that cannot start (no ``fork``/semaphores), or ``workers=1`` all fall
+back to the serial path, which runs the very same task function.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.cache import (
+    Cache,
+    CacheStats,
+    activate_cache,
+    digest,
+    get_active_cache,
+    open_cache,
+)
+from repro.devices import device_by_name
+from repro.devices.device import Device
+from repro.experiments.runner import (
+    DEFAULT_FAULT_SAMPLES,
+    DEFAULT_MC_SEED,
+    CompilerName,
+    Measurement,
+    compiler_label,
+    fits,
+    measure,
+    resolve_compiler,
+)
+from repro.programs import Benchmark, benchmark_by_name, standard_suite
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid cell, described entirely by picklable names and seeds."""
+
+    benchmark: str
+    device: str
+    day: Optional[int]
+    compiler: str
+    fault_samples: int
+    with_success: bool
+    compile_seed: int
+    mc_seed: int
+
+
+@dataclass
+class TaskReport:
+    """Timing and cache provenance of one executed task."""
+
+    benchmark: str
+    device: str
+    compiler: str
+    elapsed_s: float
+    cache_hit: Optional[bool]
+    pid: int
+
+
+@dataclass
+class SweepReport:
+    """A sweep's measurements plus the engine's execution telemetry."""
+
+    measurements: List[Measurement]
+    tasks: List[TaskReport] = field(default_factory=list)
+    mode: str = "serial"
+    workers: int = 1
+    total_time_s: float = 0.0
+    cache_stats: Optional[CacheStats] = None
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.tasks if t.cache_hit)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / len(self.tasks) if self.tasks else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.tasks)} tasks in {self.total_time_s:.2f}s "
+            f"({self.mode}, {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''})"
+        ]
+        if any(t.cache_hit is not None for t in self.tasks):
+            lines.append(
+                f"compile-artifact hits: {self.cache_hits}/{len(self.tasks)} "
+                f"({100.0 * self.cache_hit_rate:.0f}%)"
+            )
+        if self.cache_stats is not None:
+            lines.append(f"cache store: {self.cache_stats}")
+        if self.tasks:
+            slowest = max(self.tasks, key=lambda t: t.elapsed_s)
+            lines.append(
+                f"slowest task: {slowest.benchmark} / {slowest.compiler} "
+                f"({slowest.elapsed_s:.2f}s)"
+            )
+        return "\n".join(lines)
+
+
+def derive_task_seed(base_seed: int, *identity) -> int:
+    """A stable 31-bit seed from a base seed and a task identity.
+
+    Pure function of its arguments (SHA-256 underneath), so the same
+    task gets the same seed in any process, on any worker count, in any
+    execution order.
+    """
+    return int(digest("task-seed", base_seed, list(map(str, identity)))[:8], 16) & 0x7FFFFFFF
+
+
+def _task_seeds(
+    base_seed: Optional[int],
+    benchmark: str,
+    device: str,
+    compiler: str,
+    day: Optional[int],
+) -> Tuple[int, int]:
+    """(compile seed, Monte-Carlo seed) for one task."""
+    if base_seed is None:
+        # The legacy serial constants; keeps historical figures stable.
+        return 0, DEFAULT_MC_SEED
+    identity = (benchmark, device, compiler, day)
+    return (
+        derive_task_seed(base_seed, "compile", *identity),
+        derive_task_seed(base_seed, "mc", *identity),
+    )
+
+
+# ----------------------------------------------------------------------
+# Task execution (runs in pool workers and in the serial fallback).
+# ----------------------------------------------------------------------
+def _init_worker(cache_dir) -> None:
+    """Pool initializer: open this process's handle onto the shared store."""
+    activate_cache(open_cache(cache_dir) if cache_dir is not None else None)
+
+
+def run_task(task: SweepTask) -> Tuple[Measurement, TaskReport]:
+    """Execute one grid cell using this process's active cache."""
+    started = time.perf_counter()
+    benchmark = benchmark_by_name(task.benchmark)
+    device = device_by_name(task.device, day=task.day or 0)
+    measurement = measure(
+        benchmark,
+        device,
+        resolve_compiler(task.compiler),
+        day=task.day,
+        fault_samples=task.fault_samples,
+        with_success=task.with_success,
+        seed=task.compile_seed,
+        mc_seed=task.mc_seed,
+        cache=get_active_cache(),
+    )
+    report = TaskReport(
+        benchmark=task.benchmark,
+        device=task.device,
+        compiler=task.compiler,
+        elapsed_s=time.perf_counter() - started,
+        cache_hit=measurement.cache_hit,
+        pid=os.getpid(),
+    )
+    return measurement, report
+
+
+# ----------------------------------------------------------------------
+# The engine entry point.
+# ----------------------------------------------------------------------
+def _registry_name(benchmark: Benchmark) -> Optional[str]:
+    """The benchmark's registry name, or None if it is not registered."""
+    try:
+        registered = benchmark_by_name(benchmark.name)
+    except KeyError:
+        return None
+    return registered.name
+
+
+def _device_registry_name(device: Device) -> Optional[str]:
+    """The device's library name, or None for ad-hoc devices."""
+    try:
+        found = device_by_name(device.name)
+    except KeyError:
+        return None
+    return found.name if found.name == device.name else None
+
+
+def run_sweep(
+    device: Union[Device, str],
+    compilers: Sequence[CompilerName],
+    benchmarks: Optional[Sequence[Union[Benchmark, str]]] = None,
+    day: Optional[int] = None,
+    fault_samples: int = DEFAULT_FAULT_SAMPLES,
+    with_success: bool = True,
+    workers: int = 1,
+    cache: Optional[Cache] = None,
+    cache_dir=None,
+    base_seed: Optional[int] = None,
+) -> SweepReport:
+    """Measure a benchmark suite under several compilers on one device.
+
+    Args:
+        device: a :class:`Device` or a library name (e.g. ``"melbourne"``).
+        compilers: TriQ levels and/or baseline names (``"Qiskit"``,
+            ``"Quil"``).
+        benchmarks: suite subset as :class:`Benchmark` objects or
+            registry names; defaults to the standard 12-program suite.
+            Misfits are skipped, as in the paper.
+        workers: process-pool width; 1 (the default) runs serially.
+        cache: an open cache handle, or ``cache_dir`` to open one; with
+            neither, caching is off.
+        base_seed: derive per-task seeds from this; None keeps the
+            legacy fixed seeds.
+    """
+    started = time.perf_counter()
+    if isinstance(device, str):
+        device = device_by_name(device, day=day or 0)
+    resolved_day = device.day if day is None else day
+    if benchmarks is None:
+        benchmarks = standard_suite()
+    benchmarks = [
+        benchmark_by_name(b) if isinstance(b, str) else b for b in benchmarks
+    ]
+    if cache is None and cache_dir is not None:
+        cache = open_cache(cache_dir)
+
+    # Build each circuit exactly once: the fit check and the serial
+    # measure path share it.
+    fitting: List[Tuple[Benchmark, Tuple]] = []
+    for benchmark in benchmarks:
+        built = benchmark.build()
+        if fits(built[0], device):
+            fitting.append((benchmark, built))
+
+    labels = [compiler_label(c) for c in compilers]
+    tasks = []
+    for benchmark, _ in fitting:
+        for label in labels:
+            compile_seed, mc_seed = _task_seeds(
+                base_seed, benchmark.name, device.name, label, resolved_day
+            )
+            tasks.append(
+                SweepTask(
+                    benchmark=benchmark.name,
+                    device=device.name,
+                    day=resolved_day,
+                    compiler=label,
+                    fault_samples=fault_samples,
+                    with_success=with_success,
+                    compile_seed=compile_seed,
+                    mc_seed=mc_seed,
+                )
+            )
+
+    parallel_ok = (
+        workers > 1
+        and len(tasks) > 1
+        and _device_registry_name(device) is not None
+        and all(_registry_name(b) is not None for b, _ in fitting)
+    )
+    if parallel_ok:
+        outcomes = _run_pool(tasks, workers, cache)
+        if outcomes is not None:
+            measurements = [m for m, _ in outcomes]
+            reports = [r for _, r in outcomes]
+            return SweepReport(
+                measurements=measurements,
+                tasks=reports,
+                mode="process-pool",
+                workers=workers,
+                total_time_s=time.perf_counter() - started,
+                # Store stats live in the worker processes; the per-task
+                # cache_hit flags are the aggregate view.
+                cache_stats=None,
+            )
+
+    # Serial path: same task function, this process, prebuilt circuits.
+    by_name = {b.name: (b, built) for b, built in fitting}
+    measurements, reports = [], []
+    for task in tasks:
+        task_started = time.perf_counter()
+        benchmark, built = by_name[task.benchmark]
+        measurement = measure(
+            benchmark,
+            device,
+            resolve_compiler(task.compiler),
+            day=task.day,
+            fault_samples=task.fault_samples,
+            with_success=task.with_success,
+            seed=task.compile_seed,
+            mc_seed=task.mc_seed,
+            built=built,
+            cache=cache,
+        )
+        measurements.append(measurement)
+        reports.append(
+            TaskReport(
+                benchmark=task.benchmark,
+                device=task.device,
+                compiler=task.compiler,
+                elapsed_s=time.perf_counter() - task_started,
+                cache_hit=measurement.cache_hit,
+                pid=os.getpid(),
+            )
+        )
+    return SweepReport(
+        measurements=measurements,
+        tasks=reports,
+        mode="serial",
+        workers=1,
+        total_time_s=time.perf_counter() - started,
+        cache_stats=cache.stats if cache is not None else None,
+    )
+
+
+def _run_pool(
+    tasks: Sequence[SweepTask], workers: int, cache: Optional[Cache]
+) -> Optional[List[Tuple[Measurement, TaskReport]]]:
+    """Execute tasks on a process pool; None if the pool cannot start."""
+    cache_dir = getattr(cache, "root", None)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(cache_dir,),
+        ) as pool:
+            return list(pool.map(run_task, tasks))
+    except (OSError, PermissionError, NotImplementedError, ImportError):
+        # No usable multiprocessing primitives on this platform; the
+        # caller falls back to the serial path.
+        return None

@@ -1,11 +1,21 @@
-"""Shared experiment plumbing: compile suites, measure success rates."""
+"""Shared experiment plumbing: compile suites, measure success rates.
+
+The measurement path is cache-aware: :func:`compile_with_cache` and
+:func:`measure` consult a :mod:`repro.cache` store when one is supplied
+(or active for the process), so repeated sweeps skip both recompilation
+and re-simulation of identical (circuit, device, day, level) cells.
+:func:`sweep` routes through the parallel engine in
+:mod:`repro.experiments.parallel`; pass ``workers`` > 1 to fan the grid
+out over a process pool.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines import QiskitLikeCompiler, QuilLikeCompiler
+from repro.cache import Cache, cache_context, compile_key, success_key
 from repro.compiler import (
     CompiledProgram,
     OptimizationLevel,
@@ -13,13 +23,28 @@ from repro.compiler import (
 )
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
-from repro.programs import Benchmark, standard_suite
-from repro.sim import monte_carlo_success_rate
+from repro.programs import Benchmark
+from repro.sim import SuccessEstimate, monte_carlo_success_rate
 
 #: Default Monte-Carlo fault samples per success measurement.  The
 #: paper uses 8192 hardware trials; our estimator is Rao-Blackwellized
 #: so ~100 fault configurations give comparable resolution.
 DEFAULT_FAULT_SAMPLES = 100
+
+#: Default RNG seed of :func:`repro.sim.monte_carlo_success_rate`,
+#: applied when no explicit Monte-Carlo seed is given.
+DEFAULT_MC_SEED = 1234
+
+#: TriQCompiler options baked into the cache key.  Mirrors the
+#: constructor defaults used by :func:`compile_with`; if those change,
+#: this dict (or ``repro.cache.keys.CACHE_SCHEMA_VERSION``) must too.
+_TRIQ_OPTIONS = {
+    "router": "basic",
+    "peephole": False,
+    "commute": False,
+    "node_limit": 200_000,
+    "time_limit_s": 30.0,
+}
 
 CompilerName = Union[OptimizationLevel, str]
 
@@ -38,11 +63,28 @@ class Measurement:
     compile_time_s: float
     success_rate: Optional[float] = None
     correct: Optional[str] = None
+    #: Whether the compiled artifact came from the cache (None: no cache).
+    cache_hit: Optional[bool] = None
 
 
 def fits(circuit: Circuit, device: Device) -> bool:
     """Whether a benchmark fits the device (paper marks misfits 'X')."""
     return circuit.num_qubits <= device.num_qubits
+
+
+def compiler_label(compiler: CompilerName) -> str:
+    """The display/cache label of a compiler configuration."""
+    if isinstance(compiler, OptimizationLevel):
+        return compiler.value
+    return str(compiler)
+
+
+def resolve_compiler(label: str) -> CompilerName:
+    """Invert :func:`compiler_label` (labels cross process boundaries)."""
+    try:
+        return OptimizationLevel(label)
+    except ValueError:
+        return label
 
 
 def compile_with(
@@ -63,6 +105,83 @@ def compile_with(
     raise ValueError(f"unknown compiler {compiler!r}")
 
 
+def compile_with_cache(
+    circuit: Circuit,
+    device: Device,
+    compiler: CompilerName,
+    day: Optional[int] = None,
+    seed: int = 0,
+    cache: Optional[Cache] = None,
+) -> Tuple[CompiledProgram, Optional[bool]]:
+    """Compile, consulting the artifact cache.
+
+    Returns ``(program, cache_hit)``; ``cache_hit`` is None when no
+    cache is in play.  On a hit the program carries the *stored*
+    ``compile_time_s``, so warm serial and parallel runs of the same
+    grid produce byte-identical measurements.
+    """
+    if cache is None or not cache.enabled:
+        return compile_with(circuit, device, compiler, day=day, seed=seed), None
+    options = dict(_TRIQ_OPTIONS)
+    if not isinstance(compiler, OptimizationLevel):
+        options = {"seed": seed}
+    key = compile_key(circuit, device, compiler_label(compiler), day, options)
+    payload = cache.get(key)
+    if payload is not None:
+        return CompiledProgram.from_payload(payload, device), True
+    # Activate the cache for the pipeline's reliability memoization too.
+    with cache_context(cache):
+        program = compile_with(circuit, device, compiler, day=day, seed=seed)
+    cache.put(key, program.to_payload())
+    return program, False
+
+
+def _success_with_cache(
+    program: CompiledProgram,
+    device: Device,
+    correct: str,
+    day: Optional[int],
+    fault_samples: int,
+    mc_seed: int,
+    cache: Optional[Cache],
+) -> SuccessEstimate:
+    """Monte-Carlo success, memoized (the estimator is seed-deterministic)."""
+    if cache is None or not cache.enabled:
+        return monte_carlo_success_rate(
+            program.circuit,
+            device,
+            correct,
+            day=day,
+            fault_samples=fault_samples,
+            seed=mc_seed,
+        )
+    key = success_key(
+        program.circuit, device, correct, day, fault_samples, mc_seed
+    )
+    payload = cache.get(key)
+    if payload is not None:
+        return SuccessEstimate(**payload)
+    estimate = monte_carlo_success_rate(
+        program.circuit,
+        device,
+        correct,
+        day=day,
+        fault_samples=fault_samples,
+        seed=mc_seed,
+    )
+    cache.put(
+        key,
+        {
+            "success_rate": estimate.success_rate,
+            "ideal_rate": estimate.ideal_rate,
+            "no_fault_probability": estimate.no_fault_probability,
+            "esp": estimate.esp,
+            "fault_samples": estimate.fault_samples,
+        },
+    )
+    return estimate
+
+
 def measure(
     benchmark: Benchmark,
     device: Device,
@@ -71,33 +190,41 @@ def measure(
     fault_samples: int = DEFAULT_FAULT_SAMPLES,
     with_success: bool = True,
     seed: int = 0,
+    mc_seed: Optional[int] = None,
+    built: Optional[Tuple[Circuit, str]] = None,
+    cache: Optional[Cache] = None,
 ) -> Measurement:
-    """Compile one benchmark and optionally measure its success rate."""
-    circuit, correct = benchmark.build()
-    program = compile_with(circuit, device, compiler, day=day, seed=seed)
-    label = (
-        compiler.value
-        if isinstance(compiler, OptimizationLevel)
-        else str(compiler)
+    """Compile one benchmark and optionally measure its success rate.
+
+    ``built`` lets callers that already constructed the benchmark's
+    ``(circuit, correct)`` pair (e.g. for a fit check) pass it in
+    instead of paying for a second build.
+    """
+    circuit, correct = built if built is not None else benchmark.build()
+    program, cache_hit = compile_with_cache(
+        circuit, device, compiler, day=day, seed=seed, cache=cache
     )
     result = Measurement(
         benchmark=benchmark.name,
         device=device.name,
-        compiler=label,
+        compiler=compiler_label(compiler),
         two_qubit_gates=program.two_qubit_gate_count(),
         one_qubit_pulses=program.one_qubit_pulse_count(),
         depth=program.depth(),
         num_swaps=program.num_swaps,
         compile_time_s=program.compile_time_s,
         correct=correct,
+        cache_hit=cache_hit,
     )
     if with_success:
-        estimate = monte_carlo_success_rate(
-            program.circuit,
+        estimate = _success_with_cache(
+            program,
             device,
             correct,
-            day=day,
-            fault_samples=fault_samples,
+            day,
+            fault_samples,
+            DEFAULT_MC_SEED if mc_seed is None else mc_seed,
+            cache,
         )
         result.success_rate = estimate.success_rate
     return result
@@ -110,31 +237,32 @@ def sweep(
     day: Optional[int] = None,
     fault_samples: int = DEFAULT_FAULT_SAMPLES,
     with_success: bool = True,
+    workers: int = 1,
+    cache: Optional[Cache] = None,
+    cache_dir=None,
+    base_seed: Optional[int] = None,
 ) -> List[Measurement]:
     """Measure a benchmark suite under several compilers on one device.
 
     Benchmarks that do not fit the device are skipped (the paper's "X"
-    marks).
+    marks).  This is a thin wrapper over
+    :func:`repro.experiments.parallel.run_sweep`; use that directly for
+    per-task timing and cache-hit statistics.
     """
-    if benchmarks is None:
-        benchmarks = standard_suite()
-    results = []
-    for benchmark in benchmarks:
-        circuit, _ = benchmark.build()
-        if not fits(circuit, device):
-            continue
-        for compiler in compilers:
-            results.append(
-                measure(
-                    benchmark,
-                    device,
-                    compiler,
-                    day=day,
-                    fault_samples=fault_samples,
-                    with_success=with_success,
-                )
-            )
-    return results
+    from repro.experiments.parallel import run_sweep
+
+    return run_sweep(
+        device,
+        compilers,
+        benchmarks=benchmarks,
+        day=day,
+        fault_samples=fault_samples,
+        with_success=with_success,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+        base_seed=base_seed,
+    ).measurements
 
 
 def by_compiler(

@@ -13,7 +13,6 @@ unplaced terms.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -63,13 +62,6 @@ class ProductSolver:
         best_product = 0.0
         used = np.zeros(problem.num_values, dtype=bool)
         assignment = [-1] * problem.num_vars
-
-        # The optimistic product of all not-yet-scored terms.
-        full_bound = 1.0
-        for bound in self._unary_best.values():
-            full_bound *= bound
-        for bound in self._pair_best.values():
-            full_bound *= bound
 
         def remaining_bound(depth: int) -> float:
             # Terms become "scored" once both endpoints are placed; a

@@ -15,7 +15,6 @@ from repro.apps import (
 )
 from repro.compiler import OptimizationLevel
 from repro.devices import ibmq14_melbourne, umd_trapped_ion
-from repro.ir import Circuit
 
 
 class TestHamiltonian:

@@ -13,7 +13,7 @@ from repro.backends import (
     parse_quil,
     parse_umdti_asm,
 )
-from repro.compiler import OptimizationLevel, compile_circuit
+from repro.compiler import compile_circuit
 from repro.devices import ibmq5_tenerife, rigetti_agave, umd_trapped_ion
 from repro.ir import Circuit
 from repro.programs import bernstein_vazirani

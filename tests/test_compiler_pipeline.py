@@ -4,7 +4,6 @@ import pytest
 
 from tests.helpers import make_device
 from repro.compiler import (
-    CompiledProgram,
     OptimizationLevel,
     TriQCompiler,
     compile_circuit,
@@ -16,7 +15,6 @@ from repro.devices import (
     rigetti_agave,
     umd_trapped_ion,
 )
-from repro.devices.gatesets import VendorFamily
 from repro.programs import bernstein_vazirani, toffoli_benchmark
 from repro.sim import ideal_distribution
 

@@ -6,7 +6,7 @@ from tests.helpers import make_device
 from repro.compiler.mapping import InitialMapping, default_mapping
 from repro.compiler.reliability import compute_reliability
 from repro.compiler.routing import route_circuit
-from repro.devices import Topology, example_8q_device
+from repro.devices import Topology
 from repro.ir import Circuit, decompose_to_basis
 from repro.sim import ideal_distribution
 

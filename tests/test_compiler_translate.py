@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from tests.helpers import assert_equal_up_to_phase, make_device

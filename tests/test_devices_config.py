@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.devices import (
-    Topology,
     ibmq5_tenerife,
     rigetti_agave,
     umd_trapped_ion,
@@ -13,7 +12,6 @@ from repro.devices import (
 from repro.devices.config import (
     device_from_dict,
     device_from_json,
-    device_to_dict,
     device_to_json,
     load_device,
     save_device,

@@ -1,0 +1,168 @@
+"""Tests for the parallel sweep engine."""
+
+import pytest
+
+from repro.cache import open_cache
+from repro.compiler import OptimizationLevel
+from repro.devices import ibmq5_tenerife
+from repro.experiments.parallel import (
+    SweepReport,
+    derive_task_seed,
+    run_sweep,
+)
+from repro.experiments.runner import sweep
+from repro.ir import Circuit
+from repro.programs import Benchmark, benchmark_by_name
+
+LEVELS = [OptimizationLevel.N, OptimizationLevel.OPT_1QCN]
+
+
+def strip_timing(measurements):
+    """Measurements with the wall-clock field neutralized."""
+    stripped = []
+    for m in measurements:
+        clone = type(m)(**{**m.__dict__, "compile_time_s": 0.0})
+        stripped.append(clone)
+    return stripped
+
+
+class TestSerial:
+    def test_matches_legacy_sweep(self):
+        device = ibmq5_tenerife()
+        via_engine = run_sweep(
+            device, LEVELS, with_success=False
+        ).measurements
+        via_legacy = sweep(device, LEVELS, with_success=False)
+        assert strip_timing(via_engine) == strip_timing(via_legacy)
+
+    def test_report_telemetry(self):
+        report = run_sweep(
+            ibmq5_tenerife(),
+            [OptimizationLevel.N],
+            benchmarks=["BV4"],
+            with_success=False,
+        )
+        assert isinstance(report, SweepReport)
+        assert report.mode == "serial"
+        assert report.workers == 1
+        assert len(report.tasks) == 1
+        assert report.tasks[0].benchmark == "BV4"
+        assert report.total_time_s > 0
+
+    def test_fits_filter_skips_large_benchmarks(self):
+        # BV8 needs 8 qubits; Tenerife has 5.
+        report = run_sweep(
+            ibmq5_tenerife(),
+            [OptimizationLevel.N],
+            benchmarks=["BV4", "BV8"],
+            with_success=False,
+        )
+        assert [m.benchmark for m in report.measurements] == ["BV4"]
+
+    def test_adhoc_benchmark_runs_serially(self):
+        adhoc = Benchmark(
+            name="adhoc-ghz3",
+            factory=lambda: (
+                Circuit(3, name="adhoc-ghz3").h(0).cx(0, 1).cx(1, 2)
+                .measure_all(),
+                "000",
+            ),
+            interaction_shape="chain",
+        )
+        report = run_sweep(
+            ibmq5_tenerife(),
+            [OptimizationLevel.N, OptimizationLevel.OPT_1Q],
+            benchmarks=[adhoc],
+            workers=4,
+            with_success=False,
+        )
+        assert report.mode == "serial"
+        assert [m.benchmark for m in report.measurements] == ["adhoc-ghz3"] * 2
+
+
+class TestParallel:
+    def test_cold_parallel_matches_serial(self):
+        device = ibmq5_tenerife()
+        serial = run_sweep(device, LEVELS, with_success=False)
+        parallel = run_sweep(device, LEVELS, with_success=False, workers=2)
+        assert strip_timing(parallel.measurements) == strip_timing(
+            serial.measurements
+        )
+
+    def test_warm_parallel_byte_identical_to_serial(self, tmp_path):
+        device = ibmq5_tenerife()
+        cache = open_cache(tmp_path / "cache")
+        kwargs = dict(
+            benchmarks=["BV4", "Toffoli", "Fredkin"],
+            fault_samples=30,
+            cache=cache,
+        )
+        run_sweep(device, LEVELS, **kwargs)  # populate
+        warm_serial = run_sweep(device, LEVELS, **kwargs)
+        warm_parallel = run_sweep(device, LEVELS, workers=4, **kwargs)
+        assert warm_parallel.measurements == warm_serial.measurements
+        assert all(t.cache_hit for t in warm_parallel.tasks)
+
+    def test_with_success_deterministic_across_workers(self):
+        device = ibmq5_tenerife()
+        kwargs = dict(benchmarks=["BV4"], fault_samples=30, base_seed=7)
+        one = run_sweep(device, LEVELS, **kwargs)
+        two = run_sweep(device, LEVELS, workers=2, **kwargs)
+        assert strip_timing(one.measurements) == strip_timing(
+            two.measurements
+        )
+
+    def test_task_order_matches_serial_grid(self):
+        report = run_sweep(
+            ibmq5_tenerife(),
+            LEVELS,
+            benchmarks=["BV4", "Toffoli"],
+            workers=2,
+            with_success=False,
+        )
+        grid = [(m.benchmark, m.compiler) for m in report.measurements]
+        assert grid == [
+            ("BV4", "TriQ-N"),
+            ("BV4", "TriQ-1QOptCN"),
+            ("Toffoli", "TriQ-N"),
+            ("Toffoli", "TriQ-1QOptCN"),
+        ]
+
+
+class TestSeeds:
+    def test_derive_task_seed_deterministic(self):
+        a = derive_task_seed(3, "BV4", "ibmq5", "TriQ-N", 0)
+        b = derive_task_seed(3, "BV4", "ibmq5", "TriQ-N", 0)
+        assert a == b
+        assert 0 <= a < 2**31
+
+    def test_derive_task_seed_distinct_per_identity(self):
+        seeds = {
+            derive_task_seed(3, bench, "ibmq5", level, 0)
+            for bench in ("BV4", "BV6", "Toffoli")
+            for level in ("TriQ-N", "TriQ-1QOptCN")
+        }
+        assert len(seeds) == 6
+
+    def test_base_seed_changes_results_seed(self):
+        assert derive_task_seed(3, "BV4") != derive_task_seed(4, "BV4")
+
+
+class TestRunnerFacade:
+    def test_sweep_accepts_string_names(self):
+        results = run_sweep(
+            "tenerife",
+            [OptimizationLevel.N],
+            benchmarks=[benchmark_by_name("BV4")],
+            with_success=False,
+        ).measurements
+        assert results[0].device == ibmq5_tenerife().name
+
+    def test_unknown_compiler_label_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(
+                ibmq5_tenerife(),
+                ["not-a-compiler"],
+                benchmarks=["BV4"],
+                with_success=False,
+            )

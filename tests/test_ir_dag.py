@@ -1,6 +1,5 @@
 """Tests for the circuit dependency DAG."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.ir import Circuit

@@ -1,6 +1,5 @@
 """Decomposition correctness: every expansion preserves the unitary."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import assert_equal_up_to_phase

@@ -8,7 +8,6 @@ from repro.devices import ibmq5_tenerife, rigetti_agave, umd_trapped_ion
 from repro.ir import Circuit
 from repro.programs import bernstein_vazirani
 from repro.pulse import (
-    Channel,
     Gaussian,
     GaussianSquare,
     Constant,

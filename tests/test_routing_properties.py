@@ -8,7 +8,6 @@ These encode the contracts every router must satisfy:
 * the final placement is a valid injection.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.ir import Circuit
 from repro.programs import bernstein_vazirani
 from repro.scaffold import compile_scaffold
 from repro.scaffold.errors import (

@@ -9,7 +9,6 @@ from repro.scaffold.ast_nodes import (
     GateCall,
     IfStatement,
     IntDecl,
-    NumberLiteral,
     QubitRef,
 )
 

@@ -5,7 +5,7 @@ import pytest
 
 from tests.helpers import make_device
 from repro.devices import Topology, umd_trapped_ion
-from repro.ir import Circuit, gate_matrix
+from repro.ir import Circuit
 from repro.programs import toffoli_benchmark
 from repro.sim import monte_carlo_success_rate, simulate_statevector
 from repro.sim.density import (
@@ -56,7 +56,9 @@ class TestDensityBasics:
         circuit = Circuit(2).h(0).cx(0, 1)
         clean = simulate_density(circuit)
         noisy = simulate_density(circuit, device)
-        purity = lambda r: np.trace(r @ r).real
+        def purity(r):
+            return np.trace(r @ r).real
+
         assert purity(noisy) < purity(clean)
 
 

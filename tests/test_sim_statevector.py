@@ -9,14 +9,12 @@ from hypothesis import given, settings, strategies as st
 from repro.ir import Circuit, gate_matrix
 from repro.ir.instruction import Instruction
 from repro.sim import (
-    apply_instruction,
     circuit_unitary,
     ideal_distribution,
     simulate_statevector,
 )
 from repro.sim.statevector import (
     apply_unitary,
-    distribution_from_state,
     measurement_wiring,
     zero_state,
 )
