@@ -2,10 +2,14 @@
 
 :class:`CompileCache` is a content-addressed pickle store: each entry
 lives at ``<root>/<key[:2]>/<key>.pkl`` and is written atomically (temp
-file + ``os.replace``), so concurrent writers across processes can only
-ever race to produce the same bytes.  Readers treat anything that fails
-to load — truncated pickles, wrong schema version, key mismatch — as a
-miss, delete the bad file, and let the caller recompute.
+file + fsync + ``os.replace``), so concurrent writers across processes
+can only ever race to produce the same bytes and a killed worker can
+never leave a torn entry behind.  Readers treat anything that fails to
+load — truncated pickles, wrong schema version, key mismatch — as a
+miss, move the bad file into ``<root>/quarantine/`` for post-mortem
+inspection, and let the caller recompute: the slot is freed, so the
+same corruption is never re-hit, but the evidence is kept instead of
+silently destroyed.
 
 Payloads are plain data (dicts of primitives and numpy arrays), never
 live ``Device``/``Circuit`` objects; the callers own the conversion
@@ -34,7 +38,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    #: Entries dropped because they failed to load (corruption, schema).
+    #: Entries quarantined because they failed to load (corruption,
+    #: schema drift, key mismatch).
     recovered: int = 0
 
     @property
@@ -89,6 +94,22 @@ class CompileCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where unreadable entries are moved for inspection."""
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (fall back to deletion)."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, key: str) -> Optional[Any]:
         """The stored payload, or None on miss or unreadable entry."""
         path = self._path(key)
@@ -101,13 +122,12 @@ class CompileCache:
             self.stats.misses += 1
             return None
         except Exception:
-            # Corrupted / truncated / stale entry: drop it and miss.
+            # Corrupted / truncated / stale entry: quarantine it and
+            # miss.  The slot becomes writable again immediately, so
+            # the sweep recomputes once, not forever.
             self.stats.recovered += 1
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         return payload
@@ -126,6 +146,8 @@ class CompileCache:
                     handle,
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -136,7 +158,11 @@ class CompileCache:
         self.stats.stores += 1
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return sum(
+            1
+            for entry in self.root.glob("*/*.pkl")
+            if entry.parent.name != "quarantine"
+        )
 
 
 Cache = Union[CompileCache, NullCache]

@@ -175,6 +175,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for name in args.benchmarks.split(",")
             if name.strip()
         ]
+    days = None
+    if args.days:
+        days = [int(d) for d in args.days.split(",") if d.strip()]
+    resume = args.resume is not None
+    run_id = args.run_id or (args.resume if args.resume else None)
     cache = _open_cli_cache(args)
     report = run_sweep(
         device_by_name(args.device, day=args.day),
@@ -186,6 +191,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         base_seed=args.seed,
+        task_timeout_s=args.task_timeout,
+        retries=args.retries,
+        days=days,
+        skip_bad_days=args.skip_bad_days,
+        run_id=run_id,
+        resume=resume,
     )
     headers = ["Benchmark", "Compiler", "2Q", "1Q pulses", "Depth", "Swaps"]
     rows = [
@@ -207,7 +218,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     print(report.summary(), file=sys.stderr)
-    return 0
+    if report.run_id:
+        print(
+            f"run id: {report.run_id} "
+            f"(resume an interrupted run with --resume {report.run_id})",
+            file=sys.stderr,
+        )
+    for failure in report.failures:
+        print(f"FAILED {failure.describe()}", file=sys.stderr)
+    # Partial results are printed either way; a nonzero exit tells
+    # scripts some cells were given up on.
+    return 4 if report.failures else 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -238,6 +259,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["workers"] = args.workers
         cache = _open_cli_cache(args)
         kwargs["cache_dir"] = getattr(cache, "root", None)
+    if "task_timeout_s" in accepted:
+        kwargs["task_timeout_s"] = args.task_timeout
+        kwargs["retries"] = args.retries
     print(module.format_result(module.run(**kwargs)))
     return 0
 
@@ -338,6 +362,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="base seed for derived per-task seeds (default: legacy "
              "fixed seeds)",
     )
+    sweep_parser.add_argument(
+        "--days", default=None,
+        help="comma-separated calibration days to sweep "
+             "(overrides --day)",
+    )
+    sweep_parser.add_argument(
+        "--skip-bad-days", action="store_true",
+        help="skip calibration days that fail validation instead of "
+             "aborting the sweep",
+    )
+    _add_fault_args(sweep_parser)
+    sweep_parser.add_argument(
+        "--run-id", default=None,
+        help="checkpoint journal name (default: digest of the sweep "
+             "specification)",
+    )
+    sweep_parser.add_argument(
+        "--resume", nargs="?", const="", default=None, metavar="RUN_ID",
+        help="replay cells already in the checkpoint journal; "
+             "optionally name the run to resume",
+    )
     _add_cache_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -349,9 +394,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", "-w", type=int, default=1,
         help="process-pool width for sweep-backed figures (default 1)",
     )
+    _add_fault_args(experiment_parser)
     _add_cache_args(experiment_parser)
     experiment_parser.set_defaults(func=_cmd_experiment)
     return parser
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per sweep task attempt (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per task after a crash/timeout/error "
+             "(default 0)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -40,6 +40,10 @@ class InitialMapping:
     solver_nodes: int = 0
     #: Solver wall time in seconds.
     solver_time_s: float = 0.0
+    #: True when the placement is a degraded (heuristic/budget-cut)
+    #: answer rather than a proven-optimal one — recorded so sweep
+    #: results stay auditable when the solver deadline fires.
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if len(set(self.placement)) != len(self.placement):
@@ -112,4 +116,5 @@ def smt_mapping(
         objective=solution.objective,
         solver_nodes=solution.stats.nodes,
         solver_time_s=solution.stats.wall_time_s,
+        degraded=solution.degraded,
     )

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import enum
+import logging
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.cache.active import get_active_cache
@@ -21,6 +22,8 @@ from repro.compiler.translate import (
     naive_translate_1q,
     translate_two_qubit_gates,
 )
+
+logger = logging.getLogger("repro.compiler")
 
 
 class OptimizationLevel(str, enum.Enum):
@@ -114,6 +117,7 @@ class CompiledProgram:
             "objective": self.initial_mapping.objective,
             "solver_nodes": self.initial_mapping.solver_nodes,
             "solver_time_s": self.initial_mapping.solver_time_s,
+            "degraded": self.initial_mapping.degraded,
             "final_placement": tuple(self.final_placement),
             "num_swaps": self.num_swaps,
             "compile_time_s": self.compile_time_s,
@@ -143,6 +147,8 @@ class CompiledProgram:
             objective=payload["objective"],
             solver_nodes=payload["solver_nodes"],
             solver_time_s=payload["solver_time_s"],
+            # Entries written before the flag existed default to False.
+            degraded=payload.get("degraded", False),
         )
         return cls(
             circuit=circuit,
@@ -241,17 +247,34 @@ class TriQCompiler:
         return self._reliability_unaware
 
     def map_qubits(self, circuit: Circuit) -> InitialMapping:
-        """The placement pass for the configured level."""
+        """The placement pass for the configured level.
+
+        A solver that exhausts its budget already degrades internally
+        (it returns its greedy incumbent, flagged ``degraded``); a
+        solver that *raises* degrades here to the default placement so
+        one pathological mapping problem cannot abort a whole sweep.
+        Either way the degradation is recorded on the mapping.
+        """
         if not self.level.optimizes_communication:
             return default_mapping(circuit, self.device)
         reliability = self.reliability(self.level.noise_aware)
-        return smt_mapping(
-            circuit,
-            self.device,
-            reliability,
-            node_limit=self.node_limit,
-            time_limit_s=self.time_limit_s,
-        )
+        try:
+            return smt_mapping(
+                circuit,
+                self.device,
+                reliability,
+                node_limit=self.node_limit,
+                time_limit_s=self.time_limit_s,
+            )
+        except Exception:  # noqa: BLE001 - degrade, don't abort
+            logger.warning(
+                "SMT mapping failed for %r on %s; degrading to the "
+                "default placement",
+                circuit.name, self.device.name, exc_info=True,
+            )
+            return replace(
+                default_mapping(circuit, self.device), degraded=True
+            )
 
     def compile(self, circuit: Circuit) -> CompiledProgram:
         """Run the full pipeline on one program."""

@@ -10,7 +10,11 @@ Experience calibration feed (see DESIGN.md substitution table).
 
 from repro.devices.topology import Topology
 from repro.devices.gatesets import GateSet, VendorFamily, GATESET_BY_FAMILY
-from repro.devices.calibration import Calibration, CalibrationModel
+from repro.devices.calibration import (
+    Calibration,
+    CalibrationError,
+    CalibrationModel,
+)
 from repro.devices.device import Device
 from repro.devices.library import (
     ibmq5_tenerife,
@@ -32,6 +36,7 @@ __all__ = [
     "VendorFamily",
     "GATESET_BY_FAMILY",
     "Calibration",
+    "CalibrationError",
     "CalibrationModel",
     "Device",
     "ibmq5_tenerife",

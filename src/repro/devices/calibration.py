@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Optional
 
 import numpy as np
 
@@ -27,6 +27,28 @@ _MAX_ERROR = 0.75
 
 def _clamp(rate: float) -> float:
     return min(max(rate, _MIN_ERROR), _MAX_ERROR)
+
+
+class CalibrationError(ValueError):
+    """Calibration data failed validation (NaN/negative/out-of-range).
+
+    Raised at the boundaries — config loading, sweep start — so a
+    corrupt calibration feed fails with a precise message instead of
+    poisoning reliability matrices deep inside a compile.
+    """
+
+
+def _rate_problem(label: str, rate) -> Optional[str]:
+    """Why ``rate`` is not a valid error probability, or None if it is."""
+    if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+        return f"{label} is {rate!r} (not a number)"
+    if not math.isfinite(rate):
+        return f"{label} is {rate!r} (must be finite)"
+    if rate < 0.0:
+        return f"{label} is {rate!r} (negative error rate)"
+    if rate > 1.0:
+        return f"{label} is {rate!r} (error rates are probabilities in [0, 1])"
+    return None
 
 
 @dataclass(frozen=True)
@@ -63,6 +85,37 @@ class Calibration:
 
     def readout_reliability(self, q: int) -> float:
         return 1.0 - self.readout_error[q]
+
+    def validate(self) -> "Calibration":
+        """Check every rate is a finite probability in [0, 1].
+
+        Returns ``self`` so the call chains; raises
+        :class:`CalibrationError` naming *every* offending gate — a
+        corrupt feed usually corrupts many rates, and one precise error
+        beats an iterated whack-a-mole.
+        """
+        problems: List[str] = []
+        for edge, rate in sorted(
+            self.two_qubit_error.items(), key=lambda item: sorted(item[0])
+        ):
+            label = f"2Q error on edge {tuple(sorted(edge))}"
+            problem = _rate_problem(label, rate)
+            if problem:
+                problems.append(problem)
+        for qubit, rate in sorted(self.single_qubit_error.items()):
+            problem = _rate_problem(f"1Q error on qubit {qubit}", rate)
+            if problem:
+                problems.append(problem)
+        for qubit, rate in sorted(self.readout_error.items()):
+            problem = _rate_problem(f"readout error on qubit {qubit}", rate)
+            if problem:
+                problems.append(problem)
+        if problems:
+            raise CalibrationError(
+                f"calibration for day {self.day} is invalid: "
+                + "; ".join(problems)
+            )
+        return self
 
     # ------------------------------------------------------------------
     # Aggregates (used by noise-unaware compilation, paper section 4.2)
@@ -129,6 +182,26 @@ class CalibrationModel:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        for label, mean in (
+            ("mean_two_qubit_error", self.mean_two_qubit_error),
+            ("mean_single_qubit_error", self.mean_single_qubit_error),
+            ("mean_readout_error", self.mean_readout_error),
+        ):
+            if not (isinstance(mean, (int, float)) and math.isfinite(mean)):
+                raise CalibrationError(f"{label} is {mean!r} (must be finite)")
+            if mean <= 0.0 or mean > 1.0:
+                raise CalibrationError(
+                    f"{label} is {mean!r} (must be a probability in (0, 1])"
+                )
+        for label, sigma in (
+            ("spatial_sigma", self.spatial_sigma),
+            ("drift_sigma", self.drift_sigma),
+        ):
+            if not (math.isfinite(sigma) and sigma >= 0.0):
+                raise CalibrationError(
+                    f"{label} is {sigma!r} (must be a finite non-negative "
+                    "spread)"
+                )
         rng = np.random.default_rng(self.seed)
         # Baseline (persistent, per-gate) rates.  The log-normal is
         # re-centred so the arithmetic mean matches the published average.

@@ -31,6 +31,8 @@ not data.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any, Dict
 
 from repro.devices.calibration import Calibration
@@ -134,6 +136,9 @@ def device_from_dict(data: Dict[str, Any]) -> Device:
         single_qubit_error=_per_qubit("single_qubit_error"),
         readout_error=_per_qubit("readout_error"),
     )
+    # Reject NaN/negative/out-of-range rates here, at the boundary,
+    # with the offending gates named (CalibrationError is a ValueError).
+    calibration.validate()
     return Device(
         name=name,
         gate_set=GATESET_BY_FAMILY[vendor],
@@ -161,7 +166,26 @@ def load_device(path: str) -> Device:
 
 
 def save_device(device: Device, path: str, day: int = 0) -> None:
-    """Write a device's config (with one calibration snapshot) to a file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(device_to_json(device, day))
-        handle.write("\n")
+    """Write a device's config (with one calibration snapshot) to a file.
+
+    The write is atomic (temp file in the same directory, fsync, then
+    ``os.replace``), so a killed process can never leave a torn config
+    behind — readers see the old file or the new one, nothing between.
+    """
+    text = device_to_json(device, day) + "\n"
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,147 @@
+"""Fault-tolerance primitives for the sweep engine.
+
+A multi-hour evaluation grid dies in three distinct ways: a task hangs
+(heavy-tailed SMT solves), a worker process crashes (OOM kill, segfault,
+``os._exit``), or a task raises.  This module gives the engine one
+vocabulary for all three:
+
+* :class:`RetryPolicy` — per-task wall-clock timeout plus a bounded
+  retry budget with exponential backoff and *deterministic* jitter
+  (hash-based, so two runs of the same sweep schedule identically);
+* :class:`TaskFailure` — the structured record a sweep reports instead
+  of aborting: what failed, how (``crash`` / ``timeout`` / ``error``),
+  the exception type and traceback, and how many attempts were spent;
+* :func:`maybe_inject_fault` — an environment-driven fault-injection
+  hook (``REPRO_FAULT_INJECT``) used by the test suite and the CI
+  fault-injection smoke job to kill, hang, or fail specific cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+#: Environment variable holding fault-injection clauses.  Format is a
+#: comma-separated list of ``mode:benchmark[:max_attempt]`` clauses,
+#: where ``mode`` is ``crash`` (``os._exit`` the worker), ``hang``
+#: (sleep far past any sane deadline) or ``error`` (raise
+#: :class:`InjectedFault`).  With ``max_attempt`` the fault only fires
+#: on attempts up to that number, so retries can be observed succeeding:
+#: ``REPRO_FAULT_INJECT=crash:BV4:1`` crashes the first attempt only.
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+#: Exit code used by injected crashes, so a test can tell an injected
+#: death from an accidental one.
+INJECTED_CRASH_EXIT_CODE = 73
+
+#: How long an injected hang sleeps; anything longer than every timeout.
+_HANG_SECONDS = 3600.0
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``error``-mode fault injection."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout and bounded-retry configuration for sweep tasks.
+
+    Attributes:
+        task_timeout_s: wall-clock budget per attempt; None disables
+            timeout enforcement.  Enforced by the process pool (a
+            worker past its deadline is terminated and replaced); the
+            serial path cannot preempt a running task and relies on the
+            SMT solver's own deadline instead.
+        retries: additional attempts after the first failure; 0 means
+            fail fast.
+        backoff_s: delay before the first retry.
+        backoff_factor: multiplier per subsequent retry.
+        max_backoff_s: cap on any single delay.
+        jitter: fraction of the base delay added as deterministic
+            jitter, spreading retries without losing reproducibility.
+    """
+
+    task_timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.25
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff before retrying after the ``attempt``-th failure.
+
+        Pure function of (policy, attempt, token): the jitter comes
+        from a hash of the token (typically the task digest), not from
+        a live RNG, so resumed and repeated runs behave identically.
+        """
+        base = self.backoff_s * (self.backoff_factor ** max(attempt - 1, 0))
+        base = min(base, self.max_backoff_s)
+        seed = hashlib.sha256(f"{token}:{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(seed[:4], "big") / 0xFFFFFFFF
+        return min(base * (1.0 + self.jitter * fraction), self.max_backoff_s)
+
+
+@dataclass
+class TaskFailure:
+    """One grid cell the sweep gave up on, with full provenance.
+
+    ``kind`` is ``"crash"`` (the worker process died), ``"timeout"``
+    (the attempt exceeded the policy's wall-clock budget) or
+    ``"error"`` (the task raised).
+    """
+
+    benchmark: str
+    device: str
+    compiler: str
+    day: Optional[int]
+    kind: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    elapsed_s: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark} / {self.compiler} (day {self.day}): "
+            f"{self.kind} after {self.attempts} attempt"
+            f"{'s' if self.attempts != 1 else ''} "
+            f"[{self.error_type}: {self.message}]"
+        )
+
+
+def maybe_inject_fault(benchmark: str, attempt: int) -> None:
+    """Fire any matching ``REPRO_FAULT_INJECT`` clause for this task.
+
+    Called at the top of task execution (pool workers and the serial
+    path alike).  A no-op unless the environment variable is set, so
+    production sweeps pay one dict lookup.
+    """
+    spec = os.environ.get(FAULT_INJECT_ENV)
+    if not spec:
+        return
+    for clause in spec.split(","):
+        parts = clause.strip().split(":")
+        if len(parts) < 2:
+            continue
+        mode, target = parts[0].strip().lower(), parts[1].strip()
+        if target != benchmark:
+            continue
+        if len(parts) > 2:
+            try:
+                if attempt > int(parts[2]):
+                    continue
+            except ValueError:
+                continue
+        if mode == "crash":
+            os._exit(INJECTED_CRASH_EXIT_CODE)
+        if mode == "hang":
+            time.sleep(_HANG_SECONDS)
+        if mode == "error":
+            raise InjectedFault(
+                f"injected failure for {benchmark} (attempt {attempt})"
+            )

@@ -39,6 +39,8 @@ def run_device(
     fault_samples: int = 100,
     workers: int = 1,
     cache_dir=None,
+    task_timeout_s=None,
+    retries: int = 0,
 ) -> Fig10Panel:
     results = sweep(
         device,
@@ -47,6 +49,8 @@ def run_device(
         fault_samples=fault_samples,
         workers=workers,
         cache_dir=cache_dir,
+        task_timeout_s=task_timeout_s,
+        retries=retries,
     )
     grouped = by_compiler(results)
     base = grouped[OptimizationLevel.OPT_1Q.value]
@@ -72,14 +76,22 @@ def run_device(
 
 
 def run(
-    fault_samples: int = 100, workers: int = 1, cache_dir=None
+    fault_samples: int = 100,
+    workers: int = 1,
+    cache_dir=None,
+    task_timeout_s=None,
+    retries: int = 0,
 ) -> List[Fig10Panel]:
     """(a) IBMQ14 counts+success, (b) Agave counts."""
     return [
         run_device(
-            ibmq14_melbourne(), True, fault_samples, workers, cache_dir
+            ibmq14_melbourne(), True, fault_samples, workers, cache_dir,
+            task_timeout_s, retries,
         ),
-        run_device(rigetti_agave(), False, workers=workers, cache_dir=cache_dir),
+        run_device(
+            rigetti_agave(), False, workers=workers, cache_dir=cache_dir,
+            task_timeout_s=task_timeout_s, retries=retries,
+        ),
     ]
 
 

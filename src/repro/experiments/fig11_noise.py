@@ -39,7 +39,11 @@ class Fig11IbmResult:
 
 
 def run_ibm(
-    fault_samples: int = 100, workers: int = 1, cache_dir=None
+    fault_samples: int = 100,
+    workers: int = 1,
+    cache_dir=None,
+    task_timeout_s=None,
+    retries: int = 0,
 ) -> Fig11IbmResult:
     """Panels (a, b): IBMQ14."""
     device = ibmq14_melbourne()
@@ -54,6 +58,8 @@ def run_ibm(
         fault_samples=fault_samples,
         workers=workers,
         cache_dir=cache_dir,
+        task_timeout_s=task_timeout_s,
+        retries=retries,
     )
     grouped = by_compiler(results)
     qiskit = grouped["Qiskit"]
@@ -111,6 +117,8 @@ def run_rigetti(
     fault_samples: int = 100,
     workers: int = 1,
     cache_dir=None,
+    task_timeout_s=None,
+    retries: int = 0,
 ) -> Fig11RigettiResult:
     """Panels (c, d): one Rigetti machine."""
     results = sweep(
@@ -119,6 +127,8 @@ def run_rigetti(
         fault_samples=fault_samples,
         workers=workers,
         cache_dir=cache_dir,
+        task_timeout_s=task_timeout_s,
+        retries=retries,
     )
     grouped = by_compiler(results)
     quil = grouped["Quil"]

@@ -30,7 +30,11 @@ class Fig8Result:
 
 
 def run_device(
-    device: Device, workers: int = 1, cache_dir=None
+    device: Device,
+    workers: int = 1,
+    cache_dir=None,
+    task_timeout_s=None,
+    retries: int = 0,
 ) -> Fig8Result:
     results = sweep(
         device,
@@ -38,6 +42,8 @@ def run_device(
         with_success=False,
         workers=workers,
         cache_dir=cache_dir,
+        task_timeout_s=task_timeout_s,
+        retries=retries,
     )
     grouped = by_compiler(results)
     base = grouped[OptimizationLevel.N.value]
@@ -56,12 +62,17 @@ def run_device(
     )
 
 
-def run(workers: int = 1, cache_dir=None) -> List[Fig8Result]:
+def run(
+    workers: int = 1,
+    cache_dir=None,
+    task_timeout_s=None,
+    retries: int = 0,
+) -> List[Fig8Result]:
     """The three panels: IBMQ14, Rigetti Agave, UMDTI."""
     return [
-        run_device(ibmq14_melbourne(), workers, cache_dir),
-        run_device(rigetti_agave(), workers, cache_dir),
-        run_device(umd_trapped_ion(), workers, cache_dir),
+        run_device(ibmq14_melbourne(), workers, cache_dir, task_timeout_s, retries),
+        run_device(rigetti_agave(), workers, cache_dir, task_timeout_s, retries),
+        run_device(umd_trapped_ion(), workers, cache_dir, task_timeout_s, retries),
     ]
 
 

@@ -36,6 +36,8 @@ def run_device(
     fault_samples: int = 100,
     workers: int = 1,
     cache_dir=None,
+    task_timeout_s=None,
+    retries: int = 0,
 ) -> Fig9Result:
     results = sweep(
         device,
@@ -43,6 +45,8 @@ def run_device(
         fault_samples=fault_samples,
         workers=workers,
         cache_dir=cache_dir,
+        task_timeout_s=task_timeout_s,
+        retries=retries,
     )
     grouped = by_compiler(results)
     base = grouped[OptimizationLevel.N.value]
@@ -67,11 +71,21 @@ def run_device(
 
 
 def run(
-    fault_samples: int = 100, workers: int = 1, cache_dir=None
+    fault_samples: int = 100,
+    workers: int = 1,
+    cache_dir=None,
+    task_timeout_s=None,
+    retries: int = 0,
 ) -> List[Fig9Result]:
     return [
-        run_device(ibmq14_melbourne(), fault_samples, workers, cache_dir),
-        run_device(umd_trapped_ion(), fault_samples, workers, cache_dir),
+        run_device(
+            ibmq14_melbourne(), fault_samples, workers, cache_dir,
+            task_timeout_s, retries,
+        ),
+        run_device(
+            umd_trapped_ion(), fault_samples, workers, cache_dir,
+            task_timeout_s, retries,
+        ),
     ]
 
 

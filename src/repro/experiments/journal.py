@@ -1,0 +1,130 @@
+"""The sweep checkpoint journal: append-only JSONL of finished cells.
+
+Every completed grid cell is appended — digest, measurement, execution
+report — as one JSON line, flushed and fsynced, so a crash or Ctrl-C
+loses at most the cell in flight.  ``repro sweep --resume <run-id>``
+reloads the journal and skips every cell whose digest it already holds;
+the digests pin the *content* of a cell (benchmark, device, day,
+compiler, samples, seeds), so a resumed run with a changed spec simply
+resumes nothing rather than serving stale results.
+
+Journals live under ``<cache-dir>/journals/<run-id>.jsonl``.  A partial
+trailing line (torn write from a kill) is tolerated on load: lines that
+fail to parse are skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, Optional, Union
+
+from repro.cache.keys import digest
+
+#: Journal line format version; bump on incompatible record changes.
+JOURNAL_VERSION = 1
+
+
+def task_digest(task) -> str:
+    """Stable digest of one grid cell's full identity.
+
+    Covers everything that determines the cell's result — benchmark,
+    device, day, compiler, sample count, success flag, both seeds — so
+    two cells share a digest only if they are interchangeable.
+    """
+    return digest("sweep-cell", dataclasses.asdict(task))
+
+
+def run_digest(*parts: Any) -> str:
+    """A short stable run id derived from a sweep's specification."""
+    return digest("sweep-run", list(parts))[:12]
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint log for one sweep run."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Completed cells on disk: digest -> record (last write wins).
+
+        Corrupt lines — a torn trailing write, stray garbage — are
+        skipped; the journal is a cache of work done, never a source of
+        errors.
+        """
+        completed: Dict[str, Dict[str, Any]] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if (
+                        isinstance(record, dict)
+                        and record.get("v") == JOURNAL_VERSION
+                        and isinstance(record.get("task"), str)
+                    ):
+                        completed[record["task"]] = record
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
+        return completed
+
+    def reset(self) -> None:
+        """Drop any previous journal contents (fresh, non-resumed run)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
+
+    def record(
+        self,
+        cell_digest: str,
+        measurement: Dict[str, Any],
+        report: Dict[str, Any],
+    ) -> None:
+        """Append one completed cell; flushed and fsynced immediately."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(
+            {
+                "v": JOURNAL_VERSION,
+                "task": cell_digest,
+                "measurement": measurement,
+                "report": report,
+            },
+            separators=(",", ":"),
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

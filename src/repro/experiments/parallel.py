@@ -3,10 +3,21 @@
 The paper's evaluation is a large grid — benchmarks x compiler levels x
 devices x calibration days — whose cells are embarrassingly parallel:
 each is one compile plus one Monte-Carlo estimate, with no shared
-mutable state.  :func:`run_sweep` fans that grid out over a
-``ProcessPoolExecutor`` and layers the :mod:`repro.cache` store
-underneath, so identical cells are computed once *across* figure
-scripts and worker processes.
+mutable state.  :func:`run_sweep` fans that grid out over a supervised
+worker pool and layers the :mod:`repro.cache` store underneath, so
+identical cells are computed once *across* figure scripts and worker
+processes.
+
+Fault tolerance: the pool is supervised, not fire-and-forget.  A dead
+worker poisons only the task it was running — the supervisor records a
+structured :class:`TaskFailure` (or retries under the
+:class:`RetryPolicy`) and replenishes the pool; a task past its
+wall-clock deadline is terminated the same way; an ordinary exception
+inside a task is caught in the worker and reported without killing it.
+Completed cells stream into an append-only checkpoint journal (see
+:mod:`repro.experiments.journal`), so an interrupted sweep resumes with
+``resume=True`` / ``repro sweep --resume`` and replays only unfinished
+cells.
 
 Determinism: every task carries explicit seeds.  By default the legacy
 constants are used (compile seed 0, Monte-Carlo seed 1234 — exactly
@@ -14,33 +25,51 @@ what the serial path has always done), so existing figures reproduce
 unchanged; passing ``base_seed`` derives a distinct, stable seed per
 task from the task's identity, never from scheduling order.  Either
 way a task's result is a pure function of its description, which is
-what makes ``workers=4`` byte-identical to ``workers=1``.
+what makes ``workers=4`` byte-identical to ``workers=1`` — and retried
+or resumed cells byte-identical to first-try ones.
 
 Fallback: tasks cross process boundaries by *name* (benchmark registry
 name, device library name), because benchmark factories are closures
 and do not pickle.  Grids over ad-hoc benchmarks or devices, pools
 that cannot start (no ``fork``/semaphores), or ``workers=1`` all fall
-back to the serial path, which runs the very same task function.
+back to the serial path, which runs the very same task function; the
+triggering condition is logged and recorded in
+``SweepReport.fallback_reason`` instead of degrading silently.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import logging
+import multiprocessing
 import os
+import queue as queue_module
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache import (
     Cache,
     CacheStats,
+    CompileCache,
     activate_cache,
     digest,
     get_active_cache,
     open_cache,
 )
 from repro.devices import device_by_name
+from repro.devices.calibration import CalibrationError
 from repro.devices.device import Device
+from repro.experiments.faults import (
+    RetryPolicy,
+    TaskFailure,
+    maybe_inject_fault,
+)
+from repro.compiler import OptimizationLevel
+from repro.experiments.journal import SweepJournal, run_digest, task_digest
 from repro.experiments.runner import (
     DEFAULT_FAULT_SAMPLES,
     DEFAULT_MC_SEED,
@@ -52,6 +81,17 @@ from repro.experiments.runner import (
     resolve_compiler,
 )
 from repro.programs import Benchmark, benchmark_by_name, standard_suite
+
+logger = logging.getLogger("repro.sweep")
+
+#: How often the supervisor polls for results and checks worker health.
+_POLL_INTERVAL_S = 0.05
+
+#: Grace period after terminating a worker before escalating to kill.
+_TERMINATE_GRACE_S = 5.0
+
+#: Errors that mean "no usable multiprocessing on this platform".
+_POOL_START_ERRORS = (OSError, PermissionError, NotImplementedError, ImportError)
 
 
 @dataclass(frozen=True)
@@ -78,6 +118,10 @@ class TaskReport:
     elapsed_s: float
     cache_hit: Optional[bool]
     pid: int
+    #: How many attempts this cell took (1 = first try).
+    attempts: int = 1
+    #: True when the cell was replayed from the checkpoint journal.
+    resumed: bool = False
 
 
 @dataclass
@@ -90,6 +134,18 @@ class SweepReport:
     workers: int = 1
     total_time_s: float = 0.0
     cache_stats: Optional[CacheStats] = None
+    #: Cells the engine gave up on (after exhausting retries).
+    failures: List[TaskFailure] = field(default_factory=list)
+    #: Why a requested parallel run executed serially (None: as asked).
+    fallback_reason: Optional[str] = None
+    #: Identity of this run's checkpoint journal (None: journaling off).
+    run_id: Optional[str] = None
+    #: Where the checkpoint journal lives (None: journaling off).
+    journal_path: Optional[Path] = None
+    #: Cells served from the journal instead of recomputed.
+    resumed: int = 0
+    #: Calibration days rejected by validation and skipped, with reasons.
+    skipped_days: List[Tuple[int, str]] = field(default_factory=list)
 
     @property
     def cache_hits(self) -> int:
@@ -105,6 +161,10 @@ class SweepReport:
             f"({self.mode}, {self.workers} worker"
             f"{'s' if self.workers != 1 else ''})"
         ]
+        if self.fallback_reason is not None:
+            lines.append(f"serial fallback: {self.fallback_reason}")
+        if self.resumed:
+            lines.append(f"resumed from journal: {self.resumed} cells")
         if any(t.cache_hit is not None for t in self.tasks):
             lines.append(
                 f"compile-artifact hits: {self.cache_hits}/{len(self.tasks)} "
@@ -112,6 +172,17 @@ class SweepReport:
             )
         if self.cache_stats is not None:
             lines.append(f"cache store: {self.cache_stats}")
+        if self.skipped_days:
+            days = ", ".join(str(day) for day, _ in self.skipped_days)
+            lines.append(f"skipped bad calibration days: {days}")
+        if self.failures:
+            kinds: Dict[str, int] = {}
+            for failure in self.failures:
+                kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+            breakdown = ", ".join(
+                f"{count} {kind}" for kind, count in sorted(kinds.items())
+            )
+            lines.append(f"task failures: {len(self.failures)} ({breakdown})")
         if self.tasks:
             slowest = max(self.tasks, key=lambda t: t.elapsed_s)
             lines.append(
@@ -157,9 +228,10 @@ def _init_worker(cache_dir) -> None:
     activate_cache(open_cache(cache_dir) if cache_dir is not None else None)
 
 
-def run_task(task: SweepTask) -> Tuple[Measurement, TaskReport]:
+def run_task(task: SweepTask, attempt: int = 1) -> Tuple[Measurement, TaskReport]:
     """Execute one grid cell using this process's active cache."""
     started = time.perf_counter()
+    maybe_inject_fault(task.benchmark, attempt)
     benchmark = benchmark_by_name(task.benchmark)
     device = device_by_name(task.device, day=task.day or 0)
     measurement = measure(
@@ -180,8 +252,37 @@ def run_task(task: SweepTask) -> Tuple[Measurement, TaskReport]:
         elapsed_s=time.perf_counter() - started,
         cache_hit=measurement.cache_hit,
         pid=os.getpid(),
+        attempts=attempt,
     )
     return measurement, report
+
+
+def _pool_worker(inbox, results, cache_dir) -> None:
+    """Worker loop: run task envelopes until the None sentinel arrives.
+
+    Ordinary task exceptions are caught and reported — they must not
+    kill the worker; only hard crashes (``os._exit``, signals, the OOM
+    killer) do, and the supervisor detects those by liveness.
+    """
+    _init_worker(cache_dir)
+    while True:
+        envelope = inbox.get()
+        if envelope is None:
+            return
+        seq, task, attempt = envelope
+        try:
+            outcome = run_task(task, attempt=attempt)
+        except Exception as exc:  # noqa: BLE001 - isolate, report, survive
+            results.put(
+                (
+                    seq,
+                    attempt,
+                    "error",
+                    (type(exc).__name__, str(exc), traceback.format_exc()),
+                )
+            )
+        else:
+            results.put((seq, attempt, "ok", outcome))
 
 
 # ----------------------------------------------------------------------
@@ -205,6 +306,50 @@ def _device_registry_name(device: Device) -> Optional[str]:
     return found.name if found.name == device.name else None
 
 
+def _validate_compilers(compilers: Sequence[CompilerName]) -> List[str]:
+    """Resolve compiler labels up front, so a typo fails the sweep at
+    configuration time instead of surfacing as N per-task failures."""
+    labels = []
+    for compiler in compilers:
+        label = compiler_label(compiler)
+        resolved = resolve_compiler(label)
+        # OptimizationLevel subclasses str, so check the enum case first.
+        if not isinstance(resolved, OptimizationLevel) and (
+            resolved.lower() not in ("qiskit", "quil")
+        ):
+            raise ValueError(
+                f"unknown compiler {label!r}; expected a TriQ level or "
+                "'Qiskit'/'Quil'"
+            )
+        labels.append(label)
+    return labels
+
+
+def _serial_reason(
+    workers: int,
+    num_tasks: int,
+    device: Device,
+    fitting: Sequence[Tuple[Benchmark, Tuple]],
+) -> Optional[str]:
+    """Why this sweep cannot (or should not) use the process pool."""
+    if workers <= 1:
+        return "workers=1 requested"
+    if num_tasks <= 1:
+        return f"grid has only {num_tasks} task(s)"
+    if _device_registry_name(device) is None:
+        return (
+            f"device {device.name!r} is not in the device library "
+            "(ad-hoc devices cannot cross process boundaries by name)"
+        )
+    adhoc = [b.name for b, _ in fitting if _registry_name(b) is None]
+    if adhoc:
+        return (
+            f"benchmark(s) {adhoc} are not in the registry "
+            "(ad-hoc factories do not pickle)"
+        )
+    return None
+
+
 def run_sweep(
     device: Union[Device, str],
     compilers: Sequence[CompilerName],
@@ -216,6 +361,14 @@ def run_sweep(
     cache: Optional[Cache] = None,
     cache_dir=None,
     base_seed: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    days: Optional[Sequence[int]] = None,
+    skip_bad_days: bool = False,
+    run_id: Optional[str] = None,
+    resume: bool = False,
+    journal_dir=None,
 ) -> SweepReport:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -228,14 +381,31 @@ def run_sweep(
             Misfits are skipped, as in the paper.
         workers: process-pool width; 1 (the default) runs serially.
         cache: an open cache handle, or ``cache_dir`` to open one; with
-            neither, caching is off.
+            neither, caching (and journaling) is off.
         base_seed: derive per-task seeds from this; None keeps the
             legacy fixed seeds.
+        task_timeout_s: wall-clock budget per task attempt (pool mode
+            enforces it by terminating the worker; serial mode relies
+            on the SMT solver's internal deadline).
+        retries: extra attempts per task after a crash/timeout/error.
+        backoff_s: base exponential-backoff delay between attempts.
+        days: calibration days to sweep (overrides ``day``); each
+            benchmark x compiler cell is measured once per day.
+        skip_bad_days: skip calibration days that fail validation
+            (recorded in ``SweepReport.skipped_days``) instead of
+            raising :class:`~repro.devices.calibration.CalibrationError`.
+        run_id: name of this run's checkpoint journal; defaults to a
+            digest of the sweep specification.
+        resume: replay cells already in the journal instead of
+            recomputing them (``repro sweep --resume``).
+        journal_dir: where journals live; defaults to
+            ``<cache-dir>/journals`` when a disk cache is in play.
     """
     started = time.perf_counter()
     if isinstance(device, str):
         device = device_by_name(device, day=day or 0)
     resolved_day = device.day if day is None else day
+    labels = _validate_compilers(compilers)
     if benchmarks is None:
         benchmarks = standard_suite()
     benchmarks = [
@@ -243,6 +413,26 @@ def run_sweep(
     ]
     if cache is None and cache_dir is not None:
         cache = open_cache(cache_dir)
+
+    # Validate each day's calibration snapshot at the boundary: a NaN
+    # or out-of-range rate fails here with a precise message (or is
+    # skipped under skip_bad_days), never deep inside a worker.
+    day_list = list(days) if days is not None else [resolved_day]
+    good_days: List[int] = []
+    skipped_days: List[Tuple[int, str]] = []
+    for candidate in day_list:
+        try:
+            device.calibration(candidate).validate()
+        except CalibrationError as exc:
+            if not skip_bad_days:
+                raise
+            logger.warning(
+                "skipping calibration day %s on %s: %s",
+                candidate, device.name, exc,
+            )
+            skipped_days.append((candidate, str(exc)))
+        else:
+            good_days.append(candidate)
 
     # Build each circuit exactly once: the fit check and the serial
     # measure path share it.
@@ -252,100 +442,423 @@ def run_sweep(
         if fits(built[0], device):
             fitting.append((benchmark, built))
 
-    labels = [compiler_label(c) for c in compilers]
     tasks = []
     for benchmark, _ in fitting:
         for label in labels:
-            compile_seed, mc_seed = _task_seeds(
-                base_seed, benchmark.name, device.name, label, resolved_day
-            )
-            tasks.append(
-                SweepTask(
-                    benchmark=benchmark.name,
-                    device=device.name,
-                    day=resolved_day,
-                    compiler=label,
-                    fault_samples=fault_samples,
-                    with_success=with_success,
-                    compile_seed=compile_seed,
-                    mc_seed=mc_seed,
+            for task_day in good_days:
+                compile_seed, mc_seed = _task_seeds(
+                    base_seed, benchmark.name, device.name, label, task_day
                 )
-            )
+                tasks.append(
+                    SweepTask(
+                        benchmark=benchmark.name,
+                        device=device.name,
+                        day=task_day,
+                        compiler=label,
+                        fault_samples=fault_samples,
+                        with_success=with_success,
+                        compile_seed=compile_seed,
+                        mc_seed=mc_seed,
+                    )
+                )
+    digests = [task_digest(task) for task in tasks]
 
-    parallel_ok = (
-        workers > 1
-        and len(tasks) > 1
-        and _device_registry_name(device) is not None
-        and all(_registry_name(b) is not None for b, _ in fitting)
+    # ------------------------------------------------------------------
+    # Checkpoint journal: on whenever results can persist somewhere.
+    # ------------------------------------------------------------------
+    effective_run_id = run_id or run_digest(
+        device.name,
+        good_days,
+        labels,
+        sorted(b.name for b, _ in fitting),
+        fault_samples,
+        with_success,
+        base_seed,
     )
-    if parallel_ok:
-        outcomes = _run_pool(tasks, workers, cache)
-        if outcomes is not None:
-            measurements = [m for m, _ in outcomes]
-            reports = [r for _, r in outcomes]
-            return SweepReport(
-                measurements=measurements,
-                tasks=reports,
-                mode="process-pool",
-                workers=workers,
-                total_time_s=time.perf_counter() - started,
-                # Store stats live in the worker processes; the per-task
-                # cache_hit flags are the aggregate view.
-                cache_stats=None,
-            )
-
-    # Serial path: same task function, this process, prebuilt circuits.
-    by_name = {b.name: (b, built) for b, built in fitting}
-    measurements, reports = [], []
-    for task in tasks:
-        task_started = time.perf_counter()
-        benchmark, built = by_name[task.benchmark]
-        measurement = measure(
-            benchmark,
-            device,
-            resolve_compiler(task.compiler),
-            day=task.day,
-            fault_samples=task.fault_samples,
-            with_success=task.with_success,
-            seed=task.compile_seed,
-            mc_seed=task.mc_seed,
-            built=built,
-            cache=cache,
+    if journal_dir is None and isinstance(cache, CompileCache):
+        journal_dir = cache.root / "journals"
+    journal: Optional[SweepJournal] = None
+    if journal_dir is not None:
+        journal = SweepJournal(
+            Path(journal_dir) / f"{effective_run_id}.jsonl"
         )
-        measurements.append(measurement)
-        reports.append(
-            TaskReport(
+
+    results: Dict[int, Tuple[Measurement, TaskReport]] = {}
+    resumed_count = 0
+    if journal is not None:
+        if resume:
+            completed = journal.load()
+            for index, cell_digest in enumerate(digests):
+                record = completed.get(cell_digest)
+                if record is None:
+                    continue
+                try:
+                    measurement = Measurement(**record["measurement"])
+                    report = TaskReport(**record["report"])
+                except (KeyError, TypeError):
+                    continue  # incompatible record; recompute the cell
+                report.resumed = True
+                results[index] = (measurement, report)
+                resumed_count += 1
+            logger.info(
+                "resuming run %s: %d/%d cells from journal",
+                effective_run_id, resumed_count, len(tasks),
+            )
+        else:
+            journal.reset()
+
+    todo = [(i, task) for i, task in enumerate(tasks) if i not in results]
+    policy = RetryPolicy(
+        task_timeout_s=task_timeout_s, retries=retries, backoff_s=backoff_s
+    )
+
+    failures: List[TaskFailure] = []
+    fallback_reason = _serial_reason(workers, len(todo), device, fitting)
+    mode, effective_workers = "serial", 1
+    try:
+        if fallback_reason is None:
+            pool_outcome = _run_pool(
+                todo, tasks, digests, workers, cache, policy, journal
+            )
+            if pool_outcome is None:
+                fallback_reason = (
+                    "process pool unavailable on this platform "
+                    "(no usable fork/semaphore primitives)"
+                )
+            else:
+                results.update(pool_outcome[0])
+                failures = pool_outcome[1]
+                mode, effective_workers = "process-pool", workers
+        if fallback_reason is not None:
+            if workers > 1:
+                logger.warning(
+                    "sweep requested %d workers but ran serially: %s",
+                    workers, fallback_reason,
+                )
+            serial_results, failures = _run_serial(
+                todo, tasks, digests, device, fitting, cache, policy, journal
+            )
+            results.update(serial_results)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    ordered = [results[i] for i in sorted(results)]
+    return SweepReport(
+        measurements=[m for m, _ in ordered],
+        tasks=[r for _, r in ordered],
+        mode=mode,
+        workers=effective_workers,
+        total_time_s=time.perf_counter() - started,
+        # In pool mode, store stats live in the worker processes; the
+        # per-task cache_hit flags are the aggregate view.
+        cache_stats=(
+            cache.stats if cache is not None and mode == "serial" else None
+        ),
+        failures=failures,
+        fallback_reason=fallback_reason,
+        run_id=effective_run_id if journal is not None else None,
+        journal_path=journal.path if journal is not None else None,
+        resumed=resumed_count,
+        skipped_days=skipped_days,
+    )
+
+
+# ----------------------------------------------------------------------
+# Serial execution with the same retry/failure semantics as the pool.
+# ----------------------------------------------------------------------
+def _run_serial(
+    todo: Sequence[Tuple[int, SweepTask]],
+    tasks: Sequence[SweepTask],
+    digests: Sequence[str],
+    device: Device,
+    fitting: Sequence[Tuple[Benchmark, Tuple]],
+    cache: Optional[Cache],
+    policy: RetryPolicy,
+    journal: Optional[SweepJournal],
+) -> Tuple[Dict[int, Tuple[Measurement, TaskReport]], List[TaskFailure]]:
+    """Run tasks in-process, with retries and structured failures.
+
+    Uses the prebuilt circuits (no second build) and the caller's cache
+    handle.  Wall-clock preemption is impossible in-process; hangs are
+    bounded only by the SMT solver's own deadline.
+    """
+    by_name = {b.name: (b, built) for b, built in fitting}
+    results: Dict[int, Tuple[Measurement, TaskReport]] = {}
+    failures: List[TaskFailure] = []
+    for index, task in todo:
+        attempt = 1
+        while True:
+            task_started = time.perf_counter()
+            try:
+                maybe_inject_fault(task.benchmark, attempt)
+                benchmark, built = by_name[task.benchmark]
+                measurement = measure(
+                    benchmark,
+                    device,
+                    resolve_compiler(task.compiler),
+                    day=task.day,
+                    fault_samples=task.fault_samples,
+                    with_success=task.with_success,
+                    seed=task.compile_seed,
+                    mc_seed=task.mc_seed,
+                    built=built,
+                    cache=cache,
+                )
+            except Exception as exc:  # noqa: BLE001 - task isolation
+                elapsed = time.perf_counter() - task_started
+                if attempt <= policy.retries:
+                    delay = policy.delay(attempt, digests[index])
+                    logger.warning(
+                        "task %s/%s failed (attempt %d: %s); retrying in %.2fs",
+                        task.benchmark, task.compiler, attempt, exc, delay,
+                    )
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                failures.append(
+                    TaskFailure(
+                        benchmark=task.benchmark,
+                        device=task.device,
+                        compiler=task.compiler,
+                        day=task.day,
+                        kind="error",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback.format_exc(),
+                        attempts=attempt,
+                        elapsed_s=elapsed,
+                    )
+                )
+                break
+            report = TaskReport(
                 benchmark=task.benchmark,
                 device=task.device,
                 compiler=task.compiler,
                 elapsed_s=time.perf_counter() - task_started,
                 cache_hit=measurement.cache_hit,
                 pid=os.getpid(),
+                attempts=attempt,
             )
+            results[index] = (measurement, report)
+            if journal is not None:
+                journal.record(
+                    digests[index],
+                    dataclasses.asdict(measurement),
+                    dataclasses.asdict(report),
+                )
+            break
+    return results, failures
+
+
+# ----------------------------------------------------------------------
+# The supervised process pool.
+# ----------------------------------------------------------------------
+class _Worker:
+    """One pool worker process plus its private dispatch queue."""
+
+    def __init__(self, ctx, result_queue, cache_dir) -> None:
+        self.inbox = ctx.Queue()
+        self.process = ctx.Process(
+            target=_pool_worker,
+            args=(self.inbox, result_queue, cache_dir),
+            daemon=True,
         )
-    return SweepReport(
-        measurements=measurements,
-        tasks=reports,
-        mode="serial",
-        workers=1,
-        total_time_s=time.perf_counter() - started,
-        cache_stats=cache.stats if cache is not None else None,
-    )
+        self.process.start()
+        #: (task index, attempt, deadline or None, dispatch time).
+        self.busy: Optional[Tuple[int, int, Optional[float], float]] = None
+
+    def dispatch(self, seq: int, task: SweepTask, attempt: int,
+                 timeout_s: Optional[float]) -> None:
+        now = time.monotonic()
+        deadline = None if timeout_s is None else now + timeout_s
+        self.inbox.put((seq, task, attempt))
+        self.busy = (seq, attempt, deadline, now)
+
+    def stop(self) -> None:
+        try:
+            self.inbox.put(None)
+        except Exception:  # noqa: BLE001 - queue may already be broken
+            pass
+
+    def destroy(self, grace_s: float = 1.0) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(grace_s)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(grace_s)
+        self.inbox.cancel_join_thread()
+        self.inbox.close()
+
+
+def _pop_due(pending: deque, now: float) -> Optional[Tuple[int, int, float]]:
+    """The first pending item whose backoff delay has elapsed, if any."""
+    for _ in range(len(pending)):
+        item = pending.popleft()
+        if item[2] <= now:
+            return item
+        pending.append(item)
+    return None
 
 
 def _run_pool(
-    tasks: Sequence[SweepTask], workers: int, cache: Optional[Cache]
-) -> Optional[List[Tuple[Measurement, TaskReport]]]:
-    """Execute tasks on a process pool; None if the pool cannot start."""
+    todo: Sequence[Tuple[int, SweepTask]],
+    tasks: Sequence[SweepTask],
+    digests: Sequence[str],
+    workers: int,
+    cache: Optional[Cache],
+    policy: RetryPolicy,
+    journal: Optional[SweepJournal],
+) -> Optional[Tuple[Dict[int, Tuple[Measurement, TaskReport]], List[TaskFailure]]]:
+    """Execute tasks on a supervised pool; None if the pool cannot start.
+
+    The supervisor loop interleaves three duties: dispatching due tasks
+    to idle workers, draining the shared result queue, and checking
+    worker health (liveness + per-task deadlines).  A dead or overdue
+    worker is replaced and its task retried or recorded as a
+    :class:`TaskFailure`; the sweep always runs to completion.
+    """
     cache_dir = getattr(cache, "root", None)
     try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(cache_dir,),
-        ) as pool:
-            return list(pool.map(run_task, tasks))
-    except (OSError, PermissionError, NotImplementedError, ImportError):
-        # No usable multiprocessing primitives on this platform; the
-        # caller falls back to the serial path.
+        ctx = multiprocessing.get_context()
+        result_queue = ctx.Queue()
+        pool = [
+            _Worker(ctx, result_queue, cache_dir)
+            for _ in range(min(workers, len(todo)))
+        ]
+    except _POOL_START_ERRORS:
         return None
+
+    pending: deque = deque((index, 1, 0.0) for index, _ in todo)
+    task_by_seq = dict(todo)
+    results: Dict[int, Tuple[Measurement, TaskReport]] = {}
+    failures: List[TaskFailure] = []
+    failed_seqs = set()
+    outstanding = len(todo)
+
+    def settle(seq: int, attempt: int, kind: str, error_type: str,
+               message: str, tb: str, elapsed: float) -> None:
+        """Retry the task or record its permanent failure."""
+        nonlocal outstanding
+        if attempt <= policy.retries:
+            delay = policy.delay(attempt, digests[seq])
+            task = task_by_seq[seq]
+            logger.warning(
+                "task %s/%s %s (attempt %d); retrying in %.2fs",
+                task.benchmark, task.compiler, kind, attempt, delay,
+            )
+            pending.append((seq, attempt + 1, time.monotonic() + delay))
+        else:
+            task = task_by_seq[seq]
+            failures.append(
+                TaskFailure(
+                    benchmark=task.benchmark,
+                    device=task.device,
+                    compiler=task.compiler,
+                    day=task.day,
+                    kind=kind,
+                    error_type=error_type,
+                    message=message,
+                    traceback=tb,
+                    attempts=attempt,
+                    elapsed_s=elapsed,
+                )
+            )
+            failed_seqs.add(seq)
+            outstanding -= 1
+
+    def accept(seq: int, message) -> None:
+        """Record one successful result (idempotently)."""
+        nonlocal outstanding
+        if seq in results or seq in failed_seqs:
+            return
+        # A late result can beat a scheduled retry of the same cell
+        # (terminate-vs-complete race); drop the now-redundant retry.
+        for item in list(pending):
+            if item[0] == seq:
+                pending.remove(item)
+        measurement, report = message
+        results[seq] = (measurement, report)
+        if journal is not None:
+            journal.record(
+                digests[seq],
+                dataclasses.asdict(measurement),
+                dataclasses.asdict(report),
+            )
+        outstanding -= 1
+
+    try:
+        while outstanding > 0:
+            # 1. Dispatch due tasks to idle workers.
+            now = time.monotonic()
+            for worker in pool:
+                if worker.busy is not None:
+                    continue
+                item = _pop_due(pending, now)
+                if item is None:
+                    break
+                seq, attempt, _ = item
+                worker.dispatch(
+                    seq, task_by_seq[seq], attempt, policy.task_timeout_s
+                )
+
+            # 2. Drain completed results.
+            try:
+                message = result_queue.get(timeout=_POLL_INTERVAL_S)
+            except queue_module.Empty:
+                message = None
+            while message is not None:
+                seq, attempt, status, body = message
+                for worker in pool:
+                    if worker.busy is not None and worker.busy[0] == seq:
+                        worker.busy = None
+                        break
+                if status == "ok":
+                    accept(seq, body)
+                elif seq not in results and seq not in failed_seqs:
+                    error_type, text, tb = body
+                    settle(seq, attempt, "error", error_type, text, tb, 0.0)
+                try:
+                    message = result_queue.get_nowait()
+                except queue_module.Empty:
+                    message = None
+
+            # 3. Health checks: dead workers and blown deadlines.
+            for slot, worker in enumerate(pool):
+                if worker.busy is not None:
+                    seq, attempt, deadline, dispatched = worker.busy
+                    if not worker.process.is_alive():
+                        exitcode = worker.process.exitcode
+                        settle(
+                            seq, attempt, "crash", "WorkerCrashed",
+                            f"worker pid {worker.process.pid} died with "
+                            f"exit code {exitcode}", "",
+                            time.monotonic() - dispatched,
+                        )
+                        worker.destroy()
+                        pool[slot] = _Worker(ctx, result_queue, cache_dir)
+                    elif deadline is not None and time.monotonic() > deadline:
+                        settle(
+                            seq, attempt, "timeout", "TaskTimeout",
+                            f"exceeded the {policy.task_timeout_s}s "
+                            "wall-clock budget", "",
+                            time.monotonic() - dispatched,
+                        )
+                        worker.destroy(_TERMINATE_GRACE_S)
+                        pool[slot] = _Worker(ctx, result_queue, cache_dir)
+                elif not worker.process.is_alive():
+                    # Idle worker died (should not happen): replenish.
+                    worker.destroy()
+                    pool[slot] = _Worker(ctx, result_queue, cache_dir)
+    finally:
+        for worker in pool:
+            worker.stop()
+        deadline = time.monotonic() + _TERMINATE_GRACE_S
+        for worker in pool:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            worker.destroy()
+        result_queue.cancel_join_thread()
+        result_queue.close()
+
+    return results, failures

@@ -65,6 +65,11 @@ class Measurement:
     correct: Optional[str] = None
     #: Whether the compiled artifact came from the cache (None: no cache).
     cache_hit: Optional[bool] = None
+    #: Calibration day the measurement was taken against.
+    day: Optional[int] = None
+    #: Whether the placement came from a degraded (budget-cut or
+    #: fallback) solve rather than a proven-optimal one.
+    degraded: bool = False
 
 
 def fits(circuit: Circuit, device: Device) -> bool:
@@ -215,6 +220,8 @@ def measure(
         compile_time_s=program.compile_time_s,
         correct=correct,
         cache_hit=cache_hit,
+        day=day,
+        degraded=program.initial_mapping.degraded,
     )
     if with_success:
         estimate = _success_with_cache(
@@ -241,13 +248,16 @@ def sweep(
     cache: Optional[Cache] = None,
     cache_dir=None,
     base_seed: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> List[Measurement]:
     """Measure a benchmark suite under several compilers on one device.
 
     Benchmarks that do not fit the device are skipped (the paper's "X"
     marks).  This is a thin wrapper over
     :func:`repro.experiments.parallel.run_sweep`; use that directly for
-    per-task timing and cache-hit statistics.
+    per-task timing, cache-hit statistics, structured task failures,
+    and checkpoint/resume.
     """
     from repro.experiments.parallel import run_sweep
 
@@ -262,6 +272,8 @@ def sweep(
         cache=cache,
         cache_dir=cache_dir,
         base_seed=base_seed,
+        task_timeout_s=task_timeout_s,
+        retries=retries,
     ).measurements
 
 
