@@ -6,8 +6,10 @@ import math
 import re
 from typing import List
 
+from repro.contracts.errors import CodegenEmitError, CodegenParseError
 from repro.ir.circuit import Circuit
 from repro.ir.instruction import Instruction
+from repro.rotations import normalize_angle
 
 _HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";'
 
@@ -44,9 +46,11 @@ def emit_openqasm(circuit: Circuit, name: str = "q") -> str:
     lines.append(f"creg c[{circuit.num_qubits}];")
     for inst in circuit:
         if inst.name not in _EMITTABLE:
-            raise ValueError(
+            raise CodegenEmitError(
                 f"gate {inst.name!r} is not IBM software-visible; "
-                "translate before emitting OpenQASM"
+                "translate before emitting OpenQASM",
+                instruction=str(inst),
+                qubits=inst.qubits,
             )
         if inst.is_barrier:
             lines.append("barrier " + ", ".join(
@@ -59,7 +63,9 @@ def emit_openqasm(circuit: Circuit, name: str = "q") -> str:
         else:
             args = ",".join(f"{name}[{q}]" for q in inst.qubits)
             if inst.params:
-                params = ",".join(_fmt(p) for p in inst.params)
+                params = ",".join(
+                    _fmt(normalize_angle(p)) for p in inst.params
+                )
                 lines.append(f"{inst.name}({params}) {args};")
             else:
                 lines.append(f"{inst.name} {args};")
@@ -90,10 +96,14 @@ def _parse_angle(text: str) -> float:
 
 
 def parse_openqasm(text: str) -> Circuit:
-    """Parse a subset of OpenQASM 2.0 back into a circuit."""
+    """Parse a subset of OpenQASM 2.0 back into a circuit.
+
+    Malformed input raises :class:`CodegenParseError` carrying the
+    1-based line number and the offending source text.
+    """
     num_qubits = None
     instructions: List[Instruction] = []
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("//")[0].strip().rstrip(";").strip()
         if not line or line.startswith(("OPENQASM", "include", "creg")):
             continue
@@ -117,13 +127,24 @@ def parse_openqasm(text: str) -> Circuit:
             continue
         token = _TOKEN_RE.match(line)
         if token is None:
-            raise ValueError(f"cannot parse OpenQASM line: {raw!r}")
+            raise CodegenParseError(
+                "cannot parse OpenQASM line",
+                line_number=lineno,
+                text=raw,
+            )
         gate = token.group("gate")
-        params = tuple(
-            _parse_angle(p)
-            for p in (token.group("params") or "").split(",")
-            if p.strip()
-        )
+        try:
+            params = tuple(
+                _parse_angle(p)
+                for p in (token.group("params") or "").split(",")
+                if p.strip()
+            )
+        except ValueError:
+            raise CodegenParseError(
+                "cannot parse OpenQASM gate parameters",
+                line_number=lineno,
+                text=raw,
+            ) from None
         qubits = tuple(
             int(m) for m in re.findall(r"\[(\d+)\]", token.group("args"))
         )
@@ -133,8 +154,20 @@ def parse_openqasm(text: str) -> Circuit:
             or gate in _PARSEABLE_1Q_PARAM
         )
         if not known:
-            raise ValueError(f"unsupported OpenQASM gate {gate!r}")
-        instructions.append(Instruction(gate, qubits, params))
+            raise CodegenParseError(
+                f"unsupported OpenQASM gate {gate!r}",
+                line_number=lineno,
+                text=raw,
+            )
+        try:
+            instructions.append(Instruction(gate, qubits, params))
+        except ValueError as exc:
+            raise CodegenParseError(
+                str(exc), line_number=lineno, text=raw
+            ) from None
     if num_qubits is None:
-        raise ValueError("missing qreg declaration")
-    return Circuit(num_qubits, name="openqasm", instructions=instructions)
+        raise CodegenParseError("missing qreg declaration")
+    try:
+        return Circuit(num_qubits, name="openqasm", instructions=instructions)
+    except ValueError as exc:
+        raise CodegenParseError(str(exc)) from None

@@ -6,8 +6,10 @@ import math
 import re
 from typing import List
 
+from repro.contracts.errors import CodegenEmitError, CodegenParseError
 from repro.ir.circuit import Circuit
 from repro.ir.instruction import Instruction
+from repro.rotations import normalize_angle
 
 _EMITTABLE = {"rx", "rz", "cz", "measure", "barrier"}
 
@@ -31,9 +33,11 @@ def emit_quil(circuit: Circuit) -> str:
     lines: List[str] = [f"DECLARE ro BIT[{circuit.num_qubits}]"]
     for inst in circuit:
         if inst.name not in _EMITTABLE:
-            raise ValueError(
+            raise CodegenEmitError(
                 f"gate {inst.name!r} is not Rigetti software-visible; "
-                "translate before emitting Quil"
+                "translate before emitting Quil",
+                instruction=str(inst),
+                qubits=inst.qubits,
             )
         if inst.is_barrier:
             lines.append("PRAGMA BARRIER")
@@ -43,7 +47,8 @@ def emit_quil(circuit: Circuit) -> str:
             lines.append(f"CZ {inst.qubits[0]} {inst.qubits[1]}")
         else:
             lines.append(
-                f"{inst.name.upper()}({_fmt(inst.params[0])}) {inst.qubits[0]}"
+                f"{inst.name.upper()}({_fmt(normalize_angle(inst.params[0]))})"
+                f" {inst.qubits[0]}"
             )
     return "\n".join(lines) + "\n"
 
@@ -76,7 +81,7 @@ def parse_quil(text: str, num_qubits: int = 0) -> Circuit:
     """
     instructions: List[Instruction] = []
     max_qubit = -1
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#")[0].strip()
         if not line:
             continue
@@ -103,14 +108,23 @@ def parse_quil(text: str, num_qubits: int = 0) -> Circuit:
         if gate:
             q = int(gate.group("q"))
             max_qubit = max(max_qubit, q)
+            try:
+                angle = _parse_angle(gate.group("angle"))
+            except ValueError:
+                raise CodegenParseError(
+                    "cannot parse Quil gate angle",
+                    line_number=lineno,
+                    text=raw,
+                ) from None
             instructions.append(
-                Instruction(
-                    gate.group("gate").lower(),
-                    (q,),
-                    (_parse_angle(gate.group("angle")),),
-                )
+                Instruction(gate.group("gate").lower(), (q,), (angle,))
             )
             continue
-        raise ValueError(f"cannot parse Quil line: {raw!r}")
+        raise CodegenParseError(
+            "cannot parse Quil line", line_number=lineno, text=raw
+        )
     size = max(num_qubits, max_qubit + 1, 1)
-    return Circuit(size, name="quil", instructions=instructions)
+    try:
+        return Circuit(size, name="quil", instructions=instructions)
+    except ValueError as exc:
+        raise CodegenParseError(str(exc)) from None

@@ -16,8 +16,10 @@ import math
 import re
 from typing import List
 
+from repro.contracts.errors import CodegenEmitError, CodegenParseError
 from repro.ir.circuit import Circuit
 from repro.ir.instruction import Instruction
+from repro.rotations import normalize_angle
 
 _EMITTABLE = {"rxy", "rz", "xx", "measure", "barrier"}
 
@@ -31,9 +33,11 @@ def emit_umdti_asm(circuit: Circuit) -> str:
     lines: List[str] = [f"; UMDTI program, {circuit.num_qubits} ions"]
     for inst in circuit:
         if inst.name not in _EMITTABLE:
-            raise ValueError(
+            raise CodegenEmitError(
                 f"gate {inst.name!r} is not UMDTI software-visible; "
-                "translate before emitting UMDTI assembly"
+                "translate before emitting UMDTI assembly",
+                instruction=str(inst),
+                qubits=inst.qubits,
             )
         if inst.is_barrier:
             lines.append("SYNC")
@@ -41,9 +45,15 @@ def emit_umdti_asm(circuit: Circuit) -> str:
             lines.append(f"MEAS Q{inst.qubits[0]} -> C{inst.cbits[0]}")
         elif inst.name == "rxy":
             theta, phi = inst.params
-            lines.append(f"RXY {_fmt(theta)} {_fmt(phi)} Q{inst.qubits[0]}")
+            lines.append(
+                f"RXY {_fmt(normalize_angle(theta))} "
+                f"{_fmt(normalize_angle(phi))} Q{inst.qubits[0]}"
+            )
         elif inst.name == "rz":
-            lines.append(f"RZ {_fmt(inst.params[0])} Q{inst.qubits[0]}")
+            lines.append(
+                f"RZ {_fmt(normalize_angle(inst.params[0]))} "
+                f"Q{inst.qubits[0]}"
+            )
         else:  # xx
             lines.append(
                 f"XX {_fmt(inst.params[0])} Q{inst.qubits[0]} Q{inst.qubits[1]}"
@@ -61,50 +71,62 @@ def parse_umdti_asm(text: str, num_qubits: int = 0) -> Circuit:
     """Parse UMDTI assembly back into a circuit."""
     instructions: List[Instruction] = []
     max_qubit = -1
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split(";")[0].split("#")[0].strip()
         if not line:
             continue
         if line == "SYNC":
             instructions.append(Instruction("barrier", ()))
             continue
-        match = _RXY_RE.match(line)
-        if match:
-            q = int(match.group(3))
-            max_qubit = max(max_qubit, q)
-            instructions.append(
-                Instruction(
-                    "rxy",
-                    (q,),
-                    (
-                        float(match.group(1)) * math.pi,
-                        float(match.group(2)) * math.pi,
-                    ),
+        try:
+            match = _RXY_RE.match(line)
+            if match:
+                q = int(match.group(3))
+                max_qubit = max(max_qubit, q)
+                instructions.append(
+                    Instruction(
+                        "rxy",
+                        (q,),
+                        (
+                            float(match.group(1)) * math.pi,
+                            float(match.group(2)) * math.pi,
+                        ),
+                    )
                 )
-            )
-            continue
-        match = _RZ_RE.match(line)
-        if match:
-            q = int(match.group(2))
-            max_qubit = max(max_qubit, q)
-            instructions.append(
-                Instruction("rz", (q,), (float(match.group(1)) * math.pi,))
-            )
-            continue
-        match = _XX_RE.match(line)
-        if match:
-            a, b = int(match.group(2)), int(match.group(3))
-            max_qubit = max(max_qubit, a, b)
-            instructions.append(
-                Instruction("xx", (a, b), (float(match.group(1)) * math.pi,))
-            )
-            continue
+                continue
+            match = _RZ_RE.match(line)
+            if match:
+                q = int(match.group(2))
+                max_qubit = max(max_qubit, q)
+                instructions.append(
+                    Instruction("rz", (q,), (float(match.group(1)) * math.pi,))
+                )
+                continue
+            match = _XX_RE.match(line)
+            if match:
+                a, b = int(match.group(2)), int(match.group(3))
+                max_qubit = max(max_qubit, a, b)
+                instructions.append(
+                    Instruction("xx", (a, b), (float(match.group(1)) * math.pi,))
+                )
+                continue
+        except ValueError:
+            raise CodegenParseError(
+                "cannot parse UMDTI assembly operand",
+                line_number=lineno,
+                text=raw,
+            ) from None
         match = _MEAS_RE.match(line)
         if match:
             q, c = int(match.group(1)), int(match.group(2))
             max_qubit = max(max_qubit, q)
             instructions.append(Instruction("measure", (q,), (), (c,)))
             continue
-        raise ValueError(f"cannot parse UMDTI assembly line: {raw!r}")
+        raise CodegenParseError(
+            "cannot parse UMDTI assembly line", line_number=lineno, text=raw
+        )
     size = max(num_qubits, max_qubit + 1, 1)
-    return Circuit(size, name="umdti_asm", instructions=instructions)
+    try:
+        return Circuit(size, name="umdti_asm", instructions=instructions)
+    except ValueError as exc:
+        raise CodegenParseError(str(exc)) from None

@@ -11,10 +11,17 @@ Commands:
 * ``sweep`` — measure a benchmark suite under several compilers on one
   device, optionally fanned out over a process pool.
 * ``experiment`` — regenerate one of the paper's tables/figures.
+* ``check`` — compile a grid of benchmarks under warn-mode pass
+  contracts and report every recorded violation.
+* ``fuzz`` — differential fuzzing: random circuits through every
+  (device, compiler) pair under strict contracts, findings shrunk to
+  replayable JSON reproducers.
 
 Compilation artifacts and Monte-Carlo estimates are cached on disk by
 default (``--cache-dir`` to relocate, ``--no-cache`` to disable); sweep
-commands accept ``--workers`` to parallelize over processes.
+commands accept ``--workers`` to parallelize over processes.  The
+``compile``/``run``/``sweep`` commands accept ``--contracts
+{strict,warn,off}`` to enforce per-pass contracts during compilation.
 """
 
 from __future__ import annotations
@@ -84,6 +91,15 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_contract_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--contracts", choices=["strict", "warn", "off"], default="off",
+        help="pass-contract enforcement: strict aborts on a violated "
+             "contract, warn records violations, off (default) skips "
+             "the checks entirely",
+    )
+
+
 def _load_program(args: argparse.Namespace):
     if args.benchmark is not None:
         return benchmark_by_name(args.benchmark).build()
@@ -116,8 +132,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     circuit, _ = _load_program(args)
     device = device_by_name(args.device, day=args.day)
     program, _ = compile_with_cache(
-        circuit, device, args.level, day=args.day, cache=_open_cli_cache(args)
+        circuit, device, args.level, day=args.day,
+        cache=_open_cli_cache(args), contracts=args.contracts,
     )
+    for violation in program.contract_violations:
+        print(f"contract violation: {violation}", file=sys.stderr)
     text = program.executable()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -145,8 +164,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     device = device_by_name(args.device, day=args.day)
     program, _ = compile_with_cache(
-        circuit, device, args.level, day=args.day, cache=_open_cli_cache(args)
+        circuit, device, args.level, day=args.day,
+        cache=_open_cli_cache(args), contracts=args.contracts,
     )
+    for violation in program.contract_violations:
+        print(f"contract violation: {violation}", file=sys.stderr)
     estimate = monte_carlo_success_rate(
         program.circuit,
         device,
@@ -197,6 +219,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         skip_bad_days=args.skip_bad_days,
         run_id=run_id,
         resume=resume,
+        contracts=args.contracts,
     )
     headers = ["Benchmark", "Compiler", "2Q", "1Q pulses", "Depth", "Swaps"]
     rows = [
@@ -217,6 +240,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             else "Sweep: (no fitting benchmarks)",
         )
     )
+    for m in report.measurements:
+        for violation in m.contract_violations:
+            print(
+                f"contract violation [{m.benchmark}/{m.compiler}]: "
+                f"{violation}",
+                file=sys.stderr,
+            )
     print(report.summary(), file=sys.stderr)
     if report.run_id:
         print(
@@ -229,6 +259,117 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # Partial results are printed either way; a nonzero exit tells
     # scripts some cells were given up on.
     return 4 if report.failures else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Compile a grid under warn-mode contracts; report every violation."""
+    from repro.devices import all_devices
+    from repro.experiments.runner import compile_with, fits
+    from repro.programs import standard_suite
+
+    if args.devices:
+        devices = [
+            device_by_name(name.strip(), day=args.day)
+            for name in args.devices.split(",")
+            if name.strip()
+        ]
+    else:
+        devices = all_devices(day=args.day)
+    if args.benchmarks:
+        benchmarks = [
+            benchmark_by_name(name.strip())
+            for name in args.benchmarks.split(",")
+            if name.strip()
+        ]
+    else:
+        benchmarks = standard_suite()
+
+    cells = 0
+    violations = 0
+    errors = 0
+    for benchmark in benchmarks:
+        circuit, _ = benchmark.build()
+        for device in devices:
+            if not fits(circuit, device):
+                continue
+            for compiler in args.levels:
+                cells += 1
+                label = getattr(compiler, "value", str(compiler))
+                try:
+                    program = compile_with(
+                        circuit, device, compiler, day=args.day,
+                        contracts="warn",
+                    )
+                except Exception as exc:  # noqa: BLE001 - report and go on
+                    errors += 1
+                    print(
+                        f"ERROR {benchmark.name} | {device.name} | {label}: "
+                        f"{type(exc).__name__}: {exc}",
+                        file=sys.stderr,
+                    )
+                    continue
+                for violation in program.contract_violations:
+                    violations += 1
+                    print(
+                        f"VIOLATION {benchmark.name} | {device.name} | "
+                        f"{label}: {violation}"
+                    )
+    print(
+        f"checked {cells} cells: {violations} contract violation(s), "
+        f"{errors} error(s)",
+        file=sys.stderr,
+    )
+    return 5 if violations or errors else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.contracts.fuzz import FuzzConfig, replay_reproducer, run_fuzz
+
+    if args.replay:
+        outcome = replay_reproducer(args.replay)
+        if outcome is None:
+            print(f"{args.replay}: no longer reproduces")
+            return 0
+        kind, error = outcome
+        print(f"{args.replay}: still fails ({kind})")
+        print(f"  {error}")
+        return 5
+
+    devices = None
+    if args.devices:
+        devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    compilers = None
+    if args.compilers:
+        compilers = _parse_compilers(args.compilers)
+    config = FuzzConfig(
+        circuits=args.circuits,
+        seed=args.seed,
+        min_qubits=args.min_qubits,
+        max_qubits=args.max_qubits,
+        max_gates=args.max_gates,
+        devices=devices,
+        compilers=compilers,
+        contracts=args.contracts,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifact_dir,
+    )
+    report = run_fuzz(config)
+    for finding in report.findings:
+        print(
+            f"FINDING [{finding.kind}] {finding.device} | "
+            f"{finding.compiler} | circuit {finding.circuit_index} "
+            f"({finding.original_instructions} -> "
+            f"{finding.shrunk_instructions} instructions)"
+        )
+        print(f"  {finding.error}")
+        if finding.artifact_path:
+            print(f"  reproducer: {finding.artifact_path}")
+    print(
+        f"fuzzed {report.attempts} (circuit, device, compiler) cells: "
+        f"{len(report.findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 5 if report.findings else 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -311,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_program_args(compile_parser)
     compile_parser.add_argument("--output", "-o", help="write to file")
     _add_cache_args(compile_parser)
+    _add_contract_args(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
     run_parser = sub.add_parser(
@@ -322,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo fault configurations (default 100)",
     )
     _add_cache_args(run_parser)
+    _add_contract_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = sub.add_parser(
@@ -384,7 +527,83 @@ def build_parser() -> argparse.ArgumentParser:
              "optionally name the run to resume",
     )
     _add_cache_args(sweep_parser)
+    _add_contract_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="compile a grid under warn-mode pass contracts and report "
+             "every violation",
+    )
+    check_parser.add_argument(
+        "--devices", "-d", default=None,
+        help="comma-separated device names (default: all seven machines)",
+    )
+    check_parser.add_argument(
+        "--benchmarks", "-b", default=None,
+        help="comma-separated suite benchmark names (default: all 12)",
+    )
+    check_parser.add_argument(
+        "--levels", "-l", type=_parse_compilers,
+        default=list(OptimizationLevel),
+        help="comma-separated levels/baselines (default: all four TriQ "
+             "levels)",
+    )
+    check_parser.add_argument(
+        "--day", type=int, default=0, help="calibration day (default 0)"
+    )
+    check_parser.set_defaults(func=_cmd_check)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the compiler under pass contracts",
+    )
+    fuzz_parser.add_argument(
+        "--circuits", "-n", type=int, default=50,
+        help="random circuits to generate (default 50)",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; every finding replays from it (default 0)",
+    )
+    fuzz_parser.add_argument(
+        "--devices", "-d", default=None,
+        help="comma-separated device names (default: all seven machines)",
+    )
+    fuzz_parser.add_argument(
+        "--compilers", "-l", default=None,
+        help="comma-separated levels/baselines (default: all four TriQ "
+             "levels plus qiskit and quil)",
+    )
+    fuzz_parser.add_argument(
+        "--min-qubits", type=int, default=2,
+        help="minimum circuit width (default 2)",
+    )
+    fuzz_parser.add_argument(
+        "--max-qubits", type=int, default=4,
+        help="maximum circuit width (default 4)",
+    )
+    fuzz_parser.add_argument(
+        "--max-gates", type=int, default=12,
+        help="maximum gates per circuit before measurement (default 12)",
+    )
+    fuzz_parser.add_argument(
+        "--contracts", choices=["strict", "warn"], default="strict",
+        help="contract mode while fuzzing (default strict)",
+    )
+    fuzz_parser.add_argument(
+        "--artifact-dir", metavar="DIR", default=None,
+        help="write shrunk JSON reproducers here",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip minimizing failing circuits",
+    )
+    fuzz_parser.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="re-run one reproducer artifact instead of fuzzing",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -413,9 +632,17 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.contracts import ContractError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ContractError as exc:
+        # Strict-mode contract violations are expected failures: print
+        # the structured diagnostic, not a traceback.
+        print(exc.describe(), file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

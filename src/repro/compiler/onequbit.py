@@ -21,7 +21,12 @@ from typing import Dict, List
 from repro.devices.gatesets import GateSet, VendorFamily
 from repro.ir.circuit import Circuit
 from repro.ir.instruction import Instruction
-from repro.rotations import Quaternion, quaternion_to_zxz, quaternion_to_zyz
+from repro.rotations import (
+    Quaternion,
+    normalize_angle,
+    quaternion_to_zxz,
+    quaternion_to_zyz,
+)
 
 _HALF_PI = math.pi / 2.0
 #: Rotations within this angle of identity are dropped outright.
@@ -85,6 +90,7 @@ def _z_rotation_angle(q: Quaternion) -> float:
 
 
 def _emit_rz(qubit: int, angle: float, family: VendorFamily) -> List[Instruction]:
+    angle = normalize_angle(angle)
     if abs(angle) < _ANGLE_TOL:
         return []
     name = "u1" if family is VendorFamily.IBM else "rz"
@@ -97,17 +103,36 @@ def _emit_ibm(qubit: int, q: Quaternion) -> List[Instruction]:
     if abs(beta) < _ANGLE_TOL:
         return _emit_rz(qubit, angles.alpha + angles.gamma, VendorFamily.IBM)
     if abs(beta - _HALF_PI) < _ANGLE_TOL:
-        return [Instruction("u2", (qubit,), (angles.gamma, angles.alpha))]
+        return [
+            Instruction(
+                "u2",
+                (qubit,),
+                (normalize_angle(angles.gamma), normalize_angle(angles.alpha)),
+            )
+        ]
     if abs(beta + _HALF_PI) < _ANGLE_TOL:
         # Ry(-pi/2) = Rz(pi) Ry(pi/2) Rz(-pi): fold the extra Zs into
         # the virtual rotations.
         return [
             Instruction(
-                "u2", (qubit,), (angles.gamma + math.pi, angles.alpha - math.pi)
+                "u2",
+                (qubit,),
+                (
+                    normalize_angle(angles.gamma + math.pi),
+                    normalize_angle(angles.alpha - math.pi),
+                ),
             )
         ]
     return [
-        Instruction("u3", (qubit,), (beta, angles.gamma, angles.alpha))
+        Instruction(
+            "u3",
+            (qubit,),
+            (
+                normalize_angle(beta),
+                normalize_angle(angles.gamma),
+                normalize_angle(angles.alpha),
+            ),
+        )
     ]
 
 
@@ -141,7 +166,13 @@ def _emit_umdti(qubit: int, q: Quaternion) -> List[Instruction]:
         return _emit_rz(qubit, angles.alpha + angles.gamma, VendorFamily.UMDTI)
     # Rz(gamma) Rx(beta) Rz(alpha) = Rz(gamma + alpha) Rxy(beta, -alpha):
     # one physical pulse and one virtual Z.
-    out = [Instruction("rxy", (qubit,), (beta, -angles.alpha))]
+    out = [
+        Instruction(
+            "rxy",
+            (qubit,),
+            (normalize_angle(beta), normalize_angle(-angles.alpha)),
+        )
+    ]
     out.extend(_emit_rz(qubit, angles.gamma + angles.alpha, VendorFamily.UMDTI))
     return out
 

@@ -22,6 +22,11 @@ from repro.compiler.translate import (
     naive_translate_1q,
     translate_two_qubit_gates,
 )
+# Module objects (not names) so the circular package-init dance stays
+# safe: repro.contracts.checks itself imports compiler submodules.
+from repro.contracts import checks as contract_checks
+from repro.contracts import inject as contract_inject
+from repro.contracts.mode import ContractMode, ContractRecorder
 
 logger = logging.getLogger("repro.compiler")
 
@@ -68,6 +73,9 @@ class CompiledProgram:
     final_placement: Tuple[int, ...]
     num_swaps: int
     compile_time_s: float
+    #: One-line contract-violation summaries recorded when the compile
+    #: ran with warn-mode contracts (empty when strict/off or clean).
+    contract_violations: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     # The metrics the paper's figures plot.
@@ -121,6 +129,7 @@ class CompiledProgram:
             "final_placement": tuple(self.final_placement),
             "num_swaps": self.num_swaps,
             "compile_time_s": self.compile_time_s,
+            "contract_violations": list(self.contract_violations),
         }
 
     @classmethod
@@ -159,6 +168,8 @@ class CompiledProgram:
             final_placement=tuple(payload["final_placement"]),
             num_swaps=payload["num_swaps"],
             compile_time_s=payload["compile_time_s"],
+            # Entries written before the contracts layer lack the field.
+            contract_violations=tuple(payload.get("contract_violations", ())),
         )
 
 
@@ -204,6 +215,7 @@ class TriQCompiler:
         router: str = "basic",
         peephole: bool = False,
         commute: bool = False,
+        contracts: Union[ContractMode, str, None] = None,
     ) -> None:
         if router not in ("basic", "lookahead"):
             raise ValueError(
@@ -222,6 +234,9 @@ class TriQCompiler:
         #: Optional commutation-aware rotation motion before the 1Q
         #: optimizer (off by default for the same reason).
         self.commute = commute
+        #: Pass-contract enforcement (strict / warn / off; default off
+        #: — checks cost time, see benchmarks/test_perf_contracts.py).
+        self.contracts = ContractMode.coerce(contracts)
         self._reliability_unaware: Optional[ReliabilityMatrix] = None
         self._reliability_aware: Optional[ReliabilityMatrix] = None
 
@@ -277,10 +292,38 @@ class TriQCompiler:
             )
 
     def compile(self, circuit: Circuit) -> CompiledProgram:
-        """Run the full pipeline on one program."""
+        """Run the full pipeline on one program.
+
+        When :attr:`contracts` is enabled, every stage output is checked
+        against its machine-checkable invariant (strict mode raises a
+        :class:`~repro.contracts.errors.ContractError`; warn mode logs
+        and records one-line summaries on the returned program).  The
+        ``REPRO_CONTRACT_FAULT`` hook (:mod:`repro.contracts.inject`)
+        can deliberately corrupt one stage to prove the checks fire.
+        """
         started = time.monotonic()
+        recorder = ContractRecorder(self.contracts)
+        # The corruption hook only fires when contracts are enabled: it
+        # exists to prove the checks catch a broken pass, so with the
+        # checks off it must not perturb compilation at all.
+        injecting = (
+            self.contracts.enabled
+            and contract_inject.injected_stage() is not None
+        )
+        device = self.device
         decomposed = decompose_to_basis(circuit)
         mapping = self.map_qubits(decomposed)
+        pristine_mapping = mapping
+        if injecting:
+            mapping = contract_inject.maybe_corrupt_mapping(mapping)
+        recorder.run(
+            lambda: contract_checks.check_mapping(mapping, decomposed, device)
+        )
+        if injecting and recorder.violations:
+            # Warn mode reached here with a corrupted placement, which
+            # cannot route; continue with the pristine artifact so the
+            # recorded violation still rides on a finished program.
+            mapping = pristine_mapping
         routing_reliability = self.reliability(self.level.noise_aware)
         if self.router == "lookahead":
             from repro.compiler.lookahead import lookahead_route
@@ -292,6 +335,12 @@ class TriQCompiler:
             routed = route_circuit(
                 decomposed, self.device, mapping, routing_reliability
             )
+        if injecting:
+            routed = contract_inject.maybe_corrupt_routed(routed)
+        recorder.run(lambda: contract_checks.check_routing(routed, device))
+        recorder.run(
+            lambda: contract_checks.check_scheduling(decomposed, routed, device)
+        )
         routed_circuit = routed.circuit
         if self.peephole:
             from repro.compiler.peephole import cancel_adjacent_gates
@@ -301,18 +350,36 @@ class TriQCompiler:
             # chains meeting their gate) are visible.
             routed_circuit = cancel_adjacent_gates(_lower(routed_circuit))
         translated = translate_two_qubit_gates(routed_circuit, self.device)
+        if injecting:
+            translated = contract_inject.maybe_corrupt_translated(translated)
         if self.level.optimizes_1q:
             if self.commute:
                 from repro.compiler.commute import (
                     commute_rotations_forward,
                 )
 
+                # Commuting rotations across 2Q gates reorders runs, so
+                # the 1Q contract's baseline is the post-commute circuit
+                # (the commute pass itself is covered by the end-to-end
+                # semantics check).
                 translated = commute_rotations_forward(translated)
             final = optimize_single_qubit_gates(
                 translated, self.device.gate_set
             )
         else:
             final = naive_translate_1q(translated, self.device.gate_set)
+        if injecting:
+            final = contract_inject.maybe_corrupt_final(
+                final, self.device.gate_set
+            )
+        recorder.run(
+            lambda: contract_checks.check_onequbit(translated, final, device)
+        )
+        recorder.run(lambda: contract_checks.check_translation(final, device))
+        recorder.run(lambda: contract_checks.check_codegen(final, device))
+        recorder.run(
+            lambda: contract_checks.check_semantics(decomposed, final, device)
+        )
         elapsed = time.monotonic() - started
         return CompiledProgram(
             circuit=final,
@@ -323,6 +390,7 @@ class TriQCompiler:
             final_placement=routed.final_placement,
             num_swaps=routed.num_swaps,
             compile_time_s=elapsed,
+            contract_violations=tuple(recorder.violations),
         )
 
 

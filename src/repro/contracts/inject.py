@@ -1,0 +1,126 @@
+"""Contract fault injection: deliberately corrupt one stage's output.
+
+Set ``REPRO_CONTRACT_FAULT=<stage>`` (``mapping``, ``routing``,
+``scheduling``, ``translate``, ``onequbit``, ``codegen``) and the
+pipeline corrupts that stage's output before its contract check runs —
+the way tests and CI prove the checks actually catch broken passes,
+mirroring the sweep engine's ``REPRO_FAULT_INJECT`` hook.
+
+Each corruption is chosen to slip past the stage's own internal
+validation (e.g. a truncated placement is still injective and in
+range, so ``InitialMapping.__post_init__`` accepts it) and be caught
+only by the contract.  Corruptions of late stages (``translate``,
+``onequbit``, ``codegen``) leave the rest of the pipeline runnable, so
+warn mode records the violation and still produces a program; a
+corrupted *mapping* breaks routing outright, so exercise it in strict
+mode, where the contract aborts the compile first.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Optional
+
+from repro.compiler.mapping import InitialMapping
+from repro.compiler.routing import RoutedCircuit
+from repro.devices.gatesets import GateSet, VendorFamily
+from repro.ir.circuit import Circuit
+from repro.ir.instruction import Instruction
+
+CONTRACT_FAULT_ENV = "REPRO_CONTRACT_FAULT"
+
+STAGES = (
+    "mapping",
+    "routing",
+    "scheduling",
+    "translate",
+    "onequbit",
+    "codegen",
+)
+
+
+def injected_stage() -> Optional[str]:
+    """The stage named by ``REPRO_CONTRACT_FAULT``, or None."""
+    value = os.environ.get(CONTRACT_FAULT_ENV, "").strip().lower()
+    return value or None
+
+
+def maybe_corrupt_mapping(mapping: InitialMapping) -> InitialMapping:
+    """Drop the last program qubit's placement (stays injective/in-range)."""
+    if injected_stage() != "mapping" or len(mapping.placement) < 2:
+        return mapping
+    return replace(mapping, placement=mapping.placement[:-1])
+
+
+def maybe_corrupt_routed(routed: RoutedCircuit) -> RoutedCircuit:
+    """``routing``: misreport the swap count.  ``scheduling``: drop one
+    1Q gate from the routed stream (or duplicate a gate if it has none).
+    """
+    stage = injected_stage()
+    if stage == "routing":
+        return replace(routed, num_swaps=routed.num_swaps + 1)
+    if stage != "scheduling":
+        return routed
+    insts = list(routed.circuit)
+    for index, inst in enumerate(insts):
+        if inst.is_unitary and inst.num_qubits == 1:
+            del insts[index]
+            break
+    else:
+        for index, inst in enumerate(insts):
+            if inst.is_unitary:
+                insts.insert(index, inst)
+                break
+    corrupted = Circuit(
+        routed.circuit.num_qubits,
+        name=routed.circuit.name,
+        instructions=insts,
+    )
+    return replace(routed, circuit=corrupted)
+
+
+def maybe_corrupt_translated(circuit: Circuit) -> Circuit:
+    """Append a ``swap`` — 2Q, so the 1Q passes carry it through, and
+    software-visible on no device, so only the translation contract
+    objects."""
+    if injected_stage() != "translate" or circuit.num_qubits < 2:
+        return circuit
+    out = circuit.copy()
+    out.append(Instruction("swap", (0, 1)))
+    return out
+
+
+_EXTRA_ROTATION = {
+    VendorFamily.IBM: ("u3", (0.3, 0.0, 0.0)),
+    VendorFamily.RIGETTI: ("rx", (0.3,)),
+    VendorFamily.UMDTI: ("rxy", (0.3, 0.0)),
+}
+
+
+def maybe_corrupt_final(circuit: Circuit, gate_set: GateSet) -> Circuit:
+    """Perturb one 1Q rotation angle by 0.3 rad (a pure unitary change:
+    the gate set and schedule stay legal, only the 1Q-coalescing and
+    semantics contracts can notice)."""
+    if injected_stage() != "onequbit":
+        return circuit
+    insts = list(circuit)
+    for index, inst in enumerate(insts):
+        if inst.is_unitary and inst.num_qubits == 1 and inst.params:
+            insts[index] = replace(
+                inst, params=(inst.params[0] + 0.3,) + inst.params[1:]
+            )
+            break
+    else:
+        name, params = _EXTRA_ROTATION[gate_set.family]
+        insts.append(Instruction(name, (0,), params))
+    return Circuit(
+        circuit.num_qubits, name=circuit.name, instructions=insts
+    )
+
+
+def maybe_corrupt_text(stage: str, text: str) -> str:
+    """Append a line no vendor parser accepts (breaks the round-trip)."""
+    if injected_stage() != stage:
+        return text
+    return text + "\n@@BOGUS 0 1\n"

@@ -1,0 +1,71 @@
+"""Contract enforcement modes and the violation recorder.
+
+``strict`` raises the structured :class:`~repro.contracts.errors.
+ContractError` the moment a stage output fails its invariant; ``warn``
+logs the violation and records its one-line summary so sweep cells can
+carry a ``contract_violations`` list instead of poisoning the task;
+``off`` skips the checks entirely (the default — contracts cost time).
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from typing import Callable, List, Union
+
+from repro.contracts.errors import ContractError
+
+logger = logging.getLogger("repro.contracts")
+
+
+class ContractMode(str, enum.Enum):
+    """How pass-contract violations are handled during compilation."""
+
+    STRICT = "strict"
+    WARN = "warn"
+    OFF = "off"
+
+    @classmethod
+    def coerce(cls, value: Union["ContractMode", str, None]) -> "ContractMode":
+        """Accept a mode, its string name, or None (-> OFF)."""
+        if value is None:
+            return cls.OFF
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            known = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown contract mode {value!r}; choose from {known}"
+            ) from None
+
+    @property
+    def enabled(self) -> bool:
+        return self is not ContractMode.OFF
+
+
+class ContractRecorder:
+    """Runs stage checks under a :class:`ContractMode`.
+
+    In strict mode a failing check raises; in warn mode the violation's
+    one-line summary is appended to :attr:`violations` and compilation
+    continues; in off mode the check callable is never invoked.
+    """
+
+    def __init__(self, mode: ContractMode) -> None:
+        self.mode = ContractMode.coerce(mode)
+        self.violations: List[str] = []
+
+    def run(self, check: Callable[[], None]) -> None:
+        """Invoke one zero-argument stage check under the mode's policy."""
+        if not self.mode.enabled:
+            return
+        try:
+            check()
+        except ContractError as exc:
+            if self.mode is ContractMode.STRICT:
+                raise
+            logger.warning("contract violation (warn mode):\n%s",
+                           exc.describe())
+            self.violations.append(exc.summary())

@@ -32,9 +32,15 @@ def task_digest(task) -> str:
 
     Covers everything that determines the cell's result — benchmark,
     device, day, compiler, sample count, success flag, both seeds — so
-    two cells share a digest only if they are interchangeable.
+    two cells share a digest only if they are interchangeable.  The
+    ``contracts`` field only joins the digest when a mode is enabled,
+    so journals written before the contracts layer existed still
+    resume contract-off sweeps.
     """
-    return digest("sweep-cell", dataclasses.asdict(task))
+    payload = dataclasses.asdict(task)
+    if not payload.get("contracts"):
+        payload.pop("contracts", None)
+    return digest("sweep-cell", payload)
 
 
 def run_digest(*parts: Any) -> str:

@@ -69,6 +69,7 @@ from repro.experiments.faults import (
     maybe_inject_fault,
 )
 from repro.compiler import OptimizationLevel
+from repro.contracts.mode import ContractMode
 from repro.experiments.journal import SweepJournal, run_digest, task_digest
 from repro.experiments.runner import (
     DEFAULT_FAULT_SAMPLES,
@@ -106,6 +107,9 @@ class SweepTask:
     with_success: bool
     compile_seed: int
     mc_seed: int
+    #: Pass-contract mode value ("strict"/"warn") or None for off — a
+    #: plain string so tasks stay picklable and journal-stable.
+    contracts: Optional[str] = None
 
 
 @dataclass
@@ -244,6 +248,7 @@ def run_task(task: SweepTask, attempt: int = 1) -> Tuple[Measurement, TaskReport
         seed=task.compile_seed,
         mc_seed=task.mc_seed,
         cache=get_active_cache(),
+        contracts=task.contracts,
     )
     report = TaskReport(
         benchmark=task.benchmark,
@@ -369,6 +374,7 @@ def run_sweep(
     run_id: Optional[str] = None,
     resume: bool = False,
     journal_dir=None,
+    contracts: Union[ContractMode, str, None] = None,
 ) -> SweepReport:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -400,8 +406,15 @@ def run_sweep(
             recomputing them (``repro sweep --resume``).
         journal_dir: where journals live; defaults to
             ``<cache-dir>/journals`` when a disk cache is in play.
+        contracts: pass-contract mode for every cell.  ``"strict"``
+            turns a violated contract into a task failure; ``"warn"``
+            records violations in each cell's
+            ``Measurement.contract_violations``; off (the default)
+            keeps the pre-contracts hot path, cache keys and journal
+            digests byte-identical.
     """
     started = time.perf_counter()
+    contract_mode = ContractMode.coerce(contracts)
     if isinstance(device, str):
         device = device_by_name(device, day=day or 0)
     resolved_day = device.day if day is None else day
@@ -459,6 +472,11 @@ def run_sweep(
                         with_success=with_success,
                         compile_seed=compile_seed,
                         mc_seed=mc_seed,
+                        contracts=(
+                            contract_mode.value
+                            if contract_mode.enabled
+                            else None
+                        ),
                     )
                 )
     digests = [task_digest(task) for task in tasks]
@@ -466,7 +484,7 @@ def run_sweep(
     # ------------------------------------------------------------------
     # Checkpoint journal: on whenever results can persist somewhere.
     # ------------------------------------------------------------------
-    effective_run_id = run_id or run_digest(
+    run_spec = [
         device.name,
         good_days,
         labels,
@@ -474,7 +492,12 @@ def run_sweep(
         fault_samples,
         with_success,
         base_seed,
-    )
+    ]
+    if contract_mode.enabled:
+        # Only enabled modes join the run id, so contract-off sweeps
+        # keep resuming journals written before the contracts layer.
+        run_spec.append(contract_mode.value)
+    effective_run_id = run_id or run_digest(*run_spec)
     if journal_dir is None and isinstance(cache, CompileCache):
         journal_dir = cache.root / "journals"
     journal: Optional[SweepJournal] = None
@@ -604,6 +627,7 @@ def _run_serial(
                     mc_seed=task.mc_seed,
                     built=built,
                     cache=cache,
+                    contracts=task.contracts,
                 )
             except Exception as exc:  # noqa: BLE001 - task isolation
                 elapsed = time.perf_counter() - task_started

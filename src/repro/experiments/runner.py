@@ -11,7 +11,7 @@ out over a process pool.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines import QiskitLikeCompiler, QuilLikeCompiler
@@ -21,8 +21,10 @@ from repro.compiler import (
     OptimizationLevel,
     TriQCompiler,
 )
+from repro.contracts import ContractMode, ContractRecorder, checks
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
+from repro.ir.decompose import decompose_to_basis
 from repro.programs import Benchmark
 from repro.sim import SuccessEstimate, monte_carlo_success_rate
 
@@ -70,6 +72,10 @@ class Measurement:
     #: Whether the placement came from a degraded (budget-cut or
     #: fallback) solve rather than a proven-optimal one.
     degraded: bool = False
+    #: One-line pass-contract violation summaries recorded when the
+    #: cell compiled under warn-mode contracts (empty otherwise).  A
+    #: list, not a tuple, so journal records round-trip through JSON.
+    contract_violations: List[str] = field(default_factory=list)
 
 
 def fits(circuit: Circuit, device: Device) -> bool:
@@ -98,16 +104,42 @@ def compile_with(
     compiler: CompilerName,
     day: Optional[int] = None,
     seed: int = 0,
+    contracts: Union[ContractMode, str, None] = None,
 ) -> CompiledProgram:
-    """Compile under a TriQ level or a vendor baseline by name."""
+    """Compile under a TriQ level or a vendor baseline by name.
+
+    ``contracts`` plumbs pass-contract enforcement through: TriQ levels
+    check every stage inside the pipeline; the vendor baselines (whose
+    internals predate the contract hooks) get the post-hoc checks —
+    translation legality, codegen round-trip, end-to-end semantics.
+    """
+    mode = ContractMode.coerce(contracts)
     if isinstance(compiler, OptimizationLevel):
-        return TriQCompiler(device, level=compiler, day=day).compile(circuit)
+        return TriQCompiler(
+            device, level=compiler, day=day, contracts=mode
+        ).compile(circuit)
     label = compiler.lower()
     if label == "qiskit":
-        return QiskitLikeCompiler(device, seed=seed).compile(circuit)
-    if label == "quil":
-        return QuilLikeCompiler(device, seed=seed).compile(circuit)
-    raise ValueError(f"unknown compiler {compiler!r}")
+        program = QiskitLikeCompiler(device, seed=seed).compile(circuit)
+    elif label == "quil":
+        program = QuilLikeCompiler(device, seed=seed).compile(circuit)
+    else:
+        raise ValueError(f"unknown compiler {compiler!r}")
+    if mode.enabled:
+        recorder = ContractRecorder(mode)
+        decomposed = decompose_to_basis(circuit)
+        recorder.run(
+            lambda: checks.check_translation(program.circuit, device)
+        )
+        recorder.run(lambda: checks.check_codegen(program.circuit, device))
+        recorder.run(
+            lambda: checks.check_semantics(decomposed, program.circuit, device)
+        )
+        if recorder.violations:
+            program = replace(
+                program, contract_violations=tuple(recorder.violations)
+            )
+    return program
 
 
 def compile_with_cache(
@@ -117,6 +149,7 @@ def compile_with_cache(
     day: Optional[int] = None,
     seed: int = 0,
     cache: Optional[Cache] = None,
+    contracts: Union[ContractMode, str, None] = None,
 ) -> Tuple[CompiledProgram, Optional[bool]]:
     """Compile, consulting the artifact cache.
 
@@ -125,18 +158,30 @@ def compile_with_cache(
     ``compile_time_s``, so warm serial and parallel runs of the same
     grid produce byte-identical measurements.
     """
+    mode = ContractMode.coerce(contracts)
     if cache is None or not cache.enabled:
-        return compile_with(circuit, device, compiler, day=day, seed=seed), None
+        return (
+            compile_with(
+                circuit, device, compiler, day=day, seed=seed, contracts=mode
+            ),
+            None,
+        )
     options = dict(_TRIQ_OPTIONS)
     if not isinstance(compiler, OptimizationLevel):
         options = {"seed": seed}
+    if mode.enabled:
+        # Only enabled modes join the key, so contract-off runs keep
+        # hitting every artifact cached before the contracts layer.
+        options["contracts"] = mode.value
     key = compile_key(circuit, device, compiler_label(compiler), day, options)
     payload = cache.get(key)
     if payload is not None:
         return CompiledProgram.from_payload(payload, device), True
     # Activate the cache for the pipeline's reliability memoization too.
     with cache_context(cache):
-        program = compile_with(circuit, device, compiler, day=day, seed=seed)
+        program = compile_with(
+            circuit, device, compiler, day=day, seed=seed, contracts=mode
+        )
     cache.put(key, program.to_payload())
     return program, False
 
@@ -198,6 +243,7 @@ def measure(
     mc_seed: Optional[int] = None,
     built: Optional[Tuple[Circuit, str]] = None,
     cache: Optional[Cache] = None,
+    contracts: Union[ContractMode, str, None] = None,
 ) -> Measurement:
     """Compile one benchmark and optionally measure its success rate.
 
@@ -207,7 +253,8 @@ def measure(
     """
     circuit, correct = built if built is not None else benchmark.build()
     program, cache_hit = compile_with_cache(
-        circuit, device, compiler, day=day, seed=seed, cache=cache
+        circuit, device, compiler, day=day, seed=seed, cache=cache,
+        contracts=contracts,
     )
     result = Measurement(
         benchmark=benchmark.name,
@@ -222,6 +269,7 @@ def measure(
         cache_hit=cache_hit,
         day=day,
         degraded=program.initial_mapping.degraded,
+        contract_violations=list(program.contract_violations),
     )
     if with_success:
         estimate = _success_with_cache(
@@ -250,6 +298,7 @@ def sweep(
     base_seed: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
     retries: int = 0,
+    contracts: Union[ContractMode, str, None] = None,
 ) -> List[Measurement]:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -274,6 +323,7 @@ def sweep(
         base_seed=base_seed,
         task_timeout_s=task_timeout_s,
         retries=retries,
+        contracts=contracts,
     ).measurements
 
 

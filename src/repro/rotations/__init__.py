@@ -9,6 +9,7 @@ Euler-angle decompositions (ZXZ / ZYZ), and SU(2) conversions that pass
 relies on.
 """
 
+from repro.rotations.angles import normalize_angle
 from repro.rotations.quaternion import Quaternion
 from repro.rotations.euler import (
     ZXZAngles,
@@ -25,6 +26,7 @@ from repro.rotations.su2 import (
 )
 
 __all__ = [
+    "normalize_angle",
     "Quaternion",
     "ZXZAngles",
     "ZYZAngles",

@@ -1,0 +1,33 @@
+"""Canonical rotation-angle branch shared by the 1Q optimizer and the
+three vendor emitters.
+
+Rotation angles are 2*pi-periodic (up to global phase), so every layer
+that prints or compares them must agree on one representative.  We use
+``(-pi, pi]``: emitted text is stable for awkward inputs like ``-0.0``
+(printed as ``0``, not ``-0``) and ``2*pi - eps`` (printed as ``-eps``,
+not a near-``2*pi`` decimal), and codegen round-trip comparison never
+sees a branch-cut mismatch.
+"""
+
+from __future__ import annotations
+
+import math
+
+_TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Map ``theta`` to the canonical branch ``(-pi, pi]``.
+
+    ``-0.0`` collapses to ``0.0`` so formatted output is sign-stable.
+    """
+    wrapped = math.fmod(theta, _TWO_PI)
+    if wrapped > math.pi:
+        wrapped -= _TWO_PI
+    elif wrapped <= -math.pi:
+        wrapped += _TWO_PI
+    # fmod preserves the sign of its argument, so -0.0 survives to here;
+    # collapse it (and exact multiples of 2*pi) to a single zero.
+    if wrapped == 0.0:
+        return 0.0
+    return wrapped

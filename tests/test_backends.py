@@ -14,6 +14,7 @@ from repro.backends import (
     parse_umdti_asm,
 )
 from repro.compiler import compile_circuit
+from repro.contracts.errors import CodegenParseError
 from repro.devices import ibmq5_tenerife, rigetti_agave, umd_trapped_ion
 from repro.ir import Circuit
 from repro.programs import bernstein_vazirani
@@ -164,3 +165,67 @@ class TestDispatchRoundTrips:
         circuit, _ = bernstein_vazirani(4)
         ibm = compile_circuit(circuit, ibmq5_tenerife())
         assert generate_code(ibm.circuit, ibm.device).startswith("OPENQASM")
+
+
+class TestStructuredParseErrors:
+    """Malformed executables raise CodegenParseError with line context."""
+
+    def test_openqasm_bad_line_number_and_text(self):
+        text = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[2];\ncreg c[2];\n"
+            "u1(pi/4) q[0];\n"
+            "@@BOGUS 0 1;\n"
+        )
+        with pytest.raises(CodegenParseError) as excinfo:
+            parse_openqasm(text)
+        assert excinfo.value.line_number == 6
+        assert "@@BOGUS" in str(excinfo.value)
+        assert excinfo.value.code == "CODEGEN003"
+
+    def test_openqasm_bad_angle(self):
+        text = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[1];\ncreg c[1];\n"
+            "u1(banana) q[0];\n"
+        )
+        with pytest.raises(CodegenParseError) as excinfo:
+            parse_openqasm(text)
+        assert excinfo.value.line_number == 5
+
+    def test_openqasm_missing_qreg(self):
+        with pytest.raises(CodegenParseError, match="qreg"):
+            parse_openqasm("OPENQASM 2.0;\nmeasure q[0] -> c[0];\n")
+
+    def test_quil_bad_line(self):
+        text = "DECLARE ro BIT[2]\nRX(pi/2) 0\nFROBNICATE 1\n"
+        with pytest.raises(CodegenParseError) as excinfo:
+            parse_quil(text)
+        assert excinfo.value.line_number == 3
+        assert "FROBNICATE" in str(excinfo.value)
+
+    def test_quil_bad_angle(self):
+        with pytest.raises(CodegenParseError) as excinfo:
+            parse_quil("RX(tau) 0\n")
+        assert excinfo.value.line_number == 1
+
+    def test_umdti_bad_line(self):
+        text = "RXY 0.500 0.000 Q0\nLASER Q0\n"
+        with pytest.raises(CodegenParseError) as excinfo:
+            parse_umdti_asm(text)
+        assert excinfo.value.line_number == 2
+        assert "LASER" in str(excinfo.value)
+
+    def test_umdti_bad_operand(self):
+        with pytest.raises(CodegenParseError, match="operand"):
+            parse_umdti_asm("RZ wat Q0\n")
+
+    def test_parse_errors_are_still_valueerrors(self):
+        # Callers from before the structured hierarchy catch ValueError.
+        for parser, text in (
+            (parse_openqasm, "OPENQASM 2.0;\nqreg q[1];\nnope;\n"),
+            (parse_quil, "nope\n"),
+            (parse_umdti_asm, "nope\n"),
+        ):
+            with pytest.raises(ValueError):
+                parser(text)

@@ -100,3 +100,99 @@ class TestCommands:
     def test_unknown_device_errors(self):
         with pytest.raises(KeyError):
             main(["compile", "-b", "BV4", "-d", "sycamore"])
+
+
+class TestContractFlags:
+    def test_contracts_default_off(self):
+        args = build_parser().parse_args(
+            ["compile", "-b", "BV4", "-d", "umd"]
+        )
+        assert args.contracts == "off"
+
+    def test_compile_with_strict_contracts(self, capsys):
+        assert (
+            main(
+                ["compile", "-b", "HS2", "-d", "tenerife",
+                 "--contracts", "strict", "--no-cache"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.startswith("OPENQASM 2.0;")
+
+    def test_sweep_accepts_contracts(self, capsys):
+        assert (
+            main(
+                ["sweep", "-d", "tenerife", "-b", "BV4", "-l", "1QOpt",
+                 "--no-success", "--contracts", "strict", "--no-cache"]
+            )
+            == 0
+        )
+
+    def test_warn_mode_reports_violations(self, capsys, monkeypatch):
+        from repro.contracts import CONTRACT_FAULT_ENV
+
+        monkeypatch.setenv(CONTRACT_FAULT_ENV, "codegen")
+        assert (
+            main(
+                ["compile", "-b", "HS2", "-d", "tenerife",
+                 "--contracts", "warn", "--no-cache"]
+            )
+            == 0
+        )
+        assert "contract violation" in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    def test_clean_grid(self, capsys):
+        assert (
+            main(
+                ["check", "-b", "BV4", "-d", "tenerife", "-l", "1QOpt"]
+            )
+            == 0
+        )
+        assert "0 contract violation(s)" in capsys.readouterr().err
+
+    def test_faulted_grid_exits_nonzero(self, capsys, monkeypatch):
+        from repro.contracts import CONTRACT_FAULT_ENV
+
+        monkeypatch.setenv(CONTRACT_FAULT_ENV, "onequbit")
+        assert (
+            main(
+                ["check", "-b", "BV4", "-d", "agave", "-l", "1QOpt"]
+            )
+            == 5
+        )
+        assert "VIOLATION" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_clean_campaign(self, capsys):
+        assert (
+            main(
+                ["fuzz", "--circuits", "2", "-d", "tenerife",
+                 "-l", "1QOptCN"]
+            )
+            == 0
+        )
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_faulted_campaign_writes_reproducer(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.contracts import CONTRACT_FAULT_ENV
+
+        monkeypatch.setenv(CONTRACT_FAULT_ENV, "codegen")
+        assert (
+            main(
+                ["fuzz", "--circuits", "1", "-d", "tenerife",
+                 "-l", "1QOpt", "--artifact-dir", str(tmp_path)]
+            )
+            == 5
+        )
+        out = capsys.readouterr().out
+        assert "FINDING [contract]" in out
+        artifacts = list(tmp_path.glob("*.json"))
+        assert len(artifacts) == 1
+        # Replay once the fault is gone: clean exit.
+        monkeypatch.delenv(CONTRACT_FAULT_ENV)
+        assert main(["fuzz", "--replay", str(artifacts[0])]) == 0

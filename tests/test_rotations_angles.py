@@ -1,0 +1,49 @@
+"""The shared angle canonicalization helper."""
+
+import math
+
+import pytest
+
+from repro.rotations import normalize_angle
+
+
+class TestNormalizeAngle:
+    def test_identity_on_canonical_range(self):
+        for theta in (-math.pi + 1e-9, -1.0, 0.0, 1.0, math.pi):
+            assert normalize_angle(theta) == pytest.approx(theta)
+
+    def test_pi_maps_to_pi(self):
+        # The canonical branch is (-pi, pi]: +pi stays, -pi flips.
+        assert normalize_angle(math.pi) == pytest.approx(math.pi)
+        assert normalize_angle(-math.pi) == pytest.approx(math.pi)
+
+    def test_wraps_multiples(self):
+        assert normalize_angle(2 * math.pi) == 0.0
+        assert normalize_angle(-2 * math.pi) == 0.0
+        assert normalize_angle(5 * math.pi) == pytest.approx(math.pi)
+        assert normalize_angle(2 * math.pi + 0.25) == pytest.approx(0.25)
+        assert normalize_angle(-2 * math.pi - 0.25) == pytest.approx(-0.25)
+
+    def test_just_below_two_pi(self):
+        theta = 2 * math.pi - 1e-9
+        assert normalize_angle(theta) == pytest.approx(-1e-9)
+
+    def test_no_negative_zero(self):
+        result = normalize_angle(-2 * math.pi)
+        assert result == 0.0 and math.copysign(1.0, result) == 1.0
+
+    def test_large_angles(self):
+        # 1001*math.pi carries accumulated float error, so the result
+        # may land an epsilon on either side of the +/-pi branch point;
+        # compare on the circle.
+        wrapped = normalize_angle(1001 * math.pi)
+        assert abs(abs(wrapped) - math.pi) < 1e-9
+        assert normalize_angle(1e6) == pytest.approx(
+            math.remainder(1e6, 2 * math.pi), abs=1e-9
+        )
+
+    def test_result_always_in_range(self):
+        for k in range(-20, 21):
+            for frac in (0.0, 0.3, 0.5, 0.99):
+                wrapped = normalize_angle((k + frac) * math.pi)
+                assert -math.pi - 1e-12 < wrapped <= math.pi + 1e-12

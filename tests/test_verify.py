@@ -7,6 +7,7 @@ from repro.ir import Circuit
 from repro.programs import bernstein_vazirani, qft_benchmark
 from repro.verify import (
     CompilationError,
+    VerificationReport,
     assert_distributions_close,
     distribution_distance,
     verify_compilation,
@@ -69,3 +70,40 @@ class TestVerifyCompilation:
         )
         with pytest.raises(ValueError, match="no measurements"):
             verify_compilation(circuit, program)
+
+
+class TestVerificationReport:
+    def test_ok_thresholds(self):
+        ok = VerificationReport("src", "dev", 1e-9, 1e-9)
+        bad = VerificationReport("src", "dev", 0.5, 0.5)
+        assert ok.ok and not bad.ok
+
+    def test_report_fields_from_real_run(self):
+        circuit = Circuit(2).x(0).measure_all()
+        program = compile_circuit(circuit, umd_trapped_ion())
+        report = verify_compilation(circuit, program)
+        assert report.source_name == circuit.name
+        assert report.max_pointwise_error <= (
+            2 * report.total_variation_distance + 1e-12
+        )
+
+    def test_detects_miswired_measurements(self):
+        # Program computes the right state but reads the bits out
+        # crossed: qubit 0's result lands in cbit 1 and vice versa.
+        import dataclasses
+
+        circuit = Circuit(2).x(0).measure_all()  # expected "10"
+        program = compile_circuit(circuit, umd_trapped_ion())
+        miswired_circuit = Circuit(program.circuit.num_qubits)
+        for inst in program.circuit:
+            if inst.is_measurement:
+                miswired_circuit.append(
+                    dataclasses.replace(
+                        inst, cbits=(1 - inst.cbits[0],)
+                    )
+                )
+            else:
+                miswired_circuit.append(inst)
+        miswired = dataclasses.replace(program, circuit=miswired_circuit)
+        with pytest.raises(CompilationError, match="TV distance"):
+            verify_compilation(circuit, miswired)
