@@ -12,6 +12,28 @@ reproduces the full evaluation section.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+import pytest
+
+# benchmarks/ is not a package, so running `pytest benchmarks/` alone
+# does not put the repo root on sys.path; add it so the shared test
+# helpers (tests/helpers.py) are importable from here too.
+_REPO_ROOT = str(Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from tests.helpers import alarm_timeout  # noqa: E402
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    # The same per-test wall-clock guard as the tier-1 suite: a hung
+    # experiment fails loudly instead of wedging the benchmark job.
+    with alarm_timeout():
+        return (yield)
+
 
 def emit(text: str) -> None:
     """Print an experiment table (visible with ``-s``; captured otherwise)."""

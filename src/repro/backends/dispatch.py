@@ -8,15 +8,21 @@ from repro.ir.circuit import Circuit
 from repro.backends.openqasm import emit_openqasm
 from repro.backends.quil import emit_quil
 from repro.backends.umdti_asm import emit_umdti_asm
+from repro.obs.tracer import span as obs_span
 
 
 def generate_code(circuit: Circuit, device: Device) -> str:
     """Serialize a translated circuit in the device's executable format."""
     family = device.gate_set.family
-    if family is VendorFamily.IBM:
-        return emit_openqasm(circuit)
-    if family is VendorFamily.RIGETTI:
-        return emit_quil(circuit)
-    if family is VendorFamily.UMDTI:
-        return emit_umdti_asm(circuit)
-    raise ValueError(f"no backend for vendor family {family!r}")
+    with obs_span("codegen", family=family.name) as sp:
+        if family is VendorFamily.IBM:
+            text = emit_openqasm(circuit)
+        elif family is VendorFamily.RIGETTI:
+            text = emit_quil(circuit)
+        elif family is VendorFamily.UMDTI:
+            text = emit_umdti_asm(circuit)
+        else:
+            raise ValueError(f"no backend for vendor family {family!r}")
+        if sp:
+            sp.set(lines=text.count("\n") + 1)
+    return text

@@ -23,7 +23,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 from repro.cache.keys import CACHE_SCHEMA_VERSION
 
@@ -90,6 +90,16 @@ class CompileCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        #: Optional observability hook called with one of "hit" /
+        #: "miss" / "store" / "recovered" per operation.  None (the
+        #: default) keeps the lookup path exactly as fast as before;
+        #: ``repro.obs`` attaches a metrics counter here when profiling.
+        self.observer: Optional[Callable[[str], None]] = None
+
+    def _notify(self, event: str) -> None:
+        observer = self.observer
+        if observer is not None:
+            observer(event)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -120,6 +130,7 @@ class CompileCache:
                 raise ValueError("stale or mismatched cache entry")
         except FileNotFoundError:
             self.stats.misses += 1
+            self._notify("miss")
             return None
         except Exception:
             # Corrupted / truncated / stale entry: quarantine it and
@@ -128,8 +139,10 @@ class CompileCache:
             self.stats.recovered += 1
             self.stats.misses += 1
             self._quarantine(path)
+            self._notify("recovered")
             return None
         self.stats.hits += 1
+        self._notify("hit")
         return payload
 
     def put(self, key: str, payload: Any) -> None:
@@ -156,6 +169,7 @@ class CompileCache:
                 pass
             raise
         self.stats.stores += 1
+        self._notify("store")
 
     def __len__(self) -> int:
         return sum(

@@ -16,12 +16,17 @@ Commands:
 * ``fuzz`` — differential fuzzing: random circuits through every
   (device, compiler) pair under strict contracts, findings shrunk to
   replayable JSON reproducers.
+* ``profile`` — summarize ``--profile`` artifacts: hot passes from span
+  traces, top-N functions from merged cProfile stats.
+* ``trace`` — render a Chrome trace JSON file as a human span tree.
 
 Compilation artifacts and Monte-Carlo estimates are cached on disk by
 default (``--cache-dir`` to relocate, ``--no-cache`` to disable); sweep
 commands accept ``--workers`` to parallelize over processes.  The
 ``compile``/``run``/``sweep`` commands accept ``--contracts
-{strict,warn,off}`` to enforce per-pass contracts during compilation.
+{strict,warn,off}`` to enforce per-pass contracts during compilation,
+and ``--profile``/``--obs-dir`` to capture span traces, metrics, and
+cProfile stats (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+from contextlib import contextmanager
+from pathlib import Path
 from typing import List, Optional
 
 from repro.cache import open_cache
@@ -100,6 +107,72 @@ def _add_contract_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile", action="store_true",
+        help="capture span traces plus per-process cProfile stats "
+             "(summarize with `repro profile <obs-dir>`)",
+    )
+    p.add_argument(
+        "--obs-dir", metavar="DIR", default=None,
+        help="where observability artifacts go (implies span tracing; "
+             "default with --profile: next to the journal, else "
+             "./repro-obs)",
+    )
+
+
+def _cli_obs_config(args: argparse.Namespace):
+    """The ObsConfig the flags ask for, or None when observability is off.
+
+    ``--profile`` turns on tracing + cProfile; ``--obs-dir`` alone turns
+    on tracing only (cheap spans, no profiler overhead).
+    """
+    if not (args.profile or args.obs_dir):
+        return None
+    from repro.obs import ObsConfig
+
+    return ObsConfig(trace=True, profile=args.profile, out_dir=args.obs_dir)
+
+
+@contextmanager
+def _obs_session(args: argparse.Namespace, tag: str, cache=None):
+    """Observability around one ``compile``/``run`` command.
+
+    Activates a tracer (and, under ``--profile``, cProfile) for the
+    process, hooks the cache store's event observer, and on exit writes
+    ``<tag>-trace.json`` / ``<tag>.pstats`` / ``<tag>-metrics.prom``
+    into the obs dir and prints the span tree to stderr.
+    """
+    config = _cli_obs_config(args)
+    if config is None:
+        yield None
+        return
+    from repro.obs import MetricsRegistry, Tracer, cprofile_to, tracer_context
+
+    out_dir = Path(config.out_dir) if config.out_dir else Path("repro-obs")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    registry = MetricsRegistry()
+    if cache is not None and getattr(cache, "enabled", False):
+        events = registry.counter(
+            "repro_cache_events_total",
+            "Cache store events observed by this command",
+        )
+        cache.observer = lambda event: events.inc(event=event)
+    tracer = Tracer()
+    profile_path = out_dir / f"{tag}.pstats" if config.profile else None
+    with tracer_context(tracer), cprofile_to(profile_path):
+        try:
+            yield tracer
+        finally:
+            tracer.finish()
+            tracer.write_chrome_trace(out_dir / f"{tag}-trace.json")
+            (out_dir / f"{tag}-metrics.prom").write_text(
+                registry.render_prometheus(), encoding="utf-8"
+            )
+            print(tracer.format_tree(), file=sys.stderr)
+            print(f"observability artifacts: {out_dir}", file=sys.stderr)
+
+
 def _load_program(args: argparse.Namespace):
     if args.benchmark is not None:
         return benchmark_by_name(args.benchmark).build()
@@ -131,10 +204,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
     circuit, _ = _load_program(args)
     device = device_by_name(args.device, day=args.day)
-    program, _ = compile_with_cache(
-        circuit, device, args.level, day=args.day,
-        cache=_open_cli_cache(args), contracts=args.contracts,
-    )
+    cache = _open_cli_cache(args)
+    with _obs_session(args, "compile", cache):
+        program, _ = compile_with_cache(
+            circuit, device, args.level, day=args.day,
+            cache=cache, contracts=args.contracts,
+        )
     for violation in program.contract_violations:
         print(f"contract violation: {violation}", file=sys.stderr)
     text = program.executable()
@@ -163,19 +238,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     device = device_by_name(args.device, day=args.day)
-    program, _ = compile_with_cache(
-        circuit, device, args.level, day=args.day,
-        cache=_open_cli_cache(args), contracts=args.contracts,
-    )
-    for violation in program.contract_violations:
-        print(f"contract violation: {violation}", file=sys.stderr)
-    estimate = monte_carlo_success_rate(
-        program.circuit,
-        device,
-        correct,
-        day=args.day,
-        fault_samples=args.fault_samples,
-    )
+    cache = _open_cli_cache(args)
+    with _obs_session(args, "run", cache):
+        program, _ = compile_with_cache(
+            circuit, device, args.level, day=args.day,
+            cache=cache, contracts=args.contracts,
+        )
+        for violation in program.contract_violations:
+            print(f"contract violation: {violation}", file=sys.stderr)
+        estimate = monte_carlo_success_rate(
+            program.circuit,
+            device,
+            correct,
+            day=args.day,
+            fault_samples=args.fault_samples,
+        )
     print(f"device        : {device.name} (day {args.day})")
     print(f"compiler      : {args.level.value}")
     print(f"2Q gates      : {program.two_qubit_gate_count()}")
@@ -220,6 +297,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         run_id=run_id,
         resume=resume,
         contracts=args.contracts,
+        obs=_cli_obs_config(args),
     )
     headers = ["Benchmark", "Compiler", "2Q", "1Q pulses", "Depth", "Swaps"]
     rows = [
@@ -252,6 +330,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"run id: {report.run_id} "
             f"(resume an interrupted run with --resume {report.run_id})",
+            file=sys.stderr,
+        )
+    if report.obs_dir is not None:
+        print(
+            f"summarize with: repro profile {report.obs_dir}",
             file=sys.stderr,
         )
     for failure in report.failures:
@@ -372,6 +455,57 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 5 if report.findings else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Summarize observability artifacts: hot passes + top functions."""
+    from repro.obs import (
+        collect_artifacts,
+        format_hot_passes,
+        format_top_functions,
+        hot_passes,
+        top_functions,
+    )
+
+    stats, traces = collect_artifacts(args.paths)
+    if not stats and not traces:
+        print(
+            "no *.pstats or *trace*.json artifacts found under: "
+            + ", ".join(args.paths),
+            file=sys.stderr,
+        )
+        return 2
+    if traces:
+        print(f"Hot passes ({len(traces)} trace file(s)):")
+        print(format_hot_passes(hot_passes(traces, limit=args.limit)))
+    if stats:
+        if traces:
+            print()
+        print(
+            f"Top functions ({len(stats)} profile(s), sort={args.sort}):"
+        )
+        print(
+            format_top_functions(
+                top_functions(stats, limit=args.limit, sort=args.sort)
+            )
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a Chrome trace JSON file as a span tree."""
+    import json
+
+    from repro.obs import tree_from_chrome
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    rendered = tree_from_chrome(trace)
+    if not rendered:
+        print("(empty trace)", file=sys.stderr)
+        return 2
+    print(rendered)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         fig1_devices, fig2_gatesets, fig3_calibration, fig4_toolflow,
@@ -453,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--output", "-o", help="write to file")
     _add_cache_args(compile_parser)
     _add_contract_args(compile_parser)
+    _add_obs_args(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
     run_parser = sub.add_parser(
@@ -465,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(run_parser)
     _add_contract_args(run_parser)
+    _add_obs_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = sub.add_parser(
@@ -528,6 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(sweep_parser)
     _add_contract_args(sweep_parser)
+    _add_obs_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     check_parser = sub.add_parser(
@@ -604,6 +741,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run one reproducer artifact instead of fuzzing",
     )
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="summarize --profile artifacts (hot passes, top functions)",
+    )
+    profile_parser.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="obs directories, *.pstats files, or *trace*.json files",
+    )
+    profile_parser.add_argument(
+        "--limit", "-n", type=int, default=15,
+        help="rows per table (default 15)",
+    )
+    profile_parser.add_argument(
+        "--sort", choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative",
+        help="function-table sort key (default cumulative)",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    trace_parser = sub.add_parser(
+        "trace", help="render a Chrome trace JSON file as a span tree"
+    )
+    trace_parser.add_argument("path", help="path to a trace.json file")
+    trace_parser.set_defaults(func=_cmd_trace)
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"

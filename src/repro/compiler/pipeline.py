@@ -27,6 +27,9 @@ from repro.compiler.translate import (
 from repro.contracts import checks as contract_checks
 from repro.contracts import inject as contract_inject
 from repro.contracts.mode import ContractMode, ContractRecorder
+# Only the tracer module: the pipeline must not pay for the metrics or
+# profiling imports, and obs_span is free when no tracer is active.
+from repro.obs.tracer import span as obs_span
 
 logger = logging.getLogger("repro.compiler")
 
@@ -311,76 +314,119 @@ class TriQCompiler:
             and contract_inject.injected_stage() is not None
         )
         device = self.device
-        decomposed = decompose_to_basis(circuit)
-        mapping = self.map_qubits(decomposed)
-        pristine_mapping = mapping
-        if injecting:
-            mapping = contract_inject.maybe_corrupt_mapping(mapping)
-        recorder.run(
-            lambda: contract_checks.check_mapping(mapping, decomposed, device)
-        )
-        if injecting and recorder.violations:
-            # Warn mode reached here with a corrupted placement, which
-            # cannot route; continue with the pristine artifact so the
-            # recorded violation still rides on a finished program.
-            mapping = pristine_mapping
-        routing_reliability = self.reliability(self.level.noise_aware)
-        if self.router == "lookahead":
-            from repro.compiler.lookahead import lookahead_route
-
-            routed = lookahead_route(
-                decomposed, self.device, mapping, routing_reliability
+        with obs_span(
+            "compile",
+            circuit=circuit.name,
+            device=device.name,
+            level=getattr(self.level, "value", str(self.level)),
+        ) as compile_span:
+            with obs_span("decompose") as sp:
+                decomposed = decompose_to_basis(circuit)
+                if sp:
+                    sp.set(gates_in=len(circuit), gates_out=len(decomposed))
+            with obs_span("map") as sp:
+                mapping = self.map_qubits(decomposed)
+                if sp:
+                    sp.set(
+                        objective=mapping.objective,
+                        solver_nodes=mapping.solver_nodes,
+                        solver_time_s=mapping.solver_time_s,
+                        degraded=mapping.degraded,
+                    )
+            pristine_mapping = mapping
+            if injecting:
+                mapping = contract_inject.maybe_corrupt_mapping(mapping)
+            recorder.run(
+                lambda: contract_checks.check_mapping(mapping, decomposed, device)
             )
-        else:
-            routed = route_circuit(
-                decomposed, self.device, mapping, routing_reliability
-            )
-        if injecting:
-            routed = contract_inject.maybe_corrupt_routed(routed)
-        recorder.run(lambda: contract_checks.check_routing(routed, device))
-        recorder.run(
-            lambda: contract_checks.check_scheduling(decomposed, routed, device)
-        )
-        routed_circuit = routed.circuit
-        if self.peephole:
-            from repro.compiler.peephole import cancel_adjacent_gates
-            from repro.ir.decompose import decompose_to_basis as _lower
+            if injecting and recorder.violations:
+                # Warn mode reached here with a corrupted placement, which
+                # cannot route; continue with the pristine artifact so the
+                # recorded violation still rides on a finished program.
+                mapping = pristine_mapping
+            # The route span covers gate scheduling too: routing replays
+            # the scheduled per-qubit DAG order while inserting swaps.
+            with obs_span("route", router=self.router) as sp:
+                routing_reliability = self.reliability(self.level.noise_aware)
+                if self.router == "lookahead":
+                    from repro.compiler.lookahead import lookahead_route
 
-            # Cancel at the CNOT level, where routing artifacts (swap
-            # chains meeting their gate) are visible.
-            routed_circuit = cancel_adjacent_gates(_lower(routed_circuit))
-        translated = translate_two_qubit_gates(routed_circuit, self.device)
-        if injecting:
-            translated = contract_inject.maybe_corrupt_translated(translated)
-        if self.level.optimizes_1q:
-            if self.commute:
-                from repro.compiler.commute import (
-                    commute_rotations_forward,
+                    routed = lookahead_route(
+                        decomposed, self.device, mapping, routing_reliability
+                    )
+                else:
+                    routed = route_circuit(
+                        decomposed, self.device, mapping, routing_reliability
+                    )
+                if sp:
+                    sp.set(
+                        swaps=routed.num_swaps,
+                        depth_in=decomposed.depth(),
+                        depth_out=routed.circuit.depth(),
+                    )
+            if injecting:
+                routed = contract_inject.maybe_corrupt_routed(routed)
+            recorder.run(lambda: contract_checks.check_routing(routed, device))
+            recorder.run(
+                lambda: contract_checks.check_scheduling(decomposed, routed, device)
+            )
+            routed_circuit = routed.circuit
+            if self.peephole:
+                from repro.compiler.peephole import cancel_adjacent_gates
+                from repro.ir.decompose import decompose_to_basis as _lower
+
+                # Cancel at the CNOT level, where routing artifacts (swap
+                # chains meeting their gate) are visible.
+                with obs_span("peephole"):
+                    routed_circuit = cancel_adjacent_gates(_lower(routed_circuit))
+            with obs_span("translate") as sp:
+                translated = translate_two_qubit_gates(routed_circuit, self.device)
+                if sp:
+                    sp.set(two_qubit_gates=translated.num_two_qubit_gates())
+            if injecting:
+                translated = contract_inject.maybe_corrupt_translated(translated)
+            with obs_span("1qopt", optimizing=self.level.optimizes_1q) as sp:
+                if self.level.optimizes_1q:
+                    if self.commute:
+                        from repro.compiler.commute import (
+                            commute_rotations_forward,
+                        )
+
+                        # Commuting rotations across 2Q gates reorders
+                        # runs, so the 1Q contract's baseline is the
+                        # post-commute circuit (the commute pass itself is
+                        # covered by the end-to-end semantics check).
+                        translated = commute_rotations_forward(translated)
+                    final = optimize_single_qubit_gates(
+                        translated, self.device.gate_set
+                    )
+                else:
+                    final = naive_translate_1q(translated, self.device.gate_set)
+                if sp:
+                    sp.set(pulses=count_pulses(final))
+            if injecting:
+                final = contract_inject.maybe_corrupt_final(
+                    final, self.device.gate_set
                 )
-
-                # Commuting rotations across 2Q gates reorders runs, so
-                # the 1Q contract's baseline is the post-commute circuit
-                # (the commute pass itself is covered by the end-to-end
-                # semantics check).
-                translated = commute_rotations_forward(translated)
-            final = optimize_single_qubit_gates(
-                translated, self.device.gate_set
-            )
-        else:
-            final = naive_translate_1q(translated, self.device.gate_set)
-        if injecting:
-            final = contract_inject.maybe_corrupt_final(
-                final, self.device.gate_set
-            )
-        recorder.run(
-            lambda: contract_checks.check_onequbit(translated, final, device)
-        )
-        recorder.run(lambda: contract_checks.check_translation(final, device))
-        recorder.run(lambda: contract_checks.check_codegen(final, device))
-        recorder.run(
-            lambda: contract_checks.check_semantics(decomposed, final, device)
-        )
-        elapsed = time.monotonic() - started
+            with obs_span("contracts", mode=self.contracts.value):
+                recorder.run(
+                    lambda: contract_checks.check_onequbit(translated, final, device)
+                )
+                recorder.run(
+                    lambda: contract_checks.check_translation(final, device)
+                )
+                recorder.run(lambda: contract_checks.check_codegen(final, device))
+                recorder.run(
+                    lambda: contract_checks.check_semantics(decomposed, final, device)
+                )
+            elapsed = time.monotonic() - started
+            if compile_span:
+                compile_span.set(
+                    swaps=routed.num_swaps,
+                    depth=final.depth(),
+                    two_qubit_gates=final.num_two_qubit_gates(),
+                    violations=len(recorder.violations),
+                )
         return CompiledProgram(
             circuit=final,
             source_name=circuit.name,

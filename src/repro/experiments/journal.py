@@ -19,7 +19,7 @@ import dataclasses
 import json
 import os
 from pathlib import Path
-from typing import IO, Any, Dict, Optional, Union
+from typing import IO, Any, Dict, List, Optional, Union
 
 from repro.cache.keys import digest
 
@@ -85,6 +85,35 @@ class SweepJournal:
         except OSError:
             pass
         return completed
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every parseable record, in append order (duplicates kept).
+
+        :func:`load` collapses to last-write-wins per digest for resume;
+        this keeps the raw sequence, which is what post-hoc analysis
+        (``repro.obs.sweep_metrics_from_journal_records``) wants — a
+        retried cell's every recorded attempt counts.
+        """
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if (
+                        isinstance(record, dict)
+                        and record.get("v") == JOURNAL_VERSION
+                        and isinstance(record.get("task"), str)
+                    ):
+                        records.append(record)
+        except OSError:
+            pass
+        return records
 
     def reset(self) -> None:
         """Drop any previous journal contents (fresh, non-resumed run)."""

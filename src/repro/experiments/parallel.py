@@ -40,6 +40,7 @@ triggering condition is logged and recorded in
 from __future__ import annotations
 
 import dataclasses
+import json
 import logging
 import multiprocessing
 import os
@@ -47,6 +48,7 @@ import queue as queue_module
 import time
 import traceback
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -71,6 +73,17 @@ from repro.experiments.faults import (
 from repro.compiler import OptimizationLevel
 from repro.contracts.mode import ContractMode
 from repro.experiments.journal import SweepJournal, run_digest, task_digest
+from repro.obs import (
+    MetricsRegistry,
+    ObsConfig,
+    Tracer,
+    cprofile_to,
+    get_active_tracer,
+    latency_summary,
+    merge_chrome_traces,
+    sweep_metrics,
+    tracer_context,
+)
 from repro.experiments.runner import (
     DEFAULT_FAULT_SAMPLES,
     DEFAULT_MC_SEED,
@@ -150,6 +163,12 @@ class SweepReport:
     resumed: int = 0
     #: Calibration days rejected by validation and skipped, with reasons.
     skipped_days: List[Tuple[int, str]] = field(default_factory=list)
+    #: Aggregated execution metrics (see :func:`repro.obs.sweep_metrics`).
+    #: Always populated by :func:`run_sweep`; in-process only — never
+    #: journaled, so journal digests are independent of observability.
+    metrics: Optional[MetricsRegistry] = None
+    #: Where trace/metrics/profile artifacts were written (None: obs off).
+    obs_dir: Optional[Path] = None
 
     @property
     def cache_hits(self) -> int:
@@ -193,6 +212,12 @@ class SweepReport:
                 f"slowest task: {slowest.benchmark} / {slowest.compiler} "
                 f"({slowest.elapsed_s:.2f}s)"
             )
+        if self.metrics is not None:
+            latency = latency_summary(self.metrics)
+            if latency:
+                lines.append(latency)
+        if self.obs_dir is not None:
+            lines.append(f"observability artifacts: {self.obs_dir}")
         return "\n".join(lines)
 
 
@@ -262,7 +287,44 @@ def run_task(task: SweepTask, attempt: int = 1) -> Tuple[Measurement, TaskReport
     return measurement, report
 
 
-def _pool_worker(inbox, results, cache_dir) -> None:
+#: What a worker needs to set up its own observability:
+#: ``(out_dir as str, trace enabled, profile enabled)``, or None for off.
+ObsSpec = Optional[Tuple[str, bool, bool]]
+
+
+@contextmanager
+def _worker_obs(obs_spec: ObsSpec):
+    """Per-process tracer and cProfile for one pool worker.
+
+    Artifacts (``worker-<pid>-trace.json``, ``worker-<pid>.pstats``) are
+    dumped when the worker drains its sentinel and exits cleanly.  A
+    worker the supervisor kills (crash, blown deadline) loses its
+    artifacts — the supervisor still synthesizes a span for every
+    completed task, so the merged trace stays whole.
+    """
+    if obs_spec is None:
+        yield
+        return
+    out_dir, want_trace, want_profile = obs_spec
+    out_path = Path(out_dir)
+    pid = os.getpid()
+    tracer = Tracer() if want_trace else None
+    profile_path = out_path / f"worker-{pid}.pstats" if want_profile else None
+    with tracer_context(tracer), cprofile_to(profile_path):
+        try:
+            yield
+        finally:
+            if tracer is not None:
+                tracer.finish()
+                try:
+                    tracer.write_chrome_trace(
+                        out_path / f"worker-{pid}-trace.json"
+                    )
+                except OSError:  # never let obs take down a worker exit
+                    pass
+
+
+def _pool_worker(inbox, results, cache_dir, obs_spec: ObsSpec = None) -> None:
     """Worker loop: run task envelopes until the None sentinel arrives.
 
     Ordinary task exceptions are caught and reported — they must not
@@ -270,24 +332,25 @@ def _pool_worker(inbox, results, cache_dir) -> None:
     killer) do, and the supervisor detects those by liveness.
     """
     _init_worker(cache_dir)
-    while True:
-        envelope = inbox.get()
-        if envelope is None:
-            return
-        seq, task, attempt = envelope
-        try:
-            outcome = run_task(task, attempt=attempt)
-        except Exception as exc:  # noqa: BLE001 - isolate, report, survive
-            results.put(
-                (
-                    seq,
-                    attempt,
-                    "error",
-                    (type(exc).__name__, str(exc), traceback.format_exc()),
+    with _worker_obs(obs_spec):
+        while True:
+            envelope = inbox.get()
+            if envelope is None:
+                return
+            seq, task, attempt = envelope
+            try:
+                outcome = run_task(task, attempt=attempt)
+            except Exception as exc:  # noqa: BLE001 - isolate, report, survive
+                results.put(
+                    (
+                        seq,
+                        attempt,
+                        "error",
+                        (type(exc).__name__, str(exc), traceback.format_exc()),
+                    )
                 )
-            )
-        else:
-            results.put((seq, attempt, "ok", outcome))
+            else:
+                results.put((seq, attempt, "ok", outcome))
 
 
 # ----------------------------------------------------------------------
@@ -355,6 +418,59 @@ def _serial_reason(
     return None
 
 
+#: Artifact name patterns owned by the sweep engine inside an obs dir.
+_OBS_ARTIFACT_GLOBS = (
+    "worker-*-trace.json",
+    "worker-*.pstats",
+    "supervisor-*.pstats",
+)
+
+
+def _reset_obs_dir(out_dir: Path) -> None:
+    """Create the artifact directory and drop any previous run's files.
+
+    Only the engine's own artifact patterns are removed — an obs dir
+    pointed at a directory with unrelated contents loses nothing.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for pattern in _OBS_ARTIFACT_GLOBS:
+        for stale in out_dir.glob(pattern):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+
+def _write_obs_artifacts(
+    out_dir: Path,
+    tracer: Optional[Tracer],
+    registry: MetricsRegistry,
+) -> Path:
+    """Write ``trace.json`` and ``metrics.prom`` for one finished sweep.
+
+    The trace merges the supervisor's spans with every worker trace
+    dumped into ``out_dir`` (workers killed mid-task leave none; their
+    tasks still appear as supervisor-synthesized ``sweep.task`` spans).
+    """
+    traces = []
+    if tracer is not None:
+        traces.append(tracer.to_chrome_trace())
+    for worker_trace in sorted(out_dir.glob("worker-*-trace.json")):
+        try:
+            with open(worker_trace, "r", encoding="utf-8") as handle:
+                traces.append(json.load(handle))
+        except (OSError, ValueError):
+            continue  # torn write from a killed worker: skip, keep going
+    if traces:
+        merged = merge_chrome_traces(*traces)
+        with open(out_dir / "trace.json", "w", encoding="utf-8") as handle:
+            json.dump(merged, handle)
+    (out_dir / "metrics.prom").write_text(
+        registry.render_prometheus(), encoding="utf-8"
+    )
+    return out_dir
+
+
 def run_sweep(
     device: Union[Device, str],
     compilers: Sequence[CompilerName],
@@ -375,6 +491,7 @@ def run_sweep(
     resume: bool = False,
     journal_dir=None,
     contracts: Union[ContractMode, str, None] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> SweepReport:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -412,6 +529,14 @@ def run_sweep(
             ``Measurement.contract_violations``; off (the default)
             keeps the pre-contracts hot path, cache keys and journal
             digests byte-identical.
+        obs: observability configuration (``repro sweep --profile``).
+            When enabled the supervisor and every worker record span
+            traces (merged into ``<obs-dir>/trace.json``), sweep
+            metrics are exported to ``<obs-dir>/metrics.prom``, and
+            ``profile=True`` additionally cProfiles each process into
+            ``*.pstats``.  Strictly outside the result path: cache
+            keys, journal digests, and measurements are byte-identical
+            with observability on, off, or absent.
     """
     started = time.perf_counter()
     contract_mode = ContractMode.coerce(contracts)
@@ -506,6 +631,25 @@ def run_sweep(
             Path(journal_dir) / f"{effective_run_id}.jsonl"
         )
 
+    # ------------------------------------------------------------------
+    # Observability: supervisor tracer + per-process artifact directory.
+    # ------------------------------------------------------------------
+    obs_active = obs if obs is not None and obs.enabled else None
+    obs_dir: Optional[Path] = None
+    supervisor_tracer: Optional[Tracer] = None
+    obs_spec: ObsSpec = None
+    if obs_active is not None:
+        if obs_active.out_dir is not None:
+            obs_dir = Path(obs_active.out_dir)
+        elif journal is not None:
+            obs_dir = journal.path.parent / f"{effective_run_id}-obs"
+        else:
+            obs_dir = Path("repro-obs")
+        _reset_obs_dir(obs_dir)
+        if obs_active.trace:
+            supervisor_tracer = Tracer()
+        obs_spec = (str(obs_dir), obs_active.trace, obs_active.profile)
+
     results: Dict[int, Tuple[Measurement, TaskReport]] = {}
     resumed_count = 0
     if journal is not None:
@@ -538,36 +682,54 @@ def run_sweep(
     failures: List[TaskFailure] = []
     fallback_reason = _serial_reason(workers, len(todo), device, fitting)
     mode, effective_workers = "serial", 1
+    supervisor_profile = (
+        obs_dir / f"supervisor-{os.getpid()}.pstats"
+        if obs_active is not None and obs_active.profile
+        else None
+    )
     try:
-        if fallback_reason is None:
-            pool_outcome = _run_pool(
-                todo, tasks, digests, workers, cache, policy, journal
-            )
-            if pool_outcome is None:
-                fallback_reason = (
-                    "process pool unavailable on this platform "
-                    "(no usable fork/semaphore primitives)"
+        with tracer_context(supervisor_tracer), \
+                cprofile_to(supervisor_profile):
+            if supervisor_tracer is not None:
+                supervisor_tracer.span(
+                    "sweep",
+                    run_id=effective_run_id,
+                    device=device.name,
+                    tasks=len(tasks),
                 )
-            else:
-                results.update(pool_outcome[0])
-                failures = pool_outcome[1]
-                mode, effective_workers = "process-pool", workers
-        if fallback_reason is not None:
-            if workers > 1:
-                logger.warning(
-                    "sweep requested %d workers but ran serially: %s",
-                    workers, fallback_reason,
+            if fallback_reason is None:
+                pool_outcome = _run_pool(
+                    todo, tasks, digests, workers, cache, policy, journal,
+                    obs_spec,
                 )
-            serial_results, failures = _run_serial(
-                todo, tasks, digests, device, fitting, cache, policy, journal
-            )
-            results.update(serial_results)
+                if pool_outcome is None:
+                    fallback_reason = (
+                        "process pool unavailable on this platform "
+                        "(no usable fork/semaphore primitives)"
+                    )
+                else:
+                    results.update(pool_outcome[0])
+                    failures = pool_outcome[1]
+                    mode, effective_workers = "process-pool", workers
+            if fallback_reason is not None:
+                if workers > 1:
+                    logger.warning(
+                        "sweep requested %d workers but ran serially: %s",
+                        workers, fallback_reason,
+                    )
+                serial_results, failures = _run_serial(
+                    todo, tasks, digests, device, fitting, cache, policy,
+                    journal,
+                )
+                results.update(serial_results)
+            if supervisor_tracer is not None:
+                supervisor_tracer.finish()
     finally:
         if journal is not None:
             journal.close()
 
     ordered = [results[i] for i in sorted(results)]
-    return SweepReport(
+    report = SweepReport(
         measurements=[m for m, _ in ordered],
         tasks=[r for _, r in ordered],
         mode=mode,
@@ -585,6 +747,12 @@ def run_sweep(
         resumed=resumed_count,
         skipped_days=skipped_days,
     )
+    report.metrics = sweep_metrics(report)
+    if obs_dir is not None:
+        report.obs_dir = _write_obs_artifacts(
+            obs_dir, supervisor_tracer, report.metrics
+        )
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -681,11 +849,11 @@ def _run_serial(
 class _Worker:
     """One pool worker process plus its private dispatch queue."""
 
-    def __init__(self, ctx, result_queue, cache_dir) -> None:
+    def __init__(self, ctx, result_queue, cache_dir, obs_spec: ObsSpec = None) -> None:
         self.inbox = ctx.Queue()
         self.process = ctx.Process(
             target=_pool_worker,
-            args=(self.inbox, result_queue, cache_dir),
+            args=(self.inbox, result_queue, cache_dir, obs_spec),
             daemon=True,
         )
         self.process.start()
@@ -734,6 +902,7 @@ def _run_pool(
     cache: Optional[Cache],
     policy: RetryPolicy,
     journal: Optional[SweepJournal],
+    obs_spec: ObsSpec = None,
 ) -> Optional[Tuple[Dict[int, Tuple[Measurement, TaskReport]], List[TaskFailure]]]:
     """Execute tasks on a supervised pool; None if the pool cannot start.
 
@@ -748,7 +917,7 @@ def _run_pool(
         ctx = multiprocessing.get_context()
         result_queue = ctx.Queue()
         pool = [
-            _Worker(ctx, result_queue, cache_dir)
+            _Worker(ctx, result_queue, cache_dir, obs_spec)
             for _ in range(min(workers, len(todo)))
         ]
     except _POOL_START_ERRORS:
@@ -804,6 +973,20 @@ def _run_pool(
                 pending.remove(item)
         measurement, report = message
         results[seq] = (measurement, report)
+        # Materialize the worker-side timing on the supervisor's trace:
+        # the worker's own spans may be lost if it is later killed, but
+        # this synthesized event always survives.
+        tracer = get_active_tracer()
+        if tracer is not None:
+            tracer.add_event(
+                "sweep.task",
+                report.elapsed_s,
+                pid=report.pid,
+                benchmark=report.benchmark,
+                compiler=report.compiler,
+                attempts=report.attempts,
+                cache_hit=report.cache_hit,
+            )
         if journal is not None:
             journal.record(
                 digests[seq],
@@ -861,7 +1044,7 @@ def _run_pool(
                             time.monotonic() - dispatched,
                         )
                         worker.destroy()
-                        pool[slot] = _Worker(ctx, result_queue, cache_dir)
+                        pool[slot] = _Worker(ctx, result_queue, cache_dir, obs_spec)
                     elif deadline is not None and time.monotonic() > deadline:
                         settle(
                             seq, attempt, "timeout", "TaskTimeout",
@@ -870,11 +1053,11 @@ def _run_pool(
                             time.monotonic() - dispatched,
                         )
                         worker.destroy(_TERMINATE_GRACE_S)
-                        pool[slot] = _Worker(ctx, result_queue, cache_dir)
+                        pool[slot] = _Worker(ctx, result_queue, cache_dir, obs_spec)
                 elif not worker.process.is_alive():
                     # Idle worker died (should not happen): replenish.
                     worker.destroy()
-                    pool[slot] = _Worker(ctx, result_queue, cache_dir)
+                    pool[slot] = _Worker(ctx, result_queue, cache_dir, obs_spec)
     finally:
         for worker in pool:
             worker.stop()

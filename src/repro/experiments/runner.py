@@ -25,6 +25,7 @@ from repro.contracts import ContractMode, ContractRecorder, checks
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
 from repro.ir.decompose import decompose_to_basis
+from repro.obs.tracer import span as obs_span
 from repro.programs import Benchmark
 from repro.sim import SuccessEstimate, monte_carlo_success_rate
 
@@ -252,36 +253,46 @@ def measure(
     instead of paying for a second build.
     """
     circuit, correct = built if built is not None else benchmark.build()
-    program, cache_hit = compile_with_cache(
-        circuit, device, compiler, day=day, seed=seed, cache=cache,
-        contracts=contracts,
-    )
-    result = Measurement(
+    with obs_span(
+        "measure",
         benchmark=benchmark.name,
         device=device.name,
         compiler=compiler_label(compiler),
-        two_qubit_gates=program.two_qubit_gate_count(),
-        one_qubit_pulses=program.one_qubit_pulse_count(),
-        depth=program.depth(),
-        num_swaps=program.num_swaps,
-        compile_time_s=program.compile_time_s,
-        correct=correct,
-        cache_hit=cache_hit,
         day=day,
-        degraded=program.initial_mapping.degraded,
-        contract_violations=list(program.contract_violations),
-    )
-    if with_success:
-        estimate = _success_with_cache(
-            program,
-            device,
-            correct,
-            day,
-            fault_samples,
-            DEFAULT_MC_SEED if mc_seed is None else mc_seed,
-            cache,
+    ) as measure_span:
+        program, cache_hit = compile_with_cache(
+            circuit, device, compiler, day=day, seed=seed, cache=cache,
+            contracts=contracts,
         )
-        result.success_rate = estimate.success_rate
+        if measure_span:
+            measure_span.set(cache_hit=cache_hit)
+        result = Measurement(
+            benchmark=benchmark.name,
+            device=device.name,
+            compiler=compiler_label(compiler),
+            two_qubit_gates=program.two_qubit_gate_count(),
+            one_qubit_pulses=program.one_qubit_pulse_count(),
+            depth=program.depth(),
+            num_swaps=program.num_swaps,
+            compile_time_s=program.compile_time_s,
+            correct=correct,
+            cache_hit=cache_hit,
+            day=day,
+            degraded=program.initial_mapping.degraded,
+            contract_violations=list(program.contract_violations),
+        )
+        if with_success:
+            with obs_span("success", fault_samples=fault_samples):
+                estimate = _success_with_cache(
+                    program,
+                    device,
+                    correct,
+                    day,
+                    fault_samples,
+                    DEFAULT_MC_SEED if mc_seed is None else mc_seed,
+                    cache,
+                )
+            result.success_rate = estimate.success_rate
     return result
 
 

@@ -1,0 +1,112 @@
+"""Observability: span tracing, sweep metrics, and profiling hooks.
+
+Three cooperating pieces, all zero-dependency and all strictly opt-in:
+
+* :mod:`repro.obs.tracer` — nested wall-clock spans threaded through
+  the compiler pipeline (map / route / translate / 1qopt / codegen) and
+  the simulators, serialized to Chrome trace-viewer JSON and a human
+  tree (``repro trace``).
+* :mod:`repro.obs.metrics` — counters/gauges/histograms aggregated from
+  the sweep engine's task reports (the same records that cross the
+  worker pool and land in the checkpoint journal), exported as
+  Prometheus text and attached to ``SweepReport.metrics``.
+* :mod:`repro.obs.profiling` — per-process cProfile capture behind
+  ``--profile``, summarized by ``repro profile``.
+
+The hot-path discipline mirrors ``ContractMode.OFF``: with no tracer
+active, :func:`span` returns a shared no-op singleton (one global read,
+no allocation), and nothing here ever joins cache keys or journal
+digests — historical runs resume unchanged whether observability is
+on, off, or absent.
+
+:class:`ObsConfig` is the engine-facing switch: ``run_sweep(...,
+obs=ObsConfig(out_dir=...))`` traces the sweep (and, with
+``profile=True``, cProfiles every process) and drops ``trace.json``,
+``metrics.prom``, and ``*.pstats`` artifacts next to the journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    activate_tracer,
+    format_duration,
+    get_active_tracer,
+    merge_chrome_traces,
+    span,
+    tracer_context,
+    tree_from_chrome,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_summary,
+    parse_prometheus,
+    sweep_metrics,
+    sweep_metrics_from_journal_records,
+)
+from repro.obs.profiling import (
+    collect_artifacts,
+    cprofile_to,
+    format_hot_passes,
+    format_top_functions,
+    hot_passes,
+    top_functions,
+)
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What the sweep engine should capture, and where artifacts go.
+
+    ``out_dir=None`` lets the engine pick: next to the checkpoint
+    journal (``<journal-dir>/<run-id>-obs/``) when journaling is on,
+    else ``./repro-obs``.
+    """
+
+    #: Record spans and write ``trace.json`` + ``metrics.prom``.
+    trace: bool = True
+    #: Additionally cProfile every process into ``*.pstats``.
+    profile: bool = False
+    out_dir: Optional[Union[str, Path]] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.profile
+
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "activate_tracer",
+    "format_duration",
+    "get_active_tracer",
+    "merge_chrome_traces",
+    "span",
+    "tracer_context",
+    "tree_from_chrome",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "latency_summary",
+    "parse_prometheus",
+    "sweep_metrics",
+    "sweep_metrics_from_journal_records",
+    "collect_artifacts",
+    "cprofile_to",
+    "format_hot_passes",
+    "format_top_functions",
+    "hot_passes",
+    "top_functions",
+    "ObsConfig",
+]

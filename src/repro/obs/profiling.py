@@ -1,0 +1,179 @@
+"""cProfile capture and pstats/trace summarization.
+
+``--profile`` on the CLI (and ``ObsConfig.profile`` on the sweep
+engine) wraps the work in a :mod:`cProfile` session per process —
+the supervisor/serial process and every pool worker each dump their own
+``*.pstats`` artifact, written next to the sweep's checkpoint journal.
+``repro profile`` then merges those artifacts and prints the top-N hot
+functions, plus a hot-pass table aggregated from the Chrome trace when
+one sits alongside.
+
+Profiling is strictly opt-in: nothing in this module is imported on the
+compile hot path, and :func:`cprofile_to` with a ``None`` path is a
+no-op context manager.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: pstats sort keys accepted by ``repro profile --sort``.
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+@contextmanager
+def cprofile_to(path: Optional[Union[str, Path]]) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block into ``path`` (no-op when None).
+
+    The stats file is written even if the block raises, so a failing
+    sweep still leaves its profile behind for post-mortem analysis.
+    """
+    if path is None:
+        yield None
+        return
+    path = Path(path)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(path))
+
+
+def collect_artifacts(
+    paths: Sequence[Union[str, Path]],
+) -> Tuple[List[Path], List[Path]]:
+    """Split inputs into (pstats files, chrome trace files).
+
+    Each input may be a ``.pstats`` file, a ``.json`` trace, or a
+    directory to scan for both.  In a sweep's obs directory the merged
+    ``trace.json`` already contains every per-worker event, so when it
+    is present the ``worker-*-trace.json`` shards it was built from are
+    skipped — counting them too would double every worker span.
+    """
+    stats: List[Path] = []
+    traces: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            stats.extend(sorted(path.glob("*.pstats")))
+            found = sorted(path.glob("*trace*.json"))
+            merged = path / "trace.json"
+            if merged in found:
+                found = [
+                    p for p in found
+                    if p == merged or not p.name.startswith("worker-")
+                ]
+            traces.extend(found)
+        elif path.suffix == ".pstats":
+            stats.append(path)
+        elif path.suffix == ".json":
+            traces.append(path)
+    return stats, traces
+
+
+def top_functions(
+    stats_paths: Sequence[Union[str, Path]],
+    limit: int = 20,
+    sort: str = "cumulative",
+) -> List[Dict[str, Any]]:
+    """The top-N functions across one or more merged pstats files."""
+    if sort not in SORT_KEYS:
+        raise ValueError(f"unknown sort {sort!r}; choose from {SORT_KEYS}")
+    if not stats_paths:
+        return []
+    merged = pstats.Stats(str(stats_paths[0]))
+    for extra in stats_paths[1:]:
+        merged.add(str(extra))
+    rows: List[Dict[str, Any]] = []
+    for func, (cc, nc, tt, ct, _callers) in merged.stats.items():
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": name,
+                "location": f"{Path(filename).name}:{lineno}",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+        )
+    key = {
+        "cumulative": lambda r: r["cumtime_s"],
+        "tottime": lambda r: r["tottime_s"],
+        "ncalls": lambda r: r["ncalls"],
+    }[sort]
+    rows.sort(key=key, reverse=True)
+    return rows[:limit]
+
+
+def format_top_functions(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render :func:`top_functions` rows as an aligned table."""
+    if not rows:
+        return "(no profile data)"
+    header = f"{'ncalls':>10}  {'tottime':>9}  {'cumtime':>9}  function"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['ncalls']:>10}  "
+            f"{row['tottime_s']:>8.3f}s  "
+            f"{row['cumtime_s']:>8.3f}s  "
+            f"{row['function']} ({row['location']})"
+        )
+    return "\n".join(lines)
+
+
+def hot_passes(
+    trace_paths: Sequence[Union[str, Path]],
+    limit: int = 20,
+) -> List[Dict[str, Any]]:
+    """Aggregate span durations by name across Chrome trace files.
+
+    The per-pass view of a profile: how often each named span ran and
+    how much wall time it accumulated, across every traced process.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for raw in trace_paths:
+        with open(raw, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+        for event in trace.get("traceEvents", []):
+            if event.get("ph") != "X":
+                continue
+            name = str(event.get("name", "?"))
+            entry = totals.setdefault(name, {"count": 0, "total_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += float(event.get("dur", 0.0)) / 1e6
+    rows = [
+        {
+            "pass": name,
+            "count": int(entry["count"]),
+            "total_s": entry["total_s"],
+            "mean_s": entry["total_s"] / entry["count"] if entry["count"] else 0.0,
+        }
+        for name, entry in totals.items()
+    ]
+    rows.sort(key=lambda r: r["total_s"], reverse=True)
+    return rows[:limit]
+
+
+def format_hot_passes(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render :func:`hot_passes` rows as an aligned table."""
+    if not rows:
+        return "(no trace data)"
+    header = f"{'count':>7}  {'total':>10}  {'mean':>10}  span"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['count']:>7}  "
+            f"{row['total_s'] * 1e3:>8.1f}ms  "
+            f"{row['mean_s'] * 1e3:>8.2f}ms  "
+            f"{row['pass']}"
+        )
+    return "\n".join(lines)

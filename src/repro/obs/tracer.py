@@ -1,0 +1,375 @@
+"""The span tracer: nested wall-clock spans with attributes.
+
+A :class:`Tracer` records a tree of named spans — one per compiler pass,
+simulation phase, or sweep task — each carrying its wall time and a dict
+of attributes (swap count, solver iterations, circuit depth in/out, ...).
+Finished traces serialize to the Chrome trace-viewer JSON format
+(``chrome://tracing`` / https://ui.perfetto.dev) and render as a human
+tree via :meth:`Tracer.format_tree` (the ``repro trace`` subcommand).
+
+Instrumented code never talks to a tracer directly; it calls the
+module-level :func:`span`, which consults the *active* tracer for this
+process (the same out-of-band pattern as :mod:`repro.cache.active`).
+With no tracer active — the default — :func:`span` returns a shared
+no-op singleton without allocating anything, so the instrumentation is
+free on the hot path: sweeps with observability off must run at exactly
+the speed they did before this module existed (see
+``benchmarks/test_perf_obs.py``).
+
+Cross-process alignment: every tracer remembers the Unix wall-clock time
+of its creation, and Chrome timestamps are emitted relative to that
+epoch, so traces written by pool workers merge with the supervisor's
+into one coherent timeline (:func:`merge_chrome_traces`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+#: Attribute value types that pass through to Chrome ``args`` unchanged;
+#: anything else is stringified.
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+class Span:
+    """One named, timed region with attributes and child spans."""
+
+    __slots__ = ("name", "start_s", "end_s", "attrs", "children", "pid", "_tracer")
+
+    def __init__(
+        self,
+        name: str,
+        start_s: float,
+        tracer: Optional["Tracer"] = None,
+        pid: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self.pid = pid if pid is not None else os.getpid()
+        self._tracer = tracer
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time of the span (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    # A real span is truthy, the no-op singleton falsy, so call sites
+    # can guard expensive attribute computation with ``if sp:``.
+    def __bool__(self) -> bool:
+        return True
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        if self._tracer is not None:
+            self._tracer.close(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, {self.attrs})"
+
+
+class _NullSpan:
+    """The shared do-nothing span returned when no tracer is active."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+#: The process-wide no-op span; never mutated, safe to share.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans for one process.
+
+    Not thread-safe by design: compilation and simulation are
+    single-threaded per process, and pool workers each own a tracer.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        #: Unix time at creation — the cross-process alignment anchor.
+        self.epoch_unix = time.time()
+        #: Clock reading at creation; span offsets are relative to it.
+        self.epoch = clock()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a child span of the innermost open span (use as ``with``)."""
+        started = Span(name, self._clock(), tracer=self, attrs=attrs)
+        if self._stack:
+            self._stack[-1].children.append(started)
+        else:
+            self.roots.append(started)
+        self._stack.append(started)
+        return started
+
+    # Imperative aliases for callers that cannot nest a ``with`` block
+    # (e.g. a progress callback opening one span per report section).
+    def begin(self, name: str, **attrs: Any) -> Span:
+        return self.span(name, **attrs)
+
+    def end(self) -> Optional[Span]:
+        """Close the innermost open span, if any."""
+        if not self._stack:
+            return None
+        span = self._stack[-1]
+        self.close(span)
+        return span
+
+    def close(self, span: Span) -> None:
+        """Close ``span`` (and any children accidentally left open)."""
+        now = self._clock()
+        while self._stack:
+            candidate = self._stack.pop()
+            if candidate.end_s is None:
+                candidate.end_s = now
+            if candidate is span:
+                return
+        # Span was not on the stack (already closed): nothing to do.
+
+    def add_event(
+        self,
+        name: str,
+        duration_s: float,
+        pid: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-finished span ending now.
+
+        Used by the sweep supervisor to materialize pool-task timings
+        measured inside worker processes (the worker reports only its
+        elapsed time, so the span is back-dated from the present).
+        """
+        now = self._clock()
+        span = Span(name, now - duration_s, pid=pid, attrs=attrs)
+        span.end_s = now
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def finish(self) -> None:
+        """Close every span still open (end of trace)."""
+        while self._stack:
+            self.end()
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        """Every recorded span, depth-first in start order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    # ------------------------------------------------------------------
+    # Serialization.
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The trace as a Chrome trace-viewer JSON object."""
+        events = []
+        for span in self.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": self._chrome_ts(span.start_s),
+                    "dur": max(0.0, span.duration_s) * 1e6,
+                    "pid": span.pid,
+                    "tid": span.pid,
+                    "args": {
+                        key: (value if isinstance(value, _JSON_SCALARS) else str(value))
+                        for key, value in span.attrs.items()
+                    },
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def _chrome_ts(self, start_s: float) -> float:
+        """Microseconds on the shared wall-clock timeline."""
+        return (self.epoch_unix + (start_s - self.epoch)) * 1e6
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> Path:
+        """Serialize to ``path`` (parents created); returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+        return path
+
+    def format_tree(self) -> str:
+        """Human-readable span tree with durations and attributes."""
+        lines: List[str] = []
+        for root in self.roots:
+            _render(root, "", "", lines)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Rendering helpers (shared with the ``repro trace`` file viewer).
+# ----------------------------------------------------------------------
+def format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return "  " + " ".join(parts)
+
+
+def _render(span: Span, prefix: str, child_prefix: str, lines: List[str]) -> None:
+    lines.append(
+        f"{prefix}{span.name} ({format_duration(span.duration_s)})"
+        f"{_format_attrs(span.attrs)}"
+    )
+    for index, child in enumerate(span.children):
+        last = index == len(span.children) - 1
+        connector = "└─ " if last else "├─ "
+        extension = "   " if last else "│  "
+        _render(child, child_prefix + connector, child_prefix + extension, lines)
+
+
+def merge_chrome_traces(*traces: Dict[str, Any]) -> Dict[str, Any]:
+    """One Chrome trace object containing every input's events.
+
+    Inputs share the Unix-epoch timeline (see :meth:`Tracer._chrome_ts`),
+    so concatenation is alignment-correct across processes.
+    """
+    events: List[Dict[str, Any]] = []
+    for trace in traces:
+        events.extend(trace.get("traceEvents", []))
+    events.sort(key=lambda event: event.get("ts", 0.0))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def tree_from_chrome(trace: Dict[str, Any]) -> str:
+    """Reconstruct the span tree of a Chrome trace file.
+
+    Nesting is recovered from timestamp containment per process id —
+    exactly the inverse of :meth:`Tracer.to_chrome_trace`, so
+    ``repro trace`` on a written file shows the same tree the live
+    tracer would have printed.
+    """
+    by_pid: Dict[Any, List[Dict[str, Any]]] = {}
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        by_pid.setdefault(event.get("pid"), []).append(event)
+
+    lines: List[str] = []
+    for pid in sorted(by_pid, key=str):
+        events = sorted(
+            by_pid[pid], key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0))
+        )
+        roots: List[Span] = []
+        stack: List[tuple] = []  # (span, end_ts)
+        for event in events:
+            ts = float(event.get("ts", 0.0))
+            dur = float(event.get("dur", 0.0))
+            span = Span(str(event.get("name", "?")), ts / 1e6, pid=pid)
+            span.end_s = (ts + dur) / 1e6
+            span.attrs = dict(event.get("args", {}))
+            # Small tolerance: a child's interval nests inside its
+            # parent's up to float rounding of the microsecond fields.
+            while stack and ts >= stack[-1][1] - 1e-3:
+                stack.pop()
+            if stack:
+                stack[-1][0].children.append(span)
+            else:
+                roots.append(span)
+            stack.append((span, ts + dur))
+        if len(by_pid) > 1:
+            lines.append(f"[pid {pid}]")
+        for root in roots:
+            _render(root, "", "", lines)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The per-process active tracer (out-of-band, like repro.cache.active).
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Tracer] = None
+
+
+def activate_tracer(tracer: Optional[Tracer]) -> None:
+    """Make ``tracer`` (or None) this process's active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def get_active_tracer() -> Optional[Tracer]:
+    """The process's active tracer, or None when tracing is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracer_context(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Temporarily activate ``tracer`` for the calling process."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+def span(name: str, **attrs: Any):
+    """A span on the active tracer, or the free no-op when tracing is off.
+
+    The hot-path contract: when no tracer is active this is one global
+    read and a shared singleton — no allocation, no branches downstream
+    (``NULL_SPAN`` is falsy, so ``if sp:`` guards skip attribute work).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
+from repro.obs.tracer import span as obs_span
 from repro.sim.noise import NoiseModel
 from repro.sim.statevector import (
     distribution_from_state,
@@ -155,17 +156,22 @@ def monte_carlo_success_rate(
     samples_used = 0
     # When runs are essentially always clean, skip the expensive term.
     if faulty_weight > 1e-6 and fault_samples > 0 and model.total_locations():
-        acc = 0.0
-        for _ in range(fault_samples):
-            faults = model.sample_faulty_configuration(rng)
-            injections = model.faults_as_injections(faults)
-            state = simulate_statevector(circuit, faults=injections)
-            distribution = distribution_from_state(
-                state, wiring, circuit.num_qubits
-            )
-            acc += _readout_corrected_correct_probability(
-                distribution, correct, wiring, model.readout_error
-            )
+        with obs_span(
+            "simulate.success",
+            circuit=circuit.name,
+            fault_samples=fault_samples,
+        ):
+            acc = 0.0
+            for _ in range(fault_samples):
+                faults = model.sample_faulty_configuration(rng)
+                injections = model.faults_as_injections(faults)
+                state = simulate_statevector(circuit, faults=injections)
+                distribution = distribution_from_state(
+                    state, wiring, circuit.num_qubits
+                )
+                acc += _readout_corrected_correct_probability(
+                    distribution, correct, wiring, model.readout_error
+                )
         samples_used = fault_samples
         faulty_mean = acc / fault_samples
 

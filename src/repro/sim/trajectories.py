@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
+from repro.obs.tracer import span as obs_span
 from repro.sim.noise import NoiseModel
 from repro.sim.statevector import (
     measurement_wiring,
@@ -51,28 +52,33 @@ def sample_counts(
     # Cache distribution per fault configuration (hashable key).
     cache: Dict[tuple, np.ndarray] = {}
     counts: Counter = Counter()
-    for _ in range(trials):
-        faults = model.sample_faults(rng)
-        key = tuple(
-            (fault.position, tuple(str(p) for p in fault.paulis))
-            for fault in faults
-        )
-        probabilities = cache.get(key)
-        if probabilities is None:
-            state = simulate_statevector(
-                circuit, faults=model.faults_as_injections(faults)
+    with obs_span(
+        "simulate.trajectories", circuit=circuit.name, trials=trials
+    ) as sp:
+        for _ in range(trials):
+            faults = model.sample_faults(rng)
+            key = tuple(
+                (fault.position, tuple(str(p) for p in fault.paulis))
+                for fault in faults
             )
-            probabilities = np.abs(state) ** 2
-            probabilities = probabilities / probabilities.sum()
-            cache[key] = probabilities
-        outcome = int(rng.choice(len(probabilities), p=probabilities))
-        bits = ["0"] * num_cbits
-        for qubit, cbit in wiring:
-            value = (outcome >> (n - 1 - qubit)) & 1
-            if rng.random() < model.readout_error.get(qubit, 0.0):
-                value ^= 1
-            bits[cbit] = str(value)
-        counts["".join(bits)] += 1
+            probabilities = cache.get(key)
+            if probabilities is None:
+                state = simulate_statevector(
+                    circuit, faults=model.faults_as_injections(faults)
+                )
+                probabilities = np.abs(state) ** 2
+                probabilities = probabilities / probabilities.sum()
+                cache[key] = probabilities
+            outcome = int(rng.choice(len(probabilities), p=probabilities))
+            bits = ["0"] * num_cbits
+            for qubit, cbit in wiring:
+                value = (outcome >> (n - 1 - qubit)) & 1
+                if rng.random() < model.readout_error.get(qubit, 0.0):
+                    value ^= 1
+                bits[cbit] = str(value)
+            counts["".join(bits)] += 1
+        if sp:
+            sp.set(distinct_fault_configs=len(cache))
     return counts
 
 

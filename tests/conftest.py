@@ -2,49 +2,29 @@
 
 from __future__ import annotations
 
-import os
-import signal
-import threading
-
 import pytest
 
 from repro.devices import Device, Topology
 from repro.devices.gatesets import VendorFamily
 
-from tests.helpers import make_device
-
-#: Global per-test wall-clock budget.  A hung test (deadlocked pool,
-#: stuck queue) fails loudly instead of wedging CI; override with the
-#: REPRO_TEST_TIMEOUT_S environment variable, 0 disables.
-_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "180"))
+from tests.helpers import alarm_timeout, make_device
 
 
-def _alarm_usable() -> bool:
-    return (
-        _TEST_TIMEOUT_S > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden emitter files instead of comparing "
+             "against them (tests/test_golden_backends.py)",
     )
 
 
 @pytest.hookimpl(wrapper=True)
 def pytest_runtest_call(item):
-    if not _alarm_usable():
+    # Global per-test wall-clock budget; see tests/helpers.alarm_timeout.
+    with alarm_timeout():
         return (yield)
-
-    def _timed_out(signum, frame):
-        raise TimeoutError(
-            f"test exceeded the {_TEST_TIMEOUT_S:.0f}s global timeout "
-            "(set REPRO_TEST_TIMEOUT_S to adjust, 0 to disable)"
-        )
-
-    previous = signal.signal(signal.SIGALRM, _timed_out)
-    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_S)
-    try:
-        return (yield)
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

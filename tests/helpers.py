@@ -1,6 +1,19 @@
-"""Shared helper utilities for the test suite."""
+"""Shared helper utilities for the test suite.
+
+Also home to the per-test wall-clock guard used by *both* pytest
+harnesses in this repo — ``tests/conftest.py`` and
+``benchmarks/conftest.py`` wrap every test in :func:`alarm_timeout`, so
+a hung test (deadlocked pool, stuck queue, runaway solve) fails loudly
+instead of wedging CI.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -8,6 +21,61 @@ from repro.devices import Device, Topology
 from repro.devices.calibration import Calibration
 from repro.devices.gatesets import GATESET_BY_FAMILY, VendorFamily
 from repro.devices.library import StaticCalibrationModel
+
+
+#: Environment variable overriding the per-test wall-clock budget
+#: (seconds; 0 disables the guard).
+TEST_TIMEOUT_ENV = "REPRO_TEST_TIMEOUT_S"
+
+#: Default per-test budget when the environment does not say otherwise.
+DEFAULT_TEST_TIMEOUT_S = 180.0
+
+
+def test_timeout_s() -> float:
+    """The configured per-test wall-clock budget in seconds."""
+    return float(os.environ.get(TEST_TIMEOUT_ENV, str(DEFAULT_TEST_TIMEOUT_S)))
+
+
+def alarm_usable(timeout_s: float) -> bool:
+    """Whether a SIGALRM-based timeout can work here.
+
+    Requires a positive budget, a platform with ``SIGALRM``, and the
+    main thread (signal handlers only fire there).
+    """
+    return (
+        timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def alarm_timeout(timeout_s: Optional[float] = None) -> Iterator[None]:
+    """Raise ``TimeoutError`` if the body outlives its wall-clock budget.
+
+    ``timeout_s=None`` reads the budget from ``$REPRO_TEST_TIMEOUT_S``
+    (default 180 s).  Degrades to a no-op off the main thread or on
+    platforms without ``SIGALRM``; the previous handler and any pending
+    itimer are always restored.
+    """
+    budget = test_timeout_s() if timeout_s is None else timeout_s
+    if not alarm_usable(budget):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {budget:.0f}s global timeout "
+            f"(set {TEST_TIMEOUT_ENV} to adjust, 0 to disable)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, budget)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def make_device(

@@ -1,0 +1,281 @@
+"""Tests for the metrics registry and Prometheus exporter."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_summary,
+    parse_prometheus,
+    sweep_metrics,
+    sweep_metrics_from_journal_records,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_labelset(self):
+        counter = Counter("repro_events_total")
+        counter.inc(event="hit")
+        counter.inc(2, event="hit")
+        counter.inc(event="miss")
+        assert counter.value(event="hit") == 3
+        assert counter.value(event="miss") == 1
+        assert counter.value(event="never") == 0
+        assert counter.total() == 4
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name")
+        with pytest.raises(ValueError):
+            Counter("ok").inc(**{"bad-label": "x"})
+
+    def test_merge_adds(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(2, k="x")
+        b.inc(3, k="x")
+        b.inc(1, k="y")
+        a.merge(b)
+        assert a.value(k="x") == 5
+        assert a.value(k="y") == 1
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        gauge = Gauge("g")
+        gauge.set(4.5, op="hit")
+        gauge.inc(op="hit")
+        assert gauge.value(op="hit") == 5.5
+
+    def test_merge_last_write_wins(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.0)
+        b.set(9.0)
+        a.merge(b)
+        assert a.value() == 9.0
+
+
+class TestHistogram:
+    def test_count_sum_percentiles(self):
+        hist = Histogram("h", buckets=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.2, 0.4, 0.8, 5.0):
+            hist.observe(value)
+        assert hist.count() == 5
+        assert hist.sum() == pytest.approx(6.45)
+        assert hist.percentile(0) == 0.05
+        assert hist.percentile(100) == 5.0
+        assert hist.percentile(50) == 0.4
+
+    def test_percentile_interpolates(self):
+        hist = Histogram("h", buckets=[1.0])
+        hist.observe(0.0)
+        hist.observe(1.0)
+        assert hist.percentile(75) == pytest.approx(0.75)
+
+    def test_percentile_label_subset_filter(self):
+        hist = Histogram("h", buckets=[1.0])
+        hist.observe(0.1, device="a", benchmark="BV4")
+        hist.observe(0.3, device="a", benchmark="HS2")
+        hist.observe(9.0, device="b", benchmark="BV4")
+        assert hist.percentile(100, device="a") == 0.3
+        assert hist.count(device="a") == 2
+        assert hist.count() == 3
+
+    def test_percentile_validation(self):
+        hist = Histogram("h", buckets=[1.0])
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentile(50)  # no samples
+
+    def test_bucket_rendering_is_cumulative_with_inf(self):
+        hist = Histogram("h", buckets=[0.1, 1.0])
+        for value in (0.05, 0.1, 0.5, 2.0):
+            hist.observe(value)
+        series = parse_prometheus("\n".join(hist.render()) + "\n")
+        buckets = series["h_bucket"]
+        # le is inclusive: the 0.1 sample lands in the 0.1 bucket.
+        assert buckets['{"le": "0.1"}'] == 2
+        assert buckets['{"le": "1"}'] == 3
+        assert buckets['{"le": "+Inf"}'] == 4
+        assert series["h_count"]["{}"] == 4
+        assert series["h_sum"]["{}"] == pytest.approx(2.65)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_merge_folds_by_kind(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.histogram("h", buckets=[1.0]).observe(0.5)
+        a.merge(b)
+        assert a.counter("c").total() == 5
+        assert a.get("h").count() == 1
+
+    def test_render_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_tasks_total", "tasks").inc(
+            device="IBM Q5 Tenerife", benchmark="BV4"
+        )
+        registry.gauge("repro_wall_seconds").set(1.25)
+        registry.histogram("repro_latency_seconds", buckets=[1.0]).observe(0.4)
+        series = parse_prometheus(registry.render_prometheus())
+        assert (
+            series["repro_tasks_total"][
+                '{"benchmark": "BV4", "device": "IBM Q5 Tenerife"}'
+            ]
+            == 1
+        )
+        assert series["repro_wall_seconds"]["{}"] == 1.25
+        assert '{"le": "+Inf"}' in series["repro_latency_seconds_bucket"]
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(reason='say "hi"\\\n')
+        text = registry.render_prometheus()
+        assert '\\"hi\\"' in text and "\\n" in text
+        parsed = parse_prometheus(text)
+        assert sum(parsed["c"].values()) == 1
+
+
+class TestParser:
+    def test_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("what is this\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("metric{unquoted=3} 1\n")
+
+    def test_skips_comments_and_blanks(self):
+        parsed = parse_prometheus("# HELP x y\n\nx 3\n")
+        assert parsed["x"]["{}"] == 3
+        assert parse_prometheus("x +Inf\n")["x"]["{}"] == math.inf
+
+
+class _FakeTask:
+    def __init__(self, **kw):
+        self.benchmark = kw.get("benchmark", "BV4")
+        self.device = kw.get("device", "dev")
+        self.compiler = kw.get("compiler", "TriQ-1QOptCN")
+        self.elapsed_s = kw.get("elapsed_s", 0.1)
+        self.cache_hit = kw.get("cache_hit")
+        self.attempts = kw.get("attempts", 1)
+        self.resumed = kw.get("resumed", False)
+
+
+class _FakeMeasurement:
+    def __init__(self, **kw):
+        self.benchmark = kw.get("benchmark", "BV4")
+        self.device = kw.get("device", "dev")
+        self.compiler = kw.get("compiler", "TriQ-1QOptCN")
+        self.contract_violations = kw.get("contract_violations", [])
+        self.degraded = kw.get("degraded", False)
+
+
+class _FakeFailure:
+    kind = "crash"
+    device = "dev"
+    benchmark = "QFT"
+
+
+class _FakeReport:
+    def __init__(self):
+        self.tasks = [
+            _FakeTask(elapsed_s=0.1, cache_hit=True),
+            _FakeTask(elapsed_s=0.3, cache_hit=False, attempts=3),
+            _FakeTask(benchmark="HS2", elapsed_s=0.2, resumed=True),
+        ]
+        self.measurements = [
+            _FakeMeasurement(contract_violations=["v1", "v2"]),
+            _FakeMeasurement(benchmark="HS2", degraded=True),
+        ]
+        self.failures = [_FakeFailure()]
+        self.skipped_days = [(3, "bad calibration")]
+        self.total_time_s = 1.5
+        self.workers = 4
+        self.cache_stats = None
+
+
+class TestSweepMetrics:
+    def test_aggregates_tasks_failures_measurements(self):
+        registry = sweep_metrics(_FakeReport())
+        assert registry.counter("repro_sweep_tasks_total").total() == 3
+        cache = registry.counter("repro_sweep_cache_events_total")
+        assert cache.value(event="hit") == 1
+        assert cache.value(event="miss") == 1
+        assert registry.counter("repro_sweep_task_retries_total").total() == 2
+        assert registry.counter("repro_sweep_resumed_cells_total").total() == 1
+        failures = registry.counter("repro_sweep_task_failures_total")
+        assert failures.value(kind="crash", device="dev", benchmark="QFT") == 1
+        assert (
+            registry.counter("repro_sweep_contract_violations_total").total()
+            == 2
+        )
+        assert (
+            registry.counter("repro_sweep_solver_degradations_total").total()
+            == 1
+        )
+        assert registry.counter("repro_sweep_skipped_days_total").total() == 1
+        assert registry.gauge("repro_sweep_wall_seconds").value() == 1.5
+        assert registry.gauge("repro_sweep_workers").value() == 4
+
+    def test_latency_percentiles_by_device(self):
+        registry = sweep_metrics(_FakeReport())
+        hist = registry.get("repro_sweep_task_latency_seconds")
+        assert hist.count(device="dev") == 3
+        assert hist.percentile(100, benchmark="BV4") == pytest.approx(0.3)
+
+    def test_latency_summary_line(self):
+        summary = latency_summary(sweep_metrics(_FakeReport()))
+        assert summary.startswith("task latency p50/p90/p99:")
+        assert summary.endswith("ms")
+
+    def test_latency_summary_empty_registry(self):
+        assert latency_summary(MetricsRegistry()) == ""
+
+    def test_exports_cleanly(self):
+        text = sweep_metrics(_FakeReport()).render_prometheus()
+        parsed = parse_prometheus(text)
+        assert "repro_sweep_task_latency_seconds_bucket" in parsed
+
+
+class TestJournalMetrics:
+    def test_rebuild_from_records(self):
+        records = [
+            {
+                "v": 1,
+                "task": "d1",
+                "report": {
+                    "benchmark": "BV4", "device": "dev",
+                    "compiler": "Qiskit", "elapsed_s": 0.25,
+                    "cache_hit": False, "attempts": 2,
+                },
+            },
+            {"v": 1, "task": "d2", "report": None},  # tolerated
+        ]
+        registry = sweep_metrics_from_journal_records(records)
+        assert registry.counter("repro_sweep_tasks_total").total() == 1
+        assert registry.counter("repro_sweep_task_retries_total").total() == 1
+        assert (
+            registry.counter("repro_sweep_cache_events_total").value(
+                event="miss"
+            )
+            == 1
+        )
+        assert registry.get("repro_sweep_task_latency_seconds").count() == 1

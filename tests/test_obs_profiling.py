@@ -1,0 +1,163 @@
+"""Tests for cProfile capture and artifact summarization."""
+
+import json
+import pstats
+
+import pytest
+
+from repro.obs.profiling import (
+    collect_artifacts,
+    cprofile_to,
+    format_hot_passes,
+    format_top_functions,
+    hot_passes,
+    top_functions,
+)
+from repro.obs.tracer import Tracer
+
+
+def _busy_work():
+    return sum(i * i for i in range(500))
+
+
+class TestCprofileTo:
+    def test_none_path_is_a_noop(self):
+        with cprofile_to(None) as profiler:
+            assert profiler is None
+            _busy_work()
+
+    def test_writes_loadable_stats(self, tmp_path):
+        target = tmp_path / "nested" / "session.pstats"
+        with cprofile_to(target):
+            _busy_work()
+        stats = pstats.Stats(str(target))
+        assert stats.total_calls > 0
+
+    def test_stats_written_even_on_exception(self, tmp_path):
+        target = tmp_path / "crash.pstats"
+        with pytest.raises(RuntimeError):
+            with cprofile_to(target):
+                _busy_work()
+                raise RuntimeError("boom")
+        assert target.exists()
+        assert pstats.Stats(str(target)).total_calls > 0
+
+
+class TestCollectArtifacts:
+    def test_splits_files_and_scans_directories(self, tmp_path):
+        (tmp_path / "a.pstats").write_bytes(b"")
+        (tmp_path / "worker-1-trace.json").write_text("{}")
+        (tmp_path / "notes.txt").write_text("ignored")
+        extra_stats = tmp_path / "extra.pstats"
+        extra_stats.write_bytes(b"")
+        extra_trace = tmp_path / "trace.json"
+        extra_trace.write_text("{}")
+        stats, traces = collect_artifacts(
+            [tmp_path, str(extra_stats), str(extra_trace)]
+        )
+        assert [p.name for p in stats] == ["a.pstats", "extra.pstats", "extra.pstats"]
+        assert extra_trace in traces
+        assert all(p.suffix in (".pstats", ".json") for p in stats + traces)
+
+    def test_worker_shards_skipped_when_merged_trace_present(self, tmp_path):
+        # trace.json already contains every worker event: counting the
+        # shards it was merged from would double worker spans.
+        (tmp_path / "trace.json").write_text("{}")
+        (tmp_path / "worker-1-trace.json").write_text("{}")
+        (tmp_path / "worker-2-trace.json").write_text("{}")
+        _, traces = collect_artifacts([tmp_path])
+        assert [p.name for p in traces] == ["trace.json"]
+
+    def test_worker_shards_kept_without_merged_trace(self, tmp_path):
+        (tmp_path / "worker-1-trace.json").write_text("{}")
+        _, traces = collect_artifacts([tmp_path])
+        assert [p.name for p in traces] == ["worker-1-trace.json"]
+
+
+class TestTopFunctions:
+    def _stats_file(self, tmp_path, name="one.pstats"):
+        target = tmp_path / name
+        with cprofile_to(target):
+            _busy_work()
+        return target
+
+    def test_rows_sorted_and_limited(self, tmp_path):
+        rows = top_functions([self._stats_file(tmp_path)], limit=5)
+        assert 0 < len(rows) <= 5
+        cumtimes = [row["cumtime_s"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+        assert {"function", "location", "ncalls", "tottime_s"} <= set(rows[0])
+
+    def test_merging_two_profiles_adds_calls(self, tmp_path):
+        first = self._stats_file(tmp_path, "one.pstats")
+        second = self._stats_file(tmp_path, "two.pstats")
+        solo = {
+            (r["function"], r["location"]): r["ncalls"]
+            for r in top_functions([first], limit=100)
+        }
+        merged = top_functions([first, second], limit=100)
+        genexpr = [r for r in merged if "genexpr" in r["function"]]
+        assert genexpr
+        key = (genexpr[0]["function"], genexpr[0]["location"])
+        assert genexpr[0]["ncalls"] >= solo[key]
+
+    def test_unknown_sort_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            top_functions([self._stats_file(tmp_path)], sort="speed")
+
+    def test_empty_inputs(self):
+        assert top_functions([]) == []
+        assert format_top_functions([]) == "(no profile data)"
+
+    def test_format_is_a_table(self, tmp_path):
+        text = format_top_functions(
+            top_functions([self._stats_file(tmp_path)], limit=3)
+        )
+        lines = text.splitlines()
+        assert "function" in lines[0]
+        assert len(lines) == 5  # header + rule + 3 rows
+
+
+class TestHotPasses:
+    def _trace_file(self, tmp_path, name="trace.json"):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("route"):
+                pass
+        with tracer.span("compile"):
+            pass
+        return tracer.write_chrome_trace(tmp_path / name)
+
+    def test_aggregates_by_span_name(self, tmp_path):
+        rows = hot_passes([self._trace_file(tmp_path)])
+        by_name = {row["pass"]: row for row in rows}
+        assert by_name["compile"]["count"] == 2
+        assert by_name["route"]["count"] == 1
+        assert by_name["compile"]["total_s"] >= by_name["route"]["total_s"]
+        assert rows[0]["total_s"] == max(r["total_s"] for r in rows)
+
+    def test_aggregates_across_files(self, tmp_path):
+        paths = [
+            self._trace_file(tmp_path, "a-trace.json"),
+            self._trace_file(tmp_path, "b-trace.json"),
+        ]
+        rows = hot_passes(paths)
+        assert {r["pass"]: r["count"] for r in rows}["compile"] == 4
+
+    def test_ignores_non_complete_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({
+            "traceEvents": [
+                {"name": "meta", "ph": "M"},
+                {"name": "real", "ph": "X", "dur": 1000.0, "ts": 0.0},
+            ]
+        }))
+        rows = hot_passes([path])
+        assert [r["pass"] for r in rows] == ["real"]
+        assert rows[0]["total_s"] == pytest.approx(1e-3)
+
+    def test_format_is_a_table(self, tmp_path):
+        text = format_hot_passes(hot_passes([self._trace_file(tmp_path)]))
+        assert "span" in text.splitlines()[0]
+        assert "compile" in text
+        assert format_hot_passes([]) == "(no trace data)"

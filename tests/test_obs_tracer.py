@@ -1,0 +1,242 @@
+"""Tests for the span tracer (repro.obs.tracer)."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    activate_tracer,
+    format_duration,
+    get_active_tracer,
+    merge_chrome_traces,
+    span,
+    tracer_context,
+    tree_from_chrome,
+)
+
+
+class TestNullSpan:
+    def test_span_without_tracer_is_the_null_singleton(self):
+        assert get_active_tracer() is None
+        assert span("anything") is NULL_SPAN
+
+    def test_null_span_is_falsy(self):
+        assert not NULL_SPAN
+        # The hot-path guard: attribute work behind `if sp:` is skipped.
+        with span("x") as sp:
+            assert not sp
+
+    def test_null_span_accepts_set_and_nesting(self):
+        with span("outer") as sp:
+            assert sp.set(depth=3) is NULL_SPAN
+            with span("inner"):
+                pass
+
+    def test_real_span_is_truthy(self):
+        tracer = Tracer()
+        with tracer.span("x") as sp:
+            assert sp
+
+
+class TestTracer:
+    def test_nesting_follows_with_blocks(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("map"):
+                pass
+            with tracer.span("route"):
+                with tracer.span("schedule"):
+                    pass
+        assert [s.name for s in tracer.walk()] == [
+            "compile", "map", "route", "schedule",
+        ]
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["map", "route"]
+        assert root.children[1].children[0].name == "schedule"
+
+    def test_durations_non_negative_and_nested_within_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert outer.duration_s >= 0.0
+        assert inner.duration_s >= 0.0
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+
+    def test_open_span_reports_zero_duration(self):
+        tracer = Tracer()
+        sp = tracer.span("open")
+        assert sp.duration_s == 0.0
+        tracer.close(sp)
+        assert sp.end_s is not None
+
+    def test_attributes_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("compile", device="agave") as sp:
+            returned = sp.set(swaps=3, depth=11)
+        assert returned is sp
+        assert sp.attrs == {"device": "agave", "swaps": 3, "depth": 11}
+
+    def test_close_pops_orphaned_children(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("orphan")  # never closed explicitly
+        tracer.close(outer)
+        assert outer.end_s is not None
+        assert outer.children[0].end_s is not None
+        assert tracer._stack == []
+
+    def test_begin_end_imperative_aliases(self):
+        tracer = Tracer()
+        tracer.begin("section", title="Figure 1")
+        first = tracer.end()
+        assert first.name == "section"
+        assert first.end_s is not None
+        assert tracer.end() is None  # nothing open: a no-op
+
+    def test_finish_closes_everything(self):
+        tracer = Tracer()
+        tracer.span("a")
+        tracer.span("b")
+        tracer.finish()
+        assert all(s.end_s is not None for s in tracer.walk())
+
+    def test_add_event_is_backdated(self):
+        tracer = Tracer()
+        sp = tracer.add_event("sweep.task", 1.5, pid=4242, benchmark="BV4")
+        assert sp.end_s is not None
+        assert sp.duration_s == pytest.approx(1.5)
+        assert sp.pid == 4242
+        assert sp.attrs == {"benchmark": "BV4"}
+        assert tracer.roots == [sp]
+
+
+class TestActivation:
+    def test_tracer_context_restores_previous(self):
+        outer, inner = Tracer(), Tracer()
+        activate_tracer(outer)
+        try:
+            with tracer_context(inner):
+                assert get_active_tracer() is inner
+                with span("recorded"):
+                    pass
+            assert get_active_tracer() is outer
+        finally:
+            activate_tracer(None)
+        assert [s.name for s in inner.walk()] == ["recorded"]
+        assert list(outer.walk()) == []
+
+    def test_tracer_context_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracer_context(Tracer()):
+                raise RuntimeError("boom")
+        assert get_active_tracer() is None
+
+
+class TestChromeTrace:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("compile", device="agave", mapping=(0, 1)):
+            with tracer.span("route", swaps=2):
+                pass
+        return tracer
+
+    def test_events_are_complete_events_in_microseconds(self):
+        tracer = self._traced()
+        trace = tracer.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert [e["name"] for e in events] == ["compile", "route"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+            assert event["pid"] == event["tid"]
+
+    def test_non_scalar_attrs_are_stringified(self):
+        trace = self._traced().to_chrome_trace()
+        args = trace["traceEvents"][0]["args"]
+        assert args["device"] == "agave"
+        assert args["mapping"] == "(0, 1)"  # tuple -> str, JSON-safe
+
+    def test_timestamps_are_unix_epoch_anchored(self):
+        tracer = self._traced()
+        ts_s = tracer.to_chrome_trace()["traceEvents"][0]["ts"] / 1e6
+        assert abs(ts_s - tracer.epoch_unix) < 60.0
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        tracer = self._traced()
+        path = tracer.write_chrome_trace(tmp_path / "deep" / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == tracer.to_chrome_trace()
+
+    def test_merge_concatenates_and_sorts(self):
+        first, second = Tracer(), Tracer()
+        with second.span("later"):
+            pass
+        with first.span("earlier"):
+            pass
+        merged = merge_chrome_traces(
+            first.to_chrome_trace(), second.to_chrome_trace()
+        )
+        ts = [e["ts"] for e in merged["traceEvents"]]
+        assert ts == sorted(ts)
+        assert len(merged["traceEvents"]) == 2
+
+
+class TestRendering:
+    def test_format_duration_units(self):
+        assert format_duration(2.5) == "2.50 s"
+        assert format_duration(0.0123) == "12.3 ms"
+        assert format_duration(42e-6) == "42 us"
+
+    def test_format_tree_shows_names_durations_attrs(self):
+        tracer = Tracer()
+        with tracer.span("compile", device="agave"):
+            with tracer.span("route", swaps=2):
+                pass
+        text = tracer.format_tree()
+        assert "compile" in text and "route" in text
+        assert "device=agave" in text and "swaps=2" in text
+        assert "└─" in text
+
+    def test_tree_from_chrome_matches_live_tree_structure(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("map"):
+                pass
+            with tracer.span("route"):
+                pass
+        rendered = tree_from_chrome(tracer.to_chrome_trace())
+        lines = rendered.splitlines()
+        assert lines[0].startswith("compile")
+        assert any("map" in line for line in lines[1:])
+        assert any("route" in line for line in lines[1:])
+        # Children are indented under the root, not siblings of it.
+        assert all(line[0] in "├└│ " for line in lines[1:])
+
+    def test_tree_from_chrome_groups_by_pid(self):
+        supervisor, worker = Tracer(), Tracer()
+        with supervisor.span("sweep"):
+            pass
+        with worker.span("measure"):
+            pass
+        for event in worker.roots:
+            event.pid = worker.roots[0].pid + 1  # simulate another process
+        merged = merge_chrome_traces(
+            supervisor.to_chrome_trace(), worker.to_chrome_trace()
+        )
+        rendered = tree_from_chrome(merged)
+        assert rendered.count("[pid ") == 2
+
+
+class TestSpanUnit:
+    def test_standalone_span_context_manager(self):
+        sp = Span("lonely", 0.0)
+        with sp:
+            pass  # no tracer attached: __exit__ must not blow up
+        assert sp.end_s is None  # only a tracer closes spans

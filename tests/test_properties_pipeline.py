@@ -1,0 +1,98 @@
+"""Property tests for the compile pipeline over seeded random circuits.
+
+Three invariants that must hold for *any* input, checked on a spread
+of reproducible random programs (``repro.contracts.fuzz.random_circuit``
+with fixed seeds — failures replay exactly):
+
+* **Determinism** — compiling the same circuit twice, with fresh
+  compiler instances, emits byte-identical executables.
+* **2Q monotonicity** — routing can only add two-qubit gates (SWAP
+  insertion), never drop them: the compiled 2Q count is at least the
+  decomposed source's.
+* **Tracer transparency** — tracing records a well-formed span tree
+  (proper nesting, non-negative durations) and changes nothing about
+  the compiled output.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compiler import OptimizationLevel, TriQCompiler
+from repro.contracts.fuzz import random_circuit
+from repro.devices import device_by_name
+from repro.ir.decompose import decompose_to_basis
+from repro.obs.tracer import Tracer, tracer_context
+
+SEEDS = [0, 1, 2, 7, 13, 42]
+LEVELS = [OptimizationLevel.N, OptimizationLevel.OPT_1QCN]
+
+
+def _case(seed: int):
+    """A reproducible (circuit, device) pair sized for fast solves."""
+    rng = random.Random(seed)
+    num_qubits = rng.randint(2, 4)
+    circuit = random_circuit(
+        rng, num_qubits, rng.randint(4, 12), name=f"prop{seed}"
+    )
+    device = device_by_name(rng.choice(["tenerife", "agave", "umd"]))
+    if device.num_qubits < num_qubits:
+        device = device_by_name("tenerife")
+    return circuit, device
+
+
+def _compile(circuit, device, level):
+    compiler = TriQCompiler(device, level=level, time_limit_s=None)
+    return compiler.compile(circuit)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("level", LEVELS, ids=lambda lv: lv.value)
+def test_compile_is_deterministic(seed, level):
+    circuit, device = _case(seed)
+    first = _compile(circuit, device, level)
+    second = _compile(circuit, device, level)
+    assert first.executable() == second.executable()
+    assert first.num_swaps == second.num_swaps
+    assert first.initial_mapping.placement == second.initial_mapping.placement
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("level", LEVELS, ids=lambda lv: lv.value)
+def test_two_qubit_count_is_monotone(seed, level):
+    circuit, device = _case(seed)
+    source_2q = decompose_to_basis(circuit).num_two_qubit_gates()
+    compiled = _compile(circuit, device, level)
+    assert compiled.two_qubit_gate_count() >= source_2q
+    # ... and the excess is exactly what the swaps account for: each
+    # inserted SWAP lowers to a non-negative number of extra 2Q gates.
+    if compiled.num_swaps == 0:
+        assert compiled.two_qubit_gate_count() == source_2q
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tracing_records_sane_spans_and_changes_nothing(seed):
+    circuit, device = _case(seed)
+    level = OptimizationLevel.OPT_1QCN
+    plain = _compile(circuit, device, level).executable()
+
+    tracer = Tracer()
+    with tracer_context(tracer):
+        traced = _compile(circuit, device, level).executable()
+    assert traced == plain
+
+    spans = list(tracer.walk())
+    assert spans, "tracing a compile recorded no spans"
+    for span in spans:
+        assert span.end_s is not None, f"span {span.name!r} left open"
+        assert span.duration_s >= 0.0
+        for child in span.children:
+            assert span.start_s <= child.start_s
+            assert child.end_s <= span.end_s
+    # compile() opens the "compile" root; executable() adds a sibling
+    # "codegen" root for the emitter.
+    roots = [s.name for s in tracer.roots]
+    assert roots[0] == "compile"
+    assert set(roots) <= {"compile", "codegen"}

@@ -1,0 +1,149 @@
+"""Tests for the per-test wall-clock guard (tests/helpers.alarm_timeout).
+
+The guard is wired into both conftests; these tests prove it actually
+fires — in-process with a sub-second budget, and end-to-end through a
+child pytest run driven purely by ``$REPRO_TEST_TIMEOUT_S``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+# test_timeout_s is aliased so pytest does not collect the helper
+# itself as a test function.
+from tests.helpers import (
+    DEFAULT_TEST_TIMEOUT_S,
+    TEST_TIMEOUT_ENV,
+    alarm_timeout,
+    alarm_usable,
+)
+from tests.helpers import test_timeout_s as configured_timeout_s
+
+needs_sigalrm = pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="platform lacks SIGALRM"
+)
+
+
+class TestConfiguration:
+    def test_default_budget(self, monkeypatch):
+        monkeypatch.delenv(TEST_TIMEOUT_ENV, raising=False)
+        assert configured_timeout_s() == DEFAULT_TEST_TIMEOUT_S
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TEST_TIMEOUT_ENV, "7.5")
+        assert configured_timeout_s() == 7.5
+
+    def test_zero_disables(self):
+        assert not alarm_usable(0)
+        assert not alarm_usable(-1)
+
+    @needs_sigalrm
+    def test_usable_on_main_thread(self):
+        assert alarm_usable(1.0)
+
+    def test_not_usable_off_main_thread(self):
+        import threading
+
+        seen = {}
+        thread = threading.Thread(
+            target=lambda: seen.setdefault("usable", alarm_usable(1.0))
+        )
+        thread.start()
+        thread.join()
+        assert seen["usable"] is False
+
+
+class TestAlarmTimeout:
+    @needs_sigalrm
+    def test_fires_on_overrun(self):
+        with pytest.raises(TimeoutError, match="global timeout"):
+            with alarm_timeout(0.05):
+                time.sleep(5)
+
+    @needs_sigalrm
+    def test_fast_body_unaffected(self):
+        with alarm_timeout(5.0):
+            pass
+
+    def test_disabled_budget_is_a_noop(self):
+        with alarm_timeout(0):
+            pass
+
+    @needs_sigalrm
+    def test_previous_handler_and_timer_restored(self):
+        sentinel = lambda signum, frame: None  # noqa: E731
+        previous = signal.signal(signal.SIGALRM, sentinel)
+        try:
+            with alarm_timeout(5.0):
+                assert signal.getsignal(signal.SIGALRM) is not sentinel
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    @needs_sigalrm
+    def test_nested_timeouts_inner_fires_first(self):
+        with pytest.raises(TimeoutError):
+            with alarm_timeout(30.0):
+                with alarm_timeout(0.05):
+                    time.sleep(5)
+
+
+@needs_sigalrm
+def test_guard_kills_a_hung_test_end_to_end(tmp_path):
+    """A sleeping test under a 1 s budget fails loudly instead of hanging.
+
+    The child suite installs the guard exactly the way both repo
+    conftests do — a ``pytest_runtest_call`` wrapper around
+    ``tests.helpers.alarm_timeout`` — which also proves the helper is
+    importable by an out-of-tree consumer (as ``benchmarks/conftest.py``
+    is).
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    (tmp_path / "conftest.py").write_text(
+        "import pytest\n"
+        "from tests.helpers import alarm_timeout\n"
+        "\n"
+        "@pytest.hookimpl(wrapper=True)\n"
+        "def pytest_runtest_call(item):\n"
+        "    with alarm_timeout():\n"
+        "        return (yield)\n"
+    )
+    test_file = tmp_path / "test_hang.py"
+    test_file.write_text(
+        "import time\n"
+        "def test_sleeps_too_long():\n"
+        "    time.sleep(30)\n"
+    )
+    env = dict(os.environ)
+    env[TEST_TIMEOUT_ENV] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(
+            None,
+            [str(repo_root / "src"), str(repo_root), env.get("PYTHONPATH")],
+        )
+    )
+    started = time.monotonic()
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+            str(test_file),
+        ],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    elapsed = time.monotonic() - started
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "TimeoutError" in proc.stdout
+    assert "global timeout" in proc.stdout
+    assert elapsed < 30, "guard did not interrupt the sleeping test"
