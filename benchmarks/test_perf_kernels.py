@@ -1,0 +1,123 @@
+"""Microbenchmarks of the vectorized kernels vs their serial references.
+
+Each pair times the batched/vectorized kernel against the retained
+``_reference_*`` implementation on the same workload, so comparing the
+two rows of ``pytest benchmarks/test_perf_kernels.py --benchmark-only``
+gives the speedup the ``repro bench`` harness gates on (see
+benchmarks/bench_baseline.json).  Every test also asserts the two
+implementations agree exactly — a fast wrong kernel must fail here,
+not just in the differential suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import OptimizationLevel, compile_circuit
+from repro.compiler.reliability import (
+    _reference_compute_reliability,
+    compute_reliability,
+)
+from repro.devices import ibmq5_tenerife, ibmq16_rueschlikon
+from repro.programs import bernstein_vazirani, qft_benchmark
+from repro.sim.success import (
+    _reference_monte_carlo_success_rate,
+    monte_carlo_success_rate,
+)
+from repro.sim.trajectories import _reference_sample_counts, sample_counts
+
+
+@pytest.fixture(scope="module")
+def bv4_tenerife():
+    device = ibmq5_tenerife()
+    circuit, correct = bernstein_vazirani(4)
+    compiled = compile_circuit(
+        circuit, device, level=OptimizationLevel.OPT_1QCN
+    ).circuit
+    return device, compiled, correct
+
+
+@pytest.fixture(scope="module")
+def qft5_tenerife():
+    device = ibmq5_tenerife()
+    circuit, _ = qft_benchmark(5)
+    compiled = compile_circuit(
+        circuit, device, level=OptimizationLevel.OPT_1QCN
+    ).circuit
+    return device, compiled
+
+
+def test_trajectories_batched_bv4(benchmark, bv4_tenerife):
+    device, compiled, _ = bv4_tenerife
+    counts = benchmark(
+        lambda: sample_counts(compiled, device, trials=2000, seed=1)
+    )
+    assert counts == _reference_sample_counts(
+        compiled, device, trials=2000, seed=1
+    )
+
+
+def test_trajectories_reference_bv4(benchmark, bv4_tenerife):
+    device, compiled, _ = bv4_tenerife
+    counts = benchmark(
+        lambda: _reference_sample_counts(compiled, device, trials=2000, seed=1)
+    )
+    assert sum(counts.values()) == 2000
+
+
+def test_trajectories_batched_qft5(benchmark, qft5_tenerife):
+    device, compiled = qft5_tenerife
+    counts = benchmark.pedantic(
+        lambda: sample_counts(compiled, device, trials=500, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert sum(counts.values()) == 500
+
+
+def test_trajectories_reference_qft5(benchmark, qft5_tenerife):
+    device, compiled = qft5_tenerife
+    counts = benchmark.pedantic(
+        lambda: _reference_sample_counts(compiled, device, trials=500, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert sum(counts.values()) == 500
+
+
+def test_success_batched_bv4(benchmark, bv4_tenerife):
+    device, compiled, correct = bv4_tenerife
+    estimate = benchmark(
+        lambda: monte_carlo_success_rate(
+            compiled, device, correct, fault_samples=300
+        )
+    )
+    reference = _reference_monte_carlo_success_rate(
+        compiled, device, correct, fault_samples=300
+    )
+    assert estimate.success_rate == reference.success_rate
+
+
+def test_success_reference_bv4(benchmark, bv4_tenerife):
+    device, compiled, correct = bv4_tenerife
+    estimate = benchmark.pedantic(
+        lambda: _reference_monte_carlo_success_rate(
+            compiled, device, correct, fault_samples=300
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 < estimate.success_rate < 1.0
+
+
+def test_reliability_log_space_ibmq16(benchmark):
+    device = ibmq16_rueschlikon()
+    matrix = benchmark(lambda: compute_reliability(device))
+    reference = _reference_compute_reliability(device)
+    assert np.array_equal(matrix.matrix, reference.matrix)
+    assert np.array_equal(matrix.next_hop, reference.next_hop)
+
+
+def test_reliability_reference_ibmq16(benchmark):
+    device = ibmq16_rueschlikon()
+    matrix = benchmark(lambda: _reference_compute_reliability(device))
+    assert matrix.num_qubits == 16

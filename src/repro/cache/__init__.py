@@ -23,6 +23,7 @@ from repro.cache.keys import (
     digest,
     reliability_key,
     success_key,
+    warm_hint_key,
 )
 from repro.cache.store import (
     CACHE_DIR_ENV,
@@ -52,4 +53,5 @@ __all__ = [
     "open_cache",
     "reliability_key",
     "success_key",
+    "warm_hint_key",
 ]

@@ -109,6 +109,29 @@ def reliability_key(
     )
 
 
+def warm_hint_key(
+    circuit: Circuit,
+    device: Device,
+    level_label: str,
+) -> str:
+    """Key of a mapper warm-start hint (a previously solved placement).
+
+    Deliberately excludes the calibration day *and* content — that is
+    the point: a placement solved against one day's calibration is a
+    strong starting incumbent for the same circuit on the same device
+    under another day's calibration, where the compile key
+    (:func:`compile_key`) necessarily misses.  The hint only ever seeds
+    the solver's lower bound, so a stale hint can cost optimality
+    nothing — it is re-scored against the current problem before use.
+    """
+    return "wh-" + digest(
+        "warm-hint",
+        circuit_fingerprint(circuit),
+        device.name,
+        level_label,
+    )
+
+
 def success_key(
     circuit: Circuit,
     device: Device,

@@ -98,6 +98,14 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_warm_start_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--no-warm-start", action="store_true",
+        help="disable mapper warm-starting from placements cached on "
+             "other calibration days (cold solves only)",
+    )
+
+
 def _add_contract_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--contracts", choices=["strict", "warn", "off"], default="off",
@@ -200,11 +208,13 @@ def _cmd_benchmarks(_: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.compiler import set_warm_start_default
     from repro.experiments.runner import compile_with_cache
 
     circuit, _ = _load_program(args)
     device = device_by_name(args.device, day=args.day)
     cache = _open_cli_cache(args)
+    set_warm_start_default(not args.no_warm_start)
     with _obs_session(args, "compile", cache):
         program, _ = compile_with_cache(
             circuit, device, args.level, day=args.day,
@@ -230,6 +240,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.compiler import set_warm_start_default
     from repro.experiments.runner import compile_with_cache
 
     circuit, correct = _load_program(args)
@@ -239,6 +250,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     device = device_by_name(args.device, day=args.day)
     cache = _open_cli_cache(args)
+    set_warm_start_default(not args.no_warm_start)
     with _obs_session(args, "run", cache):
         program, _ = compile_with_cache(
             circuit, device, args.level, day=args.day,
@@ -298,6 +310,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=resume,
         contracts=args.contracts,
         obs=_cli_obs_config(args),
+        warm_start=not args.no_warm_start,
     )
     headers = ["Benchmark", "Compiler", "2Q", "1Q pulses", "Depth", "Swaps"]
     rows = [
@@ -506,6 +519,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time vectorized kernels vs their serial references.
+
+    Reports machine-normalized speedup ratios (see
+    :mod:`repro.experiments.bench`), writes them to a JSON report, and
+    — when a baseline is given — exits 4 if any kernel regressed more
+    than the allowance.
+    """
+    from repro.experiments.bench import (
+        DEFAULT_MAX_REGRESSION,
+        DEFAULT_REPORT,
+        compare_to_baseline,
+        format_report,
+        load_baseline,
+        run_bench,
+        write_report,
+    )
+
+    report = run_bench(
+        trials=args.trials,
+        fault_samples=args.fault_samples,
+        repeats=args.repeats,
+    )
+    print(format_report(report))
+    out_path = args.output or DEFAULT_REPORT
+    write_report(report, out_path)
+    print(f"report written to {out_path}", file=sys.stderr)
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        if baseline is None:
+            print(f"baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+        allowance = (
+            DEFAULT_MAX_REGRESSION
+            if args.max_regression is None
+            else args.max_regression
+        )
+        problems = compare_to_baseline(report, baseline, allowance)
+        for problem in problems:
+            print(f"REGRESSION {problem}", file=sys.stderr)
+        if problems:
+            return 4
+        print(
+            f"all kernels within {allowance:.0%} of baseline",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         fig1_devices, fig2_gatesets, fig3_calibration, fig4_toolflow,
@@ -586,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_program_args(compile_parser)
     compile_parser.add_argument("--output", "-o", help="write to file")
     _add_cache_args(compile_parser)
+    _add_warm_start_arg(compile_parser)
     _add_contract_args(compile_parser)
     _add_obs_args(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
@@ -599,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo fault configurations (default 100)",
     )
     _add_cache_args(run_parser)
+    _add_warm_start_arg(run_parser)
     _add_contract_args(run_parser)
     _add_obs_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
@@ -663,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
              "optionally name the run to resume",
     )
     _add_cache_args(sweep_parser)
+    _add_warm_start_arg(sweep_parser)
     _add_contract_args(sweep_parser)
     _add_obs_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
@@ -766,6 +831,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("path", help="path to a trace.json file")
     trace_parser.set_defaults(func=_cmd_trace)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="time vectorized kernels vs their serial references and "
+             "gate on the committed speedup baseline",
+    )
+    bench_parser.add_argument(
+        "--output", "-o", metavar="PATH", default=None,
+        help="write the JSON report here (default BENCH_PR5.json)",
+    )
+    bench_parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="committed baseline to gate against "
+             "(e.g. benchmarks/bench_baseline.json)",
+    )
+    bench_parser.add_argument(
+        "--max-regression", type=float, default=None, metavar="FRACTION",
+        help="allowed fractional speedup drop below baseline "
+             "(default 0.25)",
+    )
+    bench_parser.add_argument(
+        "--trials", type=int, default=3000,
+        help="trajectory-sampling trials (default 3000)",
+    )
+    bench_parser.add_argument(
+        "--fault-samples", type=int, default=400,
+        help="success-estimation fault samples (default 400)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per kernel, best-of (default 3)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"

@@ -32,6 +32,8 @@ from repro.compiler.pipeline import (
     CompiledProgram,
     TriQCompiler,
     compile_circuit,
+    set_warm_start_default,
+    warm_start_default,
 )
 from repro.compiler.commute import commute_rotations_forward
 
@@ -53,4 +55,6 @@ __all__ = [
     "TriQCompiler",
     "compile_circuit",
     "commute_rotations_forward",
+    "set_warm_start_default",
+    "warm_start_default",
 ]

@@ -86,12 +86,17 @@ def smt_mapping(
     reliability: ReliabilityMatrix,
     node_limit: int = 200_000,
     time_limit_s: Optional[float] = 30.0,
+    warm_hint: Optional[Tuple[int, ...]] = None,
 ) -> InitialMapping:
     """Reliability-optimized placement via the max-min solver.
 
     Variables exist only for *distinct* interacting pairs, so the
     problem size is O(n^2) in program qubits and independent of gate
     count — the property behind the paper's 6.5 scaling result.
+
+    ``warm_hint`` seeds the solver with a previously solved placement
+    (see :meth:`repro.smt.MaxMinSolver.solve`); it can speed the search
+    up but never changes the achievable objective.
     """
     _check_fits(circuit, device)
     num_program = circuit.num_qubits
@@ -109,7 +114,7 @@ def smt_mapping(
     solver = MaxMinSolver(
         problem, node_limit=node_limit, time_limit_s=time_limit_s
     )
-    solution = solver.solve()
+    solution = solver.solve(warm_hint=warm_hint)
     return InitialMapping(
         placement=solution.assignment,
         num_hardware_qubits=device.num_qubits,

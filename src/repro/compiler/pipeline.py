@@ -9,7 +9,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.cache.active import get_active_cache
-from repro.cache.keys import reliability_key
+from repro.cache.keys import reliability_key, warm_hint_key
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
 from repro.ir.instruction import Instruction
@@ -32,6 +32,25 @@ from repro.contracts.mode import ContractMode, ContractRecorder
 from repro.obs.tracer import span as obs_span
 
 logger = logging.getLogger("repro.compiler")
+
+#: Process-wide default for mapper warm-starting.  ``TriQCompiler``
+#: instances constructed with ``warm_start=None`` consult this, which
+#: lets the CLI's ``--no-warm-start`` and the sweep engine's pool
+#: workers flip the behavior without threading a flag through every
+#: call site (and, crucially, without touching ``SweepTask`` — task
+#: identity, and with it every journal digest, stays unchanged).
+_WARM_START_DEFAULT = True
+
+
+def set_warm_start_default(enabled: bool) -> None:
+    """Set the process-wide mapper warm-start default."""
+    global _WARM_START_DEFAULT
+    _WARM_START_DEFAULT = bool(enabled)
+
+
+def warm_start_default() -> bool:
+    """The process-wide mapper warm-start default."""
+    return _WARM_START_DEFAULT
 
 
 class OptimizationLevel(str, enum.Enum):
@@ -219,6 +238,7 @@ class TriQCompiler:
         peephole: bool = False,
         commute: bool = False,
         contracts: Union[ContractMode, str, None] = None,
+        warm_start: Optional[bool] = None,
     ) -> None:
         if router not in ("basic", "lookahead"):
             raise ValueError(
@@ -240,6 +260,16 @@ class TriQCompiler:
         #: Pass-contract enforcement (strict / warn / off; default off
         #: — checks cost time, see benchmarks/test_perf_contracts.py).
         self.contracts = ContractMode.coerce(contracts)
+        #: Mapper warm-starting (None: follow the process default).
+        #: Only takes effect when a cache is active: hints are stored
+        #: under a calibration-free key so a placement solved on one
+        #: day seeds the solver's bound on every other day.
+        self.warm_start = (
+            warm_start_default() if warm_start is None else bool(warm_start)
+        )
+        #: Whether the most recent :meth:`map_qubits` consumed a hint
+        #: (surfaced on the ``map`` obs span).
+        self.last_map_warm_started = False
         self._reliability_unaware: Optional[ReliabilityMatrix] = None
         self._reliability_aware: Optional[ReliabilityMatrix] = None
 
@@ -264,6 +294,34 @@ class TriQCompiler:
             )
         return self._reliability_unaware
 
+    def _warm_hint(self, circuit: Circuit):
+        """(hint placement or None, hint key or None, cache or None).
+
+        Hints live in the active cache under a calibration-free key
+        (:func:`repro.cache.keys.warm_hint_key`), so a placement solved
+        against one day's calibration warm-starts the same circuit on
+        every other day.  Anything malformed in a stored payload is
+        treated as a miss — the hint layer must never fail a compile.
+        """
+        if not self.warm_start:
+            return None, None, None
+        cache = get_active_cache()
+        if cache is None or not cache.enabled:
+            return None, None, None
+        key = warm_hint_key(
+            circuit,
+            self.device,
+            getattr(self.level, "value", str(self.level)),
+        )
+        hint = None
+        payload = cache.get(key)
+        if payload is not None:
+            try:
+                hint = tuple(int(v) for v in payload["placement"])
+            except (KeyError, TypeError, ValueError):
+                hint = None
+        return hint, key, cache
+
     def map_qubits(self, circuit: Circuit) -> InitialMapping:
         """The placement pass for the configured level.
 
@@ -273,16 +331,19 @@ class TriQCompiler:
         one pathological mapping problem cannot abort a whole sweep.
         Either way the degradation is recorded on the mapping.
         """
+        self.last_map_warm_started = False
         if not self.level.optimizes_communication:
             return default_mapping(circuit, self.device)
         reliability = self.reliability(self.level.noise_aware)
+        hint, hint_key, hint_cache = self._warm_hint(circuit)
         try:
-            return smt_mapping(
+            mapping = smt_mapping(
                 circuit,
                 self.device,
                 reliability,
                 node_limit=self.node_limit,
                 time_limit_s=self.time_limit_s,
+                warm_hint=hint,
             )
         except Exception:  # noqa: BLE001 - degrade, don't abort
             logger.warning(
@@ -293,6 +354,16 @@ class TriQCompiler:
             return replace(
                 default_mapping(circuit, self.device), degraded=True
             )
+        self.last_map_warm_started = hint is not None
+        if hint_cache is not None and not mapping.degraded:
+            hint_cache.put(
+                hint_key,
+                {
+                    "placement": list(mapping.placement),
+                    "objective": mapping.objective,
+                },
+            )
+        return mapping
 
     def compile(self, circuit: Circuit) -> CompiledProgram:
         """Run the full pipeline on one program.
@@ -332,6 +403,7 @@ class TriQCompiler:
                         solver_nodes=mapping.solver_nodes,
                         solver_time_s=mapping.solver_time_s,
                         degraded=mapping.degraded,
+                        warm_started=self.last_map_warm_started,
                     )
             pristine_mapping = mapping
             if injecting:

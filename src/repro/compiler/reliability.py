@@ -17,12 +17,26 @@ routing needed to co-locate them:
 Setting ``noise_aware=False`` replaces every rate by the device average,
 which turns the computation into pure hop-count minimization — exactly
 what TriQ-1QOptC compiles with (paper Table 1).
+
+The all-pairs kernel runs in **log space**: path reliabilities are
+relaxed as sums of edge log-reliabilities (matrix-broadcast per pivot)
+rather than products, so long swap chains near :data:`_MIN_RELIABILITY`
+cannot underflow and the relaxation is one fused NumPy expression per
+pivot.  Path *values* are tracked in product space alongside the
+log-space selection, so the returned matrices are bit-identical to the
+legacy product-space kernel (kept as
+:func:`_reference_compute_reliability` for the differential suite)
+whenever the two kernels agree on which paths win — the ``1e-12``
+relative tie guard dwarfs the ~1e-16 rounding difference between the
+two comparison spaces, and ``tests/test_kernel_equivalence.py`` checks
+``next_hop`` identity on every study device.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +45,12 @@ from repro.devices.device import Device
 
 #: Guard for strictly-positive reliabilities (log/product safety).
 _MIN_RELIABILITY = 1e-12
+#: Relative tie guard of the relaxation: a candidate path must beat the
+#: incumbent by more than this factor to replace it (keeps ``next_hop``
+#: deterministic under float noise).
+_TIE_GUARD = 1e-12
+#: The same guard in log space: ``log(1 + _TIE_GUARD)``.
+_LOG_TIE_GUARD = math.log1p(_TIE_GUARD)
 
 
 @dataclass
@@ -119,25 +139,12 @@ def _orientation_factor(
     return (h_control * h_target) ** 2
 
 
-def compute_reliability(
-    device: Device,
-    noise_aware: bool = True,
-    day: Optional[int] = None,
-) -> ReliabilityMatrix:
-    """Build the reliability matrix for a device.
-
-    Args:
-        device: the target machine.
-        noise_aware: when False, compile against the device-average error
-            rates (the TriQ-1QOptC configuration).
-        day: calibration day (defaults to the device's current day).
-    """
-    calibration = device.calibration(day)
-    if not noise_aware:
-        calibration = calibration.uniform()
+def _edge_tables(
+    device: Device, calibration: Calibration
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-ordered-pair gate and per-edge swap reliability tables."""
     n = device.num_qubits
     topology = device.topology
-
     gate = np.zeros((n, n), dtype=float)
     swap_edge = np.zeros((n, n), dtype=float)
     for edge in topology.edges():
@@ -157,43 +164,164 @@ def compute_reliability(
             )
         swap_edge[a, b] = swap_rel
         swap_edge[b, a] = swap_rel
+    return gate, swap_edge
 
-    # Max-product all-pairs paths (Floyd-Warshall on the product semiring).
-    swap_best = swap_edge.copy()
-    np.fill_diagonal(swap_best, 1.0)
+
+def _initial_next_hop(swap_edge: np.ndarray) -> np.ndarray:
+    n = swap_edge.shape[0]
     next_hop = np.full((n, n), -1, dtype=int)
     for a in range(n):
         next_hop[a, a] = a
     for a, b in np.argwhere(swap_edge > 0):
         next_hop[a, b] = b
+    return next_hop
+
+
+def _floyd_warshall_log(
+    swap_edge: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max-product all-pairs paths, relaxed in log space.
+
+    Per pivot ``k`` the relaxation is one broadcast sum
+    ``log_best[:, k, None] + log_best[None, k, :]`` compared against the
+    incumbent plus :data:`_LOG_TIE_GUARD` — additions cannot underflow
+    however long the path, unlike chained products of
+    near-:data:`_MIN_RELIABILITY` edges.  The *values* returned are
+    tracked in product space under the log-space winner masks, so they
+    are bit-identical to :func:`_reference_floyd_warshall` whenever the
+    two comparison spaces agree on every winner (guaranteed in practice:
+    the ``1e-12`` relative guard is four orders of magnitude wider than
+    float rounding; the differential suite checks it per device).
+    """
+    swap_best = swap_edge.copy()
+    np.fill_diagonal(swap_best, 1.0)
+    with np.errstate(divide="ignore"):
+        log_best = np.log(swap_best)  # -inf where unreachable
+    next_hop = _initial_next_hop(swap_edge)
+    n = swap_edge.shape[0]
+    for k in range(n):
+        candidate = log_best[:, k][:, None] + log_best[k, :][None, :]
+        better = candidate > log_best + _LOG_TIE_GUARD
+        np.fill_diagonal(better, False)
+        if better.any():
+            log_best = np.where(better, candidate, log_best)
+            swap_best = np.where(
+                better, np.outer(swap_best[:, k], swap_best[k, :]), swap_best
+            )
+            rows = np.where(better)[0]
+            next_hop[better] = next_hop[rows, k]
+    return swap_best, next_hop
+
+
+def _reference_floyd_warshall(
+    swap_edge: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The legacy product-space relaxation, kept for the differential
+    suite."""
+    swap_best = swap_edge.copy()
+    np.fill_diagonal(swap_best, 1.0)
+    next_hop = _initial_next_hop(swap_edge)
+    n = swap_edge.shape[0]
     for k in range(n):
         candidate = np.outer(swap_best[:, k], swap_best[k, :])
-        better = candidate > swap_best * (1.0 + 1e-12)
+        better = candidate > swap_best * (1.0 + _TIE_GUARD)
         np.fill_diagonal(better, False)
         if better.any():
             swap_best = np.where(better, candidate, swap_best)
             rows = np.where(better)[0]
             next_hop[better] = next_hop[rows, k]
+    return swap_best, next_hop
 
-    # End-to-end matrix: route control next to the best neighbor of the
-    # target, then run the direct gate.
+
+def _end_to_end_matrix(
+    swap_best: np.ndarray, gate: np.ndarray
+) -> np.ndarray:
+    """``matrix[c, t] = max over t' of swap_best[c, t'] * gate[t', t]``
+    as one broadcast product (zero gate entries contribute zero scores,
+    which never win over a real neighbor and correctly leave isolated
+    columns at zero)."""
+    scores = swap_best[:, :, None] * gate[None, :, :]
+    matrix = scores.max(axis=1)
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+def _reference_end_to_end_matrix(
+    swap_best: np.ndarray, gate: np.ndarray
+) -> np.ndarray:
+    """The legacy per-target-column loop, kept for the differential
+    suite."""
+    n = gate.shape[0]
     matrix = np.zeros((n, n), dtype=float)
     for t in range(n):
         neighbors = np.flatnonzero(gate[:, t] > 0)
         if neighbors.size == 0:
             continue
-        # matrix[c, t] = max over t' of swap_best[c, t'] * gate[t', t]
         scores = swap_best[:, neighbors] * gate[neighbors, t][None, :]
         matrix[:, t] = scores.max(axis=1)
     np.fill_diagonal(matrix, 1.0)
+    return matrix
 
-    readout = np.array(
-        [calibration.readout_reliability(q) for q in range(n)], dtype=float
+
+def _resolve_calibration(
+    device: Device, noise_aware: bool, day: Optional[int]
+) -> Calibration:
+    calibration = device.calibration(day)
+    if not noise_aware:
+        calibration = calibration.uniform()
+    return calibration
+
+
+def _readout_vector(
+    calibration: Calibration, num_qubits: int
+) -> np.ndarray:
+    return np.array(
+        [calibration.readout_reliability(q) for q in range(num_qubits)],
+        dtype=float,
     )
+
+
+def compute_reliability(
+    device: Device,
+    noise_aware: bool = True,
+    day: Optional[int] = None,
+) -> ReliabilityMatrix:
+    """Build the reliability matrix for a device.
+
+    Args:
+        device: the target machine.
+        noise_aware: when False, compile against the device-average error
+            rates (the TriQ-1QOptC configuration).
+        day: calibration day (defaults to the device's current day).
+    """
+    calibration = _resolve_calibration(device, noise_aware, day)
+    gate, swap_edge = _edge_tables(device, calibration)
+    swap_best, next_hop = _floyd_warshall_log(swap_edge)
+    matrix = _end_to_end_matrix(swap_best, gate)
     return ReliabilityMatrix(
         matrix=matrix,
         swap_reliability=swap_best,
         next_hop=next_hop,
         gate_reliability=gate,
-        readout=readout,
+        readout=_readout_vector(calibration, device.num_qubits),
+    )
+
+
+def _reference_compute_reliability(
+    device: Device,
+    noise_aware: bool = True,
+    day: Optional[int] = None,
+) -> ReliabilityMatrix:
+    """The legacy product-space pipeline, kept for the differential
+    suite (:func:`compute_reliability` must match it)."""
+    calibration = _resolve_calibration(device, noise_aware, day)
+    gate, swap_edge = _edge_tables(device, calibration)
+    swap_best, next_hop = _reference_floyd_warshall(swap_edge)
+    matrix = _reference_end_to_end_matrix(swap_best, gate)
+    return ReliabilityMatrix(
+        matrix=matrix,
+        swap_reliability=swap_best,
+        next_hop=next_hop,
+        gate_reliability=gate,
+        readout=_readout_vector(calibration, device.num_qubits),
     )

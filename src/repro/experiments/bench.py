@@ -1,0 +1,243 @@
+"""Kernel benchmark-regression harness behind ``repro bench``.
+
+The vectorized kernels introduced alongside :mod:`repro.sim.batch`
+each keep their serial predecessor importable as ``_reference_*``.
+This module times every (vectorized, reference) pair on the *same*
+interpreter and BLAS and reports the **speedup ratio**
+``reference_s / vectorized_s`` — a machine-normalized number: absolute
+wall-clock shifts with the host, but both sides shift together, so the
+ratio is comparable across machines and CI runners.
+
+``repro bench`` writes the ratios to a JSON report (``BENCH_PR5.json``
+by default) and, given ``--baseline``, fails when any kernel's ratio
+drops more than ``--max-regression`` (fraction, default 0.25) below
+the committed baseline (``benchmarks/bench_baseline.json``).  To
+re-bless the baseline after an intentional performance change, run the
+bench locally and copy the reported ratios into the baseline file.
+
+Equality is asserted on every timed pair — a bench run that produces
+different answers from the reference is a correctness failure, not a
+performance number.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default report path (the PR that introduced the vectorized kernels).
+DEFAULT_REPORT = "BENCH_PR5.json"
+
+#: Default allowed fractional drop below the baseline ratio.
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """Minimum wall time over ``repeats`` calls, plus the last result.
+
+    Minimum (not mean) is the standard noise-resistant estimator for
+    repeated timings of a deterministic computation.
+    """
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def _bench_trajectories(
+    build: Callable, trials: int, repeats: int
+) -> Dict[str, float]:
+    from repro.compiler import OptimizationLevel, compile_circuit
+    from repro.devices import ibmq5_tenerife
+    from repro.sim.trajectories import _reference_sample_counts, sample_counts
+
+    device = ibmq5_tenerife()
+    circuit, _ = build()
+    compiled = compile_circuit(
+        circuit, device, level=OptimizationLevel.OPT_1QCN
+    ).circuit
+    ref_s, ref_counts = _best_of(
+        lambda: _reference_sample_counts(compiled, device, trials=trials, seed=1),
+        repeats,
+    )
+    vec_s, vec_counts = _best_of(
+        lambda: sample_counts(compiled, device, trials=trials, seed=1),
+        repeats,
+    )
+    if ref_counts != vec_counts:
+        raise AssertionError(
+            "trajectory kernels disagree: batched counts != reference counts"
+        )
+    return {"reference_s": ref_s, "vectorized_s": vec_s, "trials": trials}
+
+
+def _bench_success(fault_samples: int, repeats: int) -> Dict[str, float]:
+    from repro.compiler import OptimizationLevel, compile_circuit
+    from repro.devices import ibmq5_tenerife
+    from repro.programs import bernstein_vazirani
+    from repro.sim.success import (
+        _reference_monte_carlo_success_rate,
+        monte_carlo_success_rate,
+    )
+
+    device = ibmq5_tenerife()
+    circuit, correct = bernstein_vazirani(4)
+    compiled = compile_circuit(
+        circuit, device, level=OptimizationLevel.OPT_1QCN
+    ).circuit
+    ref_s, ref_est = _best_of(
+        lambda: _reference_monte_carlo_success_rate(
+            compiled, device, correct, fault_samples=fault_samples
+        ),
+        repeats,
+    )
+    vec_s, vec_est = _best_of(
+        lambda: monte_carlo_success_rate(
+            compiled, device, correct, fault_samples=fault_samples
+        ),
+        repeats,
+    )
+    if ref_est.success_rate != vec_est.success_rate:
+        raise AssertionError(
+            "success kernels disagree: batched estimate != reference estimate"
+        )
+    return {
+        "reference_s": ref_s,
+        "vectorized_s": vec_s,
+        "fault_samples": fault_samples,
+    }
+
+
+def _bench_reliability(inner_loops: int, repeats: int) -> Dict[str, float]:
+    from repro.compiler.reliability import (
+        _reference_compute_reliability,
+        compute_reliability,
+    )
+    from repro.devices import ibmq16_rueschlikon
+
+    device = ibmq16_rueschlikon()
+
+    def run_many(fn):
+        def body():
+            for _ in range(inner_loops):
+                out = fn(device)
+            return out
+
+        return body
+
+    ref_s, ref_matrix = _best_of(run_many(_reference_compute_reliability), repeats)
+    vec_s, vec_matrix = _best_of(run_many(compute_reliability), repeats)
+    if not (
+        np.array_equal(ref_matrix.matrix, vec_matrix.matrix)
+        and np.array_equal(ref_matrix.next_hop, vec_matrix.next_hop)
+    ):
+        raise AssertionError(
+            "reliability kernels disagree: log-space != reference pipeline"
+        )
+    return {
+        "reference_s": ref_s,
+        "vectorized_s": vec_s,
+        "inner_loops": inner_loops,
+    }
+
+
+def run_bench(
+    trials: int = 3000,
+    fault_samples: int = 400,
+    reliability_loops: int = 20,
+    repeats: int = 3,
+) -> Dict:
+    """Time every kernel pair and return the report dict.
+
+    Two trajectory workloads bracket the regimes: BV4 (shallow, few
+    distinct fault configurations — RNG overhead-bound) and QFT5 (deep,
+    nearly every trial draws a distinct configuration —
+    simulation-bound, where batching pays most).
+    """
+    from functools import partial
+
+    from repro.programs import bernstein_vazirani, qft_benchmark
+
+    kernels: Dict[str, Dict[str, float]] = {
+        "trajectory_sampling": _bench_trajectories(
+            partial(bernstein_vazirani, 4), trials, repeats
+        ),
+        "trajectory_sampling_deep": _bench_trajectories(
+            partial(qft_benchmark, 5), max(trials // 6, 100), repeats
+        ),
+        "success_estimation": _bench_success(fault_samples, repeats),
+        "reliability_matrix": _bench_reliability(reliability_loops, repeats),
+    }
+    for record in kernels.values():
+        record["speedup"] = record["reference_s"] / record["vectorized_s"]
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "repeats": repeats,
+        "context": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "kernels": kernels,
+    }
+
+
+def compare_to_baseline(
+    report: Dict, baseline: Dict, max_regression: float = DEFAULT_MAX_REGRESSION
+) -> List[str]:
+    """Regression messages (empty when the report holds the baseline).
+
+    A kernel regresses when its speedup ratio falls more than
+    ``max_regression`` (fractionally) below the baseline ratio.  Ratios
+    *above* baseline never fail — faster is always acceptable.  A kernel
+    present in the baseline but missing from the report is a failure
+    (the bench silently dropping coverage must not pass CI).
+    """
+    problems: List[str] = []
+    for name, blessed in baseline.get("kernels", {}).items():
+        current = report.get("kernels", {}).get(name)
+        if current is None:
+            problems.append(f"{name}: missing from bench report")
+            continue
+        floor = blessed["speedup"] * (1.0 - max_regression)
+        if current["speedup"] < floor:
+            problems.append(
+                f"{name}: speedup {current['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {blessed['speedup']:.2f}x "
+                f"- {max_regression:.0%} allowance)"
+            )
+    return problems
+
+
+def format_report(report: Dict) -> str:
+    lines = ["kernel                     reference    vectorized   speedup"]
+    for name, record in report["kernels"].items():
+        lines.append(
+            f"{name:<26} {record['reference_s']:>9.3f}s "
+            f"{record['vectorized_s']:>10.3f}s  {record['speedup']:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> Optional[Dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -70,7 +70,11 @@ from repro.experiments.faults import (
     TaskFailure,
     maybe_inject_fault,
 )
-from repro.compiler import OptimizationLevel
+from repro.compiler import (
+    OptimizationLevel,
+    set_warm_start_default,
+    warm_start_default,
+)
 from repro.contracts.mode import ContractMode
 from repro.experiments.journal import SweepJournal, run_digest, task_digest
 from repro.obs import (
@@ -252,9 +256,17 @@ def _task_seeds(
 # ----------------------------------------------------------------------
 # Task execution (runs in pool workers and in the serial fallback).
 # ----------------------------------------------------------------------
-def _init_worker(cache_dir) -> None:
-    """Pool initializer: open this process's handle onto the shared store."""
+def _init_worker(cache_dir, warm_start: bool = True) -> None:
+    """Pool initializer: open this process's handle onto the shared store.
+
+    ``warm_start`` is process-level compiler configuration, not task
+    identity — it provably cannot change a task's achievable mapping
+    objective (see :meth:`repro.smt.MaxMinSolver.solve`), so it rides
+    here rather than on :class:`SweepTask`, keeping task digests (and
+    with them journal compatibility and resume) unchanged.
+    """
     activate_cache(open_cache(cache_dir) if cache_dir is not None else None)
+    set_warm_start_default(warm_start)
 
 
 def run_task(task: SweepTask, attempt: int = 1) -> Tuple[Measurement, TaskReport]:
@@ -324,14 +336,17 @@ def _worker_obs(obs_spec: ObsSpec):
                     pass
 
 
-def _pool_worker(inbox, results, cache_dir, obs_spec: ObsSpec = None) -> None:
+def _pool_worker(
+    inbox, results, cache_dir, obs_spec: ObsSpec = None,
+    warm_start: bool = True,
+) -> None:
     """Worker loop: run task envelopes until the None sentinel arrives.
 
     Ordinary task exceptions are caught and reported — they must not
     kill the worker; only hard crashes (``os._exit``, signals, the OOM
     killer) do, and the supervisor detects those by liveness.
     """
-    _init_worker(cache_dir)
+    _init_worker(cache_dir, warm_start)
     with _worker_obs(obs_spec):
         while True:
             envelope = inbox.get()
@@ -492,6 +507,7 @@ def run_sweep(
     journal_dir=None,
     contracts: Union[ContractMode, str, None] = None,
     obs: Optional[ObsConfig] = None,
+    warm_start: bool = True,
 ) -> SweepReport:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -529,6 +545,12 @@ def run_sweep(
             ``Measurement.contract_violations``; off (the default)
             keeps the pre-contracts hot path, cache keys and journal
             digests byte-identical.
+        warm_start: seed each cell's mapping solver with placements
+            cached from other calibration days of the same circuit
+            (``--no-warm-start`` disables).  Purely an execution-speed
+            knob: it cannot change a cell's achievable mapping
+            objective, joins neither cache keys nor task digests, and
+            multi-day sweeps stay resumable across the flag.
         obs: observability configuration (``repro sweep --profile``).
             When enabled the supervisor and every worker record span
             traces (merged into ``<obs-dir>/trace.json``), sweep
@@ -687,6 +709,11 @@ def run_sweep(
         if obs_active is not None and obs_active.profile
         else None
     )
+    # The serial fallback (and any in-process compile) follows the
+    # process-wide warm-start default; set it for the duration of the
+    # sweep and restore the caller's value after.
+    caller_warm_start = warm_start_default()
+    set_warm_start_default(warm_start)
     try:
         with tracer_context(supervisor_tracer), \
                 cprofile_to(supervisor_profile):
@@ -700,7 +727,7 @@ def run_sweep(
             if fallback_reason is None:
                 pool_outcome = _run_pool(
                     todo, tasks, digests, workers, cache, policy, journal,
-                    obs_spec,
+                    obs_spec, warm_start,
                 )
                 if pool_outcome is None:
                     fallback_reason = (
@@ -725,6 +752,7 @@ def run_sweep(
             if supervisor_tracer is not None:
                 supervisor_tracer.finish()
     finally:
+        set_warm_start_default(caller_warm_start)
         if journal is not None:
             journal.close()
 
@@ -849,11 +877,14 @@ def _run_serial(
 class _Worker:
     """One pool worker process plus its private dispatch queue."""
 
-    def __init__(self, ctx, result_queue, cache_dir, obs_spec: ObsSpec = None) -> None:
+    def __init__(
+        self, ctx, result_queue, cache_dir, obs_spec: ObsSpec = None,
+        warm_start: bool = True,
+    ) -> None:
         self.inbox = ctx.Queue()
         self.process = ctx.Process(
             target=_pool_worker,
-            args=(self.inbox, result_queue, cache_dir, obs_spec),
+            args=(self.inbox, result_queue, cache_dir, obs_spec, warm_start),
             daemon=True,
         )
         self.process.start()
@@ -903,6 +934,7 @@ def _run_pool(
     policy: RetryPolicy,
     journal: Optional[SweepJournal],
     obs_spec: ObsSpec = None,
+    warm_start: bool = True,
 ) -> Optional[Tuple[Dict[int, Tuple[Measurement, TaskReport]], List[TaskFailure]]]:
     """Execute tasks on a supervised pool; None if the pool cannot start.
 
@@ -917,7 +949,7 @@ def _run_pool(
         ctx = multiprocessing.get_context()
         result_queue = ctx.Queue()
         pool = [
-            _Worker(ctx, result_queue, cache_dir, obs_spec)
+            _Worker(ctx, result_queue, cache_dir, obs_spec, warm_start)
             for _ in range(min(workers, len(todo)))
         ]
     except _POOL_START_ERRORS:
@@ -1044,7 +1076,10 @@ def _run_pool(
                             time.monotonic() - dispatched,
                         )
                         worker.destroy()
-                        pool[slot] = _Worker(ctx, result_queue, cache_dir, obs_spec)
+                        pool[slot] = _Worker(
+                            ctx, result_queue, cache_dir, obs_spec,
+                            warm_start,
+                        )
                     elif deadline is not None and time.monotonic() > deadline:
                         settle(
                             seq, attempt, "timeout", "TaskTimeout",
@@ -1053,11 +1088,16 @@ def _run_pool(
                             time.monotonic() - dispatched,
                         )
                         worker.destroy(_TERMINATE_GRACE_S)
-                        pool[slot] = _Worker(ctx, result_queue, cache_dir, obs_spec)
+                        pool[slot] = _Worker(
+                            ctx, result_queue, cache_dir, obs_spec,
+                            warm_start,
+                        )
                 elif not worker.process.is_alive():
                     # Idle worker died (should not happen): replenish.
                     worker.destroy()
-                    pool[slot] = _Worker(ctx, result_queue, cache_dir, obs_spec)
+                    pool[slot] = _Worker(
+                        ctx, result_queue, cache_dir, obs_spec, warm_start
+                    )
     finally:
         for worker in pool:
             worker.stop()

@@ -1,0 +1,167 @@
+"""Batched dense state-vector simulation: one kernel, many states.
+
+The Monte-Carlo paths in :mod:`repro.sim.trajectories` and
+:mod:`repro.sim.success` simulate many *fault configurations* of the
+same circuit: every configuration runs the identical gate sequence and
+differs only in a handful of injected Pauli instructions.  Simulating
+them one at a time pays the Python-level per-gate overhead (gate-matrix
+lookup, reshape, tensordot dispatch) once per configuration; stacking
+the configurations into one ``(batch, 2**n)`` array pays it once per
+*gate*, applying each unitary to the whole batch with a single
+tensordot kernel.
+
+Bit-compatibility contract: for every row, the batched kernels produce
+the **bit-identical** ``complex128`` amplitudes the scalar
+:func:`repro.sim.statevector.apply_unitary` produces.  Two mechanisms
+guarantee it:
+
+* for gates where the scalar path already hands BLAS a matrix of at
+  least :data:`_MIN_GEMM_COLUMNS` columns (``2**(n - k) >= 4``),
+  widening the matmul with more batch columns does not change existing
+  columns (verified by ``tests/test_kernel_equivalence.py``), so the
+  batched tensordot reproduces the scalar result exactly;
+* smaller shapes (2-qubit circuits, 2Q gates on 3-qubit circuits) hit
+  BLAS's narrow-matrix special cases, whose rounding differs from the
+  wide kernel — those fall back to the scalar kernel row by row, which
+  is trivially bit-identical (and cheap: the states have <= 8
+  amplitudes).
+
+Per-row fault injections always use the scalar
+:func:`~repro.sim.statevector.apply_instruction`, the very function the
+legacy path used, so an injected Pauli perturbs its row's bits exactly
+as before.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import gate_matrix
+from repro.ir.instruction import Instruction
+from repro.sim.statevector import apply_instruction, apply_unitary
+
+#: Below this many trailing (non-batch, non-gate) columns the scalar
+#: matmul takes a narrow-matrix BLAS path whose rounding is not
+#: width-invariant; the batched kernel must fall back to per-row scalar
+#: application to stay bit-identical.
+_MIN_GEMM_COLUMNS = 4
+
+
+def zero_states(batch: int, num_qubits: int) -> np.ndarray:
+    """``batch`` copies of |0...0> as a ``(batch, 2**n)`` array."""
+    if batch < 1:
+        raise ValueError("batch must be at least 1")
+    states = np.zeros((batch, 2**num_qubits), dtype=complex)
+    states[:, 0] = 1.0
+    return states
+
+
+def apply_unitary_batch(
+    states: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply one k-qubit unitary to every state of a ``(batch, 2**n)``
+    array with a single tensordot kernel.
+
+    Row ``i`` of the result is bit-identical to
+    ``apply_unitary(states[i], matrix, qubits, num_qubits)`` (see the
+    module docstring for why, and the scalar fallback below for the
+    narrow shapes where BLAS would break that promise).
+    """
+    k = len(qubits)
+    batch = states.shape[0]
+    if 2 ** (num_qubits - k) < _MIN_GEMM_COLUMNS:
+        # Narrow-matrix shapes: replay the scalar kernel per row.
+        out = np.empty_like(states)
+        for i in range(batch):
+            out[i] = apply_unitary(states[i], matrix, qubits, num_qubits)
+        return out
+    tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    psi = states.reshape((batch,) + (2,) * num_qubits)
+    axes = [q + 1 for q in qubits]
+    psi = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
+    # tensordot leaves the k gate output axes first (batch and the
+    # untouched qubit axes keep their relative order after them); move
+    # the gate axes back onto their qubit positions.
+    psi = np.moveaxis(psi, list(range(k)), axes)
+    return np.ascontiguousarray(psi).reshape(batch, -1)
+
+
+def apply_instruction_batch(
+    states: np.ndarray, inst: Instruction, num_qubits: int
+) -> np.ndarray:
+    """Apply one unitary instruction to a batch (measure/barrier no-op)."""
+    if not inst.is_unitary:
+        return states
+    matrix = gate_matrix(inst.name, inst.params)
+    return apply_unitary_batch(states, matrix, inst.qubits, num_qubits)
+
+
+FaultInjections = Sequence[Tuple[int, Instruction]]
+
+
+def simulate_statevector_batch(
+    circuit: Circuit,
+    fault_sets: Sequence[Optional[FaultInjections]],
+    initial_state: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Final states of one circuit under a batch of fault configurations.
+
+    Args:
+        circuit: the circuit to run (shared by every batch member).
+        fault_sets: one entry per batch member — the ``(position,
+            instruction)`` injection pairs of that member's fault
+            configuration (None or empty for a clean run).
+        initial_state: starting vector shared by all members (default
+            |0...0>).
+
+    Row ``i`` is bit-identical to
+    ``simulate_statevector(circuit, faults=fault_sets[i])``.
+    """
+    batch = len(fault_sets)
+    n = circuit.num_qubits
+    if initial_state is None:
+        states = zero_states(batch, n)
+    else:
+        states = np.tile(
+            np.asarray(initial_state, dtype=complex).reshape(1, -1),
+            (batch, 1),
+        )
+    # position -> [(row, instruction), ...]
+    fault_map: Dict[int, List[Tuple[int, Instruction]]] = {}
+    for row, injections in enumerate(fault_sets):
+        for position, fault in injections or ():
+            fault_map.setdefault(position, []).append((row, fault))
+    for idx, inst in enumerate(circuit):
+        states = apply_instruction_batch(states, inst, n)
+        for row, fault in fault_map.get(idx, ()):
+            # Scalar per-row application: the exact legacy code path.
+            states[row] = apply_instruction(states[row], fault, n)
+    return states
+
+
+def probabilities_from_states(states: np.ndarray) -> np.ndarray:
+    """Row-normalized outcome probabilities of a batch of states.
+
+    Each row replays the scalar expressions ``p = np.abs(state) ** 2;
+    p = p / p.sum()`` so the floats match the legacy per-state path
+    bit for bit.
+    """
+    out = np.empty((states.shape[0], states.shape[1]), dtype=float)
+    for i in range(states.shape[0]):
+        probabilities = np.abs(states[i]) ** 2
+        out[i] = probabilities / probabilities.sum()
+    return out
+
+
+def chunked(items: Sequence, size: int) -> Iterable[Sequence]:
+    """Yield successive slices of at most ``size`` items."""
+    if size < 1:
+        raise ValueError("chunk size must be at least 1")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]

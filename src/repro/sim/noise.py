@@ -47,6 +47,21 @@ class _NoisyLocation:
     error_probability: float
 
 
+def fault_config_key(faults: Sequence["PauliFault"]) -> tuple:
+    """Hashable identity of one sampled fault configuration.
+
+    Two configurations with equal keys inject the identical Pauli
+    instructions at the identical positions, so the (deterministic)
+    simulator produces bit-identical states for them — the batched
+    Monte-Carlo paths use this to simulate each distinct configuration
+    only once.
+    """
+    return tuple(
+        (fault.position, tuple(str(p) for p in fault.paulis))
+        for fault in faults
+    )
+
+
 def instruction_error_probability(
     inst: Instruction, calibration: Calibration
 ) -> float:

@@ -25,12 +25,18 @@ import numpy as np
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
 from repro.obs.tracer import span as obs_span
-from repro.sim.noise import NoiseModel
+from repro.sim.batch import chunked, simulate_statevector_batch
+from repro.sim.noise import NoiseModel, fault_config_key
 from repro.sim.statevector import (
     distribution_from_state,
     measurement_wiring,
     simulate_statevector,
 )
+
+#: Upper bound on distinct fault configurations simulated at once by
+#: the batched Monte-Carlo estimator (mirrors
+#: :data:`repro.sim.trajectories.DEFAULT_MAX_CONFIGS_IN_FLIGHT`).
+_MAX_CONFIGS_IN_FLIGHT = 256
 
 
 @dataclass(frozen=True)
@@ -134,6 +140,18 @@ def monte_carlo_success_rate(
     where every ``P(correct | ...)`` folds readout confusion in
     analytically.  The estimator is unbiased in the fault-sampling term
     and exact elsewhere.
+
+    The faulty-run term batches: all ``fault_samples`` configurations
+    are drawn first (consuming the RNG stream exactly as the legacy
+    per-sample loop did), distinct configurations are simulated once
+    through :func:`repro.sim.batch.simulate_statevector_batch` in
+    bounded chunks, and the accumulator then adds each sample's
+    correct-probability in the original sample order — so the returned
+    floats are bit-identical to the legacy estimator's (kept as
+    :func:`_reference_monte_carlo_success_rate`): repeated
+    configurations yield identical per-sample floats because the
+    simulator is deterministic, and float addition happens in the same
+    order either way.
     """
     wiring = _check_correct(circuit, correct)
     model = NoiseModel.from_device(device, circuit, day)
@@ -160,24 +178,108 @@ def monte_carlo_success_rate(
             "simulate.success",
             circuit=circuit.name,
             fault_samples=fault_samples,
-        ):
-            acc = 0.0
-            for _ in range(fault_samples):
+        ) as sp:
+            sample_config = np.empty(fault_samples, dtype=np.intp)
+            config_index: Dict[tuple, int] = {}
+            config_injections = []
+            for s in range(fault_samples):
                 faults = model.sample_faulty_configuration(rng)
-                injections = model.faults_as_injections(faults)
-                state = simulate_statevector(circuit, faults=injections)
-                distribution = distribution_from_state(
-                    state, wiring, circuit.num_qubits
+                key = fault_config_key(faults)
+                index = config_index.get(key)
+                if index is None:
+                    index = len(config_injections)
+                    config_index[key] = index
+                    config_injections.append(
+                        model.faults_as_injections(faults)
+                    )
+                sample_config[s] = index
+            config_correct = np.empty(len(config_injections), dtype=float)
+            config_order = list(range(len(config_injections)))
+            for chunk in chunked(config_order, _MAX_CONFIGS_IN_FLIGHT):
+                states = simulate_statevector_batch(
+                    circuit, [config_injections[c] for c in chunk]
                 )
-                acc += _readout_corrected_correct_probability(
-                    distribution, correct, wiring, model.readout_error
-                )
+                for row, config in enumerate(chunk):
+                    distribution = distribution_from_state(
+                        states[row], wiring, circuit.num_qubits
+                    )
+                    config_correct[config] = (
+                        _readout_corrected_correct_probability(
+                            distribution, correct, wiring,
+                            model.readout_error,
+                        )
+                    )
+            acc = 0.0
+            for s in range(fault_samples):
+                acc += float(config_correct[sample_config[s]])
+            if sp:
+                sp.set(distinct_fault_configs=len(config_injections))
         samples_used = fault_samples
         faulty_mean = acc / fault_samples
 
     success = p_clean * clean_correct + faulty_weight * faulty_mean
     if include_coherence:
         # Decohered runs give an information-free uniform outcome.
+        survival = coherence_survival(circuit, device)
+        uniform = 1.0 / 2 ** len(wiring)
+        success = survival * success + (1.0 - survival) * uniform
+    return SuccessEstimate(
+        success_rate=min(success, 1.0),
+        ideal_rate=ideal_rate,
+        no_fault_probability=p_clean,
+        esp=esp,
+        fault_samples=samples_used,
+    )
+
+
+def _reference_monte_carlo_success_rate(
+    circuit: Circuit,
+    device: Device,
+    correct: str,
+    day: Optional[int] = None,
+    fault_samples: int = 150,
+    seed: int = 1234,
+    include_coherence: bool = False,
+) -> SuccessEstimate:
+    """The legacy one-sample-at-a-time estimator, kept for the
+    differential suite: :func:`monte_carlo_success_rate` must return
+    bit-identical floats."""
+    wiring = _check_correct(circuit, correct)
+    model = NoiseModel.from_device(device, circuit, day)
+    rng = np.random.default_rng(seed)
+
+    ideal_state = simulate_statevector(circuit)
+    ideal_distribution = distribution_from_state(
+        ideal_state, wiring, circuit.num_qubits
+    )
+    ideal_rate = ideal_distribution.get(correct, 0.0)
+    clean_correct = _readout_corrected_correct_probability(
+        ideal_distribution, correct, wiring, model.readout_error
+    )
+
+    p_clean = model.no_fault_probability()
+    esp = estimated_success_probability(circuit, device, correct, day)
+
+    faulty_weight = 1.0 - p_clean
+    faulty_mean = 0.0
+    samples_used = 0
+    if faulty_weight > 1e-6 and fault_samples > 0 and model.total_locations():
+        acc = 0.0
+        for _ in range(fault_samples):
+            faults = model.sample_faulty_configuration(rng)
+            injections = model.faults_as_injections(faults)
+            state = simulate_statevector(circuit, faults=injections)
+            distribution = distribution_from_state(
+                state, wiring, circuit.num_qubits
+            )
+            acc += _readout_corrected_correct_probability(
+                distribution, correct, wiring, model.readout_error
+            )
+        samples_used = fault_samples
+        faulty_mean = acc / fault_samples
+
+    success = p_clean * clean_correct + faulty_weight * faulty_mean
+    if include_coherence:
         survival = coherence_survival(circuit, device)
         uniform = 1.0 / 2 ** len(wiring)
         success = survival * success + (1.0 - survival) * uniform

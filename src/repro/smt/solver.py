@@ -230,7 +230,9 @@ class MaxMinSolver:
                 stats.proven_optimal = False
         return tuple(result) if result is not None else None
 
-    def solve(self) -> Solution:
+    def solve(
+        self, warm_hint: Optional[Tuple[int, ...]] = None
+    ) -> Solution:
         """Maximize the minimum term score.
 
         Always returns a valid injective assignment: the greedy
@@ -238,6 +240,18 @@ class MaxMinSolver:
         degrades to the best assignment found so far (flagged via
         ``Solution.degraded``) instead of raising — the heavy-tailed
         solve-time distribution must not take a sweep down.
+
+        ``warm_hint`` is an optional previously solved assignment (for
+        example, the same circuit mapped under another calibration day).
+        It is re-scored against *this* problem and adopted as the
+        starting incumbent only when it beats the greedy seed, which
+        lets the binary search skip every threshold at or below its
+        objective.  The hint can never lower the returned objective:
+        the search still walks the same threshold lattice with the same
+        deterministic feasibility oracle, so an exhaustive (non-degraded)
+        solve reaches the same maximal feasible threshold with or
+        without it.  An invalid hint (wrong size, not injective, out of
+        range) is silently ignored.
         """
         started = time.monotonic()
         stats = SolverStats()
@@ -245,6 +259,16 @@ class MaxMinSolver:
         best = self.greedy()
         problem.validate(best)
         best_objective = problem.min_score(best)
+        if warm_hint is not None:
+            hint = tuple(int(value) for value in warm_hint)
+            try:
+                problem.validate(hint)
+            except ValueError:
+                pass
+            else:
+                hint_objective = problem.min_score(hint)
+                if hint_objective > best_objective:
+                    best, best_objective = hint, hint_objective
         thresholds = problem.candidate_thresholds()
         # Only thresholds strictly above the incumbent are interesting.
         lo = int(np.searchsorted(thresholds, best_objective, side="right"))

@@ -196,3 +196,56 @@ class TestFuzzCommand:
         # Replay once the fault is gone: clean exit.
         monkeypatch.delenv(CONTRACT_FAULT_ENV)
         assert main(["fuzz", "--replay", str(artifacts[0])]) == 0
+
+
+class TestBenchCommand:
+    def _args(self, tmp_path, extra=()):
+        return [
+            "bench", "--trials", "300", "--fault-samples", "60",
+            "--repeats", "1",
+            "-o", str(tmp_path / "bench.json"), *extra,
+        ]
+
+    def test_writes_report(self, tmp_path, capsys):
+        import json
+
+        assert main(self._args(tmp_path)) == 0
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert set(report["kernels"]) == {
+            "trajectory_sampling", "trajectory_sampling_deep",
+            "success_estimation", "reliability_matrix",
+        }
+        for record in report["kernels"].values():
+            assert record["speedup"] > 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_baseline_gate_passes_and_fails(self, tmp_path, capsys):
+        import json
+
+        generous = {"schema": 1, "kernels": {
+            "trajectory_sampling": {"speedup": 0.01},
+        }}
+        (tmp_path / "ok.json").write_text(json.dumps(generous))
+        assert (
+            main(self._args(tmp_path, ["--baseline", str(tmp_path / "ok.json")]))
+            == 0
+        )
+        impossible = {"schema": 1, "kernels": {
+            "trajectory_sampling": {"speedup": 1e9},
+            "not_benchmarked": {"speedup": 1.0},
+        }}
+        (tmp_path / "bad.json").write_text(json.dumps(impossible))
+        assert (
+            main(self._args(tmp_path, ["--baseline", str(tmp_path / "bad.json")]))
+            == 4
+        )
+        err = capsys.readouterr().err
+        assert "REGRESSION trajectory_sampling" in err
+        assert "missing from bench report" in err
+
+    def test_missing_baseline_errors(self, tmp_path, capsys):
+        assert (
+            main(self._args(tmp_path, ["--baseline", str(tmp_path / "nope.json")]))
+            == 2
+        )
+        assert "baseline not found" in capsys.readouterr().err

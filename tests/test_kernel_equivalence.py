@@ -1,0 +1,148 @@
+"""Differential equivalence: vectorized kernels vs serial references.
+
+The vectorized hot paths (batched trajectory sampling, log-space
+Floyd-Warshall reliability, warm-started mapping) each keep their
+serial predecessor importable as ``_reference_*``.  This suite proves,
+on every study device, that the fast path reproduces the reference
+exactly:
+
+* trajectory sampling — **exact Counter equality** (same seed, same
+  histogram, bit for bit);
+* reliability matrices — ``np.allclose`` on every float table plus
+  **identical** ``next_hop`` (the routing tiebreaks must not drift);
+* mapping — a warm hint never changes the achievable objective, and
+  the batched success estimator returns the reference's exact float.
+
+Workloads are seeded random circuits (``repro.contracts.fuzz``), so a
+failure replays exactly from the test id.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    OptimizationLevel,
+    TriQCompiler,
+    compute_reliability,
+)
+from repro.compiler.mapping import smt_mapping
+from repro.compiler.reliability import _reference_compute_reliability
+from repro.contracts.fuzz import random_circuit
+from repro.devices import all_devices
+from repro.sim.success import (
+    _reference_monte_carlo_success_rate,
+    monte_carlo_success_rate,
+)
+from repro.sim.trajectories import _reference_sample_counts, sample_counts
+
+DEVICES = {device.name: device for device in all_devices()}
+DEVICE_NAMES = sorted(DEVICES)
+
+
+def _compiled_random(device, seed, num_qubits=3, num_gates=10):
+    """A seeded random circuit compiled onto ``device``."""
+    rng = random.Random(seed)
+    circuit = random_circuit(
+        rng, num_qubits, num_gates, name=f"eqv{seed}"
+    )
+    compiler = TriQCompiler(
+        device, level=OptimizationLevel.OPT_1QCN, time_limit_s=None
+    )
+    return compiler.compile(circuit).circuit
+
+
+@pytest.mark.parametrize("device_name", DEVICE_NAMES)
+@pytest.mark.parametrize("seed", [11, 29])
+def test_trajectory_counts_exactly_equal(device_name, seed):
+    device = DEVICES[device_name]
+    compiled = _compiled_random(device, seed)
+    # Fewer trials on the wide devices: the scalar reference simulates
+    # a 2**14/2**16 statevector per distinct fault configuration.
+    trials = 120 if device.num_qubits <= 8 else 50
+    batched = sample_counts(compiled, device, trials=trials, seed=2024)
+    reference = _reference_sample_counts(
+        compiled, device, trials=trials, seed=2024
+    )
+    assert batched == reference
+    assert sum(batched.values()) == trials
+
+
+@pytest.mark.parametrize("device_name", DEVICE_NAMES)
+@pytest.mark.parametrize("noise_aware", [True, False])
+def test_reliability_matrices_equivalent(device_name, noise_aware):
+    device = DEVICES[device_name]
+    for day in (0, 3):
+        fast = compute_reliability(device, noise_aware=noise_aware, day=day)
+        slow = _reference_compute_reliability(
+            device, noise_aware=noise_aware, day=day
+        )
+        assert np.allclose(fast.matrix, slow.matrix)
+        assert np.allclose(fast.swap_reliability, slow.swap_reliability)
+        assert np.allclose(fast.gate_reliability, slow.gate_reliability)
+        assert np.allclose(fast.readout, slow.readout)
+        # Tiebreaks drive swap routing; they must match exactly.
+        assert np.array_equal(fast.next_hop, slow.next_hop)
+
+
+@pytest.mark.parametrize("device_name", DEVICE_NAMES)
+def test_warm_hint_preserves_mapper_objective(device_name):
+    device = DEVICES[device_name]
+    rng = random.Random(97)
+    circuit = random_circuit(rng, 3, 10, name="eqv-map")
+    from repro.ir.decompose import decompose_to_basis
+
+    decomposed = decompose_to_basis(circuit)
+    reliability = compute_reliability(device)
+    cold = smt_mapping(decomposed, device, reliability, time_limit_s=None)
+    warm = smt_mapping(
+        decomposed,
+        device,
+        reliability,
+        time_limit_s=None,
+        warm_hint=cold.placement,
+    )
+    assert warm.objective == cold.objective
+    assert warm.placement == cold.placement
+
+
+@pytest.mark.parametrize("device_name", ["IBM Q5 Tenerife", "Rigetti Agave"])
+def test_success_estimate_bitwise_equal(device_name):
+    device = DEVICES[device_name]
+    compiled = _compiled_random(device, 5)
+    from repro.sim.statevector import measurement_wiring
+
+    wiring = measurement_wiring(compiled)
+    correct = "0" * (max(cbit for _, cbit in wiring) + 1)
+    batched = monte_carlo_success_rate(
+        compiled, device, correct, fault_samples=120, seed=1234
+    )
+    reference = _reference_monte_carlo_success_rate(
+        compiled, device, correct, fault_samples=120, seed=1234
+    )
+    assert batched.success_rate.hex() == reference.success_rate.hex()
+
+
+def test_reference_paths_importable():
+    """The legacy implementations stay importable under ``_reference_*``
+    so the differential suite (and ``repro bench``) can always reach
+    them."""
+    from repro.compiler.reliability import (
+        _reference_compute_reliability,
+        _reference_end_to_end_matrix,
+        _reference_floyd_warshall,
+    )
+    from repro.sim.success import _reference_monte_carlo_success_rate
+    from repro.sim.trajectories import _reference_sample_counts
+
+    for fn in (
+        _reference_compute_reliability,
+        _reference_end_to_end_matrix,
+        _reference_floyd_warshall,
+        _reference_monte_carlo_success_rate,
+        _reference_sample_counts,
+    ):
+        assert callable(fn)

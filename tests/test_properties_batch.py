@@ -1,0 +1,146 @@
+"""Property tests for the batched statevector engine (Hypothesis).
+
+Three families of invariants over randomly drawn states, gates, and
+circuits:
+
+* **Batch independence / linearity** — the batch dimension is inert:
+  row ``i`` of ``apply_unitary_batch`` equals the scalar
+  ``apply_unitary`` on row ``i`` (bit for bit, the engine's core
+  promise), and concatenating two batches equals concatenating their
+  results.
+* **Permutation invariance** — reordering the fault sets of
+  ``simulate_statevector_batch`` just reorders the output rows.
+* **Density-matrix agreement** — on 2-qubit circuits the clean batched
+  probabilities match :mod:`repro.sim.density`'s exact pure-state
+  density evolution.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.contracts.fuzz import random_circuit
+from repro.ir import gate_matrix
+from repro.ir.instruction import Instruction
+from repro.sim.batch import (
+    apply_unitary_batch,
+    probabilities_from_states,
+    simulate_statevector_batch,
+    zero_states,
+)
+from repro.sim.density import apply_unitary_to_density, zero_density
+from repro.sim.statevector import apply_unitary
+
+#: Gate pool with representative arities (params where required).
+_GATES = [
+    ("x", 1, ()),
+    ("h", 1, ()),
+    ("t", 1, ()),
+    ("rz", 1, (0.7,)),
+    ("cx", 2, ()),
+    ("cz", 2, ()),
+]
+
+
+def _random_states(seed: int, batch: int, num_qubits: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    states = rng.normal(size=(batch, 2**num_qubits)) + 1j * rng.normal(
+        size=(batch, 2**num_qubits)
+    )
+    return states / np.linalg.norm(states, axis=1, keepdims=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    batch=st.integers(1, 7),
+    num_qubits=st.integers(1, 4),
+    gate=st.sampled_from(_GATES),
+    data=st.data(),
+)
+def test_batch_rows_match_scalar_kernel(seed, batch, num_qubits, gate, data):
+    name, arity, params = gate
+    if arity > num_qubits:
+        num_qubits = arity
+    qubits = data.draw(
+        st.permutations(range(num_qubits)).map(lambda p: tuple(p[:arity]))
+    )
+    states = _random_states(seed, batch, num_qubits)
+    matrix = gate_matrix(name, params)
+    batched = apply_unitary_batch(states, matrix, qubits, num_qubits)
+    for i in range(batch):
+        scalar = apply_unitary(states[i], matrix, qubits, num_qubits)
+        assert np.array_equal(batched[i], scalar)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    split=st.integers(1, 5),
+    num_qubits=st.integers(2, 4),
+)
+def test_batch_concatenation_is_linear(seed, split, num_qubits):
+    """Concatenating batches then applying == applying then
+    concatenating: the kernel acts on each row independently."""
+    states = _random_states(seed, split + 3, num_qubits)
+    matrix = gate_matrix("cx")
+    qubits = (0, 1)
+    whole = apply_unitary_batch(states, matrix, qubits, num_qubits)
+    parts = np.concatenate(
+        [
+            apply_unitary_batch(states[:split], matrix, qubits, num_qubits),
+            apply_unitary_batch(states[split:], matrix, qubits, num_qubits),
+        ]
+    )
+    assert np.array_equal(whole, parts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_batch_order_permutation_invariance(seed):
+    """Permuting the fault sets permutes the rows, nothing else."""
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, 3, 8, name="perm")
+    fault_sets = [
+        None,
+        [(0, Instruction("x", (0,)))],
+        [(1, Instruction("z", (1,)))],
+        [(0, Instruction("x", (0,))), (2, Instruction("y", (2,)))],
+    ]
+    order = list(range(len(fault_sets)))
+    rng.shuffle(order)
+    direct = simulate_statevector_batch(circuit, fault_sets)
+    permuted = simulate_statevector_batch(
+        circuit, [fault_sets[i] for i in order]
+    )
+    for row, original in enumerate(order):
+        assert np.array_equal(permuted[row], direct[original])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_agrees_with_density_on_two_qubit_circuits(seed):
+    """Clean batched evolution == exact density-matrix evolution."""
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, 2, 6, name="dens")
+    states = simulate_statevector_batch(circuit, [None, None])
+    rho = zero_density(2)
+    for inst in circuit:
+        if inst.is_unitary:
+            rho = apply_unitary_to_density(
+                rho, gate_matrix(inst.name, inst.params), inst.qubits, 2
+            )
+    probabilities = probabilities_from_states(states)
+    diagonal = np.real(np.diag(rho))
+    for row in probabilities:
+        np.testing.assert_allclose(row, diagonal, atol=1e-10)
+
+
+def test_zero_states_are_ground_states():
+    states = zero_states(3, 2)
+    assert states.shape == (3, 4)
+    assert np.array_equal(states[:, 0], np.ones(3))
+    assert not states[:, 1:].any()

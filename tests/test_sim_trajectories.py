@@ -6,7 +6,11 @@ from tests.helpers import make_device, make_noiseless_device
 from repro.devices import Topology
 from repro.ir import Circuit
 from repro.sim import monte_carlo_success_rate
-from repro.sim.trajectories import sample_counts, success_rate_from_counts
+from repro.sim.trajectories import (
+    _reference_sample_counts,
+    sample_counts,
+    success_rate_from_counts,
+)
 
 
 def bell():
@@ -59,6 +63,71 @@ class TestSampleCounts:
             bell(), device, "11", fault_samples=2000
         )
         assert raw == pytest.approx(estimate.success_rate, abs=0.03)
+
+
+class TestBoundedConfigCache:
+    """The fault-configuration working set is bounded in both paths.
+
+    The legacy loop's per-distribution cache used to grow without
+    bound — one entry per distinct fault pattern, however many the
+    trials drew.  It is now LRU-bounded (``max_cached_configs``), and
+    the batched path simulates in chunks of ``max_configs_in_flight``.
+    Eviction must never change the histogram: a re-drawn evicted
+    configuration re-simulates to the identical distribution.
+    """
+
+    def _noisy_device(self):
+        return make_device(
+            Topology.line(3), two_qubit_error=0.15, readout_error=0.05
+        )
+
+    def _circuit(self):
+        return Circuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+
+    def test_eviction_preserves_exact_counts(self):
+        # max_cached_configs=1 forces an eviction on every distinct
+        # configuration change; the counts must not move.
+        device = self._noisy_device()
+        roomy = _reference_sample_counts(
+            self._circuit(), device, trials=400, seed=5,
+            max_cached_configs=1024,
+        )
+        tight = _reference_sample_counts(
+            self._circuit(), device, trials=400, seed=5,
+            max_cached_configs=1,
+        )
+        assert tight == roomy
+
+    def test_chunk_size_preserves_exact_counts(self):
+        device = self._noisy_device()
+        roomy = sample_counts(
+            self._circuit(), device, trials=400, seed=5,
+            max_configs_in_flight=1024,
+        )
+        tight = sample_counts(
+            self._circuit(), device, trials=400, seed=5,
+            max_configs_in_flight=1,
+        )
+        assert tight == roomy
+
+    def test_batched_matches_reference_under_eviction(self):
+        device = self._noisy_device()
+        batched = sample_counts(
+            self._circuit(), device, trials=300, seed=9,
+            max_configs_in_flight=2,
+        )
+        reference = _reference_sample_counts(
+            self._circuit(), device, trials=300, seed=9,
+            max_cached_configs=2,
+        )
+        assert batched == reference
+
+    def test_cache_bound_validated(self):
+        device = self._noisy_device()
+        with pytest.raises(ValueError, match="at least one cached"):
+            _reference_sample_counts(
+                self._circuit(), device, trials=10, max_cached_configs=0
+            )
 
 
 class TestSuccessFromCounts:
