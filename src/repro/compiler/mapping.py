@@ -94,9 +94,11 @@ def smt_mapping(
     problem size is O(n^2) in program qubits and independent of gate
     count — the property behind the paper's 6.5 scaling result.
 
-    ``warm_hint`` seeds the solver with a previously solved placement
-    (see :meth:`repro.smt.MaxMinSolver.solve`); it can speed the search
-    up but never changes the achievable objective.
+    ``warm_hint`` seeds the solver's *bound* with a previously solved
+    placement (see :meth:`repro.smt.MaxMinSolver.solve`); it can speed
+    the search up but never changes the returned placement — the
+    solver replays its cold probe sequence and only skips oracle calls
+    the hint already proved infeasible.
     """
     _check_fits(circuit, device)
     num_program = circuit.num_qubits

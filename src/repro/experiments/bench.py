@@ -202,12 +202,22 @@ def compare_to_baseline(
     *above* baseline never fail — faster is always acceptable.  A kernel
     present in the baseline but missing from the report is a failure
     (the bench silently dropping coverage must not pass CI).
+
+    A blessed entry with ``"gate": false`` is **report-only**: the
+    kernel must still appear in the report (coverage is still gated),
+    but its ratio never fails the run.  Kernels whose blessed speedup
+    sits near 1.0x belong here — the ratio is only machine-normalized
+    to first order (BLAS threading and cache pressure hit a broadcast
+    kernel and an interpreted loop differently on small shared
+    runners), so a hard floor just below 1.0x would flake.
     """
     problems: List[str] = []
     for name, blessed in baseline.get("kernels", {}).items():
         current = report.get("kernels", {}).get(name)
         if current is None:
             problems.append(f"{name}: missing from bench report")
+            continue
+        if not blessed.get("gate", True):
             continue
         floor = blessed["speedup"] * (1.0 - max_regression)
         if current["speedup"] < floor:

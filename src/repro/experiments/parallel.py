@@ -548,8 +548,9 @@ def run_sweep(
         warm_start: seed each cell's mapping solver with placements
             cached from other calibration days of the same circuit
             (``--no-warm-start`` disables).  Purely an execution-speed
-            knob: it cannot change a cell's achievable mapping
-            objective, joins neither cache keys nor task digests, and
+            knob: the hint is bound-only, so a cell returns the
+            bit-identical placement (and therefore measurements) warm
+            or cold; it joins neither cache keys nor task digests, and
             multi-day sweeps stay resumable across the flag.
         obs: observability configuration (``repro sweep --profile``).
             When enabled the supervisor and every worker record span

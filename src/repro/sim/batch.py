@@ -18,8 +18,15 @@ guarantee it:
 * for gates where the scalar path already hands BLAS a matrix of at
   least :data:`_MIN_GEMM_COLUMNS` columns (``2**(n - k) >= 4``),
   widening the matmul with more batch columns does not change existing
-  columns (verified by ``tests/test_kernel_equivalence.py``), so the
-  batched tensordot reproduces the scalar result exactly;
+  columns, so the batched tensordot reproduces the scalar result
+  exactly.  That width-invariance is an *empirical* BLAS property, so
+  it is not assumed: the first wide-path call runs a one-off self-check
+  (:func:`_wide_kernel_bit_identical`) comparing the batched kernel
+  against the scalar engine bit for bit on this interpreter's BLAS,
+  and a mismatch permanently drops the module to the per-row scalar
+  path — slower, but the reproducibility contract survives any BLAS
+  build (``tests/test_kernel_equivalence.py`` then exercises whichever
+  path was selected);
 * smaller shapes (2-qubit circuits, 2Q gates on 3-qubit circuits) hit
   BLAS's narrow-matrix special cases, whose rounding differs from the
   wide kernel — those fall back to the scalar kernel row by row, which
@@ -49,6 +56,65 @@ from repro.sim.statevector import apply_instruction, apply_unitary
 #: application to stay bit-identical.
 _MIN_GEMM_COLUMNS = 4
 
+#: Lazily computed result of the width-invariance self-check (None
+#: until the first wide-path call).  False drops every batch to the
+#: per-row scalar path for the life of the process.
+_WIDE_KERNEL_VERIFIED: Optional[bool] = None
+
+
+def _apply_unitary_batch_gemm(
+    states: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """The wide tensordot kernel, with no self-check or fallback."""
+    k = len(qubits)
+    batch = states.shape[0]
+    tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    psi = states.reshape((batch,) + (2,) * num_qubits)
+    axes = [q + 1 for q in qubits]
+    psi = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
+    # tensordot leaves the k gate output axes first (batch and the
+    # untouched qubit axes keep their relative order after them); move
+    # the gate axes back onto their qubit positions.
+    psi = np.moveaxis(psi, list(range(k)), axes)
+    return np.ascontiguousarray(psi).reshape(batch, -1)
+
+
+def _wide_kernel_bit_identical() -> bool:
+    """One-off self-check: is the wide GEMM width-invariant here?
+
+    Applies fixed 1Q and 2Q unitaries with irrational entries to a
+    deterministic batch of states at the narrowest shapes the wide path
+    accepts (``2**(n - k) == _MIN_GEMM_COLUMNS``) and compares every
+    amplitude bitwise against the scalar engine.  Cached for the life
+    of the process; costs a few microseconds once.
+    """
+    global _WIDE_KERNEL_VERIFIED
+    if _WIDE_KERNEL_VERIFIED is None:
+        rng = np.random.default_rng(191)
+        ok = True
+        # (num_qubits, gate qubits): 1Q gate on 3 qubits and 2Q gate on
+        # 4 qubits both hand BLAS exactly _MIN_GEMM_COLUMNS columns.
+        for n, gate_qubits in ((3, (1,)), (4, (2, 0))):
+            k = len(gate_qubits)
+            matrix = (
+                gate_matrix("u3", (0.3, 0.7, 1.1))
+                if k == 1
+                else gate_matrix("xx", (0.7,))
+            )
+            states = rng.standard_normal((3, 2**n)) + 1j * (
+                rng.standard_normal((3, 2**n))
+            )
+            wide = _apply_unitary_batch_gemm(states, matrix, gate_qubits, n)
+            for i in range(states.shape[0]):
+                row = apply_unitary(states[i], matrix, gate_qubits, n)
+                if not np.array_equal(wide[i], row):
+                    ok = False
+        _WIDE_KERNEL_VERIFIED = ok
+    return _WIDE_KERNEL_VERIFIED
+
 
 def zero_states(batch: int, num_qubits: int) -> np.ndarray:
     """``batch`` copies of |0...0> as a ``(batch, 2**n)`` array."""
@@ -71,25 +137,22 @@ def apply_unitary_batch(
     Row ``i`` of the result is bit-identical to
     ``apply_unitary(states[i], matrix, qubits, num_qubits)`` (see the
     module docstring for why, and the scalar fallback below for the
-    narrow shapes where BLAS would break that promise).
+    narrow shapes — or the rare BLAS builds — where the wide kernel
+    would break that promise).
     """
     k = len(qubits)
     batch = states.shape[0]
-    if 2 ** (num_qubits - k) < _MIN_GEMM_COLUMNS:
-        # Narrow-matrix shapes: replay the scalar kernel per row.
+    if (
+        2 ** (num_qubits - k) < _MIN_GEMM_COLUMNS
+        or not _wide_kernel_bit_identical()
+    ):
+        # Narrow-matrix shapes (or a BLAS that failed the width
+        # invariance self-check): replay the scalar kernel per row.
         out = np.empty_like(states)
         for i in range(batch):
             out[i] = apply_unitary(states[i], matrix, qubits, num_qubits)
         return out
-    tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
-    psi = states.reshape((batch,) + (2,) * num_qubits)
-    axes = [q + 1 for q in qubits]
-    psi = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
-    # tensordot leaves the k gate output axes first (batch and the
-    # untouched qubit axes keep their relative order after them); move
-    # the gate axes back onto their qubit positions.
-    psi = np.moveaxis(psi, list(range(k)), axes)
-    return np.ascontiguousarray(psi).reshape(batch, -1)
+    return _apply_unitary_batch_gemm(states, matrix, qubits, num_qubits)
 
 
 def apply_instruction_batch(

@@ -14,8 +14,12 @@ outcome uniform, one readout uniform per measured bit), collecting the
 *distinct* fault configurations.  Phase two simulates those
 configurations through the batched engine
 (:func:`repro.sim.batch.simulate_statevector_batch`), in bounded chunks
-so memory stays O(``max_configs_in_flight`` x ``2**n``) however many
-distinct patterns the trials draw.  Phase three converts each trial's
+so the *statevector* working set stays
+O(``max_configs_in_flight`` x ``2**n``) however many distinct patterns
+the trials draw (the pre-drawn per-trial uniforms and per-configuration
+injection lists still scale with ``trials`` and the number of distinct
+patterns — small next to the statevectors).  Phase three converts each
+trial's
 pre-drawn uniforms into an outcome and classical bits.  Because the
 batched engine is bit-identical to the scalar simulator and the
 uniform-to-outcome inversion replays ``Generator.choice`` exactly, the
@@ -60,9 +64,13 @@ def sample_counts(
     Distinct fault configurations are simulated once — batched through
     :mod:`repro.sim.batch` in chunks of at most
     ``max_configs_in_flight`` — and their outcome distributions sampled
-    per trial, so the cost scales with the number of *distinct* fault
-    patterns drawn rather than with ``trials``, and memory is bounded
-    regardless of how many distinct patterns appear.
+    per trial, so the simulation cost scales with the number of
+    *distinct* fault patterns drawn rather than with ``trials``.  The
+    chunking bounds the dominant memory term, the statevector batch, at
+    O(``max_configs_in_flight`` x ``2**n``); the bookkeeping around it
+    — one row of uniforms per trial, one injection list per distinct
+    configuration — still grows with ``trials`` and the distinct-pattern
+    count.
     """
     wiring = measurement_wiring(circuit)
     if not wiring:

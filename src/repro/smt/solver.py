@@ -230,6 +230,56 @@ class MaxMinSolver:
                 stats.proven_optimal = False
         return tuple(result) if result is not None else None
 
+    def _prove_max_feasible(
+        self,
+        thresholds: np.ndarray,
+        certified: float,
+        deadline: Optional[float],
+        stats: SolverStats,
+    ) -> Optional[float]:
+        """The maximal feasible threshold value, *proven*, or ``None``.
+
+        ``certified`` is an objective already witnessed feasible (by a
+        validated warm hint).  Only thresholds strictly above it are
+        searched, and the lowest open threshold is probed first: hints
+        are usually optimal already, so a single infeasible probe
+        closes the whole range.  The proof is all-or-nothing — if a
+        node budget or the deadline cuts any infeasibility check short,
+        this returns ``None`` rather than a guess, and the caller runs
+        the plain cold search.
+
+        Search effort is merged into ``stats`` (nodes, check count) but
+        a budget cut here never marks the overall solve degraded: the
+        main search below still runs to completion on its own budget.
+        """
+        scratch = SolverStats()
+        lo = int(np.searchsorted(thresholds, certified, side="right"))
+        hi = len(thresholds) - 1
+        proven: Optional[float] = float(certified)
+        first = True
+        while lo <= hi:
+            if deadline is not None and time.monotonic() > deadline:
+                proven = None
+                break
+            mid = lo if first else (lo + hi) // 2
+            first = False
+            result = self.feasible(float(thresholds[mid]), scratch)
+            if not scratch.proven_optimal:
+                # A budget-cut "infeasible" is not a proof.
+                proven = None
+                break
+            if result is not None:
+                proven = self.problem.min_score(result)
+                lo = max(
+                    int(np.searchsorted(thresholds, proven, side="right")),
+                    mid + 1,
+                )
+            else:
+                hi = mid - 1
+        stats.nodes += scratch.nodes
+        stats.feasibility_checks += scratch.feasibility_checks
+        return proven
+
     def solve(
         self, warm_hint: Optional[Tuple[int, ...]] = None
     ) -> Solution:
@@ -243,14 +293,21 @@ class MaxMinSolver:
 
         ``warm_hint`` is an optional previously solved assignment (for
         example, the same circuit mapped under another calibration day).
-        It is re-scored against *this* problem and adopted as the
-        starting incumbent only when it beats the greedy seed, which
-        lets the binary search skip every threshold at or below its
-        objective.  The hint can never lower the returned objective:
-        the search still walks the same threshold lattice with the same
-        deterministic feasibility oracle, so an exhaustive (non-degraded)
-        solve reaches the same maximal feasible threshold with or
-        without it.  An invalid hint (wrong size, not injective, out of
+        It is **bound-only**: the hint assignment itself is never
+        returned.  Re-scored against *this* problem, it certifies that
+        its objective is feasible, and :meth:`_prove_max_feasible`
+        pins down the maximal feasible threshold up front; the main
+        binary search then replays the exact cold probe sequence,
+        answering probes at proven-infeasible thresholds without
+        running the oracle.  Every oracle call it does make is one the
+        cold search makes too, so a solve that stays within its node
+        budget returns the **bit-identical assignment** with or without
+        the hint — the hint only skips work, it cannot steer the
+        answer.  (If the node budget fires, the cold path may merely be
+        *flagged* degraded where the warm path, holding a proof, is
+        not; the assignment is still identical.  A wall-clock
+        ``time_limit_s`` makes any solve timing-dependent, hint or
+        not.)  An invalid hint (wrong size, not injective, out of
         range) is silently ignored.
         """
         started = time.monotonic()
@@ -259,6 +316,11 @@ class MaxMinSolver:
         best = self.greedy()
         problem.validate(best)
         best_objective = problem.min_score(best)
+        thresholds = problem.candidate_thresholds()
+        overall_deadline = (
+            started + self.time_limit_s if self.time_limit_s is not None else None
+        )
+        proven_max: Optional[float] = None
         if warm_hint is not None:
             hint = tuple(int(value) for value in warm_hint)
             try:
@@ -268,21 +330,24 @@ class MaxMinSolver:
             else:
                 hint_objective = problem.min_score(hint)
                 if hint_objective > best_objective:
-                    best, best_objective = hint, hint_objective
-        thresholds = problem.candidate_thresholds()
-        # Only thresholds strictly above the incumbent are interesting.
+                    proven_max = self._prove_max_feasible(
+                        thresholds, hint_objective, overall_deadline, stats
+                    )
+        # The cold binary search, replayed exactly.  ``proven_max``
+        # only answers probes whose infeasibility it already proved;
+        # the hint assignment never enters ``best``.
         lo = int(np.searchsorted(thresholds, best_objective, side="right"))
         hi = len(thresholds) - 1
-        overall_deadline = (
-            started + self.time_limit_s if self.time_limit_s is not None else None
-        )
         while lo <= hi:
             if overall_deadline is not None and time.monotonic() > overall_deadline:
                 stats.proven_optimal = False
                 break
             mid = (lo + hi) // 2
             threshold = float(thresholds[mid])
-            result = self.feasible(threshold, stats)
+            if proven_max is not None and threshold > proven_max:
+                result = None
+            else:
+                result = self.feasible(threshold, stats)
             if result is not None:
                 best = result
                 best_objective = problem.min_score(result)

@@ -243,6 +243,25 @@ class TestBenchCommand:
         assert "REGRESSION trajectory_sampling" in err
         assert "missing from bench report" in err
 
+    def test_report_only_kernels_never_fail_the_gate(self):
+        # "gate": false entries (near-1.0x ratios that flake on shared
+        # runners) are exempt from the ratio floor, but dropping the
+        # kernel from the report still fails — coverage stays gated.
+        from repro.experiments.bench import compare_to_baseline
+
+        baseline = {"kernels": {
+            "hard": {"speedup": 5.0},
+            "soft": {"speedup": 1.0, "gate": False},
+        }}
+        healthy = {"kernels": {
+            "hard": {"speedup": 5.0}, "soft": {"speedup": 0.2},
+        }}
+        assert compare_to_baseline(healthy, baseline) == []
+        missing = {"kernels": {"hard": {"speedup": 5.0}}}
+        assert compare_to_baseline(missing, baseline) == [
+            "soft: missing from bench report"
+        ]
+
     def test_missing_baseline_errors(self, tmp_path, capsys):
         assert (
             main(self._args(tmp_path, ["--baseline", str(tmp_path / "nope.json")]))

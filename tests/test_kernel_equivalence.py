@@ -10,8 +10,9 @@ exactly:
   histogram, bit for bit);
 * reliability matrices — ``np.allclose`` on every float table plus
   **identical** ``next_hop`` (the routing tiebreaks must not drift);
-* mapping — a warm hint never changes the achievable objective, and
-  the batched success estimator returns the reference's exact float.
+* mapping — a warm hint (same-problem or cross-calibration-day) never
+  changes the returned placement, and the batched success estimator
+  returns the reference's exact float.
 
 Workloads are seeded random circuits (``repro.contracts.fuzz``), so a
 failure replays exactly from the test id.
@@ -107,6 +108,34 @@ def test_warm_hint_preserves_mapper_objective(device_name):
     )
     assert warm.objective == cold.objective
     assert warm.placement == cold.placement
+
+
+@pytest.mark.parametrize("device_name", DEVICE_NAMES)
+def test_cross_day_warm_hint_identical_placement(device_name):
+    """A hint solved against *another* day's calibration — the case the
+    compile cache actually produces — must leave the placement
+    bit-identical to a cold solve, or sweep results would depend on
+    cache state."""
+    device = DEVICES[device_name]
+    rng = random.Random(53)
+    circuit = random_circuit(rng, 3, 10, name="eqv-map-day")
+    from repro.ir.decompose import decompose_to_basis
+
+    decomposed = decompose_to_basis(circuit)
+    hint = smt_mapping(
+        decomposed,
+        device,
+        compute_reliability(device, day=3),
+        time_limit_s=None,
+    ).placement
+    today = compute_reliability(device, day=0)
+    cold = smt_mapping(decomposed, device, today, time_limit_s=None)
+    warm = smt_mapping(
+        decomposed, device, today, time_limit_s=None, warm_hint=hint
+    )
+    assert warm.placement == cold.placement
+    assert warm.objective == cold.objective
+    assert warm.degraded == cold.degraded
 
 
 @pytest.mark.parametrize("device_name", ["IBM Q5 Tenerife", "Rigetti Agave"])

@@ -134,6 +134,79 @@ class TestSolve:
         assert solution.objective == pytest.approx(brute)
 
 
+class TestWarmHint:
+    """The hint is bound-only: it may skip work, never steer the answer."""
+
+    def _chain_with_many_optima(self):
+        # A 3-variable chain where greedy's optimistic neighbor estimate
+        # is a trap (it places var1 on value 0 for the 0.9 edge, which
+        # the chain cannot realize twice) and several distinct
+        # assignments attain the true optimum of 0.5.
+        scores = np.array(
+            [
+                [1.0, 0.9, 0.3, 0.3],
+                [0.9, 1.0, 0.5, 0.5],
+                [0.3, 0.5, 1.0, 0.8],
+                [0.3, 0.5, 0.8, 1.0],
+            ]
+        )
+        problem = AssignmentProblem(3, 4)
+        problem.add_pair_term(0, 1, scores)
+        problem.add_pair_term(1, 2, scores)
+        return problem
+
+    def test_equal_objective_hint_returns_cold_assignment(self):
+        # The reviewer scenario: a hint that already attains the
+        # optimal objective (say, from another calibration day) must
+        # not be returned verbatim — warm and cold solves must produce
+        # the bit-identical assignment, or compiled outputs would
+        # depend on cache state.
+        problem = self._chain_with_many_optima()
+        cold = MaxMinSolver(problem).solve()
+        _, brute = brute_force_maxmin(problem)
+        assert cold.objective == pytest.approx(brute)
+        optima = [
+            perm
+            for perm in itertools.permutations(range(4), 3)
+            if problem.min_score(perm) == cold.objective
+        ]
+        assert len(optima) > 1  # the scenario needs equal-objective ties
+        greedy_objective = problem.min_score(MaxMinSolver(problem).greedy())
+        assert greedy_objective < cold.objective  # hints beat the seed
+        for hint in optima:
+            warm = MaxMinSolver(problem).solve(warm_hint=hint)
+            assert warm.assignment == cold.assignment
+            assert warm.objective == cold.objective
+            assert warm.stats.proven_optimal
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_any_valid_hint_never_changes_assignment(self, seed):
+        rng = np.random.default_rng(seed + 1000)
+        num_vars = int(rng.integers(2, 5))
+        num_values = int(rng.integers(num_vars, 7))
+        problem = AssignmentProblem(num_vars, num_values)
+        scores = symmetric_scores(num_values, rng)
+        for a in range(num_vars - 1):
+            problem.add_pair_term(a, a + 1, scores)
+        problem.add_unary_term(0, rng.uniform(0.5, 0.99, num_values))
+        cold = MaxMinSolver(problem).solve()
+        for _ in range(4):
+            hint = tuple(
+                int(v) for v in rng.permutation(num_values)[:num_vars]
+            )
+            warm = MaxMinSolver(problem).solve(warm_hint=hint)
+            assert warm.assignment == cold.assignment
+            assert warm.objective == cold.objective
+
+    def test_invalid_hints_ignored(self):
+        problem = self._chain_with_many_optima()
+        cold = MaxMinSolver(problem).solve()
+        for bad in [(0, 0, 1), (0, 1), (0, 1, 9)]:
+            warm = MaxMinSolver(problem).solve(warm_hint=bad)
+            assert warm.assignment == cold.assignment
+            assert warm.objective == cold.objective
+
+
 class TestProductSolver:
     @pytest.mark.parametrize("seed", range(5))
     def test_optimal_vs_brute_force(self, seed):
