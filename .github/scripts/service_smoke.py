@@ -1,0 +1,182 @@
+"""CI smoke for the ``repro serve`` daemon (the service-smoke job).
+
+Boots the daemon as a real subprocess on an ephemeral port, then
+asserts the service contract end to end:
+
+* compile and run jobs complete over HTTP with the expected payloads;
+* N identical concurrent submissions are folded onto ONE underlying
+  compile by the in-flight coalescer — proven by the cache-event
+  counters (``coalesced == N-1``) and the executed-job counter
+  (``jobs_completed{kind="compile"} == expected``), not by timing;
+* ``/metrics`` round-trips through the strict Prometheus parser
+  (:func:`repro.obs.parse_prometheus` raises on any malformed line);
+* SIGTERM drains gracefully: exit code 0 and the drained banner.
+
+Run locally with ``python .github/scripts/service_smoke.py`` (needs the
+package importable, e.g. ``pip install -e .`` or ``PYTHONPATH=src``).
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.obs import parse_prometheus
+
+
+def request(port, method, path, body=None, timeout=170):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        data = json.dumps(body) if body is not None else None
+        conn.request(method, path, body=data)
+        response = conn.getresponse()
+        text = response.read().decode("utf-8")
+    finally:
+        conn.close()
+    return response.status, text
+
+
+def metric(port, name, **labels):
+    status, text = request(port, "GET", "/metrics")
+    assert status == 200, f"/metrics -> {status}"
+    series = parse_prometheus(text)  # strict: raises on malformed lines
+    wanted = json.dumps({k: str(v) for k, v in labels.items()}, sort_keys=True)
+    return series.get(name, {}).get(wanted, 0.0)
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    port_file = os.path.join(tmp, "port")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--port-file", port_file,
+            "--cache-dir", os.path.join(tmp, "cache"),
+            "--admin",
+            "--workers", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while not os.path.exists(port_file):
+            assert proc.poll() is None, proc.stderr.read().decode()
+            assert time.monotonic() < deadline, "daemon never wrote the port"
+            time.sleep(0.1)
+        port = int(open(port_file).read().strip())
+        print(f"daemon up on port {port}")
+
+        status, _ = request(port, "GET", "/healthz")
+        assert status == 200, f"healthz -> {status}"
+
+        # --- compile + run jobs over HTTP ---------------------------------
+        status, text = request(
+            port, "POST", "/v1/compile",
+            {"benchmark": "HS2", "device": "tenerife"},
+        )
+        payload = json.loads(text)
+        assert status == 200 and payload["job"]["status"] == "done", text[:300]
+        assert payload["result"]["executable"].startswith("OPENQASM"), (
+            "unexpected executable"
+        )
+        print("compile ok:", payload["result"]["cache_key"][:16])
+
+        status, text = request(
+            port, "POST", "/v1/run",
+            {"benchmark": "HS2", "device": "tenerife", "fault_samples": 20},
+        )
+        payload = json.loads(text)
+        assert status == 200, text[:300]
+        assert 0.0 <= payload["result"]["success_rate"] <= 1.0
+        print("run ok:", payload["result"]["success_rate"])
+
+        # --- coalescing: N identical in-flight submissions, one compile ---
+        executed_before = metric(
+            port, "repro_service_jobs_completed_total",
+            kind="compile", tenant="default", status="done",
+        )
+        coalesced_before = metric(
+            port, "repro_service_cache_events_total", event="coalesced",
+        )
+        status, _ = request(port, "POST", "/admin/pause")
+        assert status == 200
+        body = {"benchmark": "BV6", "device": "melbourne"}
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    request(port, "POST", "/v1/compile", body)
+                )
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(2.0)  # let all four submissions land behind the pause
+        status, _ = request(port, "POST", "/admin/resume")
+        assert status == 200
+        for thread in threads:
+            thread.join(timeout=170)
+        assert len(results) == 4
+        payloads = [json.loads(text) for status, text in results]
+        for status, _ in results:
+            assert status == 200
+        primaries = [
+            p for p in payloads if p["job"]["coalesced_with"] is None
+        ]
+        assert len(primaries) == 1, "expected exactly one primary job"
+        assert len({p["result"]["executable"] for p in payloads}) == 1
+        coalesced = metric(
+            port, "repro_service_cache_events_total", event="coalesced",
+        )
+        executed = metric(
+            port, "repro_service_jobs_completed_total",
+            kind="compile", tenant="default", status="done",
+        )
+        assert coalesced - coalesced_before == 3.0, (
+            f"coalesced counter moved by {coalesced - coalesced_before}, "
+            "expected 3"
+        )
+        assert executed - executed_before == 1.0, (
+            f"executed-compile counter moved by {executed - executed_before},"
+            " expected 1 (duplicates must be served from the coalescer)"
+        )
+        print("coalescing ok: 4 submissions, 1 compile, 3 folds")
+
+        # --- strict /metrics validation -----------------------------------
+        _, text = request(port, "GET", "/metrics")
+        series = parse_prometheus(text)
+        for required in (
+            "repro_service_requests_total",
+            "repro_service_jobs_submitted_total",
+            "repro_service_cache_events_total",
+            # Histogram samples expose as _bucket/_sum/_count series.
+            "repro_service_job_latency_seconds_count",
+        ):
+            assert required in series, f"missing metric {required}"
+        print(f"metrics ok: {len(series)} series parsed strictly")
+
+        # --- graceful drain -----------------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        stderr = proc.stderr.read().decode()
+        assert code == 0, f"exit code {code}\n{stderr}"
+        assert "drained cleanly" in stderr, stderr
+        print("drain ok: SIGTERM -> exit 0")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+            print("daemon stderr:", proc.stderr.read().decode(), file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The first-class Python API: compilation as a library.
+
+``repro.api`` exposes the repo's workflows — compile, run, sweep,
+contract-check — as plain functions returning typed dataclasses, with
+the CLI (:mod:`repro.cli`) and the ``repro serve`` daemon
+(:mod:`repro.service`) both thin clients on top:
+
+>>> from repro import api
+>>> result = api.compile("BV4", device="tenerife")
+>>> result.two_qubit_gates, result.cache_key[:10]
+
+The functions are deliberately byte-identical to the historical command
+paths: emitted executables, content-addressed cache keys, checkpoint
+journal digests, and Monte-Carlo success floats all match what the CLI
+produced before this layer existed (``tests/test_api.py`` locks the
+parity on the full seven-device grid).
+"""
+
+from repro.api.core import (
+    build_program,
+    check,
+    compile,  # noqa: A004 - the API's compile(), not builtins.compile
+    compile_cache_key,
+    resolve_compilers,
+    resolve_level,
+    run,
+    sweep,
+)
+from repro.api.results import (
+    CheckCell,
+    CheckResult,
+    CompileResult,
+    ObsArtifacts,
+    RunResult,
+    SweepResult,
+)
+
+__all__ = [
+    "CheckCell",
+    "CheckResult",
+    "CompileResult",
+    "ObsArtifacts",
+    "RunResult",
+    "SweepResult",
+    "build_program",
+    "check",
+    "compile",
+    "compile_cache_key",
+    "resolve_compilers",
+    "resolve_level",
+    "run",
+    "sweep",
+]

@@ -1,0 +1,480 @@
+"""The library API: compile, run, sweep, and check as plain functions.
+
+This is the programmatic surface the CLI (:mod:`repro.cli`) and the
+``repro serve`` daemon (:mod:`repro.service`) are both thin clients of.
+Every function takes names and plain options, consults the persistent
+artifact cache when one is given, and returns a typed dataclass from
+:mod:`repro.api.results` — no argparse namespaces, no printing.
+
+Determinism contract: these functions are wrappers over the exact same
+execution paths the CLI has always used (``compile_with_cache``,
+``monte_carlo_success_rate``, ``run_sweep``), so emitted executables,
+cache keys, journal digests, and success floats are byte-identical to
+the pre-API command paths (locked by ``tests/test_api.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.results import (
+    CheckCell,
+    CheckResult,
+    CompileResult,
+    ObsArtifacts,
+    RunResult,
+    SweepResult,
+)
+from repro.cache import Cache, open_cache
+from repro.compiler import (
+    OptimizationLevel,
+    set_warm_start_default,
+    warm_start_default,
+)
+from repro.devices import all_devices, device_by_name
+from repro.devices.device import Device
+from repro.experiments.runner import (
+    DEFAULT_FAULT_SAMPLES,
+    CompilerName,
+    artifact_key,
+    compile_with,
+    compile_with_cache,
+    compiler_label,
+    fits,
+)
+from repro.ir.circuit import Circuit
+from repro.obs import ObsConfig
+from repro.programs import Benchmark, benchmark_by_name, standard_suite
+from repro.scaffold import compile_scaffold
+from repro.sim import monte_carlo_success_rate
+
+_LEVELS = {level.value.lower(): level for level in OptimizationLevel}
+_BASELINES = {"qiskit": "Qiskit", "quil": "Quil"}
+
+
+def resolve_level(text: Union[str, OptimizationLevel]) -> OptimizationLevel:
+    """A :class:`OptimizationLevel` from its name (``"1QOptCN"``...).
+
+    Accepts the level with or without the ``TriQ-`` prefix, case
+    insensitively; raises ``ValueError`` naming the known levels.
+    """
+    if isinstance(text, OptimizationLevel):
+        return text
+    key = str(text).lower()
+    if not key.startswith("triq-"):
+        key = f"triq-{key}"
+    if key not in _LEVELS:
+        known = ", ".join(sorted(_LEVELS))
+        raise ValueError(
+            f"unknown optimization level {text!r}; choose from {known}"
+        )
+    return _LEVELS[key]
+
+
+def resolve_compilers(
+    spec: Union[str, Sequence[Union[str, OptimizationLevel]]],
+) -> List[CompilerName]:
+    """TriQ levels and/or baselines from a comma-separated string or list.
+
+    Baseline names (``"qiskit"``/``"quil"``, any case) map to their
+    canonical labels; everything else must be a TriQ level.
+    """
+    if isinstance(spec, str):
+        items: Sequence[Union[str, OptimizationLevel]] = spec.split(",")
+    else:
+        items = spec
+    compilers: List[CompilerName] = []
+    for item in items:
+        if isinstance(item, OptimizationLevel):
+            compilers.append(item)
+            continue
+        item = item.strip()
+        if not item:
+            continue
+        if item.lower() in _BASELINES:
+            compilers.append(_BASELINES[item.lower()])
+        else:
+            compilers.append(resolve_level(item))
+    if not compilers:
+        raise ValueError("no compilers given")
+    return compilers
+
+
+def build_program(
+    benchmark: Optional[Union[str, Benchmark]] = None,
+    scaffold: Optional[str] = None,
+    defines: Optional[Mapping[str, int]] = None,
+    circuit: Optional[Circuit] = None,
+) -> Tuple[Circuit, Optional[str]]:
+    """The ``(circuit, correct answer)`` pair of one program source.
+
+    Exactly one of ``benchmark`` (suite name or object), ``scaffold``
+    (source text), or ``circuit`` must be given; only suite benchmarks
+    carry a known-correct answer.
+    """
+    given = [s for s in (benchmark, scaffold, circuit) if s is not None]
+    if len(given) != 1:
+        raise ValueError(
+            "give exactly one of benchmark=, scaffold=, or circuit="
+        )
+    if benchmark is not None:
+        if isinstance(benchmark, str):
+            benchmark = benchmark_by_name(benchmark)
+        return benchmark.build()
+    if scaffold is not None:
+        return compile_scaffold(scaffold, defines=dict(defines or {})), None
+    return circuit, None
+
+
+def _resolve_device(device: Union[str, Device], day: int) -> Device:
+    if isinstance(device, str):
+        return device_by_name(device, day=day)
+    return device
+
+
+@contextmanager
+def _warm_start_scope(warm_start: bool):
+    """Set the process warm-start default for the call, then restore it."""
+    previous = warm_start_default()
+    set_warm_start_default(warm_start)
+    try:
+        yield
+    finally:
+        set_warm_start_default(previous)
+
+
+@contextmanager
+def _obs_session(obs: Optional[ObsConfig], tag: str, cache):
+    """Observability around one compile/run call.
+
+    Activates a tracer (and, when ``obs.profile``, cProfile) for the
+    process, hooks the cache store's event observer, and on exit writes
+    ``<tag>-trace.json`` / ``<tag>.pstats`` / ``<tag>-metrics.prom``
+    into the obs dir.  Yields a one-slot list that receives the
+    resulting :class:`ObsArtifacts` (or stays ``[None]`` when obs is
+    off) — the caller attaches it to its result after the block.
+    """
+    holder: List[Optional[ObsArtifacts]] = [None]
+    if obs is None or not obs.enabled:
+        yield holder
+        return
+    from repro.obs import MetricsRegistry, Tracer, cprofile_to, tracer_context
+
+    out_dir = Path(obs.out_dir) if obs.out_dir else Path("repro-obs")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    registry = MetricsRegistry()
+    if cache is not None and getattr(cache, "enabled", False):
+        events = registry.counter(
+            "repro_cache_events_total",
+            "Cache store events observed by this command",
+        )
+        cache.observer = lambda event: events.inc(event=event)
+    tracer = Tracer()
+    profile_path = out_dir / f"{tag}.pstats" if obs.profile else None
+    with tracer_context(tracer), cprofile_to(profile_path):
+        try:
+            yield holder
+        finally:
+            tracer.finish()
+            tracer.write_chrome_trace(out_dir / f"{tag}-trace.json")
+            (out_dir / f"{tag}-metrics.prom").write_text(
+                registry.render_prometheus(), encoding="utf-8"
+            )
+            holder[0] = ObsArtifacts(
+                out_dir=out_dir, span_tree=tracer.format_tree()
+            )
+
+
+def compile(  # noqa: A001 - the public API name; builtins.compile unused here
+    benchmark: Optional[Union[str, Benchmark]] = None,
+    *,
+    scaffold: Optional[str] = None,
+    defines: Optional[Mapping[str, int]] = None,
+    circuit: Optional[Circuit] = None,
+    device: Union[str, Device],
+    level: Union[str, OptimizationLevel] = OptimizationLevel.OPT_1QCN,
+    day: int = 0,
+    cache: Optional[Cache] = None,
+    cache_dir=None,
+    contracts: Optional[str] = None,
+    warm_start: bool = True,
+    obs: Optional[ObsConfig] = None,
+    obs_tag: str = "compile",
+) -> CompileResult:
+    """Compile one program for one device at one optimization level.
+
+    The program source is a suite ``benchmark`` (name or object), raw
+    ``scaffold`` source text (with optional compile-time ``defines``),
+    or a prebuilt ``circuit``.  ``cache`` (an open handle) or
+    ``cache_dir`` enables the persistent artifact cache; ``contracts``
+    is ``"strict"``/``"warn"``/``None``.  Returns a
+    :class:`CompileResult` whose ``executable`` is byte-identical to
+    what ``repro compile`` emits.
+    """
+    built_circuit, correct = build_program(
+        benchmark=benchmark, scaffold=scaffold, defines=defines,
+        circuit=circuit,
+    )
+    resolved_device = _resolve_device(device, day)
+    resolved_level = resolve_level(level)
+    if cache is None and cache_dir is not None:
+        cache = open_cache(cache_dir)
+    with _warm_start_scope(warm_start):
+        with _obs_session(obs, obs_tag, cache) as obs_holder:
+            program, cache_hit = compile_with_cache(
+                built_circuit, resolved_device, resolved_level, day=day,
+                cache=cache, contracts=contracts,
+            )
+    return CompileResult(
+        benchmark=(
+            benchmark.name if isinstance(benchmark, Benchmark)
+            else benchmark
+        ),
+        device=resolved_device.name,
+        day=day,
+        compiler=compiler_label(resolved_level),
+        executable=program.executable(),
+        two_qubit_gates=program.two_qubit_gate_count(),
+        one_qubit_pulses=program.one_qubit_pulse_count(),
+        depth=program.depth(),
+        num_swaps=program.num_swaps,
+        compile_time_s=program.compile_time_s,
+        cache_key=artifact_key(
+            built_circuit, resolved_device, resolved_level, day=day,
+            contracts=contracts,
+        ),
+        cache_hit=cache_hit,
+        degraded=program.initial_mapping.degraded,
+        contract_violations=list(program.contract_violations),
+        correct=correct,
+        program=program,
+        obs=obs_holder[0],
+    )
+
+
+def run(
+    benchmark: Union[str, Benchmark],
+    *,
+    device: Union[str, Device],
+    level: Union[str, OptimizationLevel] = OptimizationLevel.OPT_1QCN,
+    day: int = 0,
+    fault_samples: int = DEFAULT_FAULT_SAMPLES,
+    cache: Optional[Cache] = None,
+    cache_dir=None,
+    contracts: Optional[str] = None,
+    warm_start: bool = True,
+    obs: Optional[ObsConfig] = None,
+    obs_tag: str = "run",
+) -> RunResult:
+    """Compile a suite benchmark and estimate its success rate.
+
+    Only suite benchmarks run: the Monte-Carlo estimator needs the
+    known-correct answer.  The estimate is produced by the very
+    ``monte_carlo_success_rate`` call ``repro run`` has always made
+    (default seed, no memoization), so the floats match bit for bit.
+    """
+    built_circuit, correct = build_program(benchmark=benchmark)
+    if correct is None:
+        raise ValueError(
+            "`run` needs a suite benchmark (known correct answer)"
+        )
+    resolved_device = _resolve_device(device, day)
+    resolved_level = resolve_level(level)
+    if cache is None and cache_dir is not None:
+        cache = open_cache(cache_dir)
+    with _warm_start_scope(warm_start):
+        with _obs_session(obs, obs_tag, cache) as obs_holder:
+            program, cache_hit = compile_with_cache(
+                built_circuit, resolved_device, resolved_level, day=day,
+                cache=cache, contracts=contracts,
+            )
+            estimate = monte_carlo_success_rate(
+                program.circuit,
+                resolved_device,
+                correct,
+                day=day,
+                fault_samples=fault_samples,
+            )
+    compiled = CompileResult(
+        benchmark=(
+            benchmark.name if isinstance(benchmark, Benchmark)
+            else benchmark
+        ),
+        device=resolved_device.name,
+        day=day,
+        compiler=compiler_label(resolved_level),
+        executable=program.executable(),
+        two_qubit_gates=program.two_qubit_gate_count(),
+        one_qubit_pulses=program.one_qubit_pulse_count(),
+        depth=program.depth(),
+        num_swaps=program.num_swaps,
+        compile_time_s=program.compile_time_s,
+        cache_key=artifact_key(
+            built_circuit, resolved_device, resolved_level, day=day,
+            contracts=contracts,
+        ),
+        cache_hit=cache_hit,
+        degraded=program.initial_mapping.degraded,
+        contract_violations=list(program.contract_violations),
+        correct=correct,
+        program=program,
+        obs=obs_holder[0],
+    )
+    return RunResult(
+        compiled=compiled,
+        success_rate=estimate.success_rate,
+        ideal_rate=estimate.ideal_rate,
+        no_fault_probability=estimate.no_fault_probability,
+        esp=estimate.esp,
+        fault_samples=estimate.fault_samples,
+    )
+
+
+def sweep(
+    device: Union[str, Device],
+    compilers: Union[str, Sequence[Union[str, OptimizationLevel]]] = (
+        OptimizationLevel.OPT_1QCN,
+    ),
+    benchmarks: Optional[Sequence[Union[str, Benchmark]]] = None,
+    **kwargs: Any,
+) -> SweepResult:
+    """Measure a benchmark suite under several compilers on one device.
+
+    A typed facade over
+    :func:`repro.experiments.parallel.run_sweep` — every engine keyword
+    (``workers``, ``cache``/``cache_dir``, ``base_seed``,
+    ``task_timeout_s``, ``retries``, ``days``, ``skip_bad_days``,
+    ``run_id``, ``resume``, ``contracts``, ``obs``, ``warm_start``...)
+    passes straight through, so run ids and journal digests are
+    byte-identical to direct engine calls.
+    """
+    from repro.experiments.parallel import run_sweep
+
+    return SweepResult.from_report(
+        run_sweep(
+            device,
+            resolve_compilers(compilers),
+            benchmarks=benchmarks,
+            **kwargs,
+        )
+    )
+
+
+def check(
+    devices: Optional[Sequence[Union[str, Device]]] = None,
+    benchmarks: Optional[Sequence[Union[str, Benchmark]]] = None,
+    levels: Optional[Sequence[Union[str, OptimizationLevel]]] = None,
+    day: int = 0,
+) -> CheckResult:
+    """Compile a grid under warn-mode contracts; collect every violation.
+
+    Defaults to all seven study machines, the full 12-benchmark suite,
+    and all four TriQ levels — the grid ``repro check`` audits.
+    Benchmarks that do not fit a device are skipped, as in the paper.
+    """
+    resolved_devices = (
+        [_resolve_device(d, day) for d in devices]
+        if devices
+        else all_devices(day=day)
+    )
+    resolved_benchmarks = [
+        benchmark_by_name(b) if isinstance(b, str) else b
+        for b in (benchmarks if benchmarks else standard_suite())
+    ]
+    resolved_levels: Sequence[CompilerName] = (
+        resolve_compilers(list(levels)) if levels else list(OptimizationLevel)
+    )
+
+    cells = 0
+    violations: List[CheckCell] = []
+    errors: List[CheckCell] = []
+    for bench in resolved_benchmarks:
+        built_circuit, _ = bench.build()
+        for dev in resolved_devices:
+            if not fits(built_circuit, dev):
+                continue
+            for compiler in resolved_levels:
+                cells += 1
+                label = compiler_label(compiler)
+                try:
+                    program = compile_with(
+                        built_circuit, dev, compiler, day=day,
+                        contracts="warn",
+                    )
+                except Exception as exc:  # noqa: BLE001 - audit and go on
+                    errors.append(
+                        CheckCell(
+                            benchmark=bench.name,
+                            device=dev.name,
+                            compiler=label,
+                            kind="error",
+                            message=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    continue
+                for violation in program.contract_violations:
+                    violations.append(
+                        CheckCell(
+                            benchmark=bench.name,
+                            device=dev.name,
+                            compiler=label,
+                            kind="violation",
+                            message=str(violation),
+                        )
+                    )
+    return CheckResult(cells=cells, violations=violations, errors=errors)
+
+
+def compile_cache_key(
+    benchmark: Optional[Union[str, Benchmark]] = None,
+    *,
+    scaffold: Optional[str] = None,
+    defines: Optional[Mapping[str, int]] = None,
+    circuit: Optional[Circuit] = None,
+    device: Union[str, Device],
+    level: Union[str, OptimizationLevel] = OptimizationLevel.OPT_1QCN,
+    day: int = 0,
+    contracts: Optional[str] = None,
+) -> str:
+    """The artifact key a compile of this request would use — no compile.
+
+    The service's request coalescer folds concurrent identical
+    ``(circuit, calibration, options)`` submissions onto one underlying
+    job by comparing exactly this key.
+    """
+    built_circuit, _ = build_program(
+        benchmark=benchmark, scaffold=scaffold, defines=defines,
+        circuit=circuit,
+    )
+    return artifact_key(
+        built_circuit,
+        _resolve_device(device, day),
+        resolve_level(level),
+        day=day,
+        contracts=contracts,
+    )
+
+
+# Keep a reference to every public entry point in one place; the CLI
+# imports from the package root (see repro/api/__init__.py).
+__all__ = [
+    "build_program",
+    "check",
+    "compile",
+    "compile_cache_key",
+    "resolve_compilers",
+    "resolve_level",
+    "run",
+    "sweep",
+]

@@ -11,7 +11,10 @@ out over a process pool — pay for each distinct cell once:
   atomic writes and corrupted-entry recovery;
 * :mod:`repro.cache.active` — the per-process active-cache handle that
   lets the compiler pipeline memoize reliability matrices without
-  threading a cache argument through every call.
+  threading a cache argument through every call;
+* :mod:`repro.cache.memory` — a bounded write-through LRU front that
+  keeps warm artifacts in process memory (the service daemon's warm
+  cache).
 """
 
 from repro.cache.active import activate_cache, cache_context, get_active_cache
@@ -25,6 +28,7 @@ from repro.cache.keys import (
     success_key,
     warm_hint_key,
 )
+from repro.cache.memory import DEFAULT_MEMORY_ENTRIES, MemoryCache
 from repro.cache.store import (
     CACHE_DIR_ENV,
     Cache,
@@ -41,6 +45,8 @@ __all__ = [
     "Cache",
     "CacheStats",
     "CompileCache",
+    "DEFAULT_MEMORY_ENTRIES",
+    "MemoryCache",
     "NullCache",
     "activate_cache",
     "cache_context",

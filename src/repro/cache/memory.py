@@ -1,0 +1,120 @@
+"""An in-process warm cache layered over the on-disk store.
+
+:class:`MemoryCache` is a bounded, thread-safe, write-through LRU front
+for any :data:`repro.cache.store.Cache` handle.  The ``repro serve``
+daemon keeps one for the life of the process, so compiled programs,
+reliability matrices, and warm-start hints stay hot across requests:
+the first request for an artifact pays the disk read (or the compile),
+every later one is a dictionary lookup.
+
+Semantics:
+
+* ``get`` consults memory first, then the backing store; a disk hit is
+  promoted into memory.
+* ``put`` writes through: the entry lands in memory *and* the backing
+  store, so daemon restarts only lose latency, never artifacts.
+* Capacity is bounded (``max_entries``, LRU eviction) — payloads are
+  compiled-program dicts and device-sized numpy matrices, small enough
+  that a few hundred entries cover a whole benchmark grid.
+* Events fire on the same ``observer`` hook the disk store has, with
+  layer-qualified names: ``"memory_hit"`` / ``"disk_hit"`` / ``"miss"``
+  / ``"store"`` (plus the backing store's own observer, if any, which
+  keeps firing untouched).
+
+The front satisfies the same duck type as :class:`CompileCache`
+(``enabled`` / ``get`` / ``put`` / ``stats`` / ``observer``), so it can
+be activated process-wide with :func:`repro.cache.activate_cache` and
+passed anywhere a cache handle goes.  ``root`` delegates to the backing
+store so pool workers and journal placement keep working.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.cache.store import Cache, CacheStats
+
+#: Default capacity: a full 7-device x 12-benchmark x 4-level grid plus
+#: reliability matrices fits with room to spare.
+DEFAULT_MEMORY_ENTRIES = 256
+
+
+class MemoryCache:
+    """Bounded write-through LRU front over a backing cache handle."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        backing: Optional[Cache] = None,
+        max_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.backing = backing
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self.observer: Optional[Callable[[str], None]] = None
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    @property
+    def root(self) -> Optional[Path]:
+        """The backing store's directory (None for memory-only fronts).
+
+        Pool workers open their own handle from this path; the journal
+        defaults next to it.
+        """
+        return getattr(self.backing, "root", None)
+
+    def _notify(self, event: str) -> None:
+        observer = self.observer
+        if observer is not None:
+            observer(event)
+
+    def _remember(self, key: str, payload: Any) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                payload = self._entries[key]
+                self.stats.hits += 1
+                self._notify("memory_hit")
+                return payload
+        payload = None
+        if self.backing is not None and self.backing.enabled:
+            payload = self.backing.get(key)
+        if payload is not None:
+            with self._lock:
+                self._remember(key, payload)
+                self.stats.hits += 1
+            self._notify("disk_hit")
+            return payload
+        self.stats.misses += 1
+        self._notify("miss")
+        return None
+
+    def put(self, key: str, payload: Any) -> None:
+        with self._lock:
+            self._remember(key, payload)
+            self.stats.stores += 1
+        if self.backing is not None and self.backing.enabled:
+            self.backing.put(key, payload)
+        self._notify("store")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the backing store is untouched)."""
+        with self._lock:
+            self._entries.clear()

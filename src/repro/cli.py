@@ -10,6 +10,8 @@ Commands:
   simulator.
 * ``sweep`` — measure a benchmark suite under several compilers on one
   device, optionally fanned out over a process pool.
+* ``serve`` — run the long-lived compilation service daemon (HTTP/JSON,
+  see :mod:`repro.service`).
 * ``experiment`` — regenerate one of the paper's tables/figures.
 * ``check`` — compile a grid of benchmarks under warn-mode pass
   contracts and report every recorded violation.
@@ -20,8 +22,11 @@ Commands:
   traces, top-N functions from merged cProfile stats.
 * ``trace`` — render a Chrome trace JSON file as a human span tree.
 
-Compilation artifacts and Monte-Carlo estimates are cached on disk by
-default (``--cache-dir`` to relocate, ``--no-cache`` to disable); sweep
+Every command is a thin client of the library API (:mod:`repro.api`):
+handlers parse flags, call one API function, and format its typed
+result — no compilation or measurement logic lives here.  Compilation
+artifacts and Monte-Carlo estimates are cached on disk by default
+(``--cache-dir`` to relocate, ``--no-cache`` to disable); sweep
 commands accept ``--workers`` to parallelize over processes.  The
 ``compile``/``run``/``sweep`` commands accept ``--contracts
 {strict,warn,off}`` to enforce per-pass contracts during compilation,
@@ -34,19 +39,11 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from contextlib import contextmanager
-from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache import open_cache
 from repro.compiler import OptimizationLevel
-from repro.devices import device_by_name
-from repro.programs import benchmark_by_name
-from repro.scaffold import compile_scaffold
-from repro.sim import monte_carlo_success_rate
 
-_LEVELS = {level.value.lower(): level for level in OptimizationLevel}
-_BASELINES = {"qiskit": "Qiskit", "quil": "Quil"}
 _EXPERIMENTS = (
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "table1",
@@ -54,31 +51,22 @@ _EXPERIMENTS = (
 
 
 def _parse_level(text: str) -> OptimizationLevel:
-    key = text.lower()
-    if not key.startswith("triq-"):
-        key = f"triq-{key}"
-    if key not in _LEVELS:
-        known = ", ".join(sorted(_LEVELS))
-        raise argparse.ArgumentTypeError(
-            f"unknown optimization level {text!r}; choose from {known}"
-        )
-    return _LEVELS[key]
+    from repro.api import resolve_level
+
+    try:
+        return resolve_level(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _parse_compilers(text: str) -> List:
     """Comma-separated TriQ levels and/or baselines (``qiskit``/``quil``)."""
-    compilers = []
-    for item in text.split(","):
-        item = item.strip()
-        if not item:
-            continue
-        if item.lower() in _BASELINES:
-            compilers.append(_BASELINES[item.lower()])
-        else:
-            compilers.append(_parse_level(item))
-    if not compilers:
-        raise argparse.ArgumentTypeError("no compilers given")
-    return compilers
+    from repro.api import resolve_compilers
+
+    try:
+        return resolve_compilers(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _open_cli_cache(args: argparse.Namespace):
@@ -142,55 +130,28 @@ def _cli_obs_config(args: argparse.Namespace):
     return ObsConfig(trace=True, profile=args.profile, out_dir=args.obs_dir)
 
 
-@contextmanager
-def _obs_session(args: argparse.Namespace, tag: str, cache=None):
-    """Observability around one ``compile``/``run`` command.
-
-    Activates a tracer (and, under ``--profile``, cProfile) for the
-    process, hooks the cache store's event observer, and on exit writes
-    ``<tag>-trace.json`` / ``<tag>.pstats`` / ``<tag>-metrics.prom``
-    into the obs dir and prints the span tree to stderr.
-    """
-    config = _cli_obs_config(args)
-    if config is None:
-        yield None
+def _print_obs(obs) -> None:
+    """The span tree + artifact pointer one obs-enabled command prints."""
+    if obs is None:
         return
-    from repro.obs import MetricsRegistry, Tracer, cprofile_to, tracer_context
-
-    out_dir = Path(config.out_dir) if config.out_dir else Path("repro-obs")
-    out_dir.mkdir(parents=True, exist_ok=True)
-    registry = MetricsRegistry()
-    if cache is not None and getattr(cache, "enabled", False):
-        events = registry.counter(
-            "repro_cache_events_total",
-            "Cache store events observed by this command",
-        )
-        cache.observer = lambda event: events.inc(event=event)
-    tracer = Tracer()
-    profile_path = out_dir / f"{tag}.pstats" if config.profile else None
-    with tracer_context(tracer), cprofile_to(profile_path):
-        try:
-            yield tracer
-        finally:
-            tracer.finish()
-            tracer.write_chrome_trace(out_dir / f"{tag}-trace.json")
-            (out_dir / f"{tag}-metrics.prom").write_text(
-                registry.render_prometheus(), encoding="utf-8"
-            )
-            print(tracer.format_tree(), file=sys.stderr)
-            print(f"observability artifacts: {out_dir}", file=sys.stderr)
+    print(obs.span_tree, file=sys.stderr)
+    print(f"observability artifacts: {obs.out_dir}", file=sys.stderr)
 
 
-def _load_program(args: argparse.Namespace):
-    if args.benchmark is not None:
-        return benchmark_by_name(args.benchmark).build()
+def _read_scaffold(args: argparse.Namespace) -> Optional[str]:
+    """The Scaffold source text, when ``-f`` was given."""
+    if args.scaffold is None:
+        return None
     with open(args.scaffold, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    defines = {}
+        return handle.read()
+
+
+def _parse_defines(args: argparse.Namespace) -> Dict[str, int]:
+    defines: Dict[str, int] = {}
     for item in args.define or []:
         name, _, value = item.partition("=")
         defines[name] = int(value)
-    return compile_scaffold(source, defines=defines), None
+    return defines
 
 
 def _cmd_devices(_: argparse.Namespace) -> int:
@@ -208,21 +169,25 @@ def _cmd_benchmarks(_: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
-    from repro.compiler import set_warm_start_default
-    from repro.experiments.runner import compile_with_cache
+    from repro import api
 
-    circuit, _ = _load_program(args)
-    device = device_by_name(args.device, day=args.day)
-    cache = _open_cli_cache(args)
-    set_warm_start_default(not args.no_warm_start)
-    with _obs_session(args, "compile", cache):
-        program, _ = compile_with_cache(
-            circuit, device, args.level, day=args.day,
-            cache=cache, contracts=args.contracts,
-        )
-    for violation in program.contract_violations:
+    result = api.compile(
+        benchmark=args.benchmark,
+        scaffold=_read_scaffold(args),
+        defines=_parse_defines(args),
+        device=args.device,
+        level=args.level,
+        day=args.day,
+        cache=_open_cli_cache(args),
+        contracts=args.contracts,
+        warm_start=not args.no_warm_start,
+        obs=_cli_obs_config(args),
+        obs_tag="compile",
+    )
+    _print_obs(result.obs)
+    for violation in result.contract_violations:
         print(f"contract violation: {violation}", file=sys.stderr)
-    text = program.executable()
+    text = result.executable
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -230,59 +195,56 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     else:
         print(text, end="")
     print(
-        f"# {device.name} | {args.level.value} | "
-        f"{program.two_qubit_gate_count()} 2Q gates | "
-        f"{program.one_qubit_pulse_count()} 1Q pulses | "
-        f"{program.num_swaps} swaps",
+        f"# {result.device} | {result.compiler} | "
+        f"{result.two_qubit_gates} 2Q gates | "
+        f"{result.one_qubit_pulses} 1Q pulses | "
+        f"{result.num_swaps} swaps",
         file=sys.stderr,
     )
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.compiler import set_warm_start_default
-    from repro.experiments.runner import compile_with_cache
+    from repro import api
 
-    circuit, correct = _load_program(args)
-    if correct is None:
+    if args.scaffold is not None:
         print("error: `run` needs a suite benchmark (known correct answer)",
               file=sys.stderr)
         return 2
-    device = device_by_name(args.device, day=args.day)
-    cache = _open_cli_cache(args)
-    set_warm_start_default(not args.no_warm_start)
-    with _obs_session(args, "run", cache):
-        program, _ = compile_with_cache(
-            circuit, device, args.level, day=args.day,
-            cache=cache, contracts=args.contracts,
-        )
-        for violation in program.contract_violations:
-            print(f"contract violation: {violation}", file=sys.stderr)
-        estimate = monte_carlo_success_rate(
-            program.circuit,
-            device,
-            correct,
-            day=args.day,
-            fault_samples=args.fault_samples,
-        )
-    print(f"device        : {device.name} (day {args.day})")
-    print(f"compiler      : {args.level.value}")
-    print(f"2Q gates      : {program.two_qubit_gate_count()}")
-    print(f"1Q pulses     : {program.one_qubit_pulse_count()}")
-    print(f"success rate  : {estimate.success_rate:.4f}")
-    print(f"ideal rate    : {estimate.ideal_rate:.4f}")
-    print(f"clean-run prob: {estimate.no_fault_probability:.4f}")
+    result = api.run(
+        args.benchmark,
+        device=args.device,
+        level=args.level,
+        day=args.day,
+        fault_samples=args.fault_samples,
+        cache=_open_cli_cache(args),
+        contracts=args.contracts,
+        warm_start=not args.no_warm_start,
+        obs=_cli_obs_config(args),
+        obs_tag="run",
+    )
+    compiled = result.compiled
+    for violation in compiled.contract_violations:
+        print(f"contract violation: {violation}", file=sys.stderr)
+    _print_obs(compiled.obs)
+    print(f"device        : {compiled.device} (day {args.day})")
+    print(f"compiler      : {compiled.compiler}")
+    print(f"2Q gates      : {compiled.two_qubit_gates}")
+    print(f"1Q pulses     : {compiled.one_qubit_pulses}")
+    print(f"success rate  : {result.success_rate:.4f}")
+    print(f"ideal rate    : {result.ideal_rate:.4f}")
+    print(f"clean-run prob: {result.no_fault_probability:.4f}")
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.parallel import run_sweep
+    from repro import api
     from repro.experiments.tables import format_table
 
     benchmarks = None
     if args.benchmarks:
         benchmarks = [
-            benchmark_by_name(name.strip())
+            name.strip()
             for name in args.benchmarks.split(",")
             if name.strip()
         ]
@@ -291,16 +253,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         days = [int(d) for d in args.days.split(",") if d.strip()]
     resume = args.resume is not None
     run_id = args.run_id or (args.resume if args.resume else None)
-    cache = _open_cli_cache(args)
-    report = run_sweep(
-        device_by_name(args.device, day=args.day),
+    result = api.sweep(
+        args.device,
         args.levels,
         benchmarks=benchmarks,
         day=args.day,
         fault_samples=args.fault_samples,
         with_success=not args.no_success,
         workers=args.workers,
-        cache=cache,
+        cache=_open_cli_cache(args),
         base_seed=args.seed,
         task_timeout_s=args.task_timeout,
         retries=args.retries,
@@ -316,106 +277,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = [
         [m.benchmark, m.compiler, m.two_qubit_gates, m.one_qubit_pulses,
          m.depth, m.num_swaps]
-        for m in report.measurements
+        for m in result.measurements
     ]
     if not args.no_success:
         headers.append("Success")
-        for row, m in zip(rows, report.measurements):
+        for row, m in zip(rows, result.measurements):
             row.append(m.success_rate)
     print(
         format_table(
             headers,
             [tuple(row) for row in rows],
-            title=f"Sweep: {report.measurements[0].device}"
-            if report.measurements
+            title=f"Sweep: {result.measurements[0].device}"
+            if result.measurements
             else "Sweep: (no fitting benchmarks)",
         )
     )
-    for m in report.measurements:
+    for m in result.measurements:
         for violation in m.contract_violations:
             print(
                 f"contract violation [{m.benchmark}/{m.compiler}]: "
                 f"{violation}",
                 file=sys.stderr,
             )
-    print(report.summary(), file=sys.stderr)
-    if report.run_id:
+    print(result.report.summary(), file=sys.stderr)
+    if result.run_id:
         print(
-            f"run id: {report.run_id} "
-            f"(resume an interrupted run with --resume {report.run_id})",
+            f"run id: {result.run_id} "
+            f"(resume an interrupted run with --resume {result.run_id})",
             file=sys.stderr,
         )
-    if report.obs_dir is not None:
+    if result.report.obs_dir is not None:
         print(
-            f"summarize with: repro profile {report.obs_dir}",
+            f"summarize with: repro profile {result.report.obs_dir}",
             file=sys.stderr,
         )
-    for failure in report.failures:
+    for failure in result.failures:
         print(f"FAILED {failure.describe()}", file=sys.stderr)
     # Partial results are printed either way; a nonzero exit tells
     # scripts some cells were given up on.
-    return 4 if report.failures else 0
+    return 4 if result.failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, load_tenants, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cache_enabled=not args.no_cache,
+        memory_entries=args.memory_entries,
+        drain_grace_s=args.drain_grace,
+        admin=args.admin,
+        port_file=args.port_file,
+        default_wait_timeout_s=args.wait_timeout,
+    )
+    if args.tenants:
+        config.tenants = load_tenants(args.tenants)
+    return run_service(config)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     """Compile a grid under warn-mode contracts; report every violation."""
-    from repro.devices import all_devices
-    from repro.experiments.runner import compile_with, fits
-    from repro.programs import standard_suite
+    from repro import api
 
+    devices = None
     if args.devices:
         devices = [
-            device_by_name(name.strip(), day=args.day)
-            for name in args.devices.split(",")
-            if name.strip()
+            name.strip() for name in args.devices.split(",") if name.strip()
         ]
-    else:
-        devices = all_devices(day=args.day)
+    benchmarks = None
     if args.benchmarks:
         benchmarks = [
-            benchmark_by_name(name.strip())
+            name.strip()
             for name in args.benchmarks.split(",")
             if name.strip()
         ]
-    else:
-        benchmarks = standard_suite()
-
-    cells = 0
-    violations = 0
-    errors = 0
-    for benchmark in benchmarks:
-        circuit, _ = benchmark.build()
-        for device in devices:
-            if not fits(circuit, device):
-                continue
-            for compiler in args.levels:
-                cells += 1
-                label = getattr(compiler, "value", str(compiler))
-                try:
-                    program = compile_with(
-                        circuit, device, compiler, day=args.day,
-                        contracts="warn",
-                    )
-                except Exception as exc:  # noqa: BLE001 - report and go on
-                    errors += 1
-                    print(
-                        f"ERROR {benchmark.name} | {device.name} | {label}: "
-                        f"{type(exc).__name__}: {exc}",
-                        file=sys.stderr,
-                    )
-                    continue
-                for violation in program.contract_violations:
-                    violations += 1
-                    print(
-                        f"VIOLATION {benchmark.name} | {device.name} | "
-                        f"{label}: {violation}"
-                    )
+    result = api.check(
+        devices=devices,
+        benchmarks=benchmarks,
+        levels=args.levels,
+        day=args.day,
+    )
+    for cell in result.errors:
+        print(
+            f"ERROR {cell.benchmark} | {cell.device} | {cell.compiler}: "
+            f"{cell.message}",
+            file=sys.stderr,
+        )
+    for cell in result.violations:
+        print(
+            f"VIOLATION {cell.benchmark} | {cell.device} | "
+            f"{cell.compiler}: {cell.message}"
+        )
     print(
-        f"checked {cells} cells: {violations} contract violation(s), "
-        f"{errors} error(s)",
+        f"checked {result.cells} cells: {len(result.violations)} contract "
+        f"violation(s), {len(result.errors)} error(s)",
         file=sys.stderr,
     )
-    return 5 if violations or errors else 0
+    return 0 if result.ok else 5
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -731,6 +692,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_contract_args(sweep_parser)
     _add_obs_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the compilation service daemon (asyncio HTTP/JSON)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", "-p", type=int, default=8756,
+        help="TCP port; 0 picks a free ephemeral port (default 8756)",
+    )
+    serve_parser.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound port number here once listening "
+             "(useful with --port 0)",
+    )
+    serve_parser.add_argument(
+        "--workers", "-w", type=int, default=2,
+        help="concurrent job executors (default 2)",
+    )
+    serve_parser.add_argument(
+        "--memory-entries", type=int, default=256,
+        help="capacity of the in-process warm artifact cache "
+             "(default 256 entries)",
+    )
+    serve_parser.add_argument(
+        "--tenants", metavar="PATH", default=None,
+        help="JSON file of tenant classes "
+             '(e.g. {"batch": {"priority": 20, "rate_per_s": 2}})',
+    )
+    serve_parser.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight jobs (default 30)",
+    )
+    serve_parser.add_argument(
+        "--wait-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="how long a wait=true submission blocks before returning "
+             "202 + job id (default 300)",
+    )
+    serve_parser.add_argument(
+        "--admin", action="store_true",
+        help="enable the /admin/pause and /admin/resume endpoints",
+    )
+    _add_cache_args(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
 
     check_parser = sub.add_parser(
         "check",

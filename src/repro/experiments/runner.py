@@ -143,6 +143,32 @@ def compile_with(
     return program
 
 
+def artifact_key(
+    circuit: Circuit,
+    device: Device,
+    compiler: CompilerName,
+    day: Optional[int] = None,
+    seed: int = 0,
+    contracts: Union[ContractMode, str, None] = None,
+) -> str:
+    """The content-addressed cache key of one compiled-program artifact.
+
+    This is the exact key :func:`compile_with_cache` consults, factored
+    out so callers that never compile — the service's request coalescer,
+    provenance fields on :class:`repro.api.CompileResult` — can address
+    the same artifact.
+    """
+    mode = ContractMode.coerce(contracts)
+    options = dict(_TRIQ_OPTIONS)
+    if not isinstance(compiler, OptimizationLevel):
+        options = {"seed": seed}
+    if mode.enabled:
+        # Only enabled modes join the key, so contract-off runs keep
+        # hitting every artifact cached before the contracts layer.
+        options["contracts"] = mode.value
+    return compile_key(circuit, device, compiler_label(compiler), day, options)
+
+
 def compile_with_cache(
     circuit: Circuit,
     device: Device,
@@ -167,14 +193,9 @@ def compile_with_cache(
             ),
             None,
         )
-    options = dict(_TRIQ_OPTIONS)
-    if not isinstance(compiler, OptimizationLevel):
-        options = {"seed": seed}
-    if mode.enabled:
-        # Only enabled modes join the key, so contract-off runs keep
-        # hitting every artifact cached before the contracts layer.
-        options["contracts"] = mode.value
-    key = compile_key(circuit, device, compiler_label(compiler), day, options)
+    key = artifact_key(
+        circuit, device, compiler, day=day, seed=seed, contracts=mode
+    )
     payload = cache.get(key)
     if payload is not None:
         return CompiledProgram.from_payload(payload, device), True

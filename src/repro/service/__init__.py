@@ -1,0 +1,37 @@
+"""The ``repro serve`` daemon: compilation as a long-lived service.
+
+A zero-dependency asyncio HTTP/JSON front over :mod:`repro.api` with a
+multi-tenant priority/rate queue, an in-process warm artifact cache
+shared across requests, content-addressed coalescing of identical
+in-flight jobs, a Prometheus ``/metrics`` endpoint, and graceful drain
+on SIGTERM.  See :mod:`repro.service.server` for the endpoint map.
+"""
+
+from repro.service.config import (
+    DEFAULT_TENANT,
+    ServiceConfig,
+    TenantClass,
+    load_tenants,
+)
+from repro.service.jobs import Job
+from repro.service.queue import (
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+    TokenBucket,
+)
+from repro.service.server import ReproService, run_service
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "Job",
+    "JobQueue",
+    "QueueClosed",
+    "QueueFull",
+    "ReproService",
+    "ServiceConfig",
+    "TenantClass",
+    "TokenBucket",
+    "load_tenants",
+    "run_service",
+]

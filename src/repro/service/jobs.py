@@ -1,0 +1,69 @@
+"""Job records tracked by the ``repro serve`` daemon.
+
+A :class:`Job` is the unit the queue schedules and the HTTP API exposes:
+one compile/run/sweep request, its tenant, its content-addressed
+coalescing key, and (once executed) its result or structured error.
+Jobs whose key matches an in-flight job never reach the queue — they
+are *coalesced*: they share the primary's future and copy its outcome
+(see :meth:`repro.service.server.ReproService`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Job lifecycle states, in order.
+STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted unit of work."""
+
+    id: str
+    #: "compile" | "run" | "sweep".
+    kind: str
+    tenant: str
+    #: Keyword arguments for the matching :mod:`repro.api` function.
+    params: Dict[str, Any]
+    #: Content-addressed identity for request coalescing (None: never
+    #: coalesced, e.g. resumable sweeps with explicit run ids).
+    coalesce_key: Optional[str] = None
+    status: str = "queued"
+    #: JSON payload of the api result (done jobs).
+    result: Optional[Dict[str, Any]] = None
+    #: Structured error (failed jobs): {"type", "message"}.
+    error: Optional[Dict[str, Any]] = None
+    #: Primary job id this one coalesced onto (duplicates only).
+    coalesced_with: Optional[str] = None
+    #: Duplicate job ids riding on this primary.
+    duplicates: List[str] = field(default_factory=list)
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Resolved (with None) when the job reaches done/failed.  Created
+    #: by the server inside the event loop.
+    future: Optional["asyncio.Future"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def describe(self) -> Dict[str, Any]:
+        """The JSON-safe status block (no result payload)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "status": self.status,
+            "coalesce_key": self.coalesce_key,
+            "coalesced_with": self.coalesced_with,
+            "duplicates": list(self.duplicates),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }

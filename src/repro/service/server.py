@@ -1,0 +1,605 @@
+"""The ``repro serve`` daemon: compilation as a long-lived service.
+
+A zero-dependency asyncio HTTP/JSON server (stdlib only — the HTTP/1.1
+framing is parsed by hand) that fronts :mod:`repro.api` with:
+
+* a **multi-tenant job queue** — submissions carry a ``tenant`` name
+  mapped to a priority/rate class (:mod:`repro.service.config`); the
+  scheduler is strict-priority with per-tenant token buckets
+  (:mod:`repro.service.queue`);
+* a **persistent warm cache** — one process-wide
+  :class:`~repro.cache.memory.MemoryCache` front over the on-disk
+  store, shared by every request, so compiled programs, reliability
+  matrices, and warm-start hints stay hot across jobs;
+* **request coalescing** — concurrent submissions whose
+  content-addressed key (:func:`repro.api.compile_cache_key`) matches
+  an in-flight job never queue a second compile: they share the
+  primary's future and copy its outcome, counted by
+  ``repro_service_cache_events_total{event="coalesced"}``;
+* a **/metrics endpoint** — the existing Prometheus exposition
+  (:meth:`repro.obs.MetricsRegistry.render_prometheus`), parseable by
+  the strict :func:`repro.obs.parse_prometheus`;
+* **graceful drain** — SIGTERM/SIGINT stops intake (503), finishes
+  queued and running jobs within ``drain_grace_s``, then exits 0.
+
+Endpoints::
+
+    GET  /healthz           liveness + draining flag
+    GET  /metrics           Prometheus exposition
+    GET  /v1/jobs           every tracked job's status block
+    GET  /v1/jobs/<id>      one job, result/error included
+    POST /v1/compile        {"benchmark"|"scaffold", "device", ...}
+    POST /v1/run            {"benchmark", "device", "fault_samples", ...}
+    POST /v1/sweep          {"device", "compilers", "benchmarks", ...}
+    POST /admin/pause       freeze dispatch      (with --admin)
+    POST /admin/resume      resume dispatch      (with --admin)
+
+Submissions accept ``tenant`` (class name), ``wait`` (default true:
+block until the job finishes, else 202 + job id immediately), and
+``timeout`` (seconds before a waiting submission degrades to 202).
+Worker faults (:mod:`repro.experiments.faults`, ``REPRO_FAULT_INJECT``)
+stay contained: a crashed sweep cell surfaces as a structured
+``TaskFailure`` entry in that job's payload, and a job that raises
+fails with ``{"type", "message"}`` — the daemon itself never dies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cache import MemoryCache, activate_cache, digest, open_cache
+from repro.obs import MetricsRegistry
+from repro.service.config import DEFAULT_TENANT, ServiceConfig
+from repro.service.jobs import Job
+from repro.service.queue import JobQueue, QueueClosed, QueueFull
+
+#: Fields a submission may carry besides the per-kind parameters.
+_CONTROL_FIELDS = {"tenant", "wait", "timeout"}
+
+#: Per-kind parameter allow-lists (everything else is a 400).
+_PARAM_FIELDS = {
+    "compile": {
+        "benchmark", "scaffold", "defines", "device", "level", "day",
+        "contracts",
+    },
+    "run": {
+        "benchmark", "device", "level", "day", "fault_samples", "contracts",
+    },
+    "sweep": {
+        "device", "compilers", "benchmarks", "day", "days", "fault_samples",
+        "with_success", "workers", "base_seed", "task_timeout_s", "retries",
+        "skip_bad_days", "run_id", "resume", "contracts",
+    },
+}
+
+
+class _HttpError(Exception):
+    """Terminate request handling with a status + JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class ReproService:
+    """One daemon instance: queue, warm cache, HTTP front, metrics."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.backing = open_cache(
+            self.config.cache_dir, enabled=self.config.cache_enabled
+        )
+        self.cache = MemoryCache(
+            self.backing, max_entries=self.config.memory_entries
+        )
+        self.queue = JobQueue(self.config.tenants)
+        self.jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}
+        self._seq = 0
+        self.draining = False
+        self.port: Optional[int] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_service_requests_total", "HTTP requests handled"
+        )
+        self._jobs_submitted = self.registry.counter(
+            "repro_service_jobs_submitted_total", "Jobs accepted"
+        )
+        self._jobs_completed = self.registry.counter(
+            "repro_service_jobs_completed_total",
+            "Jobs finished, by terminal status",
+        )
+        self._cache_events = self.registry.counter(
+            "repro_service_cache_events_total",
+            "Warm-cache and coalescer events",
+        )
+        self._latency = self.registry.histogram(
+            "repro_service_job_latency_seconds", "Job execution latency"
+        )
+        self._queue_depth = self.registry.gauge(
+            "repro_service_queue_depth", "Jobs waiting in the queue"
+        )
+        self._running_jobs = self.registry.gauge(
+            "repro_service_running_jobs", "Jobs currently executing"
+        )
+        self._draining_gauge = self.registry.gauge(
+            "repro_service_draining", "1 while the daemon drains"
+        )
+        self._running = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def serve(self) -> int:
+        """Run until SIGTERM/SIGINT, drain, and return the exit code."""
+        config = self.config
+        loop = asyncio.get_running_loop()
+        self.loop = loop
+        self._stop = asyncio.Event()
+        self._kick = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_stop)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Non-main thread (in-process tests) or platforms
+                # without signal support: request_stop() still works.
+                pass
+        activate_cache(self.cache)
+        self.cache.observer = self._on_cache_event
+        self.executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="repro-job"
+        )
+        server = await asyncio.start_server(
+            self._handle_client, config.host, config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if config.port_file:
+            Path(config.port_file).write_text(
+                f"{self.port}\n", encoding="utf-8"
+            )
+        print(
+            f"repro service listening on http://{config.host}:{self.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        workers = [
+            loop.create_task(self._worker()) for _ in range(config.workers)
+        ]
+        try:
+            await self._stop.wait()
+        finally:
+            self.draining = True
+            self._draining_gauge.set(1.0)
+            self.queue.close()
+            self._kick.set()
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*workers), timeout=config.drain_grace_s
+                )
+            except asyncio.TimeoutError:
+                for task in workers:
+                    task.cancel()
+                await asyncio.gather(*workers, return_exceptions=True)
+            server.close()
+            await server.wait_closed()
+            self.executor.shutdown(wait=False)
+        print("repro service drained cleanly", file=sys.stderr, flush=True)
+        return 0
+
+    def request_stop(self) -> None:
+        """Begin the graceful drain (signal handler / test hook)."""
+        if not self._stop.is_set():
+            self._stop.set()
+
+    def _on_cache_event(self, event: str) -> None:
+        """Cache events arrive from executor threads; count in-loop."""
+        loop = self.loop
+        if loop is None or not loop.is_running():
+            return
+        loop.call_soon_threadsafe(
+            functools.partial(self._cache_events.inc, event=event)
+        )
+
+    # ------------------------------------------------------------------
+    # Workers
+
+    async def _worker(self) -> None:
+        while True:
+            job, delay = self.queue.pop_ready()
+            if job is None:
+                if self.queue.drained:
+                    return
+                timeout = delay if delay is not None else 0.25
+                try:
+                    await asyncio.wait_for(self._kick.wait(), timeout)
+                except asyncio.TimeoutError:
+                    pass
+                else:
+                    self._kick.clear()
+                continue
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        self._running += 1
+        started = time.monotonic()
+        try:
+            payload = await self.loop.run_in_executor(
+                self.executor, self._execute, job
+            )
+        except Exception as exc:  # noqa: BLE001 - contained per job
+            job.error = {"type": type(exc).__name__, "message": str(exc)}
+            job.status = "failed"
+        else:
+            job.result = payload
+            job.status = "done"
+        job.finished_at = time.time()
+        self._running -= 1
+        self._latency.observe(time.monotonic() - started, kind=job.kind)
+        self._jobs_completed.inc(
+            kind=job.kind, tenant=job.tenant, status=job.status
+        )
+        self._finish(job)
+
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        """Run one job's api call (executor thread)."""
+        from repro import api
+
+        params = dict(job.params)
+        if job.kind == "compile":
+            return api.compile(cache=self.cache, **params).to_payload()
+        if job.kind == "run":
+            benchmark = params.pop("benchmark")
+            return api.run(
+                benchmark, cache=self.cache, **params
+            ).to_payload()
+        device = params.pop("device")
+        compilers = params.pop("compilers", ["1QOptCN"])
+        # Sweeps go straight to the disk store: the journal and the
+        # process-pool workers both key off its directory.
+        result = api.sweep(
+            device, compilers, cache=self.backing, **params
+        )
+        payload = result.to_payload()
+        report = result.report
+        if report is not None and report.metrics is not None:
+            self.loop.call_soon_threadsafe(
+                self.registry.merge, report.metrics
+            )
+        return payload
+
+    def _finish(self, job: Job) -> None:
+        if (
+            job.coalesce_key
+            and self._inflight.get(job.coalesce_key) is job
+        ):
+            del self._inflight[job.coalesce_key]
+        if job.future is not None and not job.future.done():
+            job.future.set_result(None)
+        for dup_id in job.duplicates:
+            duplicate = self.jobs.get(dup_id)
+            if duplicate is None:
+                continue
+            duplicate.status = job.status
+            duplicate.result = job.result
+            duplicate.error = job.error
+            duplicate.started_at = job.started_at
+            duplicate.finished_at = job.finished_at
+            if duplicate.future is not None and not duplicate.future.done():
+                duplicate.future.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Submission
+
+    def _prepare(self, kind: str, body: Dict[str, Any]) -> Tuple[
+        Dict[str, Any], Optional[str]
+    ]:
+        """Validated api params + coalescing key for one submission."""
+        from repro import api
+        from repro.devices import device_by_name
+        from repro.programs import benchmark_by_name
+
+        allowed = _PARAM_FIELDS[kind]
+        unknown = set(body) - allowed - _CONTROL_FIELDS
+        if unknown:
+            raise ValueError(f"unknown fields: {sorted(unknown)}")
+        params = {key: body[key] for key in allowed if key in body}
+        if kind == "compile":
+            if ("benchmark" in params) == ("scaffold" in params):
+                raise ValueError(
+                    "give exactly one of 'benchmark' or 'scaffold'"
+                )
+            if "device" not in params:
+                raise ValueError("'device' is required")
+            key = api.compile_cache_key(
+                benchmark=params.get("benchmark"),
+                scaffold=params.get("scaffold"),
+                defines=params.get("defines"),
+                device=params["device"],
+                level=params.get("level", "1QOptCN"),
+                day=params.get("day", 0),
+                contracts=params.get("contracts"),
+            )
+            return params, f"compile:{key}"
+        if kind == "run":
+            if "benchmark" not in params:
+                raise ValueError(
+                    "'run' needs a suite benchmark (known correct answer)"
+                )
+            if "device" not in params:
+                raise ValueError("'device' is required")
+            key = api.compile_cache_key(
+                benchmark=params["benchmark"],
+                device=params["device"],
+                level=params.get("level", "1QOptCN"),
+                day=params.get("day", 0),
+                contracts=params.get("contracts"),
+            )
+            samples = params.get("fault_samples", 100)
+            return params, f"run:{key}:fs{samples}"
+        # sweep
+        if "device" not in params:
+            raise ValueError("'device' is required")
+        day = params.get("day", 0)
+        device_by_name(str(params["device"]), day=day)
+        api.resolve_compilers(params.get("compilers", ["1QOptCN"]))
+        for name in params.get("benchmarks") or []:
+            benchmark_by_name(str(name))
+        if params.get("run_id") or params.get("resume"):
+            # Resumable sweeps are stateful; never fold them together.
+            return params, None
+        spec = json.dumps(params, sort_keys=True, default=str)
+        return params, f"sweep:{digest('service-sweep', spec)}"
+
+    def submit(self, kind: str, body: Dict[str, Any]) -> Job:
+        """Queue (or coalesce) one job; raises for every rejection."""
+        if self.draining:
+            raise QueueClosed("service is draining")
+        tenant = str(body.get("tenant") or DEFAULT_TENANT)
+        params, coalesce_key = self._prepare(kind, body)
+        self._seq += 1
+        job = Job(
+            id=f"job-{self._seq:06d}",
+            kind=kind,
+            tenant=tenant,
+            params=params,
+            coalesce_key=coalesce_key,
+            submitted_at=time.time(),
+        )
+        job.future = self.loop.create_future()
+        primary = (
+            self._inflight.get(coalesce_key) if coalesce_key else None
+        )
+        if primary is not None and not primary.finished:
+            job.coalesced_with = primary.id
+            primary.duplicates.append(job.id)
+            self._cache_events.inc(event="coalesced")
+        else:
+            self.queue.submit(job)
+            if coalesce_key:
+                self._inflight[coalesce_key] = job
+            self._kick.set()
+        self.jobs[job.id] = job
+        self._jobs_submitted.inc(kind=kind, tenant=tenant)
+        return job
+
+    # ------------------------------------------------------------------
+    # HTTP front
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        method = route = "?"
+        status = 0
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, target, body = request
+                try:
+                    route, status, payload, text = await self._route(
+                        method, target, body
+                    )
+                    self._write_response(
+                        writer, status, payload=payload, text=text
+                    )
+                except _HttpError as exc:
+                    status = exc.status
+                    self._write_response(
+                        writer, exc.status, payload={"error": exc.message}
+                    )
+                except Exception as exc:  # noqa: BLE001 - daemon survives
+                    status = 500
+                    self._write_response(
+                        writer,
+                        500,
+                        payload={"error": f"{type(exc).__name__}: {exc}"},
+                    )
+        except _HttpError as exc:
+            status = exc.status
+            self._write_response(
+                writer, exc.status, payload={"error": exc.message}
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            if status:
+                self._requests.inc(
+                    method=method, route=route, status=str(status)
+                )
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        if not line.strip():
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=30.0
+            )
+        return method, target, body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Optional[Dict[str, Any]] = None,
+        text: Optional[str] = None,
+    ) -> None:
+        if text is not None:
+            body = text.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload or {}).encode("utf-8")
+            content_type = "application/json"
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[str, int, Optional[Dict[str, Any]], Optional[str]]:
+        """Dispatch one request; returns (route-label, status, json, text)."""
+        path = target.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return path, 200, {
+                "status": "ok",
+                "draining": self.draining,
+                "jobs": len(self.jobs),
+            }, None
+        if path == "/metrics" and method == "GET":
+            return path, 200, None, self._metrics_text()
+        if path == "/v1/jobs" and method == "GET":
+            return path, 200, {
+                "jobs": [job.describe() for job in self.jobs.values()]
+            }, None
+        if path.startswith("/v1/jobs/") and method == "GET":
+            job = self.jobs.get(path[len("/v1/jobs/"):])
+            if job is None:
+                raise _HttpError(404, "no such job")
+            return "/v1/jobs/{id}", 200, self._job_payload(job), None
+        if path in ("/v1/compile", "/v1/run", "/v1/sweep"):
+            if method != "POST":
+                raise _HttpError(405, "POST only")
+            status, payload = await self._handle_submit(
+                path.rsplit("/", 1)[1], body
+            )
+            return path, status, payload, None
+        if path in ("/admin/pause", "/admin/resume"):
+            if not self.config.admin:
+                raise _HttpError(404, "admin endpoints are disabled")
+            if method != "POST":
+                raise _HttpError(405, "POST only")
+            if path.endswith("pause"):
+                self.queue.pause()
+            else:
+                self.queue.resume()
+                self._kick.set()
+            return path, 200, {"paused": self.queue.paused}, None
+        raise _HttpError(404, f"no route {method} {path}")
+
+    def _metrics_text(self) -> str:
+        self._queue_depth.set(float(self.queue.depth()))
+        self._running_jobs.set(float(self._running))
+        return self.registry.render_prometheus()
+
+    def _job_payload(self, job: Job) -> Dict[str, Any]:
+        payload = {"job": job.describe()}
+        if job.result is not None:
+            payload["result"] = job.result
+        if job.error is not None:
+            payload["error"] = job.error
+        return payload
+
+    async def _handle_submit(
+        self, kind: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _HttpError(400, "request body is not valid JSON") from None
+        if not isinstance(parsed, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        try:
+            job = self.submit(kind, parsed)
+        except QueueClosed:
+            raise _HttpError(503, "service is draining") from None
+        except QueueFull as exc:
+            raise _HttpError(429, str(exc)) from None
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        wait = bool(parsed.get("wait", True))
+        if not wait:
+            return 202, {"job": job.describe()}
+        try:
+            timeout = float(
+                parsed.get("timeout", self.config.default_wait_timeout_s)
+            )
+        except (TypeError, ValueError):
+            raise _HttpError(400, "bad 'timeout'") from None
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(job.future), timeout=timeout
+            )
+        except asyncio.TimeoutError:
+            return 202, {"job": job.describe()}
+        status = 200 if job.status == "done" else 500
+        return status, self._job_payload(job)
+
+
+def run_service(config: Optional[ServiceConfig] = None) -> int:
+    """Boot one daemon and block until it drains (the CLI entry)."""
+    return asyncio.run(ReproService(config).serve())

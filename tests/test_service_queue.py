@@ -1,0 +1,269 @@
+"""Unit tests for the service's scheduling and warm-cache layers.
+
+The queue is plain synchronous state driven here with a fake clock, so
+rate limiting, strict priority, pause/drain, and depth bounds are all
+deterministic; the memory cache tests cover write-through, promotion,
+LRU eviction, and the layer-qualified event stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import CompileCache, MemoryCache, NullCache, open_cache
+from repro.service import (
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+    TenantClass,
+    TokenBucket,
+    load_tenants,
+)
+from repro.service.jobs import Job
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_job(job_id: str, tenant: str = "default") -> Job:
+    return Job(id=job_id, kind="compile", tenant=tenant, params={})
+
+
+class TestTokenBucket:
+    def test_unlimited_rate_never_waits(self):
+        bucket = TokenBucket(0.0, burst=1, clock=FakeClock())
+        for _ in range(100):
+            assert bucket.wait_time() == 0.0
+            bucket.take()
+
+    def test_burst_then_sustained_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, burst=3, clock=clock)
+        for _ in range(3):
+            assert bucket.wait_time() == 0.0
+            bucket.take()
+        assert bucket.wait_time() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.wait_time() == 0.0
+        bucket.take()
+        assert bucket.wait_time() > 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        bucket.take()
+        bucket.take()
+        assert bucket.wait_time() == pytest.approx(0.1)
+
+
+class TestJobQueue:
+    def test_fifo_within_one_tenant(self):
+        queue = JobQueue()
+        for i in range(3):
+            queue.submit(make_job(f"j{i}"))
+        order = [queue.pop_ready()[0].id for _ in range(3)]
+        assert order == ["j0", "j1", "j2"]
+        assert queue.pop_ready() == (None, None)
+
+    def test_strict_priority_across_tenants(self):
+        tenants = {
+            "interactive": TenantClass("interactive", priority=0),
+            "batch": TenantClass("batch", priority=20),
+        }
+        queue = JobQueue(tenants)
+        queue.submit(make_job("b1", "batch"))
+        queue.submit(make_job("i1", "interactive"))
+        queue.submit(make_job("b2", "batch"))
+        queue.submit(make_job("i2", "interactive"))
+        order = [queue.pop_ready()[0].id for _ in range(4)]
+        assert order == ["i1", "i2", "b1", "b2"]
+
+    def test_rate_limited_tenant_is_skipped_not_blocking(self):
+        clock = FakeClock()
+        tenants = {
+            "hot": TenantClass("hot", priority=0, rate_per_s=1.0, burst=1),
+            "cold": TenantClass("cold", priority=50),
+        }
+        queue = JobQueue(tenants, clock=clock)
+        queue.submit(make_job("h1", "hot"))
+        queue.submit(make_job("h2", "hot"))
+        queue.submit(make_job("c1", "cold"))
+        assert queue.pop_ready()[0].id == "h1"
+        # hot is out of tokens: the lower-priority tenant runs instead.
+        assert queue.pop_ready()[0].id == "c1"
+        job, delay = queue.pop_ready()
+        assert job is None and delay == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert queue.pop_ready()[0].id == "h2"
+
+    def test_max_queued_raises_queue_full(self):
+        tenants = {"tiny": TenantClass("tiny", max_queued=1)}
+        queue = JobQueue(tenants)
+        queue.submit(make_job("a", "tiny"))
+        with pytest.raises(QueueFull) as excinfo:
+            queue.submit(make_job("b", "tiny"))
+        assert excinfo.value.tenant == "tiny"
+
+    def test_unknown_tenant_inherits_default_class(self):
+        queue = JobQueue({"default": TenantClass("default", priority=7)})
+        spec = queue.tenant_class("newcomer")
+        assert spec.name == "newcomer" and spec.priority == 7
+        open_spec = JobQueue().tenant_class("anyone")
+        assert open_spec.rate_per_s == 0.0
+
+    def test_pause_resume(self):
+        queue = JobQueue()
+        queue.submit(make_job("a"))
+        queue.pause()
+        assert queue.pop_ready() == (None, None)
+        queue.resume()
+        assert queue.pop_ready()[0].id == "a"
+
+    def test_close_drains_then_rejects(self):
+        queue = JobQueue()
+        queue.submit(make_job("a"))
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.submit(make_job("b"))
+        assert not queue.drained
+        assert queue.pop_ready()[0].id == "a"
+        assert queue.drained
+
+    def test_depth_counts_every_tenant(self):
+        queue = JobQueue()
+        queue.submit(make_job("a", "x"))
+        queue.submit(make_job("b", "y"))
+        assert queue.depth() == 2
+
+
+class TestMemoryCache:
+    def test_write_through_to_backing(self, tmp_path):
+        backing = open_cache(tmp_path / "cache")
+        front = MemoryCache(backing)
+        front.put("k1", {"v": 1})
+        assert backing.get("k1") == {"v": 1}
+        assert front.get("k1") == {"v": 1}
+
+    def test_memory_hit_beats_disk(self, tmp_path):
+        backing = open_cache(tmp_path / "cache")
+        front = MemoryCache(backing)
+        events = []
+        front.observer = events.append
+        front.put("k1", {"v": 1})
+        front.get("k1")
+        assert events == ["store", "memory_hit"]
+        # The backing store was not consulted for the hit.
+        assert backing.stats.hits == 0
+
+    def test_disk_hit_promotes_into_memory(self, tmp_path):
+        backing = open_cache(tmp_path / "cache")
+        backing.put("k1", {"v": 1})
+        front = MemoryCache(backing)
+        events = []
+        front.observer = events.append
+        assert front.get("k1") == {"v": 1}
+        assert front.get("k1") == {"v": 1}
+        assert events == ["disk_hit", "memory_hit"]
+
+    def test_miss_everywhere(self, tmp_path):
+        front = MemoryCache(open_cache(tmp_path / "cache"))
+        events = []
+        front.observer = events.append
+        assert front.get("nope") is None
+        assert events == ["miss"]
+        assert front.stats.misses == 1
+
+    def test_lru_eviction_is_bounded(self):
+        front = MemoryCache(NullCache(), max_entries=2)
+        front.put("a", 1)
+        front.put("b", 2)
+        front.get("a")  # refresh a; b is now the eviction candidate
+        front.put("c", 3)
+        assert len(front) == 2
+        assert front.get("b") is None  # NullCache backing: gone for good
+        assert front.get("a") == 1 and front.get("c") == 3
+
+    def test_evicted_entry_recovers_from_disk(self, tmp_path):
+        backing = open_cache(tmp_path / "cache")
+        front = MemoryCache(backing, max_entries=1)
+        front.put("a", {"v": 1})
+        front.put("b", {"v": 2})  # evicts a from memory, not from disk
+        assert front.get("a") == {"v": 1}
+
+    def test_root_delegates_to_backing(self, tmp_path):
+        backing = open_cache(tmp_path / "cache")
+        assert MemoryCache(backing).root == backing.root
+        assert MemoryCache(NullCache()).root is None
+        assert MemoryCache(None).root is None
+
+    def test_clear_only_drops_memory(self, tmp_path):
+        backing = open_cache(tmp_path / "cache")
+        front = MemoryCache(backing)
+        front.put("a", 1)
+        front.clear()
+        assert len(front) == 0
+        assert front.get("a") == 1  # served from disk again
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryCache(NullCache(), max_entries=0)
+
+    def test_duck_types_as_cache(self, tmp_path):
+        """compile_with_cache accepts the front wherever a cache goes."""
+        from repro.compiler import OptimizationLevel
+        from repro.devices import device_by_name
+        from repro.experiments.runner import compile_with_cache
+        from repro.programs import benchmark_by_name
+
+        front = MemoryCache(open_cache(tmp_path / "cache"))
+        circuit, _ = benchmark_by_name("HS2").build()
+        device = device_by_name("tenerife", day=0)
+        cold, hit_cold = compile_with_cache(
+            circuit, device, OptimizationLevel.OPT_1QCN, cache=front
+        )
+        warm, hit_warm = compile_with_cache(
+            circuit, device, OptimizationLevel.OPT_1QCN, cache=front
+        )
+        assert (hit_cold, hit_warm) == (False, True)
+        assert warm.executable() == cold.executable()
+        assert isinstance(front.backing, CompileCache)
+
+
+class TestTenantConfig:
+    def test_load_tenants_roundtrip(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "interactive": {"priority": 0},
+                    "batch": {"priority": 20, "rate_per_s": 2, "burst": 4},
+                }
+            )
+        )
+        tenants = load_tenants(path)
+        assert tenants["interactive"].priority == 0
+        assert tenants["batch"].rate_per_s == 2
+        assert tenants["batch"].max_queued == 1024
+
+    def test_load_tenants_rejects_non_object(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_tenants(path)
+
+    def test_load_tenants_rejects_unknown_fields(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps({"x": {"prio": 1}}))
+        with pytest.raises(ValueError, match="unknown fields"):
+            load_tenants(path)
