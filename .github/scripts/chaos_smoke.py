@@ -1,0 +1,184 @@
+"""CI chaos smoke for distributed sweeps (the chaos-smoke job).
+
+The whole point of the distributed layer is that process death is
+boring, so this script makes processes die and asserts nothing was
+lost and nothing was double-counted:
+
+1. **Baseline**: a clean single-machine sweep (``--workers 1``) of the
+   grid, recording its journal digests and measurements.
+2. **Chaos run**: the same grid through ``--workers-from local:2``
+   with ``REPRO_FAULT_INJECT=crash:BV4:1`` killing one worker process
+   mid-task (the driver respawns it, the lease expires and requeues).
+   The driver process — coordinator included — is then SIGKILLed as
+   soon as the journal holds two fsynced records.  If the sweep drains
+   before the kill lands, that race is tolerated: the run simply
+   completed, and resume becomes a no-op replay.
+3. **Resume**: the same command again, no faults, ``--resume``.  Must
+   exit 0 and stay distributed (no silent fallback).
+4. **Invariants**: the chaos journal's digest set equals the
+   baseline's; every digest was journaled exactly once across both
+   coordinator lifetimes (no cell executed-and-counted twice); each
+   cell's measurement matches the baseline byte for byte, modulo cache
+   provenance (``cache_hit``) and wall-clock (``compile_time_s``).
+
+Run locally with ``python .github/scripts/chaos_smoke.py`` (needs the
+package importable, e.g. ``pip install -e .`` or ``PYTHONPATH=src``).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCHMARKS = "BV4,Toffoli,Fredkin,HS2"
+LEVELS = "1QOptCN"
+FAULT_SAMPLES = "100"
+#: Measurement fields that legitimately differ between executions.
+VOLATILE = {"compile_time_s", "cache_hit"}
+#: Journal records to wait for before killing the coordinator.
+KILL_AFTER_RECORDS = 2
+
+
+def sweep_command(cache_dir, run_id, extra):
+    return [
+        sys.executable, "-m", "repro", "sweep",
+        "-d", "tenerife", "-l", LEVELS, "-b", BENCHMARKS,
+        "--fault-samples", FAULT_SAMPLES,
+        "--cache-dir", str(cache_dir),
+        "--run-id", run_id,
+    ] + extra
+
+
+def journal_records(path):
+    """Parsed records in append order (torn tails skipped, like resume)."""
+    records = []
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return records
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8", errors="replace"))
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("v") == 1:
+            records.append(record)
+    return records
+
+
+def stable_measurement(record):
+    return {
+        key: value
+        for key, value in record["measurement"].items()
+        if key not in VOLATILE
+    }
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-smoke-"))
+    env = dict(os.environ)
+    env.pop("REPRO_FAULT_INJECT", None)
+
+    # ------------------------------------------------------------------
+    # 1. Clean single-machine baseline.
+    print("== baseline: clean single-machine sweep", flush=True)
+    subprocess.run(
+        sweep_command(tmp / "cache-a", "baseline", ["--workers", "1"]),
+        env=env, check=True, timeout=600,
+    )
+    baseline = {
+        record["task"]: record
+        for record in journal_records(
+            tmp / "cache-a" / "journals" / "baseline.jsonl"
+        )
+    }
+    assert baseline, "baseline journal is empty"
+    print(f"baseline: {len(baseline)} cells journaled", flush=True)
+
+    # ------------------------------------------------------------------
+    # 2. Distributed run with a crashing worker; SIGKILL the
+    #    coordinator once two completions are on disk.
+    print("== chaos: distributed sweep, worker crash + coordinator kill",
+          flush=True)
+    chaos_env = dict(env, REPRO_FAULT_INJECT="crash:BV4:1")
+    chaos_journal = tmp / "cache-b" / "journals" / "chaos.jsonl"
+    proc = subprocess.Popen(
+        sweep_command(
+            tmp / "cache-b", "chaos",
+            ["--workers-from", "local:2", "--lease-ttl", "2"],
+        ),
+        env=chaos_env,
+    )
+    killed = False
+    deadline = time.monotonic() + 600
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break  # drained before the kill landed: tolerated race
+        if len(journal_records(chaos_journal)) >= KILL_AFTER_RECORDS:
+            proc.kill()
+            proc.wait(timeout=60)
+            killed = True
+            break
+        time.sleep(0.05)
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=60)
+        raise AssertionError("chaos sweep neither progressed nor exited")
+    mid_kill = journal_records(chaos_journal)
+    print(
+        f"chaos: coordinator {'SIGKILLed' if killed else 'finished first'} "
+        f"with {len(mid_kill)} records journaled",
+        flush=True,
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Resume the same run id with a fresh coordinator, no faults.
+    print("== resume: fresh coordinator, same run id", flush=True)
+    resume = subprocess.run(
+        sweep_command(
+            tmp / "cache-b", "chaos",
+            [
+                "--workers-from", "local:2", "--lease-ttl", "2",
+                "--resume", "chaos",
+            ],
+        ),
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    sys.stdout.write(resume.stdout)
+    sys.stderr.write(resume.stderr)
+    assert resume.returncode == 0, f"resume exited {resume.returncode}"
+    assert "distributed" in resume.stderr, "resume fell back silently"
+
+    # ------------------------------------------------------------------
+    # 4. The invariants.
+    records = journal_records(chaos_journal)
+    digests = [record["task"] for record in records]
+    assert sorted(set(digests)) == sorted(baseline), (
+        "chaos digests differ from baseline"
+    )
+    assert len(digests) == len(set(digests)), (
+        "a cell was journaled twice across coordinator lifetimes"
+    )
+    for digest, record in ((d, r) for d, r in zip(digests, records)):
+        expected = stable_measurement(baseline[digest])
+        actual = stable_measurement(record)
+        assert actual == expected, (
+            f"measurement mismatch for {digest[:12]}:\n"
+            f"  baseline: {expected}\n  chaos:    {actual}"
+        )
+    print(
+        f"OK: {len(digests)} cells, digests and measurements identical "
+        f"to the single-machine baseline "
+        f"(kill {'landed mid-sweep' if killed else 'lost the race'})",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,8 @@ from repro.api.core import (
     resolve_level,
     run,
     sweep,
+    sweep_status,
+    work,
 )
 from repro.api.results import (
     CheckCell,
@@ -50,4 +52,6 @@ __all__ = [
     "resolve_level",
     "run",
     "sweep",
+    "sweep_status",
+    "work",
 ]

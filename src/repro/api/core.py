@@ -19,7 +19,6 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import (
     Any,
-    Dict,
     List,
     Mapping,
     Optional,
@@ -358,7 +357,29 @@ def sweep(
     ``run_id``, ``resume``, ``contracts``, ``obs``, ``warm_start``...)
     passes straight through, so run ids and journal digests are
     byte-identical to direct engine calls.
+
+    Passing ``workers_from`` (a fleet spec: ``"local:4"``, a
+    comma-separated host list, or a hosts file path) routes the sweep
+    through the distributed coordinator instead
+    (:func:`repro.experiments.distributed.run_distributed_sweep`); the
+    two paths plan identically, so run ids, journals, and task digests
+    are interchangeable between them.
     """
+    workers_from = kwargs.pop("workers_from", None)
+    if workers_from is not None:
+        from repro.experiments.distributed import run_distributed_sweep
+
+        kwargs.pop("workers", None)  # fleet size comes from the spec
+        kwargs.pop("obs", None)  # per-worker obs is not wired up yet
+        return SweepResult.from_report(
+            run_distributed_sweep(
+                device,
+                resolve_compilers(compilers),
+                benchmarks=benchmarks,
+                workers_from=workers_from,
+                **kwargs,
+            )
+        )
     from repro.experiments.parallel import run_sweep
 
     return SweepResult.from_report(
@@ -369,6 +390,47 @@ def sweep(
             **kwargs,
         )
     )
+
+
+def work(
+    coordinator_url: str,
+    *,
+    cache_dir=None,
+    worker_id: Optional[str] = None,
+    poll_s: float = 0.2,
+    warm_start: bool = True,
+) -> int:
+    """Serve one sweep coordinator until it drains; the exit code.
+
+    The ``repro work <url>`` entry point: lease cells, heartbeat,
+    execute, complete — see
+    :func:`repro.experiments.distributed.run_worker`.
+    """
+    from repro.experiments.distributed import run_worker
+
+    return run_worker(
+        coordinator_url,
+        cache_dir=cache_dir,
+        worker_id=worker_id,
+        poll_s=poll_s,
+        warm_start=warm_start,
+    )
+
+
+def sweep_status(
+    run_id: str,
+    *,
+    cache_dir=None,
+    journal_dir=None,
+):
+    """Journal/state-file progress of one sweep run.
+
+    Returns a :class:`repro.experiments.distributed.SweepStatus`; never
+    raises on missing files (an unknown run shows zero done cells).
+    """
+    from repro.experiments.distributed import sweep_status as _sweep_status
+
+    return _sweep_status(run_id, cache_dir=cache_dir, journal_dir=journal_dir)
 
 
 def check(
@@ -477,4 +539,6 @@ __all__ = [
     "resolve_level",
     "run",
     "sweep",
+    "sweep_status",
+    "work",
 ]

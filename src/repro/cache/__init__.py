@@ -14,7 +14,10 @@ out over a process pool — pay for each distinct cell once:
   threading a cache argument through every call;
 * :mod:`repro.cache.memory` — a bounded write-through LRU front that
   keeps warm artifacts in process memory (the service daemon's warm
-  cache).
+  cache);
+* :mod:`repro.cache.sharded` — per-worker shard namespaces with
+  read-through and write-through to the shared store (the distributed
+  sweep workers' cache handle).
 """
 
 from repro.cache.active import activate_cache, cache_context, get_active_cache
@@ -29,6 +32,7 @@ from repro.cache.keys import (
     warm_hint_key,
 )
 from repro.cache.memory import DEFAULT_MEMORY_ENTRIES, MemoryCache
+from repro.cache.sharded import ShardedCache
 from repro.cache.store import (
     CACHE_DIR_ENV,
     Cache,
@@ -48,6 +52,7 @@ __all__ = [
     "DEFAULT_MEMORY_ENTRIES",
     "MemoryCache",
     "NullCache",
+    "ShardedCache",
     "activate_cache",
     "cache_context",
     "circuit_fingerprint",

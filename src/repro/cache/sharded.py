@@ -1,0 +1,93 @@
+"""Per-worker cache shards with read-through to a shared store.
+
+Distributed sweep workers on the same host (or a shared filesystem)
+want two things from the cache at once: isolation — a worker scanning
+or quarantining entries must not disturb its peers — and sharing — a
+cell compiled by any worker should be a hit for every other worker and
+for the resumed single-machine run.
+
+:class:`ShardedCache` gives both.  Each worker opens the shared root
+plus a private shard directory (``<root>/shards/<namespace>``).  Reads
+check the shard first, then fall through to the shared store; a
+shared-store hit is promoted into the shard.  Writes land in the shard
+*and* write through to the shared root.  Both stores are
+:class:`~repro.cache.store.CompileCache` instances, so every write is
+content-addressed and atomic — concurrent workers writing the same key
+race only to produce identical bytes, which makes write-through safe
+without any cross-process locking.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+from repro.cache.store import CacheStats, CompileCache
+
+#: Subdirectory of the shared root that holds per-worker shards; kept
+#: out of the two-hex-char fan-out namespace of the store itself.
+SHARDS_DIRNAME = "shards"
+
+
+class ShardedCache:
+    """A worker-private shard in front of a shared compile cache.
+
+    Satisfies the same duck type as :class:`CompileCache` (``enabled``,
+    ``get``, ``put``, ``stats``, ``observer``, ``root``), so it can be
+    activated via :func:`repro.cache.activate_cache` and threaded
+    through ``measure()`` unchanged.  ``root`` reports the *shared*
+    root: journal-dir derivation and anything else keying off the cache
+    location must agree across workers and the coordinator.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, shared_root: Union[str, Path], namespace: str
+    ) -> None:
+        if not namespace or any(sep in namespace for sep in ("/", "\\", "..")):
+            raise ValueError(f"bad cache shard namespace: {namespace!r}")
+        self.shared = CompileCache(shared_root)
+        self.namespace = namespace
+        self.shard = CompileCache(
+            Path(shared_root) / SHARDS_DIRNAME / namespace
+        )
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        """The shared root (what run ids and journal dirs key off)."""
+        return self.shared.root
+
+    @property
+    def observer(self) -> Optional[Callable[[str], None]]:
+        return self.shared.observer
+
+    @observer.setter
+    def observer(self, hook: Optional[Callable[[str], None]]) -> None:
+        # One hook observes the merged behaviour: shard events would
+        # double-count promotions, so only shared-store traffic counts.
+        self.shared.observer = hook
+
+    def get(self, key: str) -> Optional[Any]:
+        """Shard hit, else shared-store read-through (with promotion)."""
+        payload = self.shard.get(key)
+        if payload is not None:
+            self.stats.hits += 1
+            return payload
+        payload = self.shared.get(key)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        # Promote so the worker's next lookup never touches the shared
+        # store; same content-addressed bytes, so re-promotion is idempotent.
+        self.shard.put(key, payload)
+        return payload
+
+    def put(self, key: str, payload: Any) -> None:
+        """Write to the private shard and through to the shared store."""
+        self.shard.put(key, payload)
+        self.shared.put(key, payload)
+        self.stats.stores += 1

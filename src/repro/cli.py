@@ -241,6 +241,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro import api
     from repro.experiments.tables import format_table
 
+    if args.status is not None:
+        status = api.sweep_status(args.status, cache_dir=args.cache_dir)
+        print(status.describe())
+        return 0
+    if not args.device:
+        print(
+            "repro sweep: --device is required (unless asking for "
+            "--status RUN_ID)",
+            file=sys.stderr,
+        )
+        return 2
     benchmarks = None
     if args.benchmarks:
         benchmarks = [
@@ -253,6 +264,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         days = [int(d) for d in args.days.split(",") if d.strip()]
     resume = args.resume is not None
     run_id = args.run_id or (args.resume if args.resume else None)
+    distributed = {}
+    if args.workers_from is not None:
+        distributed = dict(
+            workers_from=args.workers_from,
+            lease_ttl_s=args.lease_ttl,
+            worker_wait_s=args.worker_wait,
+        )
     result = api.sweep(
         args.device,
         args.levels,
@@ -272,6 +290,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         contracts=args.contracts,
         obs=_cli_obs_config(args),
         warm_start=not args.no_warm_start,
+        **distributed,
     )
     headers = ["Benchmark", "Compiler", "2Q", "1Q pulses", "Depth", "Swaps"]
     rows = [
@@ -316,6 +335,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # Partial results are printed either way; a nonzero exit tells
     # scripts some cells were given up on.
     return 4 if result.failures else 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro import api
+
+    return api.work(
+        args.coordinator_url,
+        cache_dir=args.cache_dir,
+        worker_id=args.worker_id,
+        poll_s=args.poll,
+        warm_start=not args.no_warm_start,
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -633,8 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure a benchmark suite under several compilers",
     )
     sweep_parser.add_argument(
-        "--device", "-d", required=True,
-        help="device name (partial match, e.g. 'melbourne')",
+        "--device", "-d", default=None,
+        help="device name (partial match, e.g. 'melbourne'); required "
+             "unless --status is given",
     )
     sweep_parser.add_argument(
         "--levels", "-l", type=_parse_compilers,
@@ -660,6 +692,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--workers", "-w", type=int, default=1,
         help="process-pool width (default 1: serial)",
+    )
+    sweep_parser.add_argument(
+        "--workers-from", metavar="SPEC", default=None,
+        help="run distributed: comma list or hosts file of workers "
+             "('local:2', 'local:1,bench-a', a hosts file path); the "
+             "coordinator shards cells to them over HTTP",
+    )
+    sweep_parser.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="S",
+        help="distributed lease TTL in seconds before an unrenewed "
+             "cell is re-queued (default 30)",
+    )
+    sweep_parser.add_argument(
+        "--worker-wait", type=float, default=60.0, metavar="S",
+        help="seconds to wait for any worker to contact the "
+             "coordinator before degrading to in-process execution "
+             "(default 60)",
+    )
+    sweep_parser.add_argument(
+        "--status", metavar="RUN_ID", default=None,
+        help="report journal-derived progress for a run id and exit "
+             "(no sweep is executed)",
     )
     sweep_parser.add_argument(
         "--seed", type=int, default=None,
@@ -692,6 +746,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_contract_args(sweep_parser)
     _add_obs_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    work_parser = sub.add_parser(
+        "work",
+        help="join a distributed sweep as a worker "
+             "(lease, execute, complete; exits when the run finishes)",
+    )
+    work_parser.add_argument(
+        "coordinator_url", metavar="URL",
+        help="coordinator base URL printed by "
+             "'repro sweep --workers-from ...' (e.g. "
+             "http://10.0.0.5:8757)",
+    )
+    work_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="shared compile-cache root; this worker writes through a "
+             "private shard namespace under it",
+    )
+    work_parser.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    work_parser.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="idle poll interval when no cell is available "
+             "(default 0.2s)",
+    )
+    _add_warm_start_arg(work_parser)
+    work_parser.set_defaults(func=_cmd_work)
 
     serve_parser = sub.add_parser(
         "serve",

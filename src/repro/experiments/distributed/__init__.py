@@ -1,0 +1,55 @@
+"""Distributed sweep execution: lease-based sharding across workers.
+
+The single-machine engine (:mod:`repro.experiments.parallel`) fans a
+sweep grid over a supervised process pool.  This package generalizes
+that to N worker *processes or hosts* behind a coordinator speaking
+the same stdlib HTTP stack as ``repro serve``:
+
+* :mod:`~repro.experiments.distributed.coordinator` — the lease state
+  machine and its HTTP server: cells are leased with a TTL, heartbeats
+  renew, expired leases return to the work-stealing queue, completions
+  are journaled and deduplicated by task digest;
+* :mod:`~repro.experiments.distributed.driver` —
+  :func:`run_distributed_sweep`, the blocking entry point that plans
+  the sweep, boots the coordinator, spawns local workers, and
+  degrades to the in-process engine when no worker is reachable;
+* :mod:`~repro.experiments.distributed.worker` — :func:`run_worker`,
+  the ``repro work <url>`` loop: lease, heartbeat, execute, complete;
+* :mod:`~repro.experiments.distributed.status` —
+  :func:`sweep_status`, journal/state-file progress for
+  ``repro sweep --status <run-id>``.
+
+Durability model: the fsynced :class:`~repro.experiments.journal.
+SweepJournal` is the sole source of truth.  Run ids are spec-hash
+derived (host-agnostic), so any coordinator instance — including one
+restarted after a kill — reopens the same journal, replays finished
+cells, re-leases in-flight ones, and produces task digests
+byte-identical to a single-machine run.
+"""
+
+from repro.experiments.distributed.coordinator import (
+    Coordinator,
+    CoordinatorState,
+    Lease,
+)
+from repro.experiments.distributed.driver import (
+    DistributedSweep,
+    WorkerFleet,
+    parse_workers_from,
+    run_distributed_sweep,
+)
+from repro.experiments.distributed.status import SweepStatus, sweep_status
+from repro.experiments.distributed.worker import run_worker
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorState",
+    "DistributedSweep",
+    "Lease",
+    "SweepStatus",
+    "WorkerFleet",
+    "parse_workers_from",
+    "run_distributed_sweep",
+    "run_worker",
+    "sweep_status",
+]

@@ -1,0 +1,93 @@
+"""The coordinator <-> worker wire protocol (plain JSON over HTTP).
+
+Five POST endpoints move the sweep:
+
+``/v1/lease``
+    ``{"worker": id}`` -> ``{"task": {...}, "digest", "attempt",
+    "lease_ttl_s"}``, or ``{"task": null, "retry_in_s": s}`` when
+    nothing is due yet, or ``{"task": null, "done": true}`` when every
+    cell is settled.
+``/v1/heartbeat``
+    ``{"worker": id, "digest": d}`` -> ``{"held": bool}``; renews the
+    lease TTL while the worker still owns the cell.
+``/v1/complete``
+    ``{"worker", "digest", "attempt", "measurement", "report"}`` ->
+    ``{"accepted": bool, "duplicate": bool}``; journaled exactly once
+    per digest, duplicates acknowledged but dropped.
+``/v1/fail``
+    ``{"worker", "digest", "attempt", "error_type", "message",
+    "traceback"}`` -> ``{"requeued": bool}``.
+``/v1/status`` (GET)
+    progress snapshot; ``/metrics`` (GET) Prometheus; ``/healthz``.
+
+Tasks cross the wire as their plain field dict — the same shape
+:func:`dataclasses.asdict` gives the journal — so a worker on any host
+reconstructs a byte-identical :class:`~repro.experiments.plan.SweepTask`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.experiments.plan import SweepTask
+
+#: Default socket timeout for worker -> coordinator calls.
+DEFAULT_HTTP_TIMEOUT_S = 30.0
+
+
+def task_to_wire(task: SweepTask) -> Dict[str, Any]:
+    """A task as its JSON-safe field dict (digest-stable)."""
+    return dataclasses.asdict(task)
+
+
+def task_from_wire(payload: Dict[str, Any]) -> SweepTask:
+    """Reconstruct a task from the wire dict (unknown keys rejected)."""
+    return SweepTask(**payload)
+
+
+class CoordinatorUnreachable(RuntimeError):
+    """A worker request that never reached (or never left) the coordinator."""
+
+
+def call(
+    base_url: str,
+    path: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout_s: float = DEFAULT_HTTP_TIMEOUT_S,
+) -> Dict[str, Any]:
+    """One JSON round-trip to the coordinator (POST with a payload,
+    GET without); :class:`CoordinatorUnreachable` on transport failure.
+
+    HTTP error statuses with a JSON body are returned as that body —
+    the protocol encodes outcomes (``duplicate``, ``held``) in the
+    payload, not the status line.
+    """
+    url = base_url.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            body = response.read()
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        if not body:
+            raise CoordinatorUnreachable(
+                f"{path}: HTTP {exc.code} with empty body"
+            ) from exc
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise CoordinatorUnreachable(f"{path}: {exc}") from exc
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CoordinatorUnreachable(f"{path}: non-JSON response") from exc
+    if not isinstance(parsed, dict):
+        raise CoordinatorUnreachable(f"{path}: non-object response")
+    return parsed

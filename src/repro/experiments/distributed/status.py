@@ -1,0 +1,146 @@
+"""Journal-derived progress for stuck-run diagnosis.
+
+``repro sweep --status <run-id>`` answers "is this distributed run
+making progress?" without reading JSONL by hand.  Two sources, ranked
+by trust:
+
+* the **journal** (``<journal-dir>/<run-id>.jsonl``) — authoritative
+  for how many cells are done; an fsynced record is a finished cell no
+  matter which host wrote it or who has since crashed;
+* the **state file** (``<journal-dir>/<run-id>.state.json``) — the
+  coordinator's advisory snapshot: total cell count, live leases,
+  per-worker last-heartbeat times.  It may be stale (the coordinator
+  may be dead — that is exactly what the heartbeat ages reveal), so
+  everything from it is labeled with its own age.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.cache import default_cache_dir
+from repro.experiments.journal import SweepJournal
+
+
+@dataclass
+class SweepStatus:
+    """One run's progress, as far as the journal and state file know."""
+
+    run_id: str
+    journal_path: Path
+    #: Distinct cells journaled as finished (authoritative).
+    done: int = 0
+    #: Total cells, per the coordinator's state file (None: unknown).
+    total: Optional[int] = None
+    failed: Optional[int] = None
+    leased: Optional[int] = None
+    pending: Optional[int] = None
+    #: worker id -> seconds since its last contact with the coordinator.
+    worker_heartbeat_age_s: Dict[str, float] = field(default_factory=dict)
+    #: digest prefix -> human lease description, from the state file.
+    leases: Dict[str, str] = field(default_factory=dict)
+    #: Seconds since the coordinator last wrote the state file.
+    state_age_s: Optional[float] = None
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        if self.total is not None:
+            lines.append(
+                f"run {self.run_id}: {self.done}/{self.total} cells done"
+                + (f", {self.failed} failed" if self.failed else "")
+                + (f", {self.leased} leased" if self.leased else "")
+                + (
+                    f", {self.pending} pending"
+                    if self.pending is not None
+                    else ""
+                )
+            )
+        else:
+            lines.append(
+                f"run {self.run_id}: {self.done} cells journaled "
+                "(no coordinator state file; total unknown)"
+            )
+        if self.state_age_s is not None:
+            lines.append(
+                f"coordinator state written {self.state_age_s:.1f}s ago"
+            )
+        for worker, age in sorted(self.worker_heartbeat_age_s.items()):
+            lines.append(f"worker {worker}: last heartbeat {age:.1f}s ago")
+        for digest, description in sorted(self.leases.items()):
+            lines.append(f"lease {digest}: {description}")
+        if not self.worker_heartbeat_age_s and self.total is not None:
+            lines.append("no workers on record")
+        return "\n".join(lines)
+
+
+def _journal_dir(
+    cache_dir=None, journal_dir=None
+) -> Path:
+    if journal_dir is not None:
+        return Path(journal_dir)
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return root / "journals"
+
+
+def sweep_status(
+    run_id: str,
+    cache_dir: Optional[Union[str, Path]] = None,
+    journal_dir: Optional[Union[str, Path]] = None,
+) -> SweepStatus:
+    """Progress of one (possibly live, possibly dead) sweep run.
+
+    Never raises on missing files: a run that wrote nothing yet simply
+    reports zero done cells and no coordinator state.
+    """
+    directory = _journal_dir(cache_dir, journal_dir)
+    journal_path = directory / f"{run_id}.jsonl"
+    status = SweepStatus(run_id=run_id, journal_path=journal_path)
+    status.done = len(SweepJournal(journal_path).load())
+
+    state_path = directory / f"{run_id}.state.json"
+    try:
+        raw = state_path.read_text(encoding="utf-8")
+        snapshot: Dict[str, Any] = json.loads(raw)
+    except (OSError, ValueError):
+        return status
+    if not isinstance(snapshot, dict):
+        return status
+    now = time.time()
+    status.total = _as_int(snapshot.get("total"))
+    status.failed = _as_int(snapshot.get("failed"))
+    status.leased = _as_int(snapshot.get("leased"))
+    status.pending = _as_int(snapshot.get("pending"))
+    updated = snapshot.get("updated")
+    if isinstance(updated, (int, float)):
+        status.state_age_s = max(0.0, now - float(updated))
+    workers = snapshot.get("workers")
+    if isinstance(workers, dict):
+        for worker, stamp in workers.items():
+            if isinstance(stamp, (int, float)):
+                status.worker_heartbeat_age_s[str(worker)] = max(
+                    0.0, now - float(stamp)
+                )
+    leases = snapshot.get("leases")
+    if isinstance(leases, dict):
+        for digest, info in leases.items():
+            if not isinstance(info, dict):
+                continue
+            status.leases[str(digest)[:12]] = (
+                f"{info.get('benchmark')}/{info.get('compiler')} "
+                f"held by {info.get('worker')} "
+                f"(attempt {info.get('attempt')}, "
+                f"expires in {info.get('expires_in_s')}s)"
+            )
+    # The journal outranks a stale state file on the done count.
+    state_done = _as_int(snapshot.get("done"))
+    if state_done is not None:
+        status.done = max(status.done, state_done)
+    return status
+
+
+def _as_int(value: Any) -> Optional[int]:
+    return int(value) if isinstance(value, (int, float)) else None

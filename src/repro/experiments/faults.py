@@ -31,6 +31,15 @@ from typing import Optional
 #: :class:`InjectedFault`).  With ``max_attempt`` the fault only fires
 #: on attempts up to that number, so retries can be observed succeeding:
 #: ``REPRO_FAULT_INJECT=crash:BV4:1`` crashes the first attempt only.
+#:
+#: The distributed sweep adds three more modes, read by the coordinator
+#: and workers rather than :func:`maybe_inject_fault` (which skips
+#: unknown modes, so all clauses compose in one variable):
+#: ``coordinator-kill:N`` (raise :class:`InjectedCoordinatorDeath`
+#: after N journaled completions), ``worker-partition:BENCH`` (the
+#: worker holding BENCH goes heartbeat-silent past the lease TTL) and
+#: ``lease-expiry:BENCH`` (the coordinator force-expires BENCH's first
+#: lease).
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
 #: Exit code used by injected crashes, so a test can tell an injected
@@ -43,6 +52,17 @@ _HANG_SECONDS = 3600.0
 
 class InjectedFault(RuntimeError):
     """The exception raised by ``error``-mode fault injection."""
+
+
+class InjectedCoordinatorDeath(BaseException):
+    """Simulated coordinator death from ``coordinator-kill`` injection.
+
+    Deliberately a ``BaseException`` so ordinary ``except Exception``
+    recovery paths inside the coordinator cannot swallow it — a real
+    SIGKILL would not be catchable either.  The distributed sweep
+    driver re-raises it to its caller; tests assert that a subsequent
+    resume replays the journal to a byte-identical report.
+    """
 
 
 @dataclass(frozen=True)
@@ -145,3 +165,56 @@ def maybe_inject_fault(benchmark: str, attempt: int) -> None:
             raise InjectedFault(
                 f"injected failure for {benchmark} (attempt {attempt})"
             )
+
+
+def _distributed_clauses(mode: str):
+    """Yield the target field of every ``mode:target`` clause set."""
+    spec = os.environ.get(FAULT_INJECT_ENV)
+    if not spec:
+        return
+    for clause in spec.split(","):
+        parts = clause.strip().split(":")
+        if len(parts) >= 2 and parts[0].strip().lower() == mode:
+            yield parts[1].strip()
+
+
+def maybe_inject_coordinator_fault(completions: int) -> None:
+    """Kill the coordinator after N journaled completions.
+
+    ``REPRO_FAULT_INJECT=coordinator-kill:N`` raises
+    :class:`InjectedCoordinatorDeath` once ``completions`` reaches N —
+    *after* the journal fsync, exactly like a SIGKILL landing between
+    the checkpoint and the next lease grant.  Unknown to (ignored by)
+    :func:`maybe_inject_fault`, so it composes with worker-side
+    clauses in the same variable.
+    """
+    for target in _distributed_clauses("coordinator-kill"):
+        try:
+            threshold = int(target)
+        except ValueError:
+            continue
+        if completions >= threshold:
+            raise InjectedCoordinatorDeath(
+                f"injected coordinator death after {completions} completions"
+            )
+
+
+def should_partition(benchmark: str) -> bool:
+    """True when ``worker-partition:BENCH`` names this cell's benchmark.
+
+    A partitioned worker keeps computing but goes silent: it stops
+    heartbeating and delays its completion past the lease TTL, so the
+    coordinator must re-lease the cell and then deduplicate the
+    stale completion when the partition heals.
+    """
+    return any(t == benchmark for t in _distributed_clauses("worker-partition"))
+
+
+def forced_lease_expiry(benchmark: str) -> bool:
+    """True when ``lease-expiry:BENCH`` names this benchmark.
+
+    The coordinator honours this by expiring the *first* lease it
+    grants for the cell immediately, forcing a requeue/steal without
+    waiting out a real TTL.
+    """
+    return any(t == benchmark for t in _distributed_clauses("lease-expiry"))

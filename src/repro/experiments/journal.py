@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Union
 
@@ -56,34 +57,62 @@ class SweepJournal:
         self._handle: Optional[IO[str]] = None
 
     # ------------------------------------------------------------------
+    def _parse(self) -> List[Dict[str, Any]]:
+        """Every parseable record in append order, warning on torn tails.
+
+        The file is read in binary and each line decoded leniently: a
+        crash mid-``record()`` can tear the final line anywhere —
+        including inside a multi-byte UTF-8 sequence, which would make
+        text-mode iteration itself raise.  Unparseable lines are
+        skipped with a warning (a torn *tail* is expected after a
+        kill; garbage mid-file is still worth hearing about), never
+        fatal: the journal is a cache of work done, not a source of
+        errors.
+        """
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "rb") as handle:
+                raw_lines = handle.read().split(b"\n")
+        except FileNotFoundError:
+            return records
+        except OSError:
+            return records
+        for index, raw in enumerate(raw_lines):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                position = (
+                    "truncated final line"
+                    if index >= len(raw_lines) - 2
+                    else f"corrupt line {index + 1}"
+                )
+                warnings.warn(
+                    f"sweep journal {self.path}: skipping {position} "
+                    "(torn write from an interrupted run?)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("v") == JOURNAL_VERSION
+                and isinstance(record.get("task"), str)
+            ):
+                records.append(record)
+        return records
+
     def load(self) -> Dict[str, Dict[str, Any]]:
         """Completed cells on disk: digest -> record (last write wins).
 
         Corrupt lines — a torn trailing write, stray garbage — are
-        skipped; the journal is a cache of work done, never a source of
-        errors.
+        skipped with a warning; resume never raises on journal damage.
         """
         completed: Dict[str, Dict[str, Any]] = {}
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        continue
-                    if (
-                        isinstance(record, dict)
-                        and record.get("v") == JOURNAL_VERSION
-                        and isinstance(record.get("task"), str)
-                    ):
-                        completed[record["task"]] = record
-        except FileNotFoundError:
-            pass
-        except OSError:
-            pass
+        for record in self._parse():
+            completed[record["task"]] = record
         return completed
 
     def records(self) -> List[Dict[str, Any]]:
@@ -94,26 +123,7 @@ class SweepJournal:
         (``repro.obs.sweep_metrics_from_journal_records``) wants — a
         retried cell's every recorded attempt counts.
         """
-        records: List[Dict[str, Any]] = []
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except ValueError:
-                        continue
-                    if (
-                        isinstance(record, dict)
-                        and record.get("v") == JOURNAL_VERSION
-                        and isinstance(record.get("task"), str)
-                    ):
-                        records.append(record)
-        except OSError:
-            pass
-        return records
+        return self._parse()
 
     def reset(self) -> None:
         """Drop any previous journal contents (fresh, non-resumed run)."""

@@ -56,14 +56,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.cache import (
     Cache,
     CacheStats,
-    CompileCache,
     activate_cache,
-    digest,
     get_active_cache,
     open_cache,
 )
 from repro.devices import device_by_name
-from repro.devices.calibration import CalibrationError
 from repro.devices.device import Device
 from repro.experiments.faults import (
     RetryPolicy,
@@ -71,12 +68,19 @@ from repro.experiments.faults import (
     maybe_inject_fault,
 )
 from repro.compiler import (
-    OptimizationLevel,
     set_warm_start_default,
     warm_start_default,
 )
 from repro.contracts.mode import ContractMode
-from repro.experiments.journal import SweepJournal, run_digest, task_digest
+from repro.experiments.journal import SweepJournal
+from repro.experiments.plan import (
+    SweepTask,
+    _task_seeds,  # noqa: F401 - re-exported for tests/back-compat
+    _validate_compilers,  # noqa: F401 - re-exported for back-compat
+    build_sweep_plan,
+    derive_task_seed,  # noqa: F401 - re-exported for back-compat
+    replay_journal,
+)
 from repro.obs import (
     MetricsRegistry,
     ObsConfig,
@@ -90,15 +94,12 @@ from repro.obs import (
 )
 from repro.experiments.runner import (
     DEFAULT_FAULT_SAMPLES,
-    DEFAULT_MC_SEED,
     CompilerName,
     Measurement,
-    compiler_label,
-    fits,
     measure,
     resolve_compiler,
 )
-from repro.programs import Benchmark, benchmark_by_name, standard_suite
+from repro.programs import Benchmark, benchmark_by_name
 
 logger = logging.getLogger("repro.sweep")
 
@@ -110,23 +111,6 @@ _TERMINATE_GRACE_S = 5.0
 
 #: Errors that mean "no usable multiprocessing on this platform".
 _POOL_START_ERRORS = (OSError, PermissionError, NotImplementedError, ImportError)
-
-
-@dataclass(frozen=True)
-class SweepTask:
-    """One grid cell, described entirely by picklable names and seeds."""
-
-    benchmark: str
-    device: str
-    day: Optional[int]
-    compiler: str
-    fault_samples: int
-    with_success: bool
-    compile_seed: int
-    mc_seed: int
-    #: Pass-contract mode value ("strict"/"warn") or None for off — a
-    #: plain string so tasks stay picklable and journal-stable.
-    contracts: Optional[str] = None
 
 
 @dataclass
@@ -223,34 +207,6 @@ class SweepReport:
         if self.obs_dir is not None:
             lines.append(f"observability artifacts: {self.obs_dir}")
         return "\n".join(lines)
-
-
-def derive_task_seed(base_seed: int, *identity) -> int:
-    """A stable 31-bit seed from a base seed and a task identity.
-
-    Pure function of its arguments (SHA-256 underneath), so the same
-    task gets the same seed in any process, on any worker count, in any
-    execution order.
-    """
-    return int(digest("task-seed", base_seed, list(map(str, identity)))[:8], 16) & 0x7FFFFFFF
-
-
-def _task_seeds(
-    base_seed: Optional[int],
-    benchmark: str,
-    device: str,
-    compiler: str,
-    day: Optional[int],
-) -> Tuple[int, int]:
-    """(compile seed, Monte-Carlo seed) for one task."""
-    if base_seed is None:
-        # The legacy serial constants; keeps historical figures stable.
-        return 0, DEFAULT_MC_SEED
-    identity = (benchmark, device, compiler, day)
-    return (
-        derive_task_seed(base_seed, "compile", *identity),
-        derive_task_seed(base_seed, "mc", *identity),
-    )
 
 
 # ----------------------------------------------------------------------
@@ -387,25 +343,6 @@ def _device_registry_name(device: Device) -> Optional[str]:
     except KeyError:
         return None
     return found.name if found.name == device.name else None
-
-
-def _validate_compilers(compilers: Sequence[CompilerName]) -> List[str]:
-    """Resolve compiler labels up front, so a typo fails the sweep at
-    configuration time instead of surfacing as N per-task failures."""
-    labels = []
-    for compiler in compilers:
-        label = compiler_label(compiler)
-        resolved = resolve_compiler(label)
-        # OptimizationLevel subclasses str, so check the enum case first.
-        if not isinstance(resolved, OptimizationLevel) and (
-            resolved.lower() not in ("qiskit", "quil")
-        ):
-            raise ValueError(
-                f"unknown compiler {label!r}; expected a TriQ level or "
-                "'Qiskit'/'Quil'"
-            )
-        labels.append(label)
-    return labels
 
 
 def _serial_reason(
@@ -562,97 +499,34 @@ def run_sweep(
             with observability on, off, or absent.
     """
     started = time.perf_counter()
-    contract_mode = ContractMode.coerce(contracts)
-    if isinstance(device, str):
-        device = device_by_name(device, day=day or 0)
-    resolved_day = device.day if day is None else day
-    labels = _validate_compilers(compilers)
-    if benchmarks is None:
-        benchmarks = standard_suite()
-    benchmarks = [
-        benchmark_by_name(b) if isinstance(b, str) else b for b in benchmarks
-    ]
     if cache is None and cache_dir is not None:
         cache = open_cache(cache_dir)
 
-    # Validate each day's calibration snapshot at the boundary: a NaN
-    # or out-of-range rate fails here with a precise message (or is
-    # skipped under skip_bad_days), never deep inside a worker.
-    day_list = list(days) if days is not None else [resolved_day]
-    good_days: List[int] = []
-    skipped_days: List[Tuple[int, str]] = []
-    for candidate in day_list:
-        try:
-            device.calibration(candidate).validate()
-        except CalibrationError as exc:
-            if not skip_bad_days:
-                raise
-            logger.warning(
-                "skipping calibration day %s on %s: %s",
-                candidate, device.name, exc,
-            )
-            skipped_days.append((candidate, str(exc)))
-        else:
-            good_days.append(candidate)
-
-    # Build each circuit exactly once: the fit check and the serial
-    # measure path share it.
-    fitting: List[Tuple[Benchmark, Tuple]] = []
-    for benchmark in benchmarks:
-        built = benchmark.build()
-        if fits(built[0], device):
-            fitting.append((benchmark, built))
-
-    tasks = []
-    for benchmark, _ in fitting:
-        for label in labels:
-            for task_day in good_days:
-                compile_seed, mc_seed = _task_seeds(
-                    base_seed, benchmark.name, device.name, label, task_day
-                )
-                tasks.append(
-                    SweepTask(
-                        benchmark=benchmark.name,
-                        device=device.name,
-                        day=task_day,
-                        compiler=label,
-                        fault_samples=fault_samples,
-                        with_success=with_success,
-                        compile_seed=compile_seed,
-                        mc_seed=mc_seed,
-                        contracts=(
-                            contract_mode.value
-                            if contract_mode.enabled
-                            else None
-                        ),
-                    )
-                )
-    digests = [task_digest(task) for task in tasks]
-
-    # ------------------------------------------------------------------
-    # Checkpoint journal: on whenever results can persist somewhere.
-    # ------------------------------------------------------------------
-    run_spec = [
-        device.name,
-        good_days,
-        labels,
-        sorted(b.name for b, _ in fitting),
-        fault_samples,
-        with_success,
-        base_seed,
-    ]
-    if contract_mode.enabled:
-        # Only enabled modes join the run id, so contract-off sweeps
-        # keep resuming journals written before the contracts layer.
-        run_spec.append(contract_mode.value)
-    effective_run_id = run_id or run_digest(*run_spec)
-    if journal_dir is None and isinstance(cache, CompileCache):
-        journal_dir = cache.root / "journals"
-    journal: Optional[SweepJournal] = None
-    if journal_dir is not None:
-        journal = SweepJournal(
-            Path(journal_dir) / f"{effective_run_id}.jsonl"
-        )
+    # Planning (cell enumeration, digests, run id, journal location) is
+    # shared verbatim with the distributed coordinator — see
+    # :mod:`repro.experiments.plan`.
+    plan = build_sweep_plan(
+        device,
+        compilers,
+        benchmarks=benchmarks,
+        day=day,
+        fault_samples=fault_samples,
+        with_success=with_success,
+        cache=cache,
+        base_seed=base_seed,
+        days=days,
+        skip_bad_days=skip_bad_days,
+        run_id=run_id,
+        journal_dir=journal_dir,
+        contracts=contracts,
+    )
+    device = plan.device
+    fitting = plan.fitting
+    tasks = plan.tasks
+    digests = plan.digests
+    skipped_days = plan.skipped_days
+    effective_run_id = plan.run_id
+    journal: Optional[SweepJournal] = plan.open_journal()
 
     # ------------------------------------------------------------------
     # Observability: supervisor tracer + per-process artifact directory.
@@ -677,19 +551,9 @@ def run_sweep(
     resumed_count = 0
     if journal is not None:
         if resume:
-            completed = journal.load()
-            for index, cell_digest in enumerate(digests):
-                record = completed.get(cell_digest)
-                if record is None:
-                    continue
-                try:
-                    measurement = Measurement(**record["measurement"])
-                    report = TaskReport(**record["report"])
-                except (KeyError, TypeError):
-                    continue  # incompatible record; recompute the cell
-                report.resumed = True
-                results[index] = (measurement, report)
-                resumed_count += 1
+            results, resumed_count = replay_journal(
+                journal, digests, Measurement, TaskReport
+            )
             logger.info(
                 "resuming run %s: %d/%d cells from journal",
                 effective_run_id, resumed_count, len(tasks),

@@ -1,0 +1,110 @@
+"""Hand-rolled HTTP/1.1 plumbing shared by the repro daemons.
+
+The ``repro serve`` compilation service (:mod:`repro.service.server`)
+and the distributed sweep coordinator
+(:mod:`repro.experiments.distributed.coordinator`) both speak plain
+HTTP/JSON over asyncio streams with zero dependencies.  This module
+holds the framing they share: request parsing, response writing, and
+the structured :class:`HttpError` that turns a handler failure into a
+status + JSON body instead of a dropped connection.
+
+Requests are parsed by hand — one request per connection, bodies sized
+by ``Content-Length`` — which is all the job-queue and lease protocols
+need, and keeps the whole stack auditable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Reason phrases for every status the daemons emit.
+REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Terminate request handling with a status + JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    header_timeout_s: float = 10.0,
+    body_timeout_s: float = 30.0,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one request: ``(METHOD, target, body)``, or None on EOF.
+
+    Raises :class:`HttpError` (400) on malformed framing and the usual
+    asyncio timeout/incomplete-read errors on a stalled peer.
+    """
+    line = await asyncio.wait_for(reader.readline(), timeout=header_timeout_s)
+    if not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await asyncio.wait_for(
+            reader.readline(), timeout=header_timeout_s
+        )
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise HttpError(400, "bad Content-Length") from None
+    body = b""
+    if length:
+        body = await asyncio.wait_for(
+            reader.readexactly(length), timeout=body_timeout_s
+        )
+    return method, target, body
+
+
+def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Optional[Dict[str, Any]] = None,
+    text: Optional[str] = None,
+) -> None:
+    """Write one ``Connection: close`` response — JSON unless ``text``."""
+    if text is not None:
+        body = text.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload or {}).encode("utf-8")
+        content_type = "application/json"
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+
+
+def parse_json_body(body: bytes) -> Dict[str, Any]:
+    """The request body as a JSON object; :class:`HttpError` 400 otherwise."""
+    try:
+        parsed = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise HttpError(400, "request body is not valid JSON") from None
+    if not isinstance(parsed, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return parsed

@@ -58,6 +58,12 @@ from typing import Any, Dict, Optional, Tuple
 from repro.cache import MemoryCache, activate_cache, digest, open_cache
 from repro.obs import MetricsRegistry
 from repro.service.config import DEFAULT_TENANT, ServiceConfig
+from repro.service.http import (
+    HttpError,
+    parse_json_body,
+    read_request,
+    write_response,
+)
 from repro.service.jobs import Job
 from repro.service.queue import JobQueue, QueueClosed, QueueFull
 
@@ -81,20 +87,9 @@ _PARAM_FIELDS = {
 }
 
 
-class _HttpError(Exception):
-    """Terminate request handling with a status + JSON error body."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.message = message
-
-
-_REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
-}
+# The HTTP framing lives in repro.service.http, shared with the
+# distributed sweep coordinator; the old private name stays importable.
+_HttpError = HttpError
 
 
 class ReproService:
@@ -201,6 +196,14 @@ class ReproService:
             server.close()
             await server.wait_closed()
             self.executor.shutdown(wait=False)
+            if config.port_file:
+                # The port file is a liveness signal for wrappers polling
+                # an ephemeral port; leaving it behind after the drain
+                # would advertise a daemon that no longer exists.
+                try:
+                    Path(config.port_file).unlink()
+                except OSError:
+                    pass
         print("repro service drained cleanly", file=sys.stderr, flush=True)
         return 0
 
@@ -413,31 +416,29 @@ class ReproService:
         method = route = "?"
         status = 0
         try:
-            request = await self._read_request(reader)
+            request = await read_request(reader)
             if request is not None:
                 method, target, body = request
                 try:
                     route, status, payload, text = await self._route(
                         method, target, body
                     )
-                    self._write_response(
-                        writer, status, payload=payload, text=text
-                    )
+                    write_response(writer, status, payload=payload, text=text)
                 except _HttpError as exc:
                     status = exc.status
-                    self._write_response(
+                    write_response(
                         writer, exc.status, payload={"error": exc.message}
                     )
                 except Exception as exc:  # noqa: BLE001 - daemon survives
                     status = 500
-                    self._write_response(
+                    write_response(
                         writer,
                         500,
                         payload={"error": f"{type(exc).__name__}: {exc}"},
                     )
         except _HttpError as exc:
             status = exc.status
-            self._write_response(
+            write_response(
                 writer, exc.status, payload={"error": exc.message}
             )
         except (
@@ -457,57 +458,6 @@ class ReproService:
                 await writer.wait_closed()
             except Exception:  # noqa: BLE001
                 pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes]]:
-        line = await asyncio.wait_for(reader.readline(), timeout=10.0)
-        if not line.strip():
-            return None
-        parts = line.decode("latin-1").split()
-        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
-            raise _HttpError(400, "malformed request line")
-        method, target = parts[0].upper(), parts[1]
-        headers: Dict[str, str] = {}
-        while True:
-            raw = await asyncio.wait_for(reader.readline(), timeout=10.0)
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            raise _HttpError(400, "bad Content-Length") from None
-        body = b""
-        if length:
-            body = await asyncio.wait_for(
-                reader.readexactly(length), timeout=30.0
-            )
-        return method, target, body
-
-    def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: Optional[Dict[str, Any]] = None,
-        text: Optional[str] = None,
-    ) -> None:
-        if text is not None:
-            body = text.encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        else:
-            body = json.dumps(payload or {}).encode("utf-8")
-            content_type = "application/json"
-        reason = _REASONS.get(status, "Unknown")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n"
-            "\r\n"
-        )
-        writer.write(head.encode("latin-1") + body)
 
     async def _route(
         self, method: str, target: str, body: bytes
@@ -567,12 +517,7 @@ class ReproService:
     async def _handle_submit(
         self, kind: str, body: bytes
     ) -> Tuple[int, Dict[str, Any]]:
-        try:
-            parsed = json.loads(body.decode("utf-8")) if body else {}
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            raise _HttpError(400, "request body is not valid JSON") from None
-        if not isinstance(parsed, dict):
-            raise _HttpError(400, "request body must be a JSON object")
+        parsed = parse_json_body(body)
         try:
             job = self.submit(kind, parsed)
         except QueueClosed:
@@ -602,4 +547,9 @@ class ReproService:
 
 def run_service(config: Optional[ServiceConfig] = None) -> int:
     """Boot one daemon and block until it drains (the CLI entry)."""
-    return asyncio.run(ReproService(config).serve())
+    try:
+        return asyncio.run(ReproService(config).serve())
+    except KeyboardInterrupt:
+        # Platforms without add_signal_handler deliver SIGINT as
+        # KeyboardInterrupt; treat it like SIGTERM's graceful exit.
+        return 0

@@ -296,6 +296,47 @@ class TestJournal:
             handle.write('{"v": 1, "task": "torn')  # killed mid-write
         assert set(journal.load()) == {"abc"}
 
+    def test_torn_final_line_warns_and_loads_rest(self, tmp_path):
+        """A kill mid-append loses only the torn record, with a warning."""
+        path = tmp_path / "run.jsonl"
+        journal = SweepJournal(path)
+        journal.record("abc", {"benchmark": "BV4"}, {"attempts": 1})
+        journal.record("def", {"benchmark": "HS2"}, {"attempts": 1})
+        journal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-20])  # tear the final record mid-json
+        with pytest.warns(RuntimeWarning, match="torn write"):
+            completed = SweepJournal(path).load()
+        assert set(completed) == {"abc"}
+
+    def test_torn_multibyte_utf8_tolerated(self, tmp_path):
+        """A tear inside a multi-byte sequence must not raise on decode."""
+        path = tmp_path / "run.jsonl"
+        journal = SweepJournal(path)
+        journal.record("abc", {"benchmark": "BV4"}, {"attempts": 1})
+        journal.close()
+        with open(path, "ab") as handle:
+            # First byte of a two-byte UTF-8 sequence, then nothing.
+            handle.write(b'{"v": 1, "task": "caf\xc3')
+        with pytest.warns(RuntimeWarning):
+            completed = SweepJournal(path).load()
+        assert set(completed) == {"abc"}
+
+    def test_corrupt_middle_line_warns_with_position(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = SweepJournal(path)
+        journal.record("abc", {"benchmark": "BV4"}, {"attempts": 1})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        journal2 = SweepJournal(path)
+        journal2.record("def", {"benchmark": "HS2"}, {"attempts": 1})
+        journal2.record("ghi", {"benchmark": "QFT5"}, {"attempts": 1})
+        journal2.close()
+        with pytest.warns(RuntimeWarning, match="corrupt line 2"):
+            completed = SweepJournal(path).load()
+        assert set(completed) == {"abc", "def", "ghi"}
+
     def test_version_mismatch_skipped(self, tmp_path):
         path = tmp_path / "run.jsonl"
         path.write_text(

@@ -451,6 +451,39 @@ class TestRealProcessSigterm:
             assert proc.wait(timeout=60) == 0
             stderr = proc.stderr.read().decode()
             assert "drained cleanly" in stderr
+            # The daemon cleans up its own port file on shutdown, so a
+            # supervisor polling for it never reads a stale port.
+            assert not port_file.exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    def test_sigint_drains_like_sigterm(self, tmp_path):
+        """Ctrl-C gets the same graceful drain + exit 0 as SIGTERM."""
+        port_file = tmp_path / "port"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        env.pop("REPRO_FAULT_INJECT", None)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--port-file", str(port_file),
+                "--cache-dir", str(tmp_path / "cache"),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while not port_file.exists():
+                assert proc.poll() is None, proc.stderr.read().decode()
+                assert time.monotonic() < deadline, "daemon never listened"
+                time.sleep(0.1)
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=60) == 0
+            assert not port_file.exists()
         finally:
             if proc.poll() is None:
                 proc.kill()
