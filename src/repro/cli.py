@@ -363,6 +363,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admin=args.admin,
         port_file=args.port_file,
         default_wait_timeout_s=args.wait_timeout,
+        wal_enabled=not args.no_wal,
+        wal_path=args.wal_path,
     )
     if args.tenants:
         config.tenants = load_tenants(args.tenants)
@@ -818,6 +820,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--admin", action="store_true",
         help="enable the /admin/pause and /admin/resume endpoints",
+    )
+    serve_parser.add_argument(
+        "--no-wal", action="store_true",
+        help="disable the write-ahead job journal (accepted jobs no "
+             "longer survive a daemon crash/restart)",
+    )
+    serve_parser.add_argument(
+        "--wal-path", metavar="PATH", default=None,
+        help="where the job WAL lives "
+             "(default <cache-dir>/service/wal.jsonl)",
     )
     _add_cache_args(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)

@@ -23,20 +23,33 @@ Five POST endpoints move the sweep:
 Tasks cross the wire as their plain field dict — the same shape
 :func:`dataclasses.asdict` gives the journal — so a worker on any host
 reconstructs a byte-identical :class:`~repro.experiments.plan.SweepTask`.
+
+Transport resilience lives in the shared
+:class:`repro.service.client.ResilientClient`: every :func:`call` is
+retried with the pool's deterministic hash-jitter backoff and guarded
+by a per-endpoint circuit breaker, so a one-blip partition or a
+coordinator mid-restart is absorbed here instead of killing the
+worker.  :class:`CoordinatorUnreachable` is raised only once the whole
+retry budget (or the caller's deadline) is spent — or instantly, but
+cheaply, while the breaker is open.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
-import urllib.error
-import urllib.request
 from typing import Any, Dict, Optional
 
 from repro.experiments.plan import SweepTask
+from repro.service.client import ResilientClient, TransportError
 
 #: Default socket timeout for worker -> coordinator calls.
 DEFAULT_HTTP_TIMEOUT_S = 30.0
+
+#: The process-wide client every coordinator exchange goes through.
+#: Module-level on purpose: the circuit breaker only helps if the
+#: lease loop, the heartbeat thread, and the completion path all share
+#: one view of the coordinator's health.
+SHARED_CLIENT = ResilientClient()
 
 
 def task_to_wire(task: SweepTask) -> Dict[str, Any]:
@@ -58,36 +71,31 @@ def call(
     path: str,
     payload: Optional[Dict[str, Any]] = None,
     timeout_s: float = DEFAULT_HTTP_TIMEOUT_S,
+    retries: Optional[int] = None,
+    deadline_s: Optional[float] = None,
+    client: Optional[ResilientClient] = None,
 ) -> Dict[str, Any]:
     """One JSON round-trip to the coordinator (POST with a payload,
-    GET without); :class:`CoordinatorUnreachable` on transport failure.
+    GET without); :class:`CoordinatorUnreachable` once the shared
+    client's bounded retry/backoff budget is spent.
 
     HTTP error statuses with a JSON body are returned as that body —
     the protocol encodes outcomes (``duplicate``, ``held``) in the
-    payload, not the status line.
+    payload, not the status line.  ``retries`` overrides the shared
+    retry budget (0 = exactly one attempt: heartbeats, which would
+    rather miss a beat than pile up), and ``deadline_s`` bounds the
+    *total* time across attempts — the remaining budget is threaded
+    through each retry, never reset by one.
     """
-    url = base_url.rstrip("/") + path
-    data = None
-    headers = {"Accept": "application/json"}
-    if payload is not None:
-        data = json.dumps(payload).encode("utf-8")
-        headers["Content-Type"] = "application/json"
-    request = urllib.request.Request(url, data=data, headers=headers)
+    chosen = client if client is not None else SHARED_CLIENT
     try:
-        with urllib.request.urlopen(request, timeout=timeout_s) as response:
-            body = response.read()
-    except urllib.error.HTTPError as exc:
-        body = exc.read()
-        if not body:
-            raise CoordinatorUnreachable(
-                f"{path}: HTTP {exc.code} with empty body"
-            ) from exc
-    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        return chosen.request(
+            base_url,
+            path,
+            payload=payload,
+            timeout_s=timeout_s,
+            retries=retries,
+            deadline_s=deadline_s,
+        )
+    except TransportError as exc:
         raise CoordinatorUnreachable(f"{path}: {exc}") from exc
-    try:
-        parsed = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, ValueError) as exc:
-        raise CoordinatorUnreachable(f"{path}: non-JSON response") from exc
-    if not isinstance(parsed, dict):
-        raise CoordinatorUnreachable(f"{path}: non-object response")
-    return parsed

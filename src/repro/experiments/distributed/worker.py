@@ -10,9 +10,14 @@ its heartbeats stop, the lease expires, and the coordinator requeues
 the cell for someone else; nothing the worker does (including posting
 a stale completion after the partition heals) can corrupt the sweep,
 because the coordinator deduplicates by task digest.  Conversely the
-*coordinator* is expendable to the worker: connection failures are
-retried with a bounded budget, and a worker orphaned by a dead
-coordinator exits with code 3 instead of spinning forever.
+*coordinator* is expendable to the worker: every exchange goes through
+the shared resilient client (:mod:`repro.service.client`) — bounded
+deterministic-jitter retries plus a per-endpoint circuit breaker — so
+a one-blip partition or a coordinator mid-restart is absorbed inside
+:func:`repro.experiments.distributed.protocol.call`, the outer loop
+adds a second budget of ``max_connection_failures`` polls on top, and
+only a genuinely dead coordinator orphans the worker (exit code 3)
+instead of leaving it spinning forever.
 
 Caching: each worker activates a :class:`~repro.cache.ShardedCache` —
 a private namespace with read-through and write-through to the shared
@@ -78,11 +83,15 @@ class _Heartbeat(threading.Thread):
     def run(self) -> None:
         while not self.stop_event.wait(self.interval_s):
             try:
+                # retries=0: a beat is time-sensitive — better to miss
+                # one and let the next fire on schedule than to stack
+                # backoff sleeps behind a wobbly link.
                 held = call(
                     self.url,
                     "/v1/heartbeat",
                     {"worker": self.worker_id, "digest": self.digest},
                     timeout_s=max(self.interval_s, 5.0),
+                    retries=0,
                 ).get("held", False)
             except CoordinatorUnreachable:
                 continue  # transient; the next beat may get through

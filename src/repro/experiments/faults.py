@@ -40,6 +40,15 @@ from typing import Optional
 #: worker holding BENCH goes heartbeat-silent past the lease TTL) and
 #: ``lease-expiry:BENCH`` (the coordinator force-expires BENCH's first
 #: lease).
+#:
+#: The ``repro serve`` daemon adds three more, read by its WAL and
+#: HTTP layers: ``serve-kill:N`` (uncatchable ``os._exit`` immediately
+#: after the Nth WAL fsync — a SIGKILL landing between the journal
+#: write and the next state transition), ``slow-response:MS`` (delay
+#: every HTTP response by MS milliseconds, for client-timeout and
+#: retry testing) and ``wal-torn-tail`` (the next WAL append writes
+#: only a prefix of its line and then dies, leaving a torn tail for
+#: the restarted daemon to tolerate).
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
 #: Exit code used by injected crashes, so a test can tell an injected
@@ -197,6 +206,68 @@ def maybe_inject_coordinator_fault(completions: int) -> None:
             raise InjectedCoordinatorDeath(
                 f"injected coordinator death after {completions} completions"
             )
+
+
+def serve_kill_threshold() -> Optional[int]:
+    """The N of a ``serve-kill:N`` clause, or None when unset.
+
+    The serve daemon's WAL counts its fsyncs and calls
+    :func:`maybe_inject_serve_kill` after each one; the clause turns
+    the Nth fsync into an uncatchable death (``os._exit``), exactly
+    like a SIGKILL landing right after the journal write was made
+    durable but before anything that depends on it happened.
+    """
+    for target in _distributed_clauses("serve-kill"):
+        try:
+            return int(target)
+        except ValueError:
+            continue
+    return None
+
+
+def maybe_inject_serve_kill(fsyncs: int) -> None:
+    """Die (uncatchably) once ``fsyncs`` reaches the injected threshold.
+
+    Called by :class:`repro.service.wal.JobWAL` after every fsync.
+    ``os._exit`` is deliberate: no ``finally`` blocks, no drain, no
+    flush — the restarted daemon must recover from the WAL alone.
+    """
+    threshold = serve_kill_threshold()
+    if threshold is not None and fsyncs >= threshold:
+        os._exit(INJECTED_CRASH_EXIT_CODE)
+
+
+def slow_response_delay_s() -> float:
+    """Seconds of injected response delay (``slow-response:MS``), else 0.
+
+    The serve daemon sleeps this long (on the event loop, per request)
+    before writing any HTTP response, so client-side timeout, retry,
+    and circuit-breaker behavior can be exercised against a real
+    daemon that is merely slow rather than dead.
+    """
+    for target in _distributed_clauses("slow-response"):
+        try:
+            return max(0.0, float(target) / 1000.0)
+        except ValueError:
+            continue
+    return 0.0
+
+
+def wal_torn_tail_requested() -> bool:
+    """True when a ``wal-torn-tail`` clause is present.
+
+    The next WAL append writes only a prefix of its record (no
+    newline, fsynced) and then dies — the torn-tail shape a real
+    power cut leaves.  Replay must skip the fragment with a
+    ``RuntimeWarning`` and recover every record before it.
+    """
+    spec = os.environ.get(FAULT_INJECT_ENV)
+    if not spec:
+        return False
+    return any(
+        clause.strip().split(":")[0].strip().lower() == "wal-torn-tail"
+        for clause in spec.split(",")
+    )
 
 
 def should_partition(benchmark: str) -> bool:

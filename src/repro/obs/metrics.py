@@ -317,8 +317,11 @@ class MetricsRegistry:
 # Sanity parser for the exposition format (used by tests and CI smoke).
 # ----------------------------------------------------------------------
 _SAMPLE_RE = re.compile(
+    # Quoted label values may themselves contain braces (e.g. a route
+    # template label ``route="/v1/jobs/{id}"``), so the labels group is
+    # greedy-to-the-last-brace rather than brace-free.
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?P<labels>\{[^{}]*\})?"
+    r"(?P<labels>\{.*\})?"
     r" (?P<value>[^ ]+)$"
 )
 

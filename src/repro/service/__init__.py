@@ -7,6 +7,13 @@ in-flight jobs, a Prometheus ``/metrics`` endpoint, and graceful drain
 on SIGTERM.  See :mod:`repro.service.server` for the endpoint map.
 """
 
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExhausted,
+    ResilientClient,
+    TransportError,
+)
 from repro.service.config import (
     DEFAULT_TENANT,
     ServiceConfig,
@@ -15,23 +22,33 @@ from repro.service.config import (
 )
 from repro.service.jobs import Job
 from repro.service.queue import (
+    DeadlineUnmeetable,
     JobQueue,
     QueueClosed,
     QueueFull,
     TokenBucket,
 )
 from repro.service.server import ReproService, run_service
+from repro.service.wal import JobWAL, ReplayedJob
 
 __all__ = [
     "DEFAULT_TENANT",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DeadlineExhausted",
+    "DeadlineUnmeetable",
     "Job",
     "JobQueue",
+    "JobWAL",
     "QueueClosed",
     "QueueFull",
+    "ReplayedJob",
     "ReproService",
+    "ResilientClient",
     "ServiceConfig",
     "TenantClass",
     "TokenBucket",
+    "TransportError",
     "load_tenants",
     "run_service",
 ]

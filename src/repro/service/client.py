@@ -1,0 +1,326 @@
+"""A resilient HTTP/JSON client shared by every repro daemon peer.
+
+One transient socket error must not kill a distributed worker, and a
+coordinator or serve daemon mid-restart must look like a brief blip,
+not a death sentence.  This module is the single place that policy
+lives; :mod:`repro.experiments.distributed.protocol` and the
+``repro work`` loop are thin wrappers over it.
+
+Three mechanisms compose:
+
+* **bounded retries with deterministic jitter** — the retry schedule
+  is :class:`repro.experiments.faults.RetryPolicy` (the exact policy
+  the supervised sweep pool uses): exponential backoff whose jitter is
+  a hash of ``(endpoint, attempt)``, so two runs of the same workload
+  retry on identical schedules and tests never flake on randomness;
+* **a per-endpoint circuit breaker** — after ``failure_threshold``
+  consecutive transport failures against one ``(base_url, path)`` the
+  circuit *opens* and calls fail fast (:class:`CircuitOpen`) without
+  touching the network; after ``reset_after_s`` one half-open probe is
+  let through — success closes the circuit, failure re-opens it;
+* **``Retry-After`` honoring and deadline threading** — a 429/503
+  response's ``Retry-After`` header overrides the computed backoff,
+  and a caller-supplied ``deadline_s`` caps the *total* budget across
+  every attempt: per-attempt socket timeouts are clamped to the
+  remaining budget and the client never sleeps past it.
+
+HTTP semantics match the existing coordinator protocol: any response
+carrying a JSON object body is a *result* (outcomes like
+``duplicate``/``held`` live in the payload, not the status line),
+except 429/503 which signal back-pressure and are retried.  Empty or
+non-JSON bodies are transport failures.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.experiments.faults import RetryPolicy
+
+#: Default socket timeout per attempt.
+DEFAULT_TIMEOUT_S = 30.0
+
+#: Retry schedule shared by default: 3 retries, 0.1s base backoff
+#: doubling to a 2s cap — a one-blip partition heals inside a second,
+#: and a dead peer is declared dead in a few.
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    retries=3, backoff_s=0.1, backoff_factor=2.0,
+    max_backoff_s=2.0, jitter=0.25,
+)
+
+#: Consecutive failures that open an endpoint's circuit.
+DEFAULT_FAILURE_THRESHOLD = 5
+
+#: Seconds an open circuit waits before allowing a half-open probe.
+DEFAULT_RESET_AFTER_S = 5.0
+
+#: Statuses that mean "back off and try again", never "here is data".
+RETRYABLE_STATUSES = (429, 503)
+
+Clock = Callable[[], float]
+Sleep = Callable[[float], None]
+#: ``transport(url, data, headers, timeout_s)`` ->
+#: ``(status, headers, body)``; raises :class:`TransportError`.
+Transport = Callable[
+    [str, Optional[bytes], Dict[str, str], float],
+    Tuple[int, Dict[str, str], bytes],
+]
+
+
+class TransportError(ConnectionError):
+    """A request that produced no usable response (after any retries)."""
+
+
+class CircuitOpen(TransportError):
+    """Fast failure: the endpoint's circuit breaker is open."""
+
+
+class DeadlineExhausted(TransportError):
+    """The caller's total deadline budget ran out before success."""
+
+
+def _urllib_transport(
+    url: str,
+    data: Optional[bytes],
+    headers: Dict[str, str],
+    timeout_s: float,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """The default stdlib transport (one POST/GET round-trip)."""
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.headers.items()},
+                response.read(),
+            )
+    except urllib.error.HTTPError as exc:
+        return (
+            exc.code,
+            {k.lower(): v for k, v in (exc.headers or {}).items()},
+            exc.read(),
+        )
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise TransportError(f"{url}: {exc}") from exc
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open state for one endpoint.
+
+    Plain synchronous state; the owning :class:`ResilientClient`
+    serializes access under its lock (worker threads share a client).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        reset_after_s: float = DEFAULT_RESET_AFTER_S,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.failure_threshold = max(1, failure_threshold)
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        return "half-open" if self._probing else "open"
+
+    def allow(self) -> bool:
+        """May a request go out now? (may admit the half-open probe)."""
+        if self.opened_at is None:
+            return True
+        if self._probing:
+            return False  # one probe in flight; everyone else waits
+        if self._clock() - self.opened_at >= self.reset_after_s:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.opened_at is not None:
+            # A failed half-open probe re-opens the full cooldown.
+            self.opened_at = self._clock()
+            self._probing = False
+        elif self.failures >= self.failure_threshold:
+            self.opened_at = self._clock()
+            self._probing = False
+
+
+def _retry_after_s(headers: Dict[str, str]) -> Optional[float]:
+    """The Retry-After header as seconds (delta form only), if sane."""
+    raw = headers.get("retry-after")
+    if raw is None:
+        return None
+    try:
+        value = float(raw.strip())
+    except (TypeError, ValueError):
+        return None
+    return value if value >= 0 else None
+
+
+class ResilientClient:
+    """Retries + circuit breaking + deadlines over a pluggable transport.
+
+    Thread-safe: breaker state is guarded by a lock, and the transport
+    itself (stdlib urllib by default) carries no shared state.  One
+    process-wide instance per peer family is the intended shape — see
+    :data:`repro.experiments.distributed.protocol.SHARED_CLIENT`.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        reset_after_s: float = DEFAULT_RESET_AFTER_S,
+        clock: Clock = time.monotonic,
+        sleep: Sleep = time.sleep,
+        transport: Optional[Transport] = None,
+    ) -> None:
+        self.policy = policy
+        self.timeout_s = timeout_s
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._sleep = sleep
+        self._transport = transport or _urllib_transport
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def breaker(self, base_url: str, path: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding one endpoint."""
+        key = (base_url.rstrip("/"), path)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.failure_threshold, self.reset_after_s, self._clock
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def reset(self) -> None:
+        """Forget all breaker state (tests / reconfiguration)."""
+        with self._lock:
+            self._breakers.clear()
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        base_url: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One JSON exchange (POST with payload, GET without), retried.
+
+        Raises :class:`TransportError` once the retry budget is spent,
+        :class:`CircuitOpen` without touching the network while the
+        endpoint's circuit is open, and :class:`DeadlineExhausted`
+        when ``deadline_s`` runs out across attempts.
+        """
+        url = base_url.rstrip("/") + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        breaker = self.breaker(base_url, path)
+        attempt_timeout = self.timeout_s if timeout_s is None else timeout_s
+        attempts = (self.policy.retries if retries is None else retries) + 1
+        deadline = (
+            None if deadline_s is None else self._clock() + deadline_s
+        )
+        last_error: Optional[TransportError] = None
+        for attempt in range(1, attempts + 1):
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    raise last_error or DeadlineExhausted(
+                        f"{path}: deadline exhausted before any attempt"
+                    )
+            with self._lock:
+                admitted = breaker.allow()
+            if not admitted:
+                raise CircuitOpen(
+                    f"{path}: circuit open after "
+                    f"{breaker.failures} consecutive failures"
+                )
+            timeout = attempt_timeout
+            if remaining is not None:
+                timeout = max(0.001, min(timeout, remaining))
+            retry_after: Optional[float] = None
+            try:
+                status, resp_headers, body = self._transport(
+                    url, data, headers, timeout
+                )
+            except TransportError as exc:
+                with self._lock:
+                    breaker.record_failure()
+                last_error = exc
+            else:
+                if status in RETRYABLE_STATUSES:
+                    # Back-pressure, not breakage: honor Retry-After
+                    # without tripping the breaker.
+                    retry_after = _retry_after_s(resp_headers)
+                    last_error = TransportError(
+                        f"{path}: HTTP {status} (retryable)"
+                    )
+                else:
+                    parsed = self._parse(body)
+                    if parsed is None:
+                        with self._lock:
+                            breaker.record_failure()
+                        last_error = TransportError(
+                            f"{path}: HTTP {status} without a JSON "
+                            "object body"
+                        )
+                    else:
+                        with self._lock:
+                            breaker.record_success()
+                        return parsed
+            if attempt >= attempts:
+                break
+            delay = self.policy.delay(attempt, token=f"{base_url}{path}")
+            if retry_after is not None:
+                delay = retry_after
+            if deadline is not None:
+                budget = deadline - self._clock()
+                if delay >= budget:
+                    raise DeadlineExhausted(
+                        f"{path}: next retry ({delay:.2f}s) would "
+                        f"overrun the deadline ({budget:.2f}s left); "
+                        f"last error: {last_error}"
+                    )
+            if delay > 0:
+                self._sleep(delay)
+        assert last_error is not None
+        raise last_error
+
+    @staticmethod
+    def _parse(body: bytes) -> Optional[Dict[str, Any]]:
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        return parsed if isinstance(parsed, dict) else None

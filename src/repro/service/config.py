@@ -66,6 +66,17 @@ class ServiceConfig:
     #: How long a ``wait: true`` submission blocks before degrading to
     #: 202 + job id.
     default_wait_timeout_s: float = 300.0
+    #: Write-ahead job journal: every accepted job is journaled
+    #: (fsync-first) before its HTTP acknowledgement, and a restarted
+    #: daemon replays the log — queued jobs re-enqueue, interrupted
+    #: running jobs re-execute (idempotent via their content-addressed
+    #: cache keys), finished jobs stay visible.  Off (``--no-wal``)
+    #: restores the pre-WAL pure-in-memory daemon byte for byte.
+    wal_enabled: bool = True
+    #: WAL file path; None derives ``<cache-root>/service/wal.jsonl``
+    #: (the WAL is disabled when the cache is disabled and no explicit
+    #: path is given — there is nowhere durable to put it).
+    wal_path: Optional[Union[str, Path]] = None
     tenants: Dict[str, TenantClass] = field(default_factory=dict)
 
 

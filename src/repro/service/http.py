@@ -24,17 +24,29 @@ REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
     429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 
 class HttpError(Exception):
-    """Terminate request handling with a status + JSON error body."""
+    """Terminate request handling with a status + JSON error body.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after_s`` (when set) becomes a ``Retry-After`` header on
+    the error response, so back-pressured clients (429 queue-full /
+    rate-limited, 503 draining) know when to come back instead of
+    hammering a daemon that already told them no.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after_s = retry_after_s
 
 
 async def read_request(
@@ -80,8 +92,13 @@ def write_response(
     status: int,
     payload: Optional[Dict[str, Any]] = None,
     text: Optional[str] = None,
+    headers: Optional[Dict[str, str]] = None,
 ) -> None:
-    """Write one ``Connection: close`` response — JSON unless ``text``."""
+    """Write one ``Connection: close`` response — JSON unless ``text``.
+
+    ``headers`` are extra response headers (e.g. ``Retry-After`` on a
+    back-pressure status); names and values are emitted verbatim.
+    """
     if text is not None:
         body = text.encode("utf-8")
         content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -89,10 +106,14 @@ def write_response(
         body = json.dumps(payload or {}).encode("utf-8")
         content_type = "application/json"
     reason = REASONS.get(status, "Unknown")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         "Connection: close\r\n"
         "\r\n"
     )

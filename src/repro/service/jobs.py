@@ -43,6 +43,16 @@ class Job:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Client-supplied total budget (seconds from submission); None
+    #: means no deadline.  Propagated through queue admission,
+    #: execution (cooperative cancel -> ``DeadlineExceeded``), and the
+    #: WAL, so a restarted daemon still honors the original budget.
+    deadline_s: Optional[float] = None
+    #: True when this job was reconstructed from the WAL on restart.
+    recovered: bool = False
+    #: True when the previous daemon died while this job was running
+    #: (it is re-executed; the compile cache makes that idempotent).
+    interrupted: bool = False
     #: Resolved (with None) when the job reaches done/failed.  Created
     #: by the server inside the event loop.
     future: Optional["asyncio.Future"] = field(
@@ -52,6 +62,36 @@ class Job:
     @property
     def finished(self) -> bool:
         return self.status in ("done", "failed")
+
+    def deadline_at(self) -> Optional[float]:
+        """Absolute wall-clock deadline (``submitted_at + deadline_s``).
+
+        Wall clock on purpose: the budget must survive a daemon
+        restart, and only wall time is comparable across processes.
+        """
+        if self.deadline_s is None:
+            return None
+        return self.submitted_at + self.deadline_s
+
+    def remaining_s(self, now: float) -> Optional[float]:
+        """Seconds of budget left at ``now`` (None when no deadline)."""
+        deadline = self.deadline_at()
+        if deadline is None:
+            return None
+        return deadline - now
+
+    def wal_entry(self) -> Dict[str, Any]:
+        """The JSON-safe identity block journaled by the WAL."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "params": self.params,
+            "coalesce_key": self.coalesce_key,
+            "deadline_s": self.deadline_s,
+            "submitted_at": self.submitted_at,
+            "coalesced_with": self.coalesced_with,
+        }
 
     def describe(self) -> Dict[str, Any]:
         """The JSON-safe status block (no result payload)."""
@@ -66,4 +106,7 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "deadline_s": self.deadline_s,
+            "recovered": self.recovered,
+            "interrupted": self.interrupted,
         }

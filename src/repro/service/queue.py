@@ -51,6 +51,27 @@ class QueueClosed(Exception):
     """The queue is draining; no new work is accepted."""
 
 
+class DeadlineUnmeetable(Exception):
+    """Admission control: the job cannot start within its deadline.
+
+    Raised at submission time when the tenant's rate limiter (plus the
+    work already queued ahead) guarantees the job would start after
+    its budget expired — rejecting up front is kinder than accepting
+    work that can only ever fail with ``DeadlineExceeded``.  The HTTP
+    layer maps this to 429 with a ``Retry-After`` hint.
+    """
+
+    def __init__(self, tenant: str, wait_s: float, deadline_s: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} cannot start for ~{wait_s:.1f}s "
+            f"(rate limit + queued work), past the {deadline_s:.1f}s "
+            "deadline"
+        )
+        self.tenant = tenant
+        self.wait_s = wait_s
+        self.deadline_s = deadline_s
+
+
 class TokenBucket:
     """Sustained-rate limiter with burst capacity.
 
@@ -139,6 +160,26 @@ class JobQueue:
 
     def depth(self) -> int:
         return sum(len(queue) for queue in self._queues.values())
+
+    def admission_delay(self, tenant: str) -> float:
+        """A lower bound on how long a new job for ``tenant`` waits.
+
+        The token bucket's current refill wait plus one rate interval
+        per job already queued for the tenant — a *floor*, not an
+        estimate of execution time, which is unknowable.  Unlimited
+        tenants always report 0.  Used by deadline admission control:
+        a job whose entire budget is provably consumed before it could
+        even start is rejected at submit time.
+        """
+        limiter = self._limiter(tenant)
+        if limiter.rate <= 0:
+            return 0.0
+        queued = len(self._queues.get(tenant, ()))
+        limiter._refill()
+        needed = (queued + 1) - limiter._tokens
+        if needed <= 0:
+            return 0.0
+        return needed / limiter.rate
 
     def pop_ready(self) -> Tuple[Optional[Job], Optional[float]]:
         """``(job, None)`` when one is runnable, else ``(None, delay)``.

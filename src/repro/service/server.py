@@ -20,7 +20,20 @@ framing is parsed by hand) that fronts :mod:`repro.api` with:
   (:meth:`repro.obs.MetricsRegistry.render_prometheus`), parseable by
   the strict :func:`repro.obs.parse_prometheus`;
 * **graceful drain** — SIGTERM/SIGINT stops intake (503), finishes
-  queued and running jobs within ``drain_grace_s``, then exits 0.
+  queued and running jobs within ``drain_grace_s``, then exits 0;
+* **a write-ahead job journal** — with the WAL on (the default when a
+  disk cache exists), every accepted job is journaled fsync-first
+  *before* its HTTP acknowledgement and every state transition is
+  appended; a restarted daemon replays the log, re-enqueueing queued
+  jobs and re-executing interrupted running jobs exactly once (their
+  content-addressed cache keys double as idempotency keys, so a
+  replayed compile whose artifact already landed short-circuits to
+  the cache); see :mod:`repro.service.wal`;
+* **deadline propagation** — a submission's ``deadline_s`` budget is
+  enforced at admission (jobs that provably cannot start in time are
+  rejected 429 + ``Retry-After``), execution (a running job past its
+  deadline fails with a structured ``DeadlineExceeded``), and across
+  restarts (the WAL persists the absolute deadline).
 
 Endpoints::
 
@@ -56,6 +69,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cache import MemoryCache, activate_cache, digest, open_cache
+from repro.experiments.faults import slow_response_delay_s
 from repro.obs import MetricsRegistry
 from repro.service.config import DEFAULT_TENANT, ServiceConfig
 from repro.service.http import (
@@ -65,10 +79,16 @@ from repro.service.http import (
     write_response,
 )
 from repro.service.jobs import Job
-from repro.service.queue import JobQueue, QueueClosed, QueueFull
+from repro.service.queue import (
+    DeadlineUnmeetable,
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+)
+from repro.service.wal import JobWAL
 
 #: Fields a submission may carry besides the per-kind parameters.
-_CONTROL_FIELDS = {"tenant", "wait", "timeout"}
+_CONTROL_FIELDS = {"tenant", "wait", "timeout", "deadline_s"}
 
 #: Per-kind parameter allow-lists (everything else is a 400).
 _PARAM_FIELDS = {
@@ -110,6 +130,7 @@ class ReproService:
         self.draining = False
         self.port: Optional[int] = None
         self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.wal = self._open_wal()
 
         self.registry = MetricsRegistry()
         self._requests = self.registry.counter(
@@ -138,7 +159,44 @@ class ReproService:
         self._draining_gauge = self.registry.gauge(
             "repro_service_draining", "1 while the daemon drains"
         )
+        self._wal_records = self.registry.counter(
+            "repro_service_wal_records_total",
+            "WAL records appended, by event",
+        )
+        self._recovered = self.registry.counter(
+            "repro_service_recovered_jobs_total",
+            "Jobs reconstructed from the WAL on startup, by disposition",
+        )
+        self._deadlines = self.registry.counter(
+            "repro_service_deadline_events_total",
+            "Deadline enforcement events, by stage",
+        )
         self._running = 0
+
+    def _open_wal(self) -> Optional[JobWAL]:
+        """The job WAL, or None when disabled / nowhere durable."""
+        if not self.config.wal_enabled:
+            return None
+        path = self.config.wal_path
+        if path is None:
+            root = getattr(self.backing, "root", None)
+            if root is None:
+                # Cache disabled and no explicit WAL path: there is no
+                # durable directory to anchor recovery to.
+                return None
+            path = Path(root) / "service" / "wal.jsonl"
+        return JobWAL(path)
+
+    @property
+    def wal_enabled(self) -> bool:
+        return self.wal is not None
+
+    def _wal_append(self, event: str, append) -> None:
+        """Run one WAL append and count it (no-op with the WAL off)."""
+        if self.wal is None:
+            return
+        append()
+        self._wal_records.inc(event=event)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -159,6 +217,7 @@ class ReproService:
                 pass
         activate_cache(self.cache)
         self.cache.observer = self._on_cache_event
+        self._recover()
         self.executor = ThreadPoolExecutor(
             max_workers=config.workers, thread_name_prefix="repro-job"
         )
@@ -196,6 +255,8 @@ class ReproService:
             server.close()
             await server.wait_closed()
             self.executor.shutdown(wait=False)
+            if self.wal is not None:
+                self.wal.close()
             if config.port_file:
                 # The port file is a liveness signal for wrappers polling
                 # an ephemeral port; leaving it behind after the drain
@@ -211,6 +272,139 @@ class ReproService:
         """Begin the graceful drain (signal handler / test hook)."""
         if not self._stop.is_set():
             self._stop.set()
+
+    # ------------------------------------------------------------------
+    # WAL recovery
+
+    def _recover(self) -> None:
+        """Replay the WAL: reconstruct the job table, compact the log.
+
+        Runs once at boot, *before* the listener opens, so a client
+        never races recovery.  Dispositions:
+
+        * terminal (``done``/``failed``) — re-registered for
+          ``/v1/jobs`` visibility with ``recovered: true``; result
+          payloads are not persisted in the WAL (artifacts live in the
+          compile cache), so only the status block survives;
+        * ``queued`` — re-enqueued; identical idempotency keys fold
+          onto one primary through the normal coalescer, so a restart
+          never turns N duplicate submissions into N compiles;
+        * ``running`` — the daemon died mid-execution: re-enqueued
+          with ``interrupted: true`` and re-executed exactly once; a
+          compile whose artifact already reached the cache before the
+          crash short-circuits to a cache hit (zero recompiles);
+        * past-deadline — failed immediately with a structured
+          ``DeadlineExceeded`` instead of burning budget on work whose
+          client-side deadline has already passed.
+        """
+        if self.wal is None:
+            return
+        replayed = self.wal.replay()
+        if not replayed:
+            return
+        for entry in replayed:
+            try:
+                self._seq = max(self._seq, int(entry.id.rsplit("-", 1)[1]))
+            except (IndexError, ValueError):
+                pass
+        still_pending = []
+        now = time.time()
+        for entry in replayed:
+            job = Job(
+                id=entry.id,
+                kind=entry.kind,
+                tenant=entry.tenant,
+                params=entry.params,
+                coalesce_key=entry.coalesce_key,
+                submitted_at=entry.submitted_at,
+                deadline_s=entry.deadline_s,
+                recovered=True,
+            )
+            if entry.terminal:
+                job.status = entry.status
+                job.error = entry.error
+                self.jobs[job.id] = job
+                self._recovered.inc(disposition="terminal")
+                continue
+            job.interrupted = entry.interrupted
+            job.future = self.loop.create_future()
+            remaining = job.remaining_s(now)
+            if remaining is not None and remaining <= 0:
+                self._fail_deadline(job, stage="recovery")
+                self.jobs[job.id] = job
+                self._recovered.inc(disposition="deadline_expired")
+                continue
+            # Re-fold duplicates exactly like live submissions: the
+            # stored coalesced_with points at a previous-life primary,
+            # so recompute against what is in flight *now*.
+            primary = (
+                self._inflight.get(job.coalesce_key)
+                if job.coalesce_key else None
+            )
+            if primary is not None and not primary.finished:
+                job.coalesced_with = primary.id
+                primary.duplicates.append(job.id)
+                self._cache_events.inc(event="coalesced")
+            else:
+                try:
+                    self.queue.submit(job)
+                except QueueFull as exc:
+                    job.status = "failed"
+                    job.error = {
+                        "type": "QueueFull",
+                        "message": f"not recoverable: {exc}",
+                    }
+                    self.jobs[job.id] = job
+                    self._recovered.inc(disposition="dropped")
+                    continue
+                if job.coalesce_key:
+                    self._inflight[job.coalesce_key] = job
+            self.jobs[job.id] = job
+            still_pending.append(entry)
+            self._recovered.inc(
+                disposition=(
+                    "reexecuted" if job.interrupted else "requeued"
+                )
+            )
+        # Compact before any new appends: pending jobs become fresh
+        # submitted records, terminal ones are dropped, and the fsync
+        # counter restarts — a crash during compaction leaves either
+        # log, never a blend (atomic rename).
+        self.wal.rewrite(still_pending)
+        # Deadline failures discovered during replay are journaled
+        # after compaction so the next replay sees them terminal...
+        # except their submitted records were just dropped, which is
+        # equivalent: an unknown id's transitions are ignored.
+        for job_id, job in self.jobs.items():
+            if job.recovered and job.status == "failed" and (
+                job.error or {}
+            ).get("type") == "DeadlineExceeded":
+                self._jobs_completed.inc(
+                    kind=job.kind, tenant=job.tenant, status="failed"
+                )
+        print(
+            f"repro service recovered {len(replayed)} WAL job(s): "
+            f"{len(still_pending)} re-enqueued",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def _fail_deadline(self, job: Job, stage: str) -> None:
+        """Mark one job failed with a structured DeadlineExceeded."""
+        job.status = "failed"
+        job.finished_at = time.time()
+        job.error = {
+            "type": "DeadlineExceeded",
+            "message": (
+                f"deadline of {job.deadline_s}s expired at stage "
+                f"{stage!r} (submitted at {job.submitted_at})"
+            ),
+            "deadline_s": job.deadline_s,
+            "stage": stage,
+        }
+        self._deadlines.inc(stage=stage)
+        if job.future is not None and not job.future.done():
+            job.future.set_result(None)
 
     def _on_cache_event(self, event: str) -> None:
         """Cache events arrive from executor threads; count in-loop."""
@@ -243,12 +437,36 @@ class ReproService:
     async def _run_job(self, job: Job) -> None:
         job.status = "running"
         job.started_at = time.time()
+        remaining = job.remaining_s(job.started_at)
+        if remaining is not None and remaining <= 0:
+            # The budget expired while queued: fail without burning an
+            # executor slot (and without a WAL "running" record — the
+            # job never ran).
+            self._fail_deadline(job, stage="queue")
+            self._wal_append(
+                "failed",
+                lambda: self.wal.finished(job.id, "failed", job.error),
+            )
+            self._jobs_completed.inc(
+                kind=job.kind, tenant=job.tenant, status="failed"
+            )
+            self._finish(job)
+            return
+        # Journaled before execution: a crash from here on leaves a
+        # "running" record, which replay re-executes exactly once.
+        self._wal_append("running", lambda: self.wal.running(job.id))
         self._running += 1
         started = time.monotonic()
         try:
-            payload = await self.loop.run_in_executor(
-                self.executor, self._execute, job
+            payload = await asyncio.wait_for(
+                self.loop.run_in_executor(self.executor, self._execute, job),
+                timeout=remaining,
             )
+        except asyncio.TimeoutError:
+            # Cooperative cancel: the executor thread cannot be killed
+            # and may still finish in the background, but its result
+            # is discarded — the client contract is the deadline.
+            self._fail_deadline(job, stage="execution")
         except Exception as exc:  # noqa: BLE001 - contained per job
             job.error = {"type": type(exc).__name__, "message": str(exc)}
             job.status = "failed"
@@ -260,6 +478,10 @@ class ReproService:
         self._latency.observe(time.monotonic() - started, kind=job.kind)
         self._jobs_completed.inc(
             kind=job.kind, tenant=job.tenant, status=job.status
+        )
+        self._wal_append(
+            job.status,
+            lambda: self.wal.finished(job.id, job.status, job.error),
         )
         self._finish(job)
 
@@ -307,6 +529,14 @@ class ReproService:
             duplicate.error = job.error
             duplicate.started_at = job.started_at
             duplicate.finished_at = job.finished_at
+            # Duplicates reach their terminal state in the WAL too, so
+            # a restart never re-runs work the primary already settled.
+            self._wal_append(
+                duplicate.status,
+                lambda d=duplicate: self.wal.finished(
+                    d.id, d.status, d.error
+                ),
+            )
             if duplicate.future is not None and not duplicate.future.done():
                 duplicate.future.set_result(None)
 
@@ -373,12 +603,34 @@ class ReproService:
         spec = json.dumps(params, sort_keys=True, default=str)
         return params, f"sweep:{digest('service-sweep', spec)}"
 
+    @staticmethod
+    def _parse_deadline(body: Dict[str, Any]) -> Optional[float]:
+        raw = body.get("deadline_s")
+        if raw is None:
+            return None
+        try:
+            deadline = float(raw)
+        except (TypeError, ValueError):
+            raise ValueError("bad 'deadline_s': must be a number") from None
+        if deadline <= 0:
+            raise ValueError("bad 'deadline_s': must be > 0")
+        return deadline
+
     def submit(self, kind: str, body: Dict[str, Any]) -> Job:
         """Queue (or coalesce) one job; raises for every rejection."""
         if self.draining:
             raise QueueClosed("service is draining")
         tenant = str(body.get("tenant") or DEFAULT_TENANT)
+        deadline_s = self._parse_deadline(body)
         params, coalesce_key = self._prepare(kind, body)
+        if deadline_s is not None:
+            # Admission control: a budget the rate limiter provably
+            # consumes before the job could start is rejected now, not
+            # after it times out in the queue.
+            wait_s = self.queue.admission_delay(tenant)
+            if wait_s >= deadline_s:
+                self._deadlines.inc(stage="admission")
+                raise DeadlineUnmeetable(tenant, wait_s, deadline_s)
         self._seq += 1
         job = Job(
             id=f"job-{self._seq:06d}",
@@ -387,6 +639,7 @@ class ReproService:
             params=params,
             coalesce_key=coalesce_key,
             submitted_at=time.time(),
+            deadline_s=deadline_s,
         )
         job.future = self.loop.create_future()
         primary = (
@@ -401,12 +654,31 @@ class ReproService:
             if coalesce_key:
                 self._inflight[coalesce_key] = job
             self._kick.set()
+        # Journal *before* registration and the HTTP acknowledgement:
+        # what the client hears "accepted" for, a restart recovers.
+        self._wal_append("submitted", lambda: self.wal.submitted(
+            job.wal_entry()
+        ))
         self.jobs[job.id] = job
         self._jobs_submitted.inc(kind=kind, tenant=tenant)
         return job
 
     # ------------------------------------------------------------------
     # HTTP front
+
+    @staticmethod
+    async def _maybe_slow() -> None:
+        """Honor ``slow-response:MS`` fault injection (test-only path)."""
+        delay = slow_response_delay_s()
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    @staticmethod
+    def _error_headers(exc: HttpError) -> Optional[Dict[str, str]]:
+        """``Retry-After`` for back-pressure errors (429/503)."""
+        if exc.retry_after_s is None:
+            return None
+        return {"Retry-After": str(max(1, int(exc.retry_after_s + 0.999)))}
 
     async def _handle_client(
         self,
@@ -423,11 +695,16 @@ class ReproService:
                     route, status, payload, text = await self._route(
                         method, target, body
                     )
+                    await self._maybe_slow()
                     write_response(writer, status, payload=payload, text=text)
                 except _HttpError as exc:
                     status = exc.status
+                    await self._maybe_slow()
                     write_response(
-                        writer, exc.status, payload={"error": exc.message}
+                        writer,
+                        exc.status,
+                        payload={"error": exc.message},
+                        headers=self._error_headers(exc),
                     )
                 except Exception as exc:  # noqa: BLE001 - daemon survives
                     status = 500
@@ -439,7 +716,10 @@ class ReproService:
         except _HttpError as exc:
             status = exc.status
             write_response(
-                writer, exc.status, payload={"error": exc.message}
+                writer,
+                exc.status,
+                payload={"error": exc.message},
+                headers=self._error_headers(exc),
             )
         except (
             asyncio.TimeoutError,
@@ -468,6 +748,8 @@ class ReproService:
             return path, 200, {
                 "status": "ok",
                 "draining": self.draining,
+                "paused": self.queue.paused,
+                "wal_enabled": self.wal_enabled,
                 "jobs": len(self.jobs),
             }, None
         if path == "/metrics" and method == "GET":
@@ -521,9 +803,23 @@ class ReproService:
         try:
             job = self.submit(kind, parsed)
         except QueueClosed:
-            raise _HttpError(503, "service is draining") from None
+            # Draining daemons restart quickly (supervisors relaunch
+            # them); tell clients to come back shortly.
+            raise _HttpError(
+                503, "service is draining", retry_after_s=1.0
+            ) from None
+        except DeadlineUnmeetable as exc:
+            raise _HttpError(
+                429, str(exc), retry_after_s=exc.wait_s
+            ) from None
         except QueueFull as exc:
-            raise _HttpError(429, str(exc)) from None
+            raise _HttpError(
+                429,
+                str(exc),
+                retry_after_s=max(
+                    1.0, self.queue.admission_delay(exc.tenant)
+                ),
+            ) from None
         except (ValueError, KeyError, TypeError) as exc:
             raise _HttpError(400, str(exc)) from None
         wait = bool(parsed.get("wait", True))
@@ -541,7 +837,14 @@ class ReproService:
             )
         except asyncio.TimeoutError:
             return 202, {"job": job.describe()}
-        status = 200 if job.status == "done" else 500
+        if job.status == "done":
+            status = 200
+        elif (job.error or {}).get("type") == "DeadlineExceeded":
+            # The *client's* budget ran out, not the daemon: 504, so
+            # monitoring never confuses deadline misses with crashes.
+            status = 504
+        else:
+            status = 500
         return status, self._job_payload(job)
 
 

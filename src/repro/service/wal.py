@@ -1,0 +1,291 @@
+"""The ``repro serve`` write-ahead job journal.
+
+Crash recoverability for the service tier: every accepted job is
+journaled *before* its HTTP acknowledgement, every state transition
+(``queued`` -> ``running`` -> ``done``/``failed``) is appended as it
+happens, and a restarted daemon replays the log to reconstruct the
+job table — re-enqueueing jobs that never ran, re-executing jobs that
+were interrupted mid-flight, and keeping already-terminal jobs
+visible without re-running them.
+
+The discipline mirrors :class:`repro.experiments.journal.SweepJournal`
+(fsync-first, append-only JSONL, torn final line tolerated with a
+``RuntimeWarning``) but the record shape is different: a sweep journal
+checkpoints *results*; the WAL checkpoints *intent*.  Results never
+enter the WAL — they can be megabytes and are already content-addressed
+in the compile cache, which is exactly what makes replay idempotent:
+an interrupted job re-executed after a crash resolves its compile
+through the same cache key and short-circuits to the stored artifact
+instead of compiling twice.
+
+Record shapes (one JSON object per line, ``"v": 1``)::
+
+    {"v": 1, "event": "submitted", "job": {"id", "kind", "tenant",
+     "params", "coalesce_key", "deadline_s", "submitted_at",
+     "coalesced_with"}}
+    {"v": 1, "event": "running",  "id": "job-000001"}
+    {"v": 1, "event": "done",     "id": "job-000001"}
+    {"v": 1, "event": "failed",   "id": "job-000001", "error": {...}}
+
+On restart the daemon calls :meth:`JobWAL.replay` for the surviving
+job states, then :meth:`JobWAL.rewrite` to compact the log: terminal
+jobs are dropped (their artifacts live in the cache; their status
+blocks are re-registered in memory by the server) and pending jobs are
+re-journaled as fresh ``submitted`` records, so the WAL never grows
+across restarts and a second replay of the same file is a no-op.
+
+Fault injection (``REPRO_FAULT_INJECT``): ``serve-kill:N`` turns the
+Nth fsync into an uncatchable ``os._exit`` and ``wal-torn-tail`` makes
+the next append write only a prefix of its line before dying — see
+:mod:`repro.experiments.faults`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.experiments.faults import (
+    INJECTED_CRASH_EXIT_CODE,
+    maybe_inject_serve_kill,
+    wal_torn_tail_requested,
+)
+
+#: WAL line format version; bump on incompatible record changes.
+WAL_VERSION = 1
+
+#: Events a WAL line may carry, in lifecycle order.
+EVENTS = ("submitted", "running", "done", "failed")
+
+
+@dataclass
+class ReplayedJob:
+    """One job's surviving state after a WAL replay.
+
+    ``status`` is the last journaled lifecycle state: ``queued`` (a
+    ``submitted`` record with no later transition), ``running`` (the
+    daemon died mid-execution — the job was *interrupted*), or the
+    terminal ``done``/``failed``.
+    """
+
+    id: str
+    kind: str
+    tenant: str
+    params: Dict[str, Any]
+    coalesce_key: Optional[str] = None
+    deadline_s: Optional[float] = None
+    submitted_at: float = 0.0
+    coalesced_with: Optional[str] = None
+    status: str = "queued"
+    error: Optional[Dict[str, Any]] = None
+    #: Raw job dict as journaled (rewritten verbatim on compaction).
+    raw: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def interrupted(self) -> bool:
+        """True when the daemon died while this job was executing."""
+        return self.status == "running"
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("done", "failed")
+
+
+class JobWAL:
+    """Append-only, fsync-first journal of service job state.
+
+    Every :meth:`append` is flushed and fsynced before it returns, so
+    the acceptance the daemon acknowledges over HTTP is exactly the
+    acceptance a restarted daemon recovers.  The fsync counter feeds
+    ``serve-kill:N`` fault injection (die *after* the Nth fsync — the
+    record is durable, everything after it is lost).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[bytes]] = None
+        #: fsyncs performed by this instance (fault-injection hook).
+        self.fsyncs = 0
+
+    # ------------------------------------------------------------------
+    # Append side
+
+    def _open(self) -> IO[bytes]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def _fsync(self, handle: IO[bytes]) -> None:
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:
+            pass
+        self.fsyncs += 1
+        maybe_inject_serve_kill(self.fsyncs)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Journal one event; durable (fsynced) before returning."""
+        handle = self._open()
+        line = json.dumps(
+            dict(record, v=WAL_VERSION), separators=(",", ":"),
+            sort_keys=True, default=str,
+        ).encode("utf-8")
+        if wal_torn_tail_requested():
+            # A power cut mid-write: half the bytes, no newline, gone.
+            handle.write(line[: max(1, len(line) // 2)])
+            handle.flush()
+            try:
+                os.fsync(handle.fileno())
+            except OSError:
+                pass
+            os._exit(INJECTED_CRASH_EXIT_CODE)
+        handle.write(line + b"\n")
+        self._fsync(handle)
+
+    def submitted(self, job: Dict[str, Any]) -> None:
+        self.append({"event": "submitted", "job": job})
+
+    def running(self, job_id: str) -> None:
+        self.append({"event": "running", "id": job_id})
+
+    def finished(
+        self, job_id: str, status: str,
+        error: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        record: Dict[str, Any] = {"event": status, "id": job_id}
+        if error is not None:
+            record["error"] = error
+        self.append(record)
+
+    # ------------------------------------------------------------------
+    # Replay side
+
+    def _parse(self) -> List[Dict[str, Any]]:
+        """Every parseable record in append order; torn tails warned.
+
+        Binary read + lenient decode, exactly like
+        :meth:`repro.experiments.journal.SweepJournal._parse`: a kill
+        can tear the final line anywhere, including inside a
+        multi-byte UTF-8 sequence.  Damage is never fatal — the WAL is
+        how work survives crashes, so replay must survive the crash's
+        own debris.
+        """
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "rb") as handle:
+                raw_lines = handle.read().split(b"\n")
+        except (FileNotFoundError, OSError):
+            return records
+        for index, raw in enumerate(raw_lines):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                position = (
+                    "truncated final line"
+                    if index >= len(raw_lines) - 2
+                    else f"corrupt line {index + 1}"
+                )
+                warnings.warn(
+                    f"service WAL {self.path}: skipping {position} "
+                    "(torn write from a crashed daemon?)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("v") == WAL_VERSION
+                and record.get("event") in EVENTS
+            ):
+                records.append(record)
+        return records
+
+    def replay(self) -> List[ReplayedJob]:
+        """Surviving job states, in original submission order.
+
+        Later events override earlier ones per job id; a ``submitted``
+        record for an id already seen is ignored (duplicate appends
+        from a previous recovery cannot double-register a job).
+        """
+        jobs: Dict[str, ReplayedJob] = {}
+        for record in self._parse():
+            if record["event"] == "submitted":
+                raw = record.get("job")
+                if not isinstance(raw, dict):
+                    continue
+                job_id = str(raw.get("id", ""))
+                if not job_id or job_id in jobs:
+                    continue
+                params = raw.get("params")
+                jobs[job_id] = ReplayedJob(
+                    id=job_id,
+                    kind=str(raw.get("kind", "")),
+                    tenant=str(raw.get("tenant", "default")),
+                    params=params if isinstance(params, dict) else {},
+                    coalesce_key=raw.get("coalesce_key"),
+                    deadline_s=raw.get("deadline_s"),
+                    submitted_at=float(raw.get("submitted_at") or 0.0),
+                    coalesced_with=raw.get("coalesced_with"),
+                    raw=dict(raw),
+                )
+                continue
+            job = jobs.get(str(record.get("id", "")))
+            if job is None:
+                continue  # transition for a job we never saw submitted
+            event = record["event"]
+            if event == "running" and not job.terminal:
+                job.status = "running"
+            elif event in ("done", "failed"):
+                job.status = event
+                error = record.get("error")
+                job.error = error if isinstance(error, dict) else None
+        return list(jobs.values())
+
+    def rewrite(self, pending: List[ReplayedJob]) -> None:
+        """Compact the WAL to just the given pending jobs (atomic).
+
+        Terminal and coalesced-duplicate jobs are dropped; each
+        pending job becomes a fresh ``submitted`` record.  Written to
+        a temp file, fsynced, then atomically renamed over the old
+        log, so a crash mid-compaction leaves either the old WAL or
+        the new one — never a mixture.
+        """
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".compact.tmp")
+        with open(tmp, "wb") as handle:
+            for job in pending:
+                line = json.dumps(
+                    {"v": WAL_VERSION, "event": "submitted",
+                     "job": job.raw},
+                    separators=(",", ":"), sort_keys=True, default=str,
+                ).encode("utf-8")
+                handle.write(line + b"\n")
+            handle.flush()
+            try:
+                os.fsync(handle.fileno())
+            except OSError:
+                pass
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self) -> "JobWAL":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

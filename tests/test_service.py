@@ -76,6 +76,25 @@ class ServiceHarness:
             return response.status, text
         return response.status, (json.loads(text) if text else {})
 
+    def request_with_headers(self, method, path, body=None):
+        """Like request(), but also returns lower-cased response headers."""
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", self.service.port, timeout=170
+        )
+        try:
+            data = json.dumps(body) if isinstance(body, dict) else body
+            conn.request(method, path, body=data)
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            conn.close()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        return (
+            response.status,
+            headers,
+            json.loads(text) if text else {},
+        )
+
     def metric(self, name, **labels):
         """One sample's value from a fresh /metrics scrape (0.0 if absent)."""
         _, text = self.request("GET", "/metrics", raw=True)
@@ -488,3 +507,174 @@ class TestRealProcessSigterm:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=30)
+
+
+class TestHealthzSurface:
+    def test_healthz_reports_pause_and_wal_state(self, harness):
+        status, payload = harness.request("GET", "/healthz")
+        assert status == 200
+        assert payload["paused"] is False
+        assert payload["draining"] is False
+        assert payload["wal_enabled"] is True  # cache_dir set -> WAL on
+        assert harness.request("POST", "/admin/pause")[0] == 200
+        try:
+            _, paused = harness.request("GET", "/healthz")
+            assert paused["paused"] is True
+        finally:
+            harness.request("POST", "/admin/resume")
+
+    def test_healthz_reports_wal_off(self, tmp_path):
+        instance = ServiceHarness(
+            cache_dir=tmp_path / "cache", wal_enabled=False
+        )
+        try:
+            _, payload = instance.request("GET", "/healthz")
+            assert payload["wal_enabled"] is False
+        finally:
+            instance.stop()
+            activate_cache(None)
+
+
+class TestRetryAfterHeaders:
+    def test_queue_full_429_carries_retry_after(self, tmp_path):
+        harness = ServiceHarness(
+            cache_dir=tmp_path / "cache",
+            admin=True,
+            tenants={"tiny": TenantClass("tiny", max_queued=1)},
+        )
+        try:
+            assert harness.request("POST", "/admin/pause")[0] == 200
+            first = {
+                "benchmark": "HS2", "device": "tenerife",
+                "tenant": "tiny", "wait": False,
+            }
+            second = {
+                "benchmark": "BV4", "device": "tenerife",
+                "tenant": "tiny", "wait": False,
+            }
+            assert harness.request("POST", "/v1/compile", first)[0] == 202
+            status, headers, payload = harness.request_with_headers(
+                "POST", "/v1/compile", second
+            )
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            harness.request("POST", "/admin/resume")
+        finally:
+            harness.stop()
+            activate_cache(None)
+
+    def test_draining_503_carries_retry_after(self, harness):
+        harness.service.draining = True
+        try:
+            status, headers, _ = harness.request_with_headers(
+                "POST",
+                "/v1/compile",
+                {"benchmark": "HS2", "device": "tenerife"},
+            )
+            assert status == 503
+            assert headers["retry-after"] == "1"
+        finally:
+            harness.service.draining = False
+
+    def test_plain_400_has_no_retry_after(self, harness):
+        status, headers, _ = harness.request_with_headers(
+            "POST", "/v1/compile", {"device": "tenerife"}
+        )
+        assert status == 400 and "retry-after" not in headers
+
+
+class TestDeadlines:
+    def test_malformed_deadline_is_400(self, harness):
+        for bad in ("soon", -1, 0):
+            status, payload = harness.request(
+                "POST",
+                "/v1/compile",
+                {"benchmark": "HS2", "device": "tenerife",
+                 "deadline_s": bad},
+            )
+            assert status == 400 and "deadline_s" in payload["error"]
+
+    def test_admission_rejects_unmeetable_deadline(self, tmp_path):
+        """A rate-limited tenant with a full burst of queued work ahead
+        provably cannot start a 1s-deadline job for ~10s: reject at
+        submission (429 + Retry-After), don't queue a guaranteed loss."""
+        harness = ServiceHarness(
+            cache_dir=tmp_path / "cache",
+            admin=True,
+            tenants={
+                "slow": TenantClass(
+                    "slow", rate_per_s=0.1, burst=1, max_queued=10
+                )
+            },
+        )
+        try:
+            assert harness.request("POST", "/admin/pause")[0] == 200
+            filler = {
+                "benchmark": "HS2", "device": "tenerife",
+                "tenant": "slow", "wait": False,
+            }
+            assert harness.request("POST", "/v1/compile", filler)[0] == 202
+            doomed = {
+                "benchmark": "BV4", "device": "tenerife",
+                "tenant": "slow", "wait": False, "deadline_s": 1.0,
+            }
+            status, headers, payload = harness.request_with_headers(
+                "POST", "/v1/compile", doomed
+            )
+            assert status == 429
+            assert "deadline" in payload["error"]
+            assert int(headers["retry-after"]) >= 9  # ~10s of rate debt
+            assert harness.metric(
+                "repro_service_deadline_events_total", stage="admission"
+            ) == 1.0
+            # The same submission without a deadline is accepted: only
+            # provably-unmeetable budgets are turned away.
+            relaxed = dict(doomed)
+            del relaxed["deadline_s"]
+            assert harness.request("POST", "/v1/compile", relaxed)[0] == 202
+            harness.request("POST", "/admin/resume")
+        finally:
+            harness.stop()
+            activate_cache(None)
+
+    def test_execution_deadline_cancels_with_structured_error(
+        self, harness, monkeypatch
+    ):
+        """A job that blows its budget mid-execution fails with a
+        structured DeadlineExceeded naming the stage, and the deadline
+        counter ticks."""
+        from repro import api
+
+        real_compile = api.compile
+
+        def glacial_compile(*args, **kwargs):
+            time.sleep(3.0)
+            return real_compile(*args, **kwargs)
+
+        monkeypatch.setattr(api, "compile", glacial_compile)
+        status, payload = harness.request(
+            "POST",
+            "/v1/compile",
+            {"benchmark": "HS2", "device": "tenerife", "deadline_s": 0.4},
+        )
+        assert status == 504  # the client's budget, not a server fault
+        assert payload["job"]["status"] == "failed"
+        assert payload["error"]["type"] == "DeadlineExceeded"
+        assert payload["error"]["stage"] == "execution"
+        assert payload["error"]["deadline_s"] == 0.4
+        assert harness.metric(
+            "repro_service_deadline_events_total", stage="execution"
+        ) == 1.0
+
+    def test_deadline_echoed_in_describe(self, harness):
+        status, payload = harness.request(
+            "POST",
+            "/v1/compile",
+            {"benchmark": "HS2", "device": "tenerife", "deadline_s": 120},
+        )
+        assert status == 200
+        assert payload["job"]["deadline_s"] == 120.0
+        assert payload["job"]["status"] == "done"
+        # Live (non-replayed) jobs are never marked recovered.
+        assert payload["job"]["recovered"] is False
+        assert payload["job"]["interrupted"] is False

@@ -1,0 +1,339 @@
+"""Unit tests for the shared resilient HTTP client.
+
+Everything here runs against an injected fake transport, clock, and
+sleep, so retry schedules, circuit-breaker transitions, Retry-After
+honoring, and deadline budgets are asserted deterministically — no
+sockets, no real sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.faults import RetryPolicy
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExhausted,
+    ResilientClient,
+    TransportError,
+)
+
+POLICY = RetryPolicy(
+    retries=3, backoff_s=0.1, backoff_factor=2.0,
+    max_backoff_s=2.0, jitter=0.25,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeTransport:
+    """Scripted responses: each entry is an exception or a response."""
+
+    def __init__(self, script, clock=None, cost_s=0.0):
+        self.script = list(script)
+        self.calls = []
+        self.clock = clock
+        self.cost_s = cost_s
+
+    def __call__(self, url, data, headers, timeout_s):
+        self.calls.append(
+            {"url": url, "data": data, "timeout_s": timeout_s}
+        )
+        if self.clock is not None and self.cost_s:
+            self.clock.advance(self.cost_s)
+        action = self.script.pop(0)
+        if isinstance(action, Exception):
+            raise action
+        return action
+
+
+def ok(payload, status=200, headers=None):
+    return status, dict(headers or {}), json.dumps(payload).encode()
+
+
+def make_client(script, clock=None, cost_s=0.0, **kwargs):
+    clock = clock or FakeClock()
+    sleeps = []
+
+    def sleep(seconds):
+        sleeps.append(seconds)
+        clock.advance(seconds)
+
+    transport = FakeTransport(script, clock=clock, cost_s=cost_s)
+    client = ResilientClient(
+        policy=kwargs.pop("policy", POLICY),
+        clock=clock,
+        sleep=sleep,
+        transport=transport,
+        **kwargs,
+    )
+    return client, transport, sleeps, clock
+
+
+class TestRetries:
+    def test_success_first_try_no_sleep(self):
+        client, transport, sleeps, _ = make_client([ok({"x": 1})])
+        assert client.request("http://c:1", "/v1/lease") == {"x": 1}
+        assert len(transport.calls) == 1 and sleeps == []
+
+    def test_transient_failure_retried_to_success(self):
+        client, transport, sleeps, _ = make_client(
+            [TransportError("blip"), TransportError("blip"), ok({"x": 2})]
+        )
+        assert client.request("http://c:1", "/v1/lease") == {"x": 2}
+        assert len(transport.calls) == 3 and len(sleeps) == 2
+
+    def test_budget_exhausted_raises_last_error(self):
+        client, transport, sleeps, _ = make_client(
+            [TransportError(f"blip {i}") for i in range(4)]
+        )
+        with pytest.raises(TransportError, match="blip 3"):
+            client.request("http://c:1", "/v1/lease")
+        assert len(transport.calls) == 4  # 1 + 3 retries
+        assert len(sleeps) == 3
+
+    def test_backoff_schedule_is_deterministic_hash_jitter(self):
+        """Sleeps must be exactly RetryPolicy.delay(attempt, token)."""
+        client, _, sleeps, _ = make_client(
+            [TransportError("x")] * 3 + [ok({})]
+        )
+        client.request("http://c:1", "/v1/lease")
+        token = "http://c:1/v1/lease"
+        assert sleeps == [
+            POLICY.delay(1, token=token),
+            POLICY.delay(2, token=token),
+            POLICY.delay(3, token=token),
+        ]
+        # And a second identical client sleeps identically (no RNG).
+        client2, _, sleeps2, _ = make_client(
+            [TransportError("x")] * 3 + [ok({})]
+        )
+        client2.request("http://c:1", "/v1/lease")
+        assert sleeps2 == sleeps
+
+    def test_retries_zero_means_single_attempt(self):
+        client, transport, sleeps, _ = make_client(
+            [TransportError("down"), ok({})]
+        )
+        with pytest.raises(TransportError):
+            client.request("http://c:1", "/v1/heartbeat", retries=0)
+        assert len(transport.calls) == 1 and sleeps == []
+
+    def test_json_error_body_is_returned_not_raised(self):
+        """Protocol semantics: outcomes live in the payload."""
+        client, _, _, _ = make_client(
+            [ok({"error": "no such job"}, status=404)]
+        )
+        assert client.request("http://c:1", "/v1/jobs/nope") == {
+            "error": "no such job"
+        }
+
+    def test_non_json_body_is_a_transport_failure(self):
+        client, transport, _, _ = make_client(
+            [(200, {}, b"<html>proxy error</html>")] * 4
+        )
+        with pytest.raises(TransportError, match="JSON"):
+            client.request("http://c:1", "/v1/lease")
+        assert len(transport.calls) == 4
+
+
+class TestRetryAfter:
+    def test_429_honors_retry_after_header(self):
+        client, _, sleeps, _ = make_client(
+            [ok({"error": "slow down"}, 429, {"retry-after": "7"}), ok({})]
+        )
+        assert client.request("http://c:1", "/v1/compile") == {}
+        assert sleeps == [7.0]
+
+    def test_503_honors_retry_after_header(self):
+        client, _, sleeps, _ = make_client(
+            [ok({"error": "draining"}, 503, {"retry-after": "2"}), ok({})]
+        )
+        client.request("http://c:1", "/v1/compile")
+        assert sleeps == [2.0]
+
+    def test_retryable_status_without_header_uses_backoff(self):
+        client, _, sleeps, _ = make_client([ok({}, 503), ok({})])
+        client.request("http://c:1", "/v1/compile")
+        assert sleeps == [
+            POLICY.delay(1, token="http://c:1/v1/compile")
+        ]
+
+    def test_backpressure_does_not_trip_the_breaker(self):
+        client, _, _, _ = make_client(
+            [ok({}, 429, {"retry-after": "0"})] * 3 + [ok({})],
+            failure_threshold=2,
+        )
+        client.request("http://c:1", "/v1/compile")
+        assert client.breaker("http://c:1", "/v1/compile").state == "closed"
+
+
+class TestDeadlines:
+    def test_deadline_caps_per_attempt_timeout(self):
+        client, transport, _, _ = make_client([ok({})])
+        client.request(
+            "http://c:1", "/v1/lease", timeout_s=30.0, deadline_s=5.0
+        )
+        assert transport.calls[0]["timeout_s"] == pytest.approx(5.0)
+
+    def test_deadline_stops_retry_that_would_overrun(self):
+        clock = FakeClock()
+        client, transport, _, _ = make_client(
+            [TransportError("down")] * 4, clock=clock, cost_s=1.0
+        )
+        with pytest.raises(DeadlineExhausted, match="overrun"):
+            client.request("http://c:1", "/v1/lease", deadline_s=1.05)
+        assert len(transport.calls) == 1  # no budget for attempt 2
+
+    def test_budget_threads_through_retries_not_reset(self):
+        """Each attempt sees deadline minus time already burned."""
+        clock = FakeClock()
+        client, transport, _, _ = make_client(
+            [TransportError("down"), ok({})], clock=clock, cost_s=2.0
+        )
+        client.request(
+            "http://c:1", "/v1/lease", timeout_s=30.0, deadline_s=10.0
+        )
+        # Attempt 1 saw the full 10s budget (clamped from 30), burned
+        # 2s in transport plus the backoff sleep; attempt 2's timeout
+        # is what was left, never 10 again.
+        assert transport.calls[0]["timeout_s"] == pytest.approx(10.0)
+        assert transport.calls[1]["timeout_s"] < 8.0 + 1e-9
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fails_fast(self):
+        client, transport, _, clock = make_client(
+            [TransportError("down")] * 10,
+            failure_threshold=3, reset_after_s=5.0,
+        )
+        with pytest.raises(TransportError):
+            client.request("http://c:1", "/v1/lease")  # 4 failures
+        assert client.breaker("http://c:1", "/v1/lease").state == "open"
+        calls_before = len(transport.calls)
+        with pytest.raises(CircuitOpen):
+            client.request("http://c:1", "/v1/lease")
+        assert len(transport.calls) == calls_before  # network untouched
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        # Only 3 transport entries fail: the breaker opens on the 3rd,
+        # so attempt 4 raises CircuitOpen without touching the network.
+        client, transport, _, _ = make_client(
+            [TransportError("down")] * 3 + [ok({"back": True}), ok({})],
+            clock=clock, failure_threshold=3, reset_after_s=5.0,
+        )
+        with pytest.raises(TransportError):
+            client.request("http://c:1", "/v1/lease")
+        clock.advance(5.1)  # cooldown elapsed -> half-open probe
+        assert client.request("http://c:1", "/v1/lease") == {"back": True}
+        breaker = client.breaker("http://c:1", "/v1/lease")
+        assert breaker.state == "closed"
+        assert client.request("http://c:1", "/v1/lease") == {}
+
+    def test_failed_probe_reopens_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_after_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock.advance(5.1)
+        assert breaker.allow()  # the half-open probe
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        clock.advance(4.0)
+        assert not breaker.allow()  # full cooldown restarted
+        clock.advance(1.2)
+        assert breaker.allow()
+
+    def test_breakers_are_per_endpoint(self):
+        client, _, _, _ = make_client(
+            [TransportError("down")] * 4 + [ok({})],
+            failure_threshold=3,
+        )
+        with pytest.raises(TransportError):
+            client.request("http://c:1", "/v1/lease")
+        # A different path on the same host has its own closed circuit.
+        assert client.request("http://c:1", "/healthz") == {}
+
+
+class TestRealTransport:
+    """The default urllib transport against a real in-process daemon."""
+
+    def test_round_trip_and_json_error_bodies(self, tmp_path):
+        from repro.cache import activate_cache
+
+        from tests.test_service import ServiceHarness
+
+        harness = ServiceHarness(
+            cache_dir=tmp_path / "cache", wal_enabled=False
+        )
+        base = f"http://127.0.0.1:{harness.service.port}"
+        try:
+            client = ResilientClient()
+            # GET (no payload) success path.
+            health = client.request(base, "/healthz")
+            assert health["status"] == "ok"
+            # POST with a payload.
+            result = client.request(
+                base, "/v1/compile",
+                payload={"benchmark": "HS2", "device": "tenerife"},
+            )
+            assert result["job"]["status"] == "done"
+            # An HTTP error status with a JSON body comes back as the
+            # body (the daemons put outcomes in payloads, not statuses).
+            missing = client.request(base, "/v1/jobs/job-999999")
+            assert "error" in missing
+        finally:
+            harness.stop()
+            activate_cache(None)
+
+    def test_connection_refused_is_transport_error(self):
+        client = ResilientClient(
+            policy=RetryPolicy(retries=0, backoff_s=0.01)
+        )
+        with pytest.raises(TransportError):
+            # Port 1 is never listening; refused instantly.
+            client.request("http://127.0.0.1:1", "/healthz",
+                           timeout_s=2.0, retries=0)
+
+
+class TestProtocolRewiring:
+    def test_call_retries_then_maps_to_coordinator_unreachable(self):
+        from repro.experiments.distributed.protocol import (
+            CoordinatorUnreachable,
+            call,
+        )
+
+        client, transport, _, _ = make_client(
+            [TransportError("conn refused")] * 4
+        )
+        with pytest.raises(CoordinatorUnreachable, match="/v1/lease"):
+            call("http://c:1", "/v1/lease", {"worker": "w"}, client=client)
+        assert len(transport.calls) == 4  # bounded retry happened
+
+    def test_call_survives_one_blip(self):
+        """The satellite contract: one blip no longer kills a worker."""
+        from repro.experiments.distributed.protocol import call
+
+        client, _, _, _ = make_client(
+            [TransportError("one blip"), ok({"task": None, "done": True})]
+        )
+        lease = call("http://c:1", "/v1/lease", {"worker": "w"},
+                     client=client)
+        assert lease == {"task": None, "done": True}

@@ -1,0 +1,200 @@
+"""Direct tests for the shared HTTP framing layer (slowloris included).
+
+Satellite S3: ``read_request`` is the only thing standing between the
+daemons and a peer that opens a socket and then stalls — mid request
+line, mid headers, or mid body.  These tests drive the parser through
+hand-fed ``asyncio.StreamReader`` objects with tiny timeouts, so each
+slow-peer scenario is proven to time out (and to time out on the
+*right* knob) in milliseconds, no real sockets or sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service.http import HttpError, read_request, write_response
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def reader_with(data: bytes, eof: bool = False) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+class CollectingWriter:
+    """Just enough of a StreamWriter for write_response()."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    @property
+    def data(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class TestSlowloris:
+    def test_stalled_request_line_times_out(self):
+        async def scenario():
+            reader = asyncio.StreamReader()  # never sends a byte
+            with pytest.raises(asyncio.TimeoutError):
+                await read_request(reader, header_timeout_s=0.05)
+
+        run(scenario())
+
+    def test_stalled_mid_headers_times_out(self):
+        async def scenario():
+            reader = reader_with(
+                b"POST /v1/compile HTTP/1.1\r\n"
+                b"Content-Type: application/json\r\n"
+                # ...and the peer goes quiet before the blank line.
+            )
+            with pytest.raises(asyncio.TimeoutError):
+                await read_request(reader, header_timeout_s=0.05)
+
+        run(scenario())
+
+    def test_stalled_body_times_out_on_the_body_knob(self):
+        """Headers arrive promptly; the body drips then stops.  The
+        generous header timeout must not shelter the stalled body."""
+
+        async def scenario():
+            reader = reader_with(
+                b"POST /v1/compile HTTP/1.1\r\n"
+                b"Content-Length: 1000\r\n"
+                b"\r\n"
+                b'{"benchmark": '  # 14 of the promised 1000 bytes
+            )
+            start = time.monotonic()
+            with pytest.raises(asyncio.TimeoutError):
+                await read_request(
+                    reader, header_timeout_s=30.0, body_timeout_s=0.05
+                )
+            return time.monotonic() - start
+
+        elapsed = run(scenario())
+        assert elapsed < 5.0  # the 30s header knob played no part
+
+    def test_peer_that_dies_mid_body_raises_incomplete_read(self):
+        async def scenario():
+            reader = reader_with(
+                b"POST /v1/compile HTTP/1.1\r\n"
+                b"Content-Length: 100\r\n"
+                b"\r\n"
+                b"short",
+                eof=True,
+            )
+            with pytest.raises(asyncio.IncompleteReadError):
+                await read_request(reader, body_timeout_s=0.5)
+
+        run(scenario())
+
+    def test_fast_peer_is_unaffected_by_tiny_timeouts(self):
+        async def scenario():
+            reader = reader_with(
+                b"POST /v1/compile HTTP/1.1\r\n"
+                b"Content-Length: 2\r\n"
+                b"\r\n"
+                b"{}",
+                eof=True,
+            )
+            return await read_request(
+                reader, header_timeout_s=0.05, body_timeout_s=0.05
+            )
+
+        method, target, body = run(scenario())
+        assert (method, target, body) == ("POST", "/v1/compile", b"{}")
+
+    def test_clean_eof_returns_none(self):
+        async def scenario():
+            return await read_request(
+                reader_with(b"", eof=True), header_timeout_s=0.05
+            )
+
+        assert run(scenario()) is None
+
+
+class TestFraming:
+    def test_malformed_request_line_is_400(self):
+        async def scenario():
+            reader = reader_with(b"NONSENSE\r\n\r\n", eof=True)
+            with pytest.raises(HttpError) as excinfo:
+                await read_request(reader, header_timeout_s=0.5)
+            return excinfo.value
+
+        assert run(scenario()).status == 400
+
+    def test_bad_content_length_is_400(self):
+        async def scenario():
+            reader = reader_with(
+                b"POST / HTTP/1.1\r\nContent-Length: lots\r\n\r\n",
+                eof=True,
+            )
+            with pytest.raises(HttpError) as excinfo:
+                await read_request(reader, header_timeout_s=0.5)
+            return excinfo.value
+
+        assert run(scenario()).status == 400
+
+    def test_write_response_emits_extra_headers(self):
+        writer = CollectingWriter()
+        write_response(
+            writer, 429, payload={"error": "busy"},
+            headers={"Retry-After": "3"},
+        )
+        head, _, body = writer.data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        assert lines[0] == "HTTP/1.1 429 Too Many Requests"
+        assert "Retry-After: 3" in lines
+        assert lines[-1] == "Connection: close"  # extras come before
+        assert b'"busy"' in body
+
+    def test_write_response_without_extras_unchanged(self):
+        writer = CollectingWriter()
+        write_response(writer, 200, payload={"ok": True})
+        head = writer.data.partition(b"\r\n\r\n")[0].decode("latin-1")
+        assert "Retry-After" not in head
+
+    def test_http_error_carries_retry_after(self):
+        exc = HttpError(503, "draining", retry_after_s=2.5)
+        assert exc.status == 503 and exc.retry_after_s == 2.5
+        assert HttpError(400, "nope").retry_after_s is None
+
+
+class TestDaemonUnderSlowloris:
+    def test_stalled_connection_does_not_wedge_the_daemon(self, tmp_path):
+        """A peer holding an open, silent connection must not block
+        other clients (the accept loop is per-connection tasks)."""
+        import socket
+
+        from repro.cache import activate_cache
+
+        from tests.test_service import ServiceHarness
+
+        harness = ServiceHarness(
+            cache_dir=tmp_path / "cache", wal_enabled=False
+        )
+        try:
+            stalled = socket.create_connection(
+                ("127.0.0.1", harness.service.port), timeout=5
+            )
+            stalled.sendall(b"POST /v1/compile HT")  # ...and stall
+            try:
+                status, payload = harness.request("GET", "/healthz")
+                assert status == 200 and payload["status"] == "ok"
+            finally:
+                stalled.close()
+        finally:
+            harness.stop()
+            activate_cache(None)
