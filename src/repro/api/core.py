@@ -208,6 +208,7 @@ def compile(  # noqa: A001 - the public API name; builtins.compile unused here
     cache_dir=None,
     contracts: Optional[str] = None,
     warm_start: bool = True,
+    mapper: str = "exact",
     obs: Optional[ObsConfig] = None,
     obs_tag: str = "compile",
 ) -> CompileResult:
@@ -217,9 +218,11 @@ def compile(  # noqa: A001 - the public API name; builtins.compile unused here
     ``scaffold`` source text (with optional compile-time ``defines``),
     or a prebuilt ``circuit``.  ``cache`` (an open handle) or
     ``cache_dir`` enables the persistent artifact cache; ``contracts``
-    is ``"strict"``/``"warn"``/``None``.  Returns a
-    :class:`CompileResult` whose ``executable`` is byte-identical to
-    what ``repro compile`` emits.
+    is ``"strict"``/``"warn"``/``None``; ``mapper`` selects the
+    placement solver (``"exact"``/``"portfolio"``/``"heuristic"``, see
+    :mod:`repro.smt.portfolio`).  Returns a :class:`CompileResult`
+    whose ``executable`` is byte-identical to what ``repro compile``
+    emits.
     """
     built_circuit, correct = build_program(
         benchmark=benchmark, scaffold=scaffold, defines=defines,
@@ -233,7 +236,7 @@ def compile(  # noqa: A001 - the public API name; builtins.compile unused here
         with _obs_session(obs, obs_tag, cache) as obs_holder:
             program, cache_hit = compile_with_cache(
                 built_circuit, resolved_device, resolved_level, day=day,
-                cache=cache, contracts=contracts,
+                cache=cache, contracts=contracts, mapper=mapper,
             )
     return CompileResult(
         benchmark=(
@@ -251,10 +254,12 @@ def compile(  # noqa: A001 - the public API name; builtins.compile unused here
         compile_time_s=program.compile_time_s,
         cache_key=artifact_key(
             built_circuit, resolved_device, resolved_level, day=day,
-            contracts=contracts,
+            contracts=contracts, mapper=mapper,
         ),
         cache_hit=cache_hit,
         degraded=program.initial_mapping.degraded,
+        mapper_method=program.initial_mapping.method,
+        bound_shared=program.initial_mapping.bound_shared,
         contract_violations=list(program.contract_violations),
         correct=correct,
         program=program,
@@ -273,6 +278,7 @@ def run(
     cache_dir=None,
     contracts: Optional[str] = None,
     warm_start: bool = True,
+    mapper: str = "exact",
     obs: Optional[ObsConfig] = None,
     obs_tag: str = "run",
 ) -> RunResult:
@@ -296,7 +302,7 @@ def run(
         with _obs_session(obs, obs_tag, cache) as obs_holder:
             program, cache_hit = compile_with_cache(
                 built_circuit, resolved_device, resolved_level, day=day,
-                cache=cache, contracts=contracts,
+                cache=cache, contracts=contracts, mapper=mapper,
             )
             estimate = monte_carlo_success_rate(
                 program.circuit,
@@ -321,10 +327,12 @@ def run(
         compile_time_s=program.compile_time_s,
         cache_key=artifact_key(
             built_circuit, resolved_device, resolved_level, day=day,
-            contracts=contracts,
+            contracts=contracts, mapper=mapper,
         ),
         cache_hit=cache_hit,
         degraded=program.initial_mapping.degraded,
+        mapper_method=program.initial_mapping.method,
+        bound_shared=program.initial_mapping.bound_shared,
         contract_violations=list(program.contract_violations),
         correct=correct,
         program=program,
@@ -438,12 +446,16 @@ def check(
     benchmarks: Optional[Sequence[Union[str, Benchmark]]] = None,
     levels: Optional[Sequence[Union[str, OptimizationLevel]]] = None,
     day: int = 0,
+    mapper: str = "exact",
 ) -> CheckResult:
     """Compile a grid under warn-mode contracts; collect every violation.
 
     Defaults to all seven study machines, the full 12-benchmark suite,
     and all four TriQ levels — the grid ``repro check`` audits.
     Benchmarks that do not fit a device are skipped, as in the paper.
+    ``mapper`` selects the placement solver; ``"portfolio"`` audits the
+    solver race too (a heuristic diverging beyond the blessed bound of
+    a finished exact solve surfaces as a MAP002 violation).
     """
     resolved_devices = (
         [_resolve_device(d, day) for d in devices]
@@ -472,7 +484,7 @@ def check(
                 try:
                     program = compile_with(
                         built_circuit, dev, compiler, day=day,
-                        contracts="warn",
+                        contracts="warn", mapper=mapper,
                     )
                 except Exception as exc:  # noqa: BLE001 - audit and go on
                     errors.append(
@@ -508,6 +520,7 @@ def compile_cache_key(
     level: Union[str, OptimizationLevel] = OptimizationLevel.OPT_1QCN,
     day: int = 0,
     contracts: Optional[str] = None,
+    mapper: str = "exact",
 ) -> str:
     """The artifact key a compile of this request would use — no compile.
 
@@ -525,6 +538,7 @@ def compile_cache_key(
         resolve_level(level),
         day=day,
         contracts=contracts,
+        mapper=mapper,
     )
 
 

@@ -61,6 +61,13 @@ class CompileResult:
     #: The benchmark's known-correct answer (None for scaffold/ad-hoc
     #: circuits, which have no registered oracle).
     correct: Optional[str] = None
+    #: How the initial placement was produced: "exact" (SMT proved
+    #: optimal or won the race), "heuristic" (portfolio degraded to its
+    #: best anytime answer), or "default" (identity mapping baselines).
+    mapper_method: str = "exact"
+    #: Whether a heuristic bound certificate was shared into the exact
+    #: solver's binary search (portfolio runs only).
+    bound_shared: bool = False
     #: The live compiled program (not serialized; None after transport).
     program: Optional[CompiledProgram] = field(
         default=None, repr=False, compare=False
@@ -86,6 +93,8 @@ class CompileResult:
             "cache_key": self.cache_key,
             "cache_hit": self.cache_hit,
             "degraded": self.degraded,
+            "mapper_method": self.mapper_method,
+            "bound_shared": self.bound_shared,
             "contract_violations": list(self.contract_violations),
         }
 

@@ -30,8 +30,10 @@ artifacts and Monte-Carlo estimates are cached on disk by default
 commands accept ``--workers`` to parallelize over processes.  The
 ``compile``/``run``/``sweep`` commands accept ``--contracts
 {strict,warn,off}`` to enforce per-pass contracts during compilation,
-and ``--profile``/``--obs-dir`` to capture span traces, metrics, and
-cProfile stats (see :mod:`repro.obs`).
+``--mapper {exact,portfolio,heuristic}`` to pick the placement solver
+(see :mod:`repro.smt.portfolio`), and ``--profile``/``--obs-dir`` to
+capture span traces, metrics, and cProfile stats (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -91,6 +93,17 @@ def _add_warm_start_arg(p: argparse.ArgumentParser) -> None:
         "--no-warm-start", action="store_true",
         help="disable mapper warm-starting from placements cached on "
              "other calibration days (cold solves only)",
+    )
+
+
+def _add_mapper_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--mapper", choices=["exact", "portfolio", "heuristic"],
+        default="exact",
+        help="placement solver: exact (default) runs the SMT-style "
+             "max-min search alone, portfolio races anytime heuristics "
+             "against it under the wall budget, heuristic skips the "
+             "exact stage entirely",
     )
 
 
@@ -181,6 +194,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         cache=_open_cli_cache(args),
         contracts=args.contracts,
         warm_start=not args.no_warm_start,
+        mapper=args.mapper,
         obs=_cli_obs_config(args),
         obs_tag="compile",
     )
@@ -220,6 +234,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache=_open_cli_cache(args),
         contracts=args.contracts,
         warm_start=not args.no_warm_start,
+        mapper=args.mapper,
         obs=_cli_obs_config(args),
         obs_tag="run",
     )
@@ -290,6 +305,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         contracts=args.contracts,
         obs=_cli_obs_config(args),
         warm_start=not args.no_warm_start,
+        mapper=args.mapper,
         **distributed,
     )
     headers = ["Benchmark", "Compiler", "2Q", "1Q pulses", "Depth", "Swaps"]
@@ -392,6 +408,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         benchmarks=benchmarks,
         levels=args.levels,
         day=args.day,
+        mapper=args.mapper,
     )
     for cell in result.errors:
         print(
@@ -442,6 +459,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         contracts=args.contracts,
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
+        mapper=args.mapper,
     )
     report = run_fuzz(config)
     for finding in report.findings:
@@ -643,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--output", "-o", help="write to file")
     _add_cache_args(compile_parser)
     _add_warm_start_arg(compile_parser)
+    _add_mapper_arg(compile_parser)
     _add_contract_args(compile_parser)
     _add_obs_args(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
@@ -657,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(run_parser)
     _add_warm_start_arg(run_parser)
+    _add_mapper_arg(run_parser)
     _add_contract_args(run_parser)
     _add_obs_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
@@ -745,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(sweep_parser)
     _add_warm_start_arg(sweep_parser)
+    _add_mapper_arg(sweep_parser)
     _add_contract_args(sweep_parser)
     _add_obs_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
@@ -856,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--day", type=int, default=0, help="calibration day (default 0)"
     )
+    _add_mapper_arg(check_parser)
     check_parser.set_defaults(func=_cmd_check)
 
     fuzz_parser = sub.add_parser(
@@ -907,6 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", metavar="PATH", default=None,
         help="re-run one reproducer artifact instead of fuzzing",
     )
+    _add_mapper_arg(fuzz_parser)
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     profile_parser = sub.add_parser(

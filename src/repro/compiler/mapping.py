@@ -9,11 +9,17 @@ Two policies:
   matrix: pair terms for every distinct interacting program-qubit pair,
   unary readout terms for every measured qubit, objective = maximize the
   minimum term reliability, solved by :class:`repro.smt.MaxMinSolver`.
+
+``smt_mapping`` accepts a ``mapper`` knob selecting the solver backend:
+``"exact"`` (the default branch-and-bound), ``"portfolio"`` (anytime
+heuristics raced against exact with a shared bound — bit-identical to
+exact whenever exact finishes), or ``"heuristic"`` (greedy + annealing
+only, for devices where exact cannot finish at all).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -22,7 +28,12 @@ from repro.devices.device import Device
 from repro.ir.circuit import Circuit
 from repro.ir.dag import interaction_pairs
 from repro.compiler.reliability import ReliabilityMatrix
-from repro.smt import AssignmentProblem, MaxMinSolver
+from repro.smt import (
+    MAPPER_METHODS,
+    AssignmentProblem,
+    MaxMinSolver,
+    PortfolioSolver,
+)
 
 
 @dataclass(frozen=True)
@@ -40,10 +51,24 @@ class InitialMapping:
     solver_nodes: int = 0
     #: Solver wall time in seconds.
     solver_time_s: float = 0.0
-    #: True when the placement is a degraded (heuristic/budget-cut)
-    #: answer rather than a proven-optimal one — recorded so sweep
-    #: results stay auditable when the solver deadline fires.
+    #: True when the placement is a degraded (budget-cut exact) answer
+    #: rather than a proven-optimal one — recorded so sweep results
+    #: stay auditable when the solver deadline fires.
     degraded: bool = False
+    #: Which solver produced the placement: "exact", "heuristic", or
+    #: "default" (the lexicographic non-solver placement).
+    method: str = "exact"
+    #: Best-so-far bound improvements: (source, objective, elapsed_s).
+    bound_trajectory: Tuple[Tuple[str, float, float], ...] = field(
+        default=()
+    )
+    #: Per-solver race breakdown: (name, objective, nodes, time_s,
+    #: finished).
+    solver_runs: Tuple[Tuple[str, float, int, float, bool], ...] = field(
+        default=()
+    )
+    #: True when a heuristic bound was shared into the exact search.
+    bound_shared: bool = False
 
     def __post_init__(self) -> None:
         if len(set(self.placement)) != len(self.placement):
@@ -77,7 +102,31 @@ def default_mapping(circuit: Circuit, device: Device) -> InitialMapping:
     return InitialMapping(
         placement=tuple(range(circuit.num_qubits)),
         num_hardware_qubits=device.num_qubits,
+        method="default",
     )
+
+
+def mapping_problem(
+    circuit: Circuit, device: Device, reliability: ReliabilityMatrix
+) -> AssignmentProblem:
+    """The assignment problem ``smt_mapping`` solves, as data.
+
+    Exposed so the differential test gate and the mapper benchmarks can
+    race solvers on the *identical* problem instance the compiler sees.
+    """
+    _check_fits(circuit, device)
+    problem = AssignmentProblem(circuit.num_qubits, device.num_qubits)
+    pair_scores = reliability.symmetric()
+    for pair in interaction_pairs(circuit):
+        a, b = sorted(pair)
+        problem.add_pair_term(a, b, pair_scores)
+    readout = np.maximum(reliability.readout, 1e-12)
+    measured = sorted(
+        {inst.qubits[0] for inst in circuit if inst.is_measurement}
+    )
+    for program_qubit in measured:
+        problem.add_unary_term(program_qubit, readout)
+    return problem
 
 
 def smt_mapping(
@@ -87,6 +136,7 @@ def smt_mapping(
     node_limit: int = 200_000,
     time_limit_s: Optional[float] = 30.0,
     warm_hint: Optional[Tuple[int, ...]] = None,
+    mapper: str = "exact",
 ) -> InitialMapping:
     """Reliability-optimized placement via the max-min solver.
 
@@ -99,24 +149,27 @@ def smt_mapping(
     the search up but never changes the returned placement — the
     solver replays its cold probe sequence and only skips oracle calls
     the hint already proved infeasible.
+
+    ``mapper`` selects the backend: ``"exact"`` (branch-and-bound),
+    ``"portfolio"`` (anytime race, exact when it finishes), or
+    ``"heuristic"`` (greedy + annealing only).
     """
-    _check_fits(circuit, device)
-    num_program = circuit.num_qubits
-    problem = AssignmentProblem(num_program, device.num_qubits)
-    pair_scores = reliability.symmetric()
-    for pair in interaction_pairs(circuit):
-        a, b = sorted(pair)
-        problem.add_pair_term(a, b, pair_scores)
-    readout = np.maximum(reliability.readout, 1e-12)
-    measured = sorted(
-        {inst.qubits[0] for inst in circuit if inst.is_measurement}
-    )
-    for program_qubit in measured:
-        problem.add_unary_term(program_qubit, readout)
-    solver = MaxMinSolver(
-        problem, node_limit=node_limit, time_limit_s=time_limit_s
-    )
-    solution = solver.solve(warm_hint=warm_hint)
+    if mapper not in MAPPER_METHODS:
+        raise ValueError(
+            f"unknown mapper {mapper!r}; choose from {MAPPER_METHODS}"
+        )
+    problem = mapping_problem(circuit, device, reliability)
+    if mapper == "exact":
+        solution = MaxMinSolver(
+            problem, node_limit=node_limit, time_limit_s=time_limit_s
+        ).solve(warm_hint=warm_hint)
+    else:
+        solution = PortfolioSolver(
+            problem,
+            node_limit=node_limit,
+            time_limit_s=time_limit_s,
+            include_exact=(mapper == "portfolio"),
+        ).solve(warm_hint=warm_hint)
     return InitialMapping(
         placement=solution.assignment,
         num_hardware_qubits=device.num_qubits,
@@ -124,4 +177,14 @@ def smt_mapping(
         solver_nodes=solution.stats.nodes,
         solver_time_s=solution.stats.wall_time_s,
         degraded=solution.degraded,
+        method=solution.method,
+        bound_trajectory=tuple(
+            (event.source, event.objective, event.elapsed_s)
+            for event in solution.trajectory
+        ),
+        solver_runs=tuple(
+            (run.name, run.objective, run.nodes, run.time_s, run.finished)
+            for run in solution.runs
+        ),
+        bound_shared=solution.bound_shared,
     )

@@ -15,6 +15,7 @@ from repro.ir.circuit import Circuit
 from repro.ir.instruction import Instruction
 from repro.ir.decompose import decompose_to_basis
 from repro.compiler.mapping import InitialMapping, default_mapping, smt_mapping
+from repro.smt import MAPPER_METHODS
 from repro.compiler.onequbit import count_pulses, optimize_single_qubit_gates
 from repro.compiler.reliability import ReliabilityMatrix, compute_reliability
 from repro.compiler.routing import route_circuit
@@ -148,6 +149,14 @@ class CompiledProgram:
             "solver_nodes": self.initial_mapping.solver_nodes,
             "solver_time_s": self.initial_mapping.solver_time_s,
             "degraded": self.initial_mapping.degraded,
+            "mapper_method": self.initial_mapping.method,
+            "bound_trajectory": [
+                list(event) for event in self.initial_mapping.bound_trajectory
+            ],
+            "solver_runs": [
+                list(run) for run in self.initial_mapping.solver_runs
+            ],
+            "bound_shared": self.initial_mapping.bound_shared,
             "final_placement": tuple(self.final_placement),
             "num_swaps": self.num_swaps,
             "compile_time_s": self.compile_time_s,
@@ -180,6 +189,26 @@ class CompiledProgram:
             solver_time_s=payload["solver_time_s"],
             # Entries written before the flag existed default to False.
             degraded=payload.get("degraded", False),
+            # Entries written before the mapper portfolio existed were
+            # all exact solves (or the default placement, which never
+            # reports an objective).
+            method=payload.get(
+                "mapper_method",
+                "default" if payload["objective"] is None else "exact",
+            ),
+            bound_trajectory=tuple(
+                (str(source), float(objective), float(elapsed))
+                for source, objective, elapsed in payload.get(
+                    "bound_trajectory", ()
+                )
+            ),
+            solver_runs=tuple(
+                (str(name), float(obj), int(nodes), float(t), bool(done))
+                for name, obj, nodes, t, done in payload.get(
+                    "solver_runs", ()
+                )
+            ),
+            bound_shared=payload.get("bound_shared", False),
         )
         return cls(
             circuit=circuit,
@@ -239,11 +268,16 @@ class TriQCompiler:
         commute: bool = False,
         contracts: Union[ContractMode, str, None] = None,
         warm_start: Optional[bool] = None,
+        mapper: str = "exact",
     ) -> None:
         if router not in ("basic", "lookahead"):
             raise ValueError(
                 f"unknown router {router!r}; choose 'basic' (per-gate "
                 "most-reliable path, the paper's) or 'lookahead'"
+            )
+        if mapper not in MAPPER_METHODS:
+            raise ValueError(
+                f"unknown mapper {mapper!r}; choose from {MAPPER_METHODS}"
             )
         self.device = device
         self.level = level
@@ -251,6 +285,10 @@ class TriQCompiler:
         self.node_limit = node_limit
         self.time_limit_s = time_limit_s
         self.router = router
+        #: Mapping solver backend: "exact" (branch-and-bound, the
+        #: paper's), "portfolio" (anytime race, bit-identical to exact
+        #: whenever exact finishes), or "heuristic" (greedy+annealing).
+        self.mapper = mapper
         #: Optional post-routing cleanup (off by default so gate counts
         #: match the paper's pipeline exactly).
         self.peephole = peephole
@@ -344,6 +382,7 @@ class TriQCompiler:
                 node_limit=self.node_limit,
                 time_limit_s=self.time_limit_s,
                 warm_hint=hint,
+                mapper=self.mapper,
             )
         except Exception:  # noqa: BLE001 - degrade, don't abort
             logger.warning(
@@ -404,12 +443,27 @@ class TriQCompiler:
                         solver_time_s=mapping.solver_time_s,
                         degraded=mapping.degraded,
                         warm_started=self.last_map_warm_started,
+                        mapper=self.mapper,
+                        method=mapping.method,
+                        bound_shared=mapping.bound_shared,
+                        bound_trajectory=[
+                            list(event)
+                            for event in mapping.bound_trajectory
+                        ],
+                        solver_runs=[
+                            list(run) for run in mapping.solver_runs
+                        ],
                     )
             pristine_mapping = mapping
             if injecting:
                 mapping = contract_inject.maybe_corrupt_mapping(mapping)
             recorder.run(
                 lambda: contract_checks.check_mapping(mapping, decomposed, device)
+            )
+            recorder.run(
+                lambda: contract_checks.check_mapper_divergence(
+                    mapping, device
+                )
             )
             if injecting and recorder.violations:
                 # Warn mode reached here with a corrupted placement, which

@@ -15,6 +15,7 @@ on every compiler stage, structured diagnostics, and fault injection.
 
 from repro.contracts.errors import (
     ContractError,
+    MapperDivergenceError,
     MappingContractError,
     RoutingContractError,
     SchedulingContractError,
@@ -28,6 +29,7 @@ from repro.contracts.errors import (
 )
 from repro.contracts.mode import ContractMode, ContractRecorder
 from repro.contracts.checks import (
+    check_mapper_divergence,
     check_mapping,
     check_routing,
     check_scheduling,
@@ -42,6 +44,7 @@ from repro.contracts.inject import CONTRACT_FAULT_ENV, injected_stage
 
 __all__ = [
     "ContractError",
+    "MapperDivergenceError",
     "MappingContractError",
     "RoutingContractError",
     "SchedulingContractError",
@@ -54,6 +57,7 @@ __all__ = [
     "ERROR_CODES",
     "ContractMode",
     "ContractRecorder",
+    "check_mapper_divergence",
     "check_mapping",
     "check_routing",
     "check_scheduling",

@@ -6,6 +6,9 @@ violated:
 
 * :func:`check_mapping` — every program qubit on a distinct, in-range
   hardware qubit.
+* :func:`check_mapper_divergence` — when the solver portfolio ran both
+  heuristics and a finished exact solve, the heuristic objective stays
+  within the blessed differential bound of the proven optimum.
 * :func:`check_routing` — 2Q gates only on coupled pairs; swap count
   and final placement consistent with the emitted swap gates.
 * :func:`check_scheduling` — the routed circuit is a
@@ -36,6 +39,7 @@ from repro.compiler.onequbit import gate_quaternion
 from repro.compiler.routing import RoutedCircuit
 from repro.contracts.errors import (
     CodegenContractError,
+    MapperDivergenceError,
     MappingContractError,
     OneQubitContractError,
     RoutingContractError,
@@ -96,6 +100,70 @@ def check_mapping(
                 device=device.name,
                 qubits=(program,),
             )
+
+
+#: The differential quality bound: whenever the exact solver finishes,
+#: the portfolio's best heuristic objective must reach at least this
+#: fraction of the proven optimum (the bound the differential gate
+#: suite blesses; see tests/test_mapper_portfolio.py).
+DEFAULT_MAPPER_DIVERGENCE_RATIO = 0.95
+
+
+def _solver_run_fields(run) -> Tuple[str, float, bool]:
+    """(name, objective, finished) from a SolverRun or its plain tuple.
+
+    :class:`~repro.compiler.mapping.InitialMapping` stores runs as
+    plain ``(name, objective, nodes, time_s, finished)`` tuples for
+    payload round-trips; live :class:`~repro.smt.solver.SolverRun`
+    records are accepted too.
+    """
+    if hasattr(run, "objective"):
+        return str(run.name), float(run.objective), bool(run.finished)
+    name, objective, _nodes, _time_s, finished = run
+    return str(name), float(objective), bool(finished)
+
+
+def check_mapper_divergence(
+    mapping: InitialMapping,
+    device: Device,
+    min_ratio: float = DEFAULT_MAPPER_DIVERGENCE_RATIO,
+) -> None:
+    """Heuristic and exact solver answers agree up to the blessed bound.
+
+    Applies only when a portfolio race recorded both a *finished* exact
+    run (a proven optimum) and heuristic runs.  Two invariants:
+
+    * soundness — no heuristic objective may exceed the proven optimum
+      (scoring disagreement between the solvers);
+    * quality — when no heuristic run was truncated by a deadline, the
+      best heuristic objective must reach ``min_ratio`` of the optimum
+      (the differential gate's bound).
+    """
+    runs = [
+        _solver_run_fields(run)
+        for run in getattr(mapping, "solver_runs", ()) or ()
+    ]
+    exact = [run for run in runs if run[0] == "exact" and run[2]]
+    heuristics = [run for run in runs if run[0] != "exact"]
+    if not exact or not heuristics:
+        return
+    optimum = exact[-1][1]
+    best = max(run[1] for run in heuristics)
+    if best > optimum + 1e-9:
+        raise MapperDivergenceError(
+            f"heuristic objective {best:.6g} exceeds the exact solver's "
+            f"proven optimum {optimum:.6g} — the solvers score "
+            "assignments differently",
+            device=device.name,
+        )
+    untruncated = all(run[2] for run in heuristics)
+    if optimum > 0 and untruncated and best < min_ratio * optimum - 1e-12:
+        raise MapperDivergenceError(
+            f"best heuristic objective {best:.6g} fell below "
+            f"{min_ratio:g}x the proven optimum {optimum:.6g} "
+            f"(ratio {best / optimum:.4f})",
+            device=device.name,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -529,6 +597,7 @@ def check_compiled_program(source: Circuit, program) -> List[str]:
     violations: List[str] = []
     device = program.device
     for check in (
+        lambda: check_mapper_divergence(program.initial_mapping, device),
         lambda: check_translation(program.circuit, device),
         lambda: check_codegen(program.circuit, device),
         lambda: check_semantics(source, program.circuit, device),

@@ -78,6 +78,20 @@ class MappingContractError(ContractError, ValueError):
     )
 
 
+class MapperDivergenceError(MappingContractError):
+    """The mapper portfolio's heuristic and exact solvers diverged
+    beyond the differential bound (or the heuristic claimed an
+    objective better than the proven optimum, which is unsound)."""
+
+    code = "MAP002"
+    pass_name = "mapping"
+    default_hint = (
+        "re-run with --mapper=exact to confirm the optimum; a genuine "
+        "heuristic regression needs the differential bound re-blessed "
+        "(see TESTING.md, 'Mapper differential gate')"
+    )
+
+
 class RoutingContractError(ContractError, RuntimeError):
     """Routing emitted a 2Q gate on an uncoupled hardware pair."""
 
@@ -183,6 +197,7 @@ class SemanticsContractError(ContractError, AssertionError):
 #: Every contract error class, keyed by code prefix — the README table.
 ERROR_CODES = {
     "MAP001": MappingContractError,
+    "MAP002": MapperDivergenceError,
     "ROUTE001": RoutingContractError,
     "SCHED001": SchedulingContractError,
     "TRANS001": TranslationContractError,

@@ -82,6 +82,10 @@ class FuzzConfig:
     max_shrink_attempts: int = 200
     #: Where reproducer JSON artifacts go; None disables writing.
     artifact_dir: Optional[Union[str, Path]] = None
+    #: Placement solver for TriQ compiles ("exact"/"portfolio"/
+    #: "heuristic"); portfolio runs also exercise the MAP002
+    #: heuristic-vs-exact divergence check.
+    mapper: str = "exact"
 
 
 @dataclass
@@ -179,12 +183,15 @@ def classify(
     compiler,
     contracts: Union[ContractMode, str] = ContractMode.STRICT,
     atol: float = 1e-6,
+    mapper: str = "exact",
 ) -> Optional[Tuple[str, str]]:
     """Compile one circuit and classify the outcome.
 
     Returns ``(kind, error)`` for a failure, or None when the circuit
     compiles cleanly and the compiled program's ideal distribution
-    matches the source's.
+    matches the source's.  ``mapper`` selects the placement solver for
+    TriQ compiles; portfolio compiles additionally classify MAP002
+    heuristic-vs-exact divergences as contract findings.
     """
     # Deferred: the runner drags in the device library and cache stack.
     from repro.experiments.runner import compile_with
@@ -193,7 +200,9 @@ def classify(
 
     mode = ContractMode.coerce(contracts)
     try:
-        program = compile_with(circuit, device, compiler, contracts=mode)
+        program = compile_with(
+            circuit, device, compiler, contracts=mode, mapper=mapper
+        )
     except ContractError as exc:
         return ("contract", exc.summary())
     except Exception as exc:  # noqa: BLE001 - any escape is a finding
@@ -227,6 +236,7 @@ def shrink_circuit(
     contracts: Union[ContractMode, str] = ContractMode.STRICT,
     atol: float = 1e-6,
     max_attempts: int = 200,
+    mapper: str = "exact",
 ) -> Circuit:
     """Greedy one-at-a-time instruction deletion preserving ``kind``.
 
@@ -253,7 +263,8 @@ def shrink_circuit(
                 continue
             attempts += 1
             outcome = classify(
-                candidate, device, compiler, contracts=contracts, atol=atol
+                candidate, device, compiler, contracts=contracts, atol=atol,
+                mapper=mapper,
             )
             if outcome is not None and outcome[0] == kind:
                 current = candidate_insts
@@ -270,6 +281,7 @@ def write_reproducer(
     finding: FuzzFinding,
     contracts: Union[ContractMode, str],
     atol: float,
+    mapper: str = "exact",
 ) -> Path:
     """Write one finding's replayable JSON artifact."""
     path = Path(path)
@@ -281,6 +293,7 @@ def write_reproducer(
         "compiler": finding.compiler,
         "contracts": ContractMode.coerce(contracts).value,
         "atol": atol,
+        "mapper": mapper,
         "circuit_index": finding.circuit_index,
         "error": finding.error,
         "original_instructions": finding.original_instructions,
@@ -305,6 +318,7 @@ def replay_reproducer(path: Union[str, Path]) -> Optional[Tuple[str, str]]:
         compiler,
         contracts=payload.get("contracts", "strict"),
         atol=payload.get("atol", 1e-6),
+        mapper=payload.get("mapper", "exact"),
     )
 
 
@@ -343,7 +357,8 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             for compiler in compilers:
                 attempts += 1
                 outcome = classify(
-                    circuit, device, compiler, contracts=mode, atol=config.atol
+                    circuit, device, compiler, contracts=mode,
+                    atol=config.atol, mapper=config.mapper,
                 )
                 if outcome is None:
                     continue
@@ -359,6 +374,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                         contracts=mode,
                         atol=config.atol,
                         max_attempts=config.max_shrink_attempts,
+                        mapper=config.mapper,
                     )
                 finding = FuzzFinding(
                     kind=kind,
@@ -378,6 +394,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                         finding,
                         mode,
                         config.atol,
+                        mapper=config.mapper,
                     )
                     finding.artifact_path = str(artifact)
                 findings.append(finding)

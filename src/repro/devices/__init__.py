@@ -28,6 +28,7 @@ from repro.devices.library import (
     device_by_name,
     example_8q_device,
     google_bristlecone_72,
+    synthetic_grid,
 )
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "device_by_name",
     "example_8q_device",
     "google_bristlecone_72",
+    "synthetic_grid",
 ]

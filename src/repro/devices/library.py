@@ -11,7 +11,7 @@ the study.  Per-gate calibration detail is synthesized by
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.devices.calibration import Calibration, CalibrationModel
 from repro.devices.device import Device
@@ -281,6 +281,34 @@ def example_8q_device() -> Device:
         topology=topology,
         calibration_model=StaticCalibrationModel(calibration),
         coherence_time_us=40.0,
+    )
+
+
+def synthetic_grid(
+    rows: int, cols: int, day: int = 0, seed: Optional[int] = None
+) -> Device:
+    """A synthetic ``rows x cols`` grid device for mapper scaling work.
+
+    Same IBM-style calibration family as :func:`google_bristlecone_72`
+    (the paper's methodology: error rates sampled from IBM calibration
+    history), parameterized by size so the 50/72/100-qubit scale suite
+    and the ROADMAP's larger synthetic families share one builder.  The
+    default seed is the qubit count, making each size a stable, distinct
+    machine.
+    """
+    topology = Topology.grid(rows, cols)
+    if seed is None:
+        seed = topology.num_qubits
+    return Device(
+        name=f"Synthetic Grid {rows}x{cols}",
+        gate_set=GATESET_BY_FAMILY[VendorFamily.IBM],
+        topology=topology,
+        calibration_model=_superconducting_model(
+            topology, 0.0714, 0.0022, 0.0415, seed=seed
+        ),
+        coherence_time_us=40.0,
+        gate_time_us=0.3,
+        day=day,
     )
 
 

@@ -375,6 +375,7 @@ def run_distributed_sweep(
     journal_dir=None,
     contracts: Union[ContractMode, str, None] = None,
     warm_start: bool = True,
+    mapper: str = "exact",
     host: str = "127.0.0.1",
     port: int = 0,
     lease_ttl_s: float = 30.0,
@@ -413,6 +414,7 @@ def run_distributed_sweep(
         run_id=run_id,
         journal_dir=journal_dir,
         contracts=contracts,
+        mapper=mapper,
     )
 
     def fallback(reason: str, can_resume: bool) -> SweepReport:
@@ -437,6 +439,7 @@ def run_distributed_sweep(
             journal_dir=journal_dir,
             contracts=contracts,
             warm_start=warm_start,
+            mapper=mapper,
         )
         report.fallback_reason = (
             reason

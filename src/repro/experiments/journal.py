@@ -36,11 +36,14 @@ def task_digest(task) -> str:
     two cells share a digest only if they are interchangeable.  The
     ``contracts`` field only joins the digest when a mode is enabled,
     so journals written before the contracts layer existed still
-    resume contract-off sweeps.
+    resume contract-off sweeps; the ``mapper`` field likewise only
+    joins when a non-default (non-exact) mapper is selected.
     """
     payload = dataclasses.asdict(task)
     if not payload.get("contracts"):
         payload.pop("contracts", None)
+    if not payload.get("mapper"):
+        payload.pop("mapper", None)
     return digest("sweep-cell", payload)
 
 

@@ -242,6 +242,7 @@ def run_task(task: SweepTask, attempt: int = 1) -> Tuple[Measurement, TaskReport
         mc_seed=task.mc_seed,
         cache=get_active_cache(),
         contracts=task.contracts,
+        mapper=task.mapper or "exact",
     )
     report = TaskReport(
         benchmark=task.benchmark,
@@ -445,6 +446,7 @@ def run_sweep(
     contracts: Union[ContractMode, str, None] = None,
     obs: Optional[ObsConfig] = None,
     warm_start: bool = True,
+    mapper: str = "exact",
 ) -> SweepReport:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -489,6 +491,15 @@ def run_sweep(
             bit-identical placement (and therefore measurements) warm
             or cold; it joins neither cache keys nor task digests, and
             multi-day sweeps stay resumable across the flag.
+        mapper: placement solver backend for every cell — "exact" (the
+            default branch-and-bound), "portfolio" (anytime heuristics
+            raced against exact, bit-identical whenever exact
+            finishes), or "heuristic" (greedy + annealing only).
+            Unlike ``warm_start`` a non-exact mapper *can* change
+            placements, so it rides on each :class:`SweepTask` and
+            joins cache keys, task digests and the run id; the exact
+            default leaves all of them byte-identical to
+            pre-portfolio sweeps.
         obs: observability configuration (``repro sweep --profile``).
             When enabled the supervisor and every worker record span
             traces (merged into ``<obs-dir>/trace.json``), sweep
@@ -519,6 +530,7 @@ def run_sweep(
         run_id=run_id,
         journal_dir=journal_dir,
         contracts=contracts,
+        mapper=mapper,
     )
     device = plan.device
     fitting = plan.fitting
@@ -689,6 +701,7 @@ def _run_serial(
                     built=built,
                     cache=cache,
                     contracts=task.contracts,
+                    mapper=task.mapper or "exact",
                 )
             except Exception as exc:  # noqa: BLE001 - task isolation
                 elapsed = time.perf_counter() - task_started

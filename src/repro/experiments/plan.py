@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     resolve_compiler,
 )
 from repro.programs import Benchmark, benchmark_by_name, standard_suite
+from repro.smt import MAPPER_METHODS
 
 logger = logging.getLogger("repro.sweep")
 
@@ -61,6 +62,10 @@ class SweepTask:
     #: Pass-contract mode value ("strict"/"warn") or None for off — a
     #: plain string so tasks stay picklable and journal-stable.
     contracts: Optional[str] = None
+    #: Mapper backend ("portfolio"/"heuristic") or None for the default
+    #: exact solver — None (not "exact") so pre-portfolio task digests
+    #: and journals stay stable.
+    mapper: Optional[str] = None
 
 
 def derive_task_seed(base_seed: int, *identity) -> int:
@@ -168,6 +173,7 @@ def build_sweep_plan(
     run_id: Optional[str] = None,
     journal_dir=None,
     contracts: Union[ContractMode, str, None] = None,
+    mapper: str = "exact",
 ) -> SweepPlan:
     """Resolve a sweep specification into an executable plan.
 
@@ -179,6 +185,10 @@ def build_sweep_plan(
     extraction (both hash plain field values, not module paths).
     """
     contract_mode = ContractMode.coerce(contracts)
+    if mapper not in MAPPER_METHODS:
+        raise ValueError(
+            f"unknown mapper {mapper!r}; choose from {MAPPER_METHODS}"
+        )
     if isinstance(device, str):
         device = device_by_name(device, day=day or 0)
     resolved_day = device.day if day is None else day
@@ -239,6 +249,7 @@ def build_sweep_plan(
                             if contract_mode.enabled
                             else None
                         ),
+                        mapper=mapper if mapper != "exact" else None,
                     )
                 )
     digests = [task_digest(task) for task in tasks]
@@ -256,6 +267,10 @@ def build_sweep_plan(
         # Only enabled modes join the run id, so contract-off sweeps
         # keep resuming journals written before the contracts layer.
         run_spec.append(contract_mode.value)
+    if mapper != "exact":
+        # Same back-compat pattern: only non-default mappers join, so
+        # exact-mapper sweeps keep resuming pre-portfolio journals.
+        run_spec.append(f"mapper={mapper}")
     effective_run_id = run_id or run_digest(*run_spec)
     if journal_dir is None and isinstance(cache, CompileCache):
         journal_dir = cache.root / "journals"

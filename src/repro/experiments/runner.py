@@ -28,6 +28,7 @@ from repro.ir.decompose import decompose_to_basis
 from repro.obs.tracer import span as obs_span
 from repro.programs import Benchmark
 from repro.sim import SuccessEstimate, monte_carlo_success_rate
+from repro.smt import MAPPER_METHODS
 
 #: Default Monte-Carlo fault samples per success measurement.  The
 #: paper uses 8192 hardware trials; our estimator is Rao-Blackwellized
@@ -73,6 +74,16 @@ class Measurement:
     #: Whether the placement came from a degraded (budget-cut or
     #: fallback) solve rather than a proven-optimal one.
     degraded: bool = False
+    #: Which solver produced the placement ("exact", "heuristic", or
+    #: "default" for non-noise-aware levels and the vendor baselines).
+    mapper_method: str = "exact"
+    #: Mapping-solver effort for the cell (0 for default placements).
+    solver_nodes: int = 0
+    solver_time_s: float = 0.0
+    #: True when a heuristic bound was shared into the exact search.
+    bound_shared: bool = False
+    #: Number of best-so-far bound improvements the race recorded.
+    bound_events: int = 0
     #: One-line pass-contract violation summaries recorded when the
     #: cell compiled under warn-mode contracts (empty otherwise).  A
     #: list, not a tuple, so journal records round-trip through JSON.
@@ -106,6 +117,7 @@ def compile_with(
     day: Optional[int] = None,
     seed: int = 0,
     contracts: Union[ContractMode, str, None] = None,
+    mapper: str = "exact",
 ) -> CompiledProgram:
     """Compile under a TriQ level or a vendor baseline by name.
 
@@ -113,11 +125,14 @@ def compile_with(
     check every stage inside the pipeline; the vendor baselines (whose
     internals predate the contract hooks) get the post-hoc checks —
     translation legality, codegen round-trip, end-to-end semantics.
+
+    ``mapper`` selects the placement solver backend for TriQ levels
+    (the vendor baselines have no solver and ignore it).
     """
     mode = ContractMode.coerce(contracts)
     if isinstance(compiler, OptimizationLevel):
         return TriQCompiler(
-            device, level=compiler, day=day, contracts=mode
+            device, level=compiler, day=day, contracts=mode, mapper=mapper
         ).compile(circuit)
     label = compiler.lower()
     if label == "qiskit":
@@ -150,6 +165,7 @@ def artifact_key(
     day: Optional[int] = None,
     seed: int = 0,
     contracts: Union[ContractMode, str, None] = None,
+    mapper: str = "exact",
 ) -> str:
     """The content-addressed cache key of one compiled-program artifact.
 
@@ -158,6 +174,10 @@ def artifact_key(
     provenance fields on :class:`repro.api.CompileResult` — can address
     the same artifact.
     """
+    if mapper not in MAPPER_METHODS:
+        raise ValueError(
+            f"unknown mapper {mapper!r}; choose from {MAPPER_METHODS}"
+        )
     mode = ContractMode.coerce(contracts)
     options = dict(_TRIQ_OPTIONS)
     if not isinstance(compiler, OptimizationLevel):
@@ -166,6 +186,11 @@ def artifact_key(
         # Only enabled modes join the key, so contract-off runs keep
         # hitting every artifact cached before the contracts layer.
         options["contracts"] = mode.value
+    if mapper != "exact" and isinstance(compiler, OptimizationLevel):
+        # Non-exact mappers can change the placement, so they address
+        # distinct artifacts; the default keeps every pre-portfolio
+        # cache entry reachable (same pattern as ``contracts`` above).
+        options["mapper"] = mapper
     return compile_key(circuit, device, compiler_label(compiler), day, options)
 
 
@@ -177,6 +202,7 @@ def compile_with_cache(
     seed: int = 0,
     cache: Optional[Cache] = None,
     contracts: Union[ContractMode, str, None] = None,
+    mapper: str = "exact",
 ) -> Tuple[CompiledProgram, Optional[bool]]:
     """Compile, consulting the artifact cache.
 
@@ -189,12 +215,14 @@ def compile_with_cache(
     if cache is None or not cache.enabled:
         return (
             compile_with(
-                circuit, device, compiler, day=day, seed=seed, contracts=mode
+                circuit, device, compiler, day=day, seed=seed,
+                contracts=mode, mapper=mapper,
             ),
             None,
         )
     key = artifact_key(
-        circuit, device, compiler, day=day, seed=seed, contracts=mode
+        circuit, device, compiler, day=day, seed=seed, contracts=mode,
+        mapper=mapper,
     )
     payload = cache.get(key)
     if payload is not None:
@@ -202,7 +230,8 @@ def compile_with_cache(
     # Activate the cache for the pipeline's reliability memoization too.
     with cache_context(cache):
         program = compile_with(
-            circuit, device, compiler, day=day, seed=seed, contracts=mode
+            circuit, device, compiler, day=day, seed=seed, contracts=mode,
+            mapper=mapper,
         )
     cache.put(key, program.to_payload())
     return program, False
@@ -266,6 +295,7 @@ def measure(
     built: Optional[Tuple[Circuit, str]] = None,
     cache: Optional[Cache] = None,
     contracts: Union[ContractMode, str, None] = None,
+    mapper: str = "exact",
 ) -> Measurement:
     """Compile one benchmark and optionally measure its success rate.
 
@@ -283,7 +313,7 @@ def measure(
     ) as measure_span:
         program, cache_hit = compile_with_cache(
             circuit, device, compiler, day=day, seed=seed, cache=cache,
-            contracts=contracts,
+            contracts=contracts, mapper=mapper,
         )
         if measure_span:
             measure_span.set(cache_hit=cache_hit)
@@ -300,6 +330,11 @@ def measure(
             cache_hit=cache_hit,
             day=day,
             degraded=program.initial_mapping.degraded,
+            mapper_method=program.initial_mapping.method,
+            solver_nodes=program.initial_mapping.solver_nodes,
+            solver_time_s=program.initial_mapping.solver_time_s,
+            bound_shared=program.initial_mapping.bound_shared,
+            bound_events=len(program.initial_mapping.bound_trajectory),
             contract_violations=list(program.contract_violations),
         )
         if with_success:
@@ -331,6 +366,7 @@ def sweep(
     task_timeout_s: Optional[float] = None,
     retries: int = 0,
     contracts: Union[ContractMode, str, None] = None,
+    mapper: str = "exact",
 ) -> List[Measurement]:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -356,6 +392,7 @@ def sweep(
         task_timeout_s=task_timeout_s,
         retries=retries,
         contracts=contracts,
+        mapper=mapper,
     ).measurements
 
 

@@ -443,6 +443,28 @@ def sweep_metrics(report: Any) -> MetricsRegistry:
         "repro_sweep_solver_degradations_total",
         "Cells whose placement came from a degraded (budget-cut) solve",
     )
+    mapper_method = registry.counter(
+        "repro_mapper_method_total",
+        "Cells by how the placement was produced "
+        "(exact/heuristic/default)",
+    )
+    mapper_nodes = registry.counter(
+        "repro_mapper_solver_nodes_total",
+        "Search nodes (or annealing steps) spent by placement solvers",
+    )
+    mapper_time = registry.histogram(
+        "repro_mapper_solver_time_seconds",
+        "Placement-solver wall time per cell",
+    )
+    mapper_bound_shared = registry.counter(
+        "repro_mapper_bound_shared_total",
+        "Cells where a heuristic bound certificate was shared into the "
+        "exact solver's binary search",
+    )
+    mapper_bound_events = registry.counter(
+        "repro_mapper_bound_events_total",
+        "Incumbent improvements recorded on mapper bound trajectories",
+    )
     for measurement in report.measurements:
         labels = dict(
             device=measurement.device,
@@ -453,6 +475,21 @@ def sweep_metrics(report: Any) -> MetricsRegistry:
             violations.inc(len(measurement.contract_violations), **labels)
         if measurement.degraded:
             degraded.inc(**labels)
+        # Mapper telemetry: fields default for pre-portfolio records
+        # replayed from old journals.
+        method = getattr(measurement, "mapper_method", "exact")
+        mapper_method.inc(method=method, **labels)
+        nodes = getattr(measurement, "solver_nodes", 0)
+        if nodes:
+            mapper_nodes.inc(nodes, **labels)
+        mapper_time.observe(
+            getattr(measurement, "solver_time_s", 0.0), **labels
+        )
+        if getattr(measurement, "bound_shared", False):
+            mapper_bound_shared.inc(**labels)
+        events = getattr(measurement, "bound_events", 0)
+        if events:
+            mapper_bound_events.inc(events, **labels)
 
     skipped = registry.counter(
         "repro_sweep_skipped_days_total",

@@ -141,9 +141,16 @@ class Quaternion:
         return (q.x / s, q.y / s, q.z / s)
 
     def is_identity(self, atol: float = 1e-8) -> bool:
-        """True when this rotation is (numerically) the identity."""
+        """True when this rotation is (numerically) the identity.
+
+        Bounds the *vector part* — ``sin(angle/2)``, linear in the
+        rotation angle — not ``|w|``, whose distance from 1 is
+        quadratic in the angle: a ``|w|`` test with atol 1e-8 would
+        silently accept rotations as large as ~3e-4 rad, whose unitary
+        sits ~1.4e-4 from identity.
+        """
         q = self.normalized()
-        return abs(abs(q.w) - 1.0) <= atol
+        return math.sqrt(q.x * q.x + q.y * q.y + q.z * q.z) <= atol
 
     def is_z_rotation(self, atol: float = 1e-8) -> bool:
         """True when the rotation is about the Z axis (including identity)."""

@@ -94,15 +94,16 @@ _CONTROL_FIELDS = {"tenant", "wait", "timeout", "deadline_s"}
 _PARAM_FIELDS = {
     "compile": {
         "benchmark", "scaffold", "defines", "device", "level", "day",
-        "contracts",
+        "contracts", "mapper",
     },
     "run": {
         "benchmark", "device", "level", "day", "fault_samples", "contracts",
+        "mapper",
     },
     "sweep": {
         "device", "compilers", "benchmarks", "day", "days", "fault_samples",
         "with_success", "workers", "base_seed", "task_timeout_s", "retries",
-        "skip_bad_days", "run_id", "resume", "contracts",
+        "skip_bad_days", "run_id", "resume", "contracts", "mapper",
     },
 }
 
@@ -571,6 +572,7 @@ class ReproService:
                 level=params.get("level", "1QOptCN"),
                 day=params.get("day", 0),
                 contracts=params.get("contracts"),
+                mapper=params.get("mapper", "exact"),
             )
             return params, f"compile:{key}"
         if kind == "run":
@@ -586,6 +588,7 @@ class ReproService:
                 level=params.get("level", "1QOptCN"),
                 day=params.get("day", 0),
                 contracts=params.get("contracts"),
+                mapper=params.get("mapper", "exact"),
             )
             samples = params.get("fault_samples", 100)
             return params, f"run:{key}:fs{samples}"

@@ -16,18 +16,41 @@ implements the needed fragment from scratch:
 
 Both solvers are deterministic, enforce node budgets, and report search
 statistics so the scaling study (paper 6.5) can be reproduced.
+
+:mod:`repro.smt.portfolio` adds an anytime solver portfolio — a greedy
+constructive heuristic, a seeded simulated-annealing refiner, and a race
+driver that shares heuristic bounds into the exact solver's binary
+search — for devices too large for the exact solver alone.
 """
 
 from repro.smt.problem import AssignmentProblem, PairTerm, UnaryTerm
-from repro.smt.solver import MaxMinSolver, Solution, SolverStats
+from repro.smt.solver import (
+    BoundEvent,
+    MaxMinSolver,
+    Solution,
+    SolverRun,
+    SolverStats,
+)
+from repro.smt.portfolio import (
+    MAPPER_METHODS,
+    PortfolioSolver,
+    SimulatedAnnealingRefiner,
+    greedy_assignment,
+)
 from repro.smt.product import ProductSolver
 
 __all__ = [
     "AssignmentProblem",
     "PairTerm",
     "UnaryTerm",
+    "BoundEvent",
+    "MAPPER_METHODS",
     "MaxMinSolver",
+    "PortfolioSolver",
     "ProductSolver",
+    "SimulatedAnnealingRefiner",
     "Solution",
+    "SolverRun",
     "SolverStats",
+    "greedy_assignment",
 ]

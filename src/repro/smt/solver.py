@@ -17,8 +17,8 @@ too-unreliable gate.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,22 +38,62 @@ class SolverStats:
 
 
 @dataclass(frozen=True)
+class SolverRun:
+    """One solver's contribution inside a portfolio race."""
+
+    name: str
+    objective: float
+    nodes: int
+    time_s: float
+    #: Exact: the solve proved optimality.  Heuristics: the schedule ran
+    #: to completion (a deadline did not truncate it).
+    finished: bool
+
+
+@dataclass(frozen=True)
+class BoundEvent:
+    """One best-so-far improvement on the anytime race timeline."""
+
+    source: str
+    objective: float
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
 class Solution:
-    """An assignment and its objective value."""
+    """An assignment and its objective value.
+
+    ``method`` names the solver that produced the returned assignment:
+    ``"exact"`` for the branch-and-bound binary search, ``"heuristic"``
+    for a portfolio answer whose exact stage did not finish (or was
+    never run).  ``trajectory`` and ``runs`` are populated by the
+    portfolio driver; a plain exact solve leaves them empty.
+    """
 
     assignment: Tuple[int, ...]
     objective: float
     stats: SolverStats
+    method: str = "exact"
+    #: Best-so-far improvements in race order (monotone objectives).
+    trajectory: Tuple[BoundEvent, ...] = field(default=())
+    #: Per-solver effort breakdown for the race.
+    runs: Tuple[SolverRun, ...] = field(default=())
+    #: True when a heuristic bound was shared into the exact solver's
+    #: binary search (the PR 5 bound-only warm-hint mechanism).
+    bound_shared: bool = False
 
     @property
     def degraded(self) -> bool:
-        """True when a node/time budget cut optimization short.
+        """True when a node/time budget cut the *exact* solve short.
 
         The assignment is still valid (at worst the greedy seed): the
         solver degrades to its heuristic incumbent rather than failing,
-        and callers record the degradation instead of hiding it.
+        and callers record the degradation instead of hiding it.  A
+        portfolio answer that deliberately returns its best heuristic
+        (``method="heuristic"``) is an anytime result, not a degraded
+        one — only an exact solve that ran out of budget reads True.
         """
-        return not self.stats.proven_optimal
+        return self.method == "exact" and not self.stats.proven_optimal
 
 
 class _FeasibilitySearch:
@@ -213,11 +253,19 @@ class MaxMinSolver:
         return tuple(assignment)
 
     def feasible(
-        self, threshold: float, stats: Optional[SolverStats] = None
+        self,
+        threshold: float,
+        stats: Optional[SolverStats] = None,
+        deadline: Optional[float] = None,
     ) -> Optional[Tuple[int, ...]]:
-        """An assignment with every term score >= ``threshold``, if found."""
-        deadline = None
-        if self.time_limit_s is not None:
+        """An assignment with every term score >= ``threshold``, if found.
+
+        ``deadline`` (absolute, ``time.monotonic`` scale) caps this one
+        check; when omitted the solver's own ``time_limit_s`` applies.
+        ``solve`` passes its overall deadline so a budgeted solve never
+        overshoots its wall budget by more than one search node.
+        """
+        if deadline is None and self.time_limit_s is not None:
             deadline = time.monotonic() + self.time_limit_s
         search = _FeasibilitySearch(
             self.problem, threshold, self.node_limit, deadline
@@ -263,7 +311,9 @@ class MaxMinSolver:
                 break
             mid = lo if first else (lo + hi) // 2
             first = False
-            result = self.feasible(float(thresholds[mid]), scratch)
+            result = self.feasible(
+                float(thresholds[mid]), scratch, deadline=deadline
+            )
             if not scratch.proven_optimal:
                 # A budget-cut "infeasible" is not a proof.
                 proven = None
@@ -281,9 +331,16 @@ class MaxMinSolver:
         return proven
 
     def solve(
-        self, warm_hint: Optional[Tuple[int, ...]] = None
+        self,
+        warm_hint: Optional[Tuple[int, ...]] = None,
+        on_improve: Optional[Callable[[float], None]] = None,
     ) -> Solution:
         """Maximize the minimum term score.
+
+        ``on_improve`` is an optional callback invoked with the new
+        best objective each time the binary search raises its incumbent
+        (used by the portfolio driver to record the bound trajectory);
+        it observes the search and must not mutate the problem.
 
         Always returns a valid injective assignment: the greedy
         incumbent seeds the search, so a blown deadline or node budget
@@ -316,6 +373,8 @@ class MaxMinSolver:
         best = self.greedy()
         problem.validate(best)
         best_objective = problem.min_score(best)
+        if on_improve is not None:
+            on_improve(best_objective)
         thresholds = problem.candidate_thresholds()
         overall_deadline = (
             started + self.time_limit_s if self.time_limit_s is not None else None
@@ -347,10 +406,14 @@ class MaxMinSolver:
             if proven_max is not None and threshold > proven_max:
                 result = None
             else:
-                result = self.feasible(threshold, stats)
+                result = self.feasible(
+                    threshold, stats, deadline=overall_deadline
+                )
             if result is not None:
                 best = result
                 best_objective = problem.min_score(result)
+                if on_improve is not None:
+                    on_improve(best_objective)
                 lo = (
                     int(np.searchsorted(thresholds, best_objective, side="right"))
                 )

@@ -214,6 +214,7 @@ class TestBenchCommand:
         assert set(report["kernels"]) == {
             "trajectory_sampling", "trajectory_sampling_deep",
             "success_estimation", "reliability_matrix",
+            "mapper_portfolio",
         }
         for record in report["kernels"].values():
             assert record["speedup"] > 0

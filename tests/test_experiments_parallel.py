@@ -18,10 +18,12 @@ LEVELS = [OptimizationLevel.N, OptimizationLevel.OPT_1QCN]
 
 
 def strip_timing(measurements):
-    """Measurements with the wall-clock field neutralized."""
+    """Measurements with the wall-clock fields neutralized."""
     stripped = []
     for m in measurements:
-        clone = type(m)(**{**m.__dict__, "compile_time_s": 0.0})
+        clone = type(m)(
+            **{**m.__dict__, "compile_time_s": 0.0, "solver_time_s": 0.0}
+        )
         stripped.append(clone)
     return stripped
 

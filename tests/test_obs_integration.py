@@ -171,11 +171,12 @@ class TestDeterminismInvariance:
         assert len(plain.measurements) == len(traced.measurements)
         for a, b in zip(plain.measurements, traced.measurements):
             fields_a, fields_b = dict(vars(a)), dict(vars(b))
-            # compile_time_s is wall clock: it differs between ANY two
-            # fresh runs, observability or not.  Everything else must
-            # be byte-identical.
-            fields_a.pop("compile_time_s")
-            fields_b.pop("compile_time_s")
+            # compile_time_s and solver_time_s are wall clock: they
+            # differ between ANY two fresh runs, observability or not.
+            # Everything else must be byte-identical.
+            for fields in (fields_a, fields_b):
+                fields.pop("compile_time_s")
+                fields.pop("solver_time_s")
             assert fields_a == fields_b
 
 
