@@ -160,11 +160,13 @@ def _obs_session(obs: Optional[ObsConfig], tag: str, cache):
     Activates a tracer (and, when ``obs.profile``, cProfile) for the
     process, hooks the cache store's event observer, and on exit writes
     ``<tag>-trace.json`` / ``<tag>.pstats`` / ``<tag>-metrics.prom``
-    into the obs dir.  Yields a one-slot list that receives the
-    resulting :class:`ObsArtifacts` (or stays ``[None]`` when obs is
-    off) — the caller attaches it to its result after the block.
+    into the obs dir.  Yields a two-slot list: slot 0 receives the
+    resulting :class:`ObsArtifacts` (or stays ``None`` when obs is
+    off) — the caller attaches it to its result after the block — and
+    slot 1 holds the live metrics registry (``None`` when obs is off)
+    so callers can record command-scoped metrics families.
     """
-    holder: List[Optional[ObsArtifacts]] = [None]
+    holder: List[Any] = [None, None]
     if obs is None or not obs.enabled:
         yield holder
         return
@@ -179,6 +181,7 @@ def _obs_session(obs: Optional[ObsConfig], tag: str, cache):
             "Cache store events observed by this command",
         )
         cache.observer = lambda event: events.inc(event=event)
+    holder[1] = registry
     tracer = Tracer()
     profile_path = out_dir / f"{tag}.pstats" if obs.profile else None
     with tracer_context(tracer), cprofile_to(profile_path):
@@ -195,6 +198,16 @@ def _obs_session(obs: Optional[ObsConfig], tag: str, cache):
             )
 
 
+def _record_opt_metrics(obs_holder: List[Any], program) -> None:
+    """Feed the pass manager's accounting into the command's registry."""
+    registry = obs_holder[1] if len(obs_holder) > 1 else None
+    if registry is None or not program.opt_stats:
+        return
+    from repro.obs.metrics import optimization_metrics_into
+
+    optimization_metrics_into(registry, program.opt_stats, program.opt)
+
+
 def compile(  # noqa: A001 - the public API name; builtins.compile unused here
     benchmark: Optional[Union[str, Benchmark]] = None,
     *,
@@ -209,6 +222,7 @@ def compile(  # noqa: A001 - the public API name; builtins.compile unused here
     contracts: Optional[str] = None,
     warm_start: bool = True,
     mapper: str = "exact",
+    opt: str = "none",
     obs: Optional[ObsConfig] = None,
     obs_tag: str = "compile",
 ) -> CompileResult:
@@ -220,7 +234,9 @@ def compile(  # noqa: A001 - the public API name; builtins.compile unused here
     ``cache_dir`` enables the persistent artifact cache; ``contracts``
     is ``"strict"``/``"warn"``/``None``; ``mapper`` selects the
     placement solver (``"exact"``/``"portfolio"``/``"heuristic"``, see
-    :mod:`repro.smt.portfolio`).  Returns a :class:`CompileResult`
+    :mod:`repro.smt.portfolio`); ``opt`` the fixed-point pass-manager
+    preset (``"none"``/``"basic"``/``"full"``, see
+    :mod:`repro.compiler.passes`).  Returns a :class:`CompileResult`
     whose ``executable`` is byte-identical to what ``repro compile``
     emits.
     """
@@ -236,8 +252,9 @@ def compile(  # noqa: A001 - the public API name; builtins.compile unused here
         with _obs_session(obs, obs_tag, cache) as obs_holder:
             program, cache_hit = compile_with_cache(
                 built_circuit, resolved_device, resolved_level, day=day,
-                cache=cache, contracts=contracts, mapper=mapper,
+                cache=cache, contracts=contracts, mapper=mapper, opt=opt,
             )
+            _record_opt_metrics(obs_holder, program)
     return CompileResult(
         benchmark=(
             benchmark.name if isinstance(benchmark, Benchmark)
@@ -254,13 +271,20 @@ def compile(  # noqa: A001 - the public API name; builtins.compile unused here
         compile_time_s=program.compile_time_s,
         cache_key=artifact_key(
             built_circuit, resolved_device, resolved_level, day=day,
-            contracts=contracts, mapper=mapper,
+            contracts=contracts, mapper=mapper, opt=opt,
         ),
         cache_hit=cache_hit,
         degraded=program.initial_mapping.degraded,
         mapper_method=program.initial_mapping.method,
         bound_shared=program.initial_mapping.bound_shared,
         contract_violations=list(program.contract_violations),
+        opt=program.opt,
+        opt_gates_removed=sum(
+            row[3] - row[4] for row in program.opt_stats
+        ),
+        opt_two_qubit_removed=sum(
+            row[5] - row[6] for row in program.opt_stats
+        ),
         correct=correct,
         program=program,
         obs=obs_holder[0],
@@ -279,6 +303,7 @@ def run(
     contracts: Optional[str] = None,
     warm_start: bool = True,
     mapper: str = "exact",
+    opt: str = "none",
     obs: Optional[ObsConfig] = None,
     obs_tag: str = "run",
 ) -> RunResult:
@@ -302,8 +327,9 @@ def run(
         with _obs_session(obs, obs_tag, cache) as obs_holder:
             program, cache_hit = compile_with_cache(
                 built_circuit, resolved_device, resolved_level, day=day,
-                cache=cache, contracts=contracts, mapper=mapper,
+                cache=cache, contracts=contracts, mapper=mapper, opt=opt,
             )
+            _record_opt_metrics(obs_holder, program)
             estimate = monte_carlo_success_rate(
                 program.circuit,
                 resolved_device,
@@ -327,13 +353,20 @@ def run(
         compile_time_s=program.compile_time_s,
         cache_key=artifact_key(
             built_circuit, resolved_device, resolved_level, day=day,
-            contracts=contracts, mapper=mapper,
+            contracts=contracts, mapper=mapper, opt=opt,
         ),
         cache_hit=cache_hit,
         degraded=program.initial_mapping.degraded,
         mapper_method=program.initial_mapping.method,
         bound_shared=program.initial_mapping.bound_shared,
         contract_violations=list(program.contract_violations),
+        opt=program.opt,
+        opt_gates_removed=sum(
+            row[3] - row[4] for row in program.opt_stats
+        ),
+        opt_two_qubit_removed=sum(
+            row[5] - row[6] for row in program.opt_stats
+        ),
         correct=correct,
         program=program,
         obs=obs_holder[0],
@@ -447,6 +480,7 @@ def check(
     levels: Optional[Sequence[Union[str, OptimizationLevel]]] = None,
     day: int = 0,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> CheckResult:
     """Compile a grid under warn-mode contracts; collect every violation.
 
@@ -484,7 +518,7 @@ def check(
                 try:
                     program = compile_with(
                         built_circuit, dev, compiler, day=day,
-                        contracts="warn", mapper=mapper,
+                        contracts="warn", mapper=mapper, opt=opt,
                     )
                 except Exception as exc:  # noqa: BLE001 - audit and go on
                     errors.append(
@@ -521,6 +555,7 @@ def compile_cache_key(
     day: int = 0,
     contracts: Optional[str] = None,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> str:
     """The artifact key a compile of this request would use — no compile.
 
@@ -539,6 +574,7 @@ def compile_cache_key(
         day=day,
         contracts=contracts,
         mapper=mapper,
+        opt=opt,
     )
 
 

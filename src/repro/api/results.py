@@ -68,6 +68,13 @@ class CompileResult:
     #: Whether a heuristic bound certificate was shared into the exact
     #: solver's binary search (portfolio runs only).
     bound_shared: bool = False
+    #: Pass-manager preset that post-processed the routed circuit
+    #: ("none" when the fixed-point optimizer was skipped).
+    opt: str = "none"
+    #: Total gates removed by the pass manager (0 when opt == "none").
+    opt_gates_removed: int = 0
+    #: Total 2Q gates removed by the pass manager.
+    opt_two_qubit_removed: int = 0
     #: The live compiled program (not serialized; None after transport).
     program: Optional[CompiledProgram] = field(
         default=None, repr=False, compare=False
@@ -95,6 +102,9 @@ class CompileResult:
             "degraded": self.degraded,
             "mapper_method": self.mapper_method,
             "bound_shared": self.bound_shared,
+            "opt": self.opt,
+            "opt_gates_removed": self.opt_gates_removed,
+            "opt_two_qubit_removed": self.opt_two_qubit_removed,
             "contract_violations": list(self.contract_violations),
         }
 

@@ -107,6 +107,28 @@ def _add_mapper_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_opt_arg(
+    p: argparse.ArgumentParser, *, allow_sample: bool = False
+) -> None:
+    choices = ["none", "basic", "full"]
+    default = "none"
+    extra = ""
+    if allow_sample:
+        choices.append("sample")
+        default = "sample"
+        extra = (
+            ", sample (default here) draws a preset per generated "
+            "circuit"
+        )
+    p.add_argument(
+        "--opt", choices=choices, default=default,
+        help="fixed-point pass-manager preset applied after routing: "
+             "none (default) skips it, basic runs state compression + "
+             "peephole + 1Q coalescing, full adds commutation-driven "
+             "cancellation and 2Q block resynthesis" + extra,
+    )
+
+
 def _add_contract_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--contracts", choices=["strict", "warn", "off"], default="off",
@@ -195,6 +217,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         contracts=args.contracts,
         warm_start=not args.no_warm_start,
         mapper=args.mapper,
+        opt=args.opt,
         obs=_cli_obs_config(args),
         obs_tag="compile",
     )
@@ -235,6 +258,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         contracts=args.contracts,
         warm_start=not args.no_warm_start,
         mapper=args.mapper,
+        opt=args.opt,
         obs=_cli_obs_config(args),
         obs_tag="run",
     )
@@ -306,6 +330,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         obs=_cli_obs_config(args),
         warm_start=not args.no_warm_start,
         mapper=args.mapper,
+        opt=args.opt,
         **distributed,
     )
     headers = ["Benchmark", "Compiler", "2Q", "1Q pulses", "Depth", "Swaps"]
@@ -409,6 +434,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         levels=args.levels,
         day=args.day,
         mapper=args.mapper,
+        opt=args.opt,
     )
     for cell in result.errors:
         print(
@@ -460,6 +486,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
         mapper=args.mapper,
+        opt=None if args.opt == "sample" else args.opt,
     )
     report = run_fuzz(config)
     for finding in report.findings:
@@ -549,11 +576,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
-    report = run_bench(
-        trials=args.trials,
-        fault_samples=args.fault_samples,
-        repeats=args.repeats,
-    )
+    try:
+        report = run_bench(
+            trials=args.trials,
+            fault_samples=args.fault_samples,
+            repeats=args.repeats,
+            kernels=(
+                args.kernels.split(",") if args.kernels is not None else None
+            ),
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(format_report(report))
     out_path = args.output or DEFAULT_REPORT
     write_report(report, out_path)
@@ -662,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(compile_parser)
     _add_warm_start_arg(compile_parser)
     _add_mapper_arg(compile_parser)
+    _add_opt_arg(compile_parser)
     _add_contract_args(compile_parser)
     _add_obs_args(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
@@ -677,6 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(run_parser)
     _add_warm_start_arg(run_parser)
     _add_mapper_arg(run_parser)
+    _add_opt_arg(run_parser)
     _add_contract_args(run_parser)
     _add_obs_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
@@ -766,6 +802,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(sweep_parser)
     _add_warm_start_arg(sweep_parser)
     _add_mapper_arg(sweep_parser)
+    _add_opt_arg(sweep_parser)
     _add_contract_args(sweep_parser)
     _add_obs_args(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
@@ -878,6 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--day", type=int, default=0, help="calibration day (default 0)"
     )
     _add_mapper_arg(check_parser)
+    _add_opt_arg(check_parser)
     check_parser.set_defaults(func=_cmd_check)
 
     fuzz_parser = sub.add_parser(
@@ -930,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run one reproducer artifact instead of fuzzing",
     )
     _add_mapper_arg(fuzz_parser)
+    _add_opt_arg(fuzz_parser, allow_sample=True)
     fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     profile_parser = sub.add_parser(
@@ -987,6 +1026,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repeats per kernel, best-of (default 3)",
+    )
+    bench_parser.add_argument(
+        "--kernels", metavar="NAME[,NAME...]", default=None,
+        help="run only these kernels (default: all; gating a filtered "
+             "report against the committed baseline fails on the "
+             "skipped kernels)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

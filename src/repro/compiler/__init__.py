@@ -16,6 +16,9 @@ The pipeline mirrors Figure 4:
    pulse pair.
 6. :mod:`repro.compiler.pipeline` — the four optimization levels of
    paper Table 1 glued end to end, producing a :class:`CompiledProgram`.
+
+:mod:`repro.compiler.passes` adds a Quilc-style fixed-point pass
+manager on top (the ``--opt {none,basic,full}`` presets).
 """
 
 from repro.compiler.reliability import ReliabilityMatrix, compute_reliability
@@ -36,8 +39,18 @@ from repro.compiler.pipeline import (
     warm_start_default,
 )
 from repro.compiler.commute import commute_rotations_forward
+from repro.compiler.passes import (
+    OPT_PRESETS,
+    PassManager,
+    build_pass_manager,
+    preset_passes,
+)
 
 __all__ = [
+    "OPT_PRESETS",
+    "PassManager",
+    "build_pass_manager",
+    "preset_passes",
     "ReliabilityMatrix",
     "compute_reliability",
     "InitialMapping",

@@ -27,7 +27,9 @@ from repro.compiler.translate import (
 # safe: repro.contracts.checks itself imports compiler submodules.
 from repro.contracts import checks as contract_checks
 from repro.contracts import inject as contract_inject
+from repro.contracts.errors import OptimizationConfigError
 from repro.contracts.mode import ContractMode, ContractRecorder
+from repro.compiler.passes import build_pass_manager, validate_preset
 # Only the tracer module: the pipeline must not pay for the metrics or
 # profiling imports, and obs_span is free when no tracer is active.
 from repro.obs.tracer import span as obs_span
@@ -99,6 +101,13 @@ class CompiledProgram:
     #: One-line contract-violation summaries recorded when the compile
     #: ran with warn-mode contracts (empty when strict/off or clean).
     contract_violations: Tuple[str, ...] = ()
+    #: Optimization preset the compile ran with ("none" when the pass
+    #: manager was not engaged).
+    opt: str = "none"
+    #: Per-pass accounting rows from the pass manager — ``(pass, runs,
+    #: rewrites, gates_in, gates_out, two_qubit_in, two_qubit_out,
+    #: wall_s)`` — empty at ``opt="none"``.
+    opt_stats: Tuple[Tuple[Any, ...], ...] = ()
 
     # ------------------------------------------------------------------
     # The metrics the paper's figures plot.
@@ -161,6 +170,8 @@ class CompiledProgram:
             "num_swaps": self.num_swaps,
             "compile_time_s": self.compile_time_s,
             "contract_violations": list(self.contract_violations),
+            "opt": self.opt,
+            "opt_stats": [list(row) for row in self.opt_stats],
         }
 
     @classmethod
@@ -221,6 +232,11 @@ class CompiledProgram:
             compile_time_s=payload["compile_time_s"],
             # Entries written before the contracts layer lack the field.
             contract_violations=tuple(payload.get("contract_violations", ())),
+            # Entries written before the pass manager were unoptimized.
+            opt=payload.get("opt", "none"),
+            opt_stats=tuple(
+                tuple(row) for row in payload.get("opt_stats", ())
+            ),
         )
 
 
@@ -269,6 +285,7 @@ class TriQCompiler:
         contracts: Union[ContractMode, str, None] = None,
         warm_start: Optional[bool] = None,
         mapper: str = "exact",
+        opt: str = "none",
     ) -> None:
         if router not in ("basic", "lookahead"):
             raise ValueError(
@@ -278,6 +295,18 @@ class TriQCompiler:
         if mapper not in MAPPER_METHODS:
             raise ValueError(
                 f"unknown mapper {mapper!r}; choose from {MAPPER_METHODS}"
+            )
+        validate_preset(opt)
+        if commute and not level.optimizes_1q:
+            # Historically this combination was accepted and silently
+            # did nothing: the commute hook is nested under the 1Q
+            # optimizer, which level N skips entirely.
+            raise OptimizationConfigError(
+                f"commute=True has no effect at level "
+                f"{getattr(level, 'value', level)!r}: the commutation "
+                "pass only runs inside the 1Q optimizer, which this "
+                "level skips",
+                device=device.name,
             )
         self.device = device
         self.level = level
@@ -295,6 +324,9 @@ class TriQCompiler:
         #: Optional commutation-aware rotation motion before the 1Q
         #: optimizer (off by default for the same reason).
         self.commute = commute
+        #: Fixed-point pass-manager preset ("none" keeps the paper's
+        #: pipeline byte-identical; see repro.compiler.passes).
+        self.opt = opt
         #: Pass-contract enforcement (strict / warn / off; default off
         #: — checks cost time, see benchmarks/test_perf_contracts.py).
         self.contracts = ContractMode.coerce(contracts)
@@ -505,6 +537,29 @@ class TriQCompiler:
                 # chains meeting their gate) are visible.
                 with obs_span("peephole"):
                     routed_circuit = cancel_adjacent_gates(_lower(routed_circuit))
+            opt_stats: Tuple[Tuple[Any, ...], ...] = ()
+            if self.opt != "none":
+                from repro.ir.decompose import decompose_to_basis as _lower
+
+                # Optimize at the same CNOT level as the peephole hook:
+                # routing and scheduling contracts have already run, and
+                # the end-to-end semantics check still covers the result.
+                manager = build_pass_manager(self.opt, device=device.name)
+                with obs_span("optimize", preset=self.opt) as sp:
+                    lowered = _lower(routed_circuit)
+                    routed_circuit = manager.run(lowered, recorder=recorder)
+                    if sp:
+                        sp.set(
+                            gates_in=len(lowered),
+                            gates_out=len(routed_circuit),
+                            two_qubit_delta=(
+                                routed_circuit.num_two_qubit_gates()
+                                - lowered.num_two_qubit_gates()
+                            ),
+                            iterations=manager.iterations,
+                            converged=manager.converged,
+                        )
+                opt_stats = manager.stats_rows()
             with obs_span("translate") as sp:
                 translated = translate_two_qubit_gates(routed_circuit, self.device)
                 if sp:
@@ -563,6 +618,8 @@ class TriQCompiler:
             num_swaps=routed.num_swaps,
             compile_time_s=elapsed,
             contract_violations=tuple(recorder.violations),
+            opt=self.opt,
+            opt_stats=opt_stats,
         )
 
 

@@ -195,6 +195,50 @@ class SemanticsContractError(ContractError, AssertionError):
 
 
 #: Every contract error class, keyed by code prefix — the README table.
+class PassDistributionError(ContractError, AssertionError):
+    """An optimization pass changed the ideal output distribution."""
+
+    code = "OPT001"
+    pass_name = "pass-manager"
+    default_hint = (
+        "the offending rewrite is unsound; report the circuit with "
+        "`repro fuzz` so it can be shrunk to a reproducer"
+    )
+
+
+class PassMonotonicityError(ContractError, AssertionError):
+    """An optimization pass increased the 2Q-gate count."""
+
+    code = "OPT002"
+    pass_name = "pass-manager"
+    default_hint = (
+        "passes must be monotone in 2Q count; a rewrite that trades "
+        "2Q gates upward belongs in routing, not optimization"
+    )
+
+
+class PassConvergenceError(ContractError, RuntimeError):
+    """The pass pipeline failed to reach a fixed point."""
+
+    code = "OPT003"
+    pass_name = "pass-manager"
+    default_hint = (
+        "two passes are undoing each other's rewrites; raise "
+        "max_iterations or drop one of them from the preset"
+    )
+
+
+class OptimizationConfigError(ContractError, ValueError):
+    """An optimization knob combination that silently does nothing."""
+
+    code = "OPT004"
+    pass_name = "pass-manager"
+    default_hint = (
+        "commute=True only takes effect at levels with 1Q "
+        "optimization; use level TriQ-1QOpt or above, or --opt full"
+    )
+
+
 ERROR_CODES = {
     "MAP001": MappingContractError,
     "MAP002": MapperDivergenceError,
@@ -206,4 +250,8 @@ ERROR_CODES = {
     "CODEGEN002": CodegenEmitError,
     "CODEGEN003": CodegenParseError,
     "SEM001": SemanticsContractError,
+    "OPT001": PassDistributionError,
+    "OPT002": PassMonotonicityError,
+    "OPT003": PassConvergenceError,
+    "OPT004": OptimizationConfigError,
 }

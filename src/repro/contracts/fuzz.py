@@ -86,6 +86,11 @@ class FuzzConfig:
     #: "heuristic"); portfolio runs also exercise the MAP002
     #: heuristic-vs-exact divergence check.
     mapper: str = "exact"
+    #: Pass-manager preset for TriQ compiles ("none"/"basic"/"full");
+    #: None samples a preset per circuit from the circuit's own RNG,
+    #: so the optimizer is fuzzed alongside the base pipeline without
+    #: changing which circuits are generated.
+    opt: Optional[str] = "none"
 
 
 @dataclass
@@ -184,6 +189,7 @@ def classify(
     contracts: Union[ContractMode, str] = ContractMode.STRICT,
     atol: float = 1e-6,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> Optional[Tuple[str, str]]:
     """Compile one circuit and classify the outcome.
 
@@ -191,7 +197,9 @@ def classify(
     compiles cleanly and the compiled program's ideal distribution
     matches the source's.  ``mapper`` selects the placement solver for
     TriQ compiles; portfolio compiles additionally classify MAP002
-    heuristic-vs-exact divergences as contract findings.
+    heuristic-vs-exact divergences as contract findings.  ``opt``
+    selects the pass-manager preset, so a miscompiling rewrite surfaces
+    as a differential finding even with contracts off.
     """
     # Deferred: the runner drags in the device library and cache stack.
     from repro.experiments.runner import compile_with
@@ -201,7 +209,8 @@ def classify(
     mode = ContractMode.coerce(contracts)
     try:
         program = compile_with(
-            circuit, device, compiler, contracts=mode, mapper=mapper
+            circuit, device, compiler, contracts=mode, mapper=mapper,
+            opt=opt,
         )
     except ContractError as exc:
         return ("contract", exc.summary())
@@ -237,6 +246,7 @@ def shrink_circuit(
     atol: float = 1e-6,
     max_attempts: int = 200,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> Circuit:
     """Greedy one-at-a-time instruction deletion preserving ``kind``.
 
@@ -264,7 +274,7 @@ def shrink_circuit(
             attempts += 1
             outcome = classify(
                 candidate, device, compiler, contracts=contracts, atol=atol,
-                mapper=mapper,
+                mapper=mapper, opt=opt,
             )
             if outcome is not None and outcome[0] == kind:
                 current = candidate_insts
@@ -282,6 +292,7 @@ def write_reproducer(
     contracts: Union[ContractMode, str],
     atol: float,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> Path:
     """Write one finding's replayable JSON artifact."""
     path = Path(path)
@@ -294,6 +305,7 @@ def write_reproducer(
         "contracts": ContractMode.coerce(contracts).value,
         "atol": atol,
         "mapper": mapper,
+        "opt": opt,
         "circuit_index": finding.circuit_index,
         "error": finding.error,
         "original_instructions": finding.original_instructions,
@@ -319,6 +331,7 @@ def replay_reproducer(path: Union[str, Path]) -> Optional[Tuple[str, str]]:
         contracts=payload.get("contracts", "strict"),
         atol=payload.get("atol", 1e-6),
         mapper=payload.get("mapper", "exact"),
+        opt=payload.get("opt", "none"),
     )
 
 
@@ -351,6 +364,13 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         circuit = random_circuit(
             rng, num_qubits, num_gates, name=f"fuzz-{config.seed}-{index}"
         )
+        # Sampled *after* generation from the same per-circuit RNG, so
+        # opt=None fuzzes the same circuits a fixed-preset run sees.
+        opt = (
+            config.opt
+            if config.opt is not None
+            else rng.choice(("none", "basic", "full"))
+        )
         for device in devices:
             if circuit.num_qubits > device.num_qubits:
                 continue
@@ -358,7 +378,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                 attempts += 1
                 outcome = classify(
                     circuit, device, compiler, contracts=mode,
-                    atol=config.atol, mapper=config.mapper,
+                    atol=config.atol, mapper=config.mapper, opt=opt,
                 )
                 if outcome is None:
                     continue
@@ -375,6 +395,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                         atol=config.atol,
                         max_attempts=config.max_shrink_attempts,
                         mapper=config.mapper,
+                        opt=opt,
                     )
                 finding = FuzzFinding(
                     kind=kind,
@@ -395,6 +416,7 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                         mode,
                         config.atol,
                         mapper=config.mapper,
+                        opt=opt,
                     )
                     finding.artifact_path = str(artifact)
                 findings.append(finding)

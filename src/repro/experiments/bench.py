@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import platform
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -199,11 +199,84 @@ def _bench_mapper(repeats: int) -> Dict[str, float]:
     }
 
 
+def _bench_pass_manager(repeats: int, fault_samples: int = 50) -> Dict[str, float]:
+    """Suite compile without vs with the fixed-point pass manager.
+
+    Not a serial-vs-vectorized rewrite either: the "reference" compiles
+    the whole fitting suite at TriQ-1QOptCN with ``opt="none"`` and the
+    "vectorized" side repeats it with ``opt="full"``, so the ratio is
+    the optimizer's wall-time overhead (expected below 1.0x —
+    report-only).  The payoff lands in the quality columns:
+    ``two_qubit_none``/``two_qubit_full`` totals and the mean
+    Monte-Carlo success over the suite for both sides.
+
+    The equality assert is the pass manager's central invariant: per
+    benchmark, the optimized 2Q count never exceeds the unoptimized
+    one.
+    """
+    from repro.compiler import OptimizationLevel, compile_circuit
+    from repro.devices import ibmq16_rueschlikon
+    from repro.experiments.runner import fits
+    from repro.programs import standard_suite
+    from repro.sim.success import monte_carlo_success_rate
+
+    device = ibmq16_rueschlikon()
+    suite = []
+    for benchmark in standard_suite():
+        circuit, correct = benchmark.build()
+        if fits(circuit, device):
+            suite.append((benchmark.name, circuit, correct))
+
+    def compile_suite(opt):
+        return {
+            name: compile_circuit(
+                circuit, device, level=OptimizationLevel.OPT_1QCN, opt=opt
+            )
+            for name, circuit, _ in suite
+        }
+
+    ref_s, plain = _best_of(lambda: compile_suite("none"), repeats)
+    full_s, optimized = _best_of(lambda: compile_suite("full"), repeats)
+    for name, _, _ in suite:
+        before = plain[name].two_qubit_gate_count()
+        after = optimized[name].two_qubit_gate_count()
+        if after > before:
+            raise AssertionError(
+                f"pass manager increased 2Q count on {name}: "
+                f"{before} -> {after}"
+            )
+
+    def mean_success(programs):
+        rates = [
+            monte_carlo_success_rate(
+                programs[name].circuit, device, correct,
+                fault_samples=fault_samples, seed=1,
+            ).success_rate
+            for name, _, correct in suite
+        ]
+        return sum(rates) / len(rates)
+
+    return {
+        "reference_s": ref_s,
+        "vectorized_s": full_s,
+        "benchmarks": len(suite),
+        "two_qubit_none": sum(
+            p.two_qubit_gate_count() for p in plain.values()
+        ),
+        "two_qubit_full": sum(
+            p.two_qubit_gate_count() for p in optimized.values()
+        ),
+        "success_none": mean_success(plain),
+        "success_full": mean_success(optimized),
+    }
+
+
 def run_bench(
     trials: int = 3000,
     fault_samples: int = 400,
     reliability_loops: int = 20,
     repeats: int = 3,
+    kernels: Optional[Sequence[str]] = None,
 ) -> Dict:
     """Time every kernel pair and return the report dict.
 
@@ -211,23 +284,47 @@ def run_bench(
     distinct fault configurations — RNG overhead-bound) and QFT5 (deep,
     nearly every trial draws a distinct configuration —
     simulation-bound, where batching pays most).
+
+    ``kernels`` restricts the run to a subset by name (unknown names
+    raise); the default runs every kernel.  Gating a filtered report
+    against the committed baseline will fail on the skipped kernels —
+    coverage is part of the gate — so filtered runs are for local
+    iteration and tests with their own baselines.
     """
     from functools import partial
 
     from repro.programs import bernstein_vazirani, qft_benchmark
 
-    kernels: Dict[str, Dict[str, float]] = {
-        "trajectory_sampling": _bench_trajectories(
+    builders: Dict[str, Callable[[], Dict[str, float]]] = {
+        "trajectory_sampling": lambda: _bench_trajectories(
             partial(bernstein_vazirani, 4), trials, repeats
         ),
-        "trajectory_sampling_deep": _bench_trajectories(
+        "trajectory_sampling_deep": lambda: _bench_trajectories(
             partial(qft_benchmark, 5), max(trials // 6, 100), repeats
         ),
-        "success_estimation": _bench_success(fault_samples, repeats),
-        "reliability_matrix": _bench_reliability(reliability_loops, repeats),
-        "mapper_portfolio": _bench_mapper(repeats),
+        "success_estimation": lambda: _bench_success(fault_samples, repeats),
+        "reliability_matrix": lambda: _bench_reliability(
+            reliability_loops, repeats
+        ),
+        "mapper_portfolio": lambda: _bench_mapper(repeats),
+        "pass_manager": lambda: _bench_pass_manager(repeats),
     }
-    for record in kernels.values():
+    if kernels is not None:
+        unknown = sorted(set(kernels) - set(builders))
+        if unknown:
+            raise ValueError(
+                f"unknown bench kernel(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(builders))})"
+            )
+        selected = set(kernels)
+        builders = {
+            name: build for name, build in builders.items()
+            if name in selected
+        }
+    kernels_out: Dict[str, Dict[str, float]] = {
+        name: build() for name, build in builders.items()
+    }
+    for record in kernels_out.values():
         record["speedup"] = record["reference_s"] / record["vectorized_s"]
     return {
         "schema": BENCH_SCHEMA_VERSION,
@@ -237,7 +334,7 @@ def run_bench(
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
-        "kernels": kernels,
+        "kernels": kernels_out,
     }
 
 

@@ -376,6 +376,7 @@ def run_distributed_sweep(
     contracts: Union[ContractMode, str, None] = None,
     warm_start: bool = True,
     mapper: str = "exact",
+    opt: str = "none",
     host: str = "127.0.0.1",
     port: int = 0,
     lease_ttl_s: float = 30.0,
@@ -415,6 +416,7 @@ def run_distributed_sweep(
         journal_dir=journal_dir,
         contracts=contracts,
         mapper=mapper,
+        opt=opt,
     )
 
     def fallback(reason: str, can_resume: bool) -> SweepReport:
@@ -440,6 +442,7 @@ def run_distributed_sweep(
             contracts=contracts,
             warm_start=warm_start,
             mapper=mapper,
+            opt=opt,
         )
         report.fallback_reason = (
             reason

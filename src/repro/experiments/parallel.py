@@ -243,6 +243,7 @@ def run_task(task: SweepTask, attempt: int = 1) -> Tuple[Measurement, TaskReport
         cache=get_active_cache(),
         contracts=task.contracts,
         mapper=task.mapper or "exact",
+        opt=task.opt or "none",
     )
     report = TaskReport(
         benchmark=task.benchmark,
@@ -447,6 +448,7 @@ def run_sweep(
     obs: Optional[ObsConfig] = None,
     warm_start: bool = True,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> SweepReport:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -500,6 +502,11 @@ def run_sweep(
             joins cache keys, task digests and the run id; the exact
             default leaves all of them byte-identical to
             pre-portfolio sweeps.
+        opt: fixed-point pass-manager preset for every cell — "none"
+            (the default, byte-identical to pre-pass-manager sweeps),
+            "basic", or "full" (see :mod:`repro.compiler.passes`).
+            Like ``mapper`` it rides on each :class:`SweepTask` and
+            joins cache keys, task digests and the run id when engaged.
         obs: observability configuration (``repro sweep --profile``).
             When enabled the supervisor and every worker record span
             traces (merged into ``<obs-dir>/trace.json``), sweep
@@ -531,6 +538,7 @@ def run_sweep(
         journal_dir=journal_dir,
         contracts=contracts,
         mapper=mapper,
+        opt=opt,
     )
     device = plan.device
     fitting = plan.fitting
@@ -702,6 +710,7 @@ def _run_serial(
                     cache=cache,
                     contracts=task.contracts,
                     mapper=task.mapper or "exact",
+                    opt=task.opt or "none",
                 )
             except Exception as exc:  # noqa: BLE001 - task isolation
                 elapsed = time.perf_counter() - task_started

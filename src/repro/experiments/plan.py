@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache import Cache, CompileCache, digest
 from repro.compiler import OptimizationLevel
+from repro.compiler.passes import validate_preset
 from repro.contracts.mode import ContractMode
 from repro.devices import device_by_name
 from repro.devices.calibration import CalibrationError
@@ -66,6 +67,10 @@ class SweepTask:
     #: exact solver — None (not "exact") so pre-portfolio task digests
     #: and journals stay stable.
     mapper: Optional[str] = None
+    #: Pass-manager preset ("basic"/"full") or None for no optimization
+    #: — None (not "none") so pre-pass-manager task digests and
+    #: journals stay stable.
+    opt: Optional[str] = None
 
 
 def derive_task_seed(base_seed: int, *identity) -> int:
@@ -174,6 +179,7 @@ def build_sweep_plan(
     journal_dir=None,
     contracts: Union[ContractMode, str, None] = None,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> SweepPlan:
     """Resolve a sweep specification into an executable plan.
 
@@ -189,6 +195,7 @@ def build_sweep_plan(
         raise ValueError(
             f"unknown mapper {mapper!r}; choose from {MAPPER_METHODS}"
         )
+    validate_preset(opt)
     if isinstance(device, str):
         device = device_by_name(device, day=day or 0)
     resolved_day = device.day if day is None else day
@@ -250,6 +257,7 @@ def build_sweep_plan(
                             else None
                         ),
                         mapper=mapper if mapper != "exact" else None,
+                        opt=opt if opt != "none" else None,
                     )
                 )
     digests = [task_digest(task) for task in tasks]
@@ -271,6 +279,10 @@ def build_sweep_plan(
         # Same back-compat pattern: only non-default mappers join, so
         # exact-mapper sweeps keep resuming pre-portfolio journals.
         run_spec.append(f"mapper={mapper}")
+    if opt != "none":
+        # And again for the pass manager: unoptimized sweeps keep
+        # resuming pre-pass-manager journals.
+        run_spec.append(f"opt={opt}")
     effective_run_id = run_id or run_digest(*run_spec)
     if journal_dir is None and isinstance(cache, CompileCache):
         journal_dir = cache.root / "journals"

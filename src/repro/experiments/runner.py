@@ -21,6 +21,7 @@ from repro.compiler import (
     OptimizationLevel,
     TriQCompiler,
 )
+from repro.compiler.passes import validate_preset
 from repro.contracts import ContractMode, ContractRecorder, checks
 from repro.devices.device import Device
 from repro.ir.circuit import Circuit
@@ -88,6 +89,12 @@ class Measurement:
     #: cell compiled under warn-mode contracts (empty otherwise).  A
     #: list, not a tuple, so journal records round-trip through JSON.
     contract_violations: List[str] = field(default_factory=list)
+    #: Pass-manager preset the cell compiled with (None when the pass
+    #: manager was not engaged, so pre-PR journal records replay as-is).
+    opt_preset: Optional[str] = None
+    #: Net gates / 2Q gates the pass manager removed (0 at --opt none).
+    opt_gates_removed: int = 0
+    opt_two_qubit_removed: int = 0
 
 
 def fits(circuit: Circuit, device: Device) -> bool:
@@ -118,6 +125,7 @@ def compile_with(
     seed: int = 0,
     contracts: Union[ContractMode, str, None] = None,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> CompiledProgram:
     """Compile under a TriQ level or a vendor baseline by name.
 
@@ -126,13 +134,15 @@ def compile_with(
     internals predate the contract hooks) get the post-hoc checks —
     translation legality, codegen round-trip, end-to-end semantics.
 
-    ``mapper`` selects the placement solver backend for TriQ levels
-    (the vendor baselines have no solver and ignore it).
+    ``mapper`` selects the placement solver backend and ``opt`` the
+    fixed-point pass-manager preset for TriQ levels (the vendor
+    baselines have neither and ignore both).
     """
     mode = ContractMode.coerce(contracts)
     if isinstance(compiler, OptimizationLevel):
         return TriQCompiler(
-            device, level=compiler, day=day, contracts=mode, mapper=mapper
+            device, level=compiler, day=day, contracts=mode, mapper=mapper,
+            opt=opt,
         ).compile(circuit)
     label = compiler.lower()
     if label == "qiskit":
@@ -166,6 +176,7 @@ def artifact_key(
     seed: int = 0,
     contracts: Union[ContractMode, str, None] = None,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> str:
     """The content-addressed cache key of one compiled-program artifact.
 
@@ -178,6 +189,7 @@ def artifact_key(
         raise ValueError(
             f"unknown mapper {mapper!r}; choose from {MAPPER_METHODS}"
         )
+    validate_preset(opt)
     mode = ContractMode.coerce(contracts)
     options = dict(_TRIQ_OPTIONS)
     if not isinstance(compiler, OptimizationLevel):
@@ -191,6 +203,11 @@ def artifact_key(
         # distinct artifacts; the default keeps every pre-portfolio
         # cache entry reachable (same pattern as ``contracts`` above).
         options["mapper"] = mapper
+    if opt != "none" and isinstance(compiler, OptimizationLevel):
+        # Same pattern again: only engaged pass-manager presets join
+        # the key, so --opt none stays byte-identical to pre-pass-
+        # manager keys.
+        options["opt"] = opt
     return compile_key(circuit, device, compiler_label(compiler), day, options)
 
 
@@ -203,6 +220,7 @@ def compile_with_cache(
     cache: Optional[Cache] = None,
     contracts: Union[ContractMode, str, None] = None,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> Tuple[CompiledProgram, Optional[bool]]:
     """Compile, consulting the artifact cache.
 
@@ -216,13 +234,13 @@ def compile_with_cache(
         return (
             compile_with(
                 circuit, device, compiler, day=day, seed=seed,
-                contracts=mode, mapper=mapper,
+                contracts=mode, mapper=mapper, opt=opt,
             ),
             None,
         )
     key = artifact_key(
         circuit, device, compiler, day=day, seed=seed, contracts=mode,
-        mapper=mapper,
+        mapper=mapper, opt=opt,
     )
     payload = cache.get(key)
     if payload is not None:
@@ -231,7 +249,7 @@ def compile_with_cache(
     with cache_context(cache):
         program = compile_with(
             circuit, device, compiler, day=day, seed=seed, contracts=mode,
-            mapper=mapper,
+            mapper=mapper, opt=opt,
         )
     cache.put(key, program.to_payload())
     return program, False
@@ -296,6 +314,7 @@ def measure(
     cache: Optional[Cache] = None,
     contracts: Union[ContractMode, str, None] = None,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> Measurement:
     """Compile one benchmark and optionally measure its success rate.
 
@@ -313,7 +332,7 @@ def measure(
     ) as measure_span:
         program, cache_hit = compile_with_cache(
             circuit, device, compiler, day=day, seed=seed, cache=cache,
-            contracts=contracts, mapper=mapper,
+            contracts=contracts, mapper=mapper, opt=opt,
         )
         if measure_span:
             measure_span.set(cache_hit=cache_hit)
@@ -336,6 +355,13 @@ def measure(
             bound_shared=program.initial_mapping.bound_shared,
             bound_events=len(program.initial_mapping.bound_trajectory),
             contract_violations=list(program.contract_violations),
+            opt_preset=program.opt if program.opt != "none" else None,
+            opt_gates_removed=sum(
+                row[3] - row[4] for row in program.opt_stats
+            ),
+            opt_two_qubit_removed=sum(
+                row[5] - row[6] for row in program.opt_stats
+            ),
         )
         if with_success:
             with obs_span("success", fault_samples=fault_samples):
@@ -367,6 +393,7 @@ def sweep(
     retries: int = 0,
     contracts: Union[ContractMode, str, None] = None,
     mapper: str = "exact",
+    opt: str = "none",
 ) -> List[Measurement]:
     """Measure a benchmark suite under several compilers on one device.
 
@@ -393,6 +420,7 @@ def sweep(
         retries=retries,
         contracts=contracts,
         mapper=mapper,
+        opt=opt,
     ).measurements
 
 

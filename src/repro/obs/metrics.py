@@ -382,6 +382,52 @@ def _split_label_pairs(body: str) -> List[str]:
     return pairs
 
 
+def optimization_metrics_into(
+    registry: MetricsRegistry,
+    opt_stats: Iterable[Sequence[Any]],
+    preset: str,
+) -> None:
+    """Record one compile's pass-manager accounting (repro_opt_* family).
+
+    ``opt_stats`` rows follow :meth:`repro.compiler.passes.PassStats.row`:
+    ``(name, runs, rewrites, gates_in, gates_out, two_qubit_in,
+    two_qubit_out, wall_s)``.  Idempotent metric creation means several
+    compiles in one command accumulate into the same family.
+    """
+    runs = registry.counter(
+        "repro_opt_pass_runs_total",
+        "Pass executions inside the fixed-point loop",
+    )
+    rewrites = registry.counter(
+        "repro_opt_pass_rewrites_total",
+        "Rewrites applied by optimization passes",
+    )
+    gates_removed = registry.counter(
+        "repro_opt_gates_removed_total",
+        "Gates removed by optimization passes",
+    )
+    two_qubit_removed = registry.counter(
+        "repro_opt_two_qubit_removed_total",
+        "Two-qubit gates removed by optimization passes",
+    )
+    wall = registry.histogram(
+        "repro_opt_pass_seconds",
+        "Wall time per pass summed over fixed-point iterations",
+    )
+    for row in opt_stats:
+        name, n_runs, n_rewrites, g_in, g_out, q_in, q_out, wall_s = row
+        labels = dict(pass_name=str(name), preset=str(preset))
+        if n_runs:
+            runs.inc(n_runs, **labels)
+        if n_rewrites:
+            rewrites.inc(n_rewrites, **labels)
+        if g_in - g_out:
+            gates_removed.inc(g_in - g_out, **labels)
+        if q_in - q_out:
+            two_qubit_removed.inc(q_in - q_out, **labels)
+        wall.observe(float(wall_s), **labels)
+
+
 # ----------------------------------------------------------------------
 # Sweep aggregation (duck-typed over SweepReport to avoid an import
 # cycle: repro.experiments imports repro.obs, never the reverse).
@@ -465,6 +511,18 @@ def sweep_metrics(report: Any) -> MetricsRegistry:
         "repro_mapper_bound_events_total",
         "Incumbent improvements recorded on mapper bound trajectories",
     )
+    opt_cells = registry.counter(
+        "repro_opt_cells_total",
+        "Cells post-processed by the pass manager, by preset",
+    )
+    opt_gates_removed = registry.counter(
+        "repro_opt_gates_removed_total",
+        "Gates removed by optimization passes",
+    )
+    opt_two_qubit_removed = registry.counter(
+        "repro_opt_two_qubit_removed_total",
+        "Two-qubit gates removed by optimization passes",
+    )
     for measurement in report.measurements:
         labels = dict(
             device=measurement.device,
@@ -490,6 +548,17 @@ def sweep_metrics(report: Any) -> MetricsRegistry:
         events = getattr(measurement, "bound_events", 0)
         if events:
             mapper_bound_events.inc(events, **labels)
+        # Pass-manager telemetry: fields default for pre-pass-manager
+        # records replayed from old journals.
+        preset = getattr(measurement, "opt_preset", None)
+        if preset:
+            opt_cells.inc(preset=preset, **labels)
+            removed = getattr(measurement, "opt_gates_removed", 0)
+            if removed:
+                opt_gates_removed.inc(removed, **labels)
+            removed_2q = getattr(measurement, "opt_two_qubit_removed", 0)
+            if removed_2q:
+                opt_two_qubit_removed.inc(removed_2q, **labels)
 
     skipped = registry.counter(
         "repro_sweep_skipped_days_total",

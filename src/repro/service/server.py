@@ -94,16 +94,16 @@ _CONTROL_FIELDS = {"tenant", "wait", "timeout", "deadline_s"}
 _PARAM_FIELDS = {
     "compile": {
         "benchmark", "scaffold", "defines", "device", "level", "day",
-        "contracts", "mapper",
+        "contracts", "mapper", "opt",
     },
     "run": {
         "benchmark", "device", "level", "day", "fault_samples", "contracts",
-        "mapper",
+        "mapper", "opt",
     },
     "sweep": {
         "device", "compilers", "benchmarks", "day", "days", "fault_samples",
         "with_success", "workers", "base_seed", "task_timeout_s", "retries",
-        "skip_bad_days", "run_id", "resume", "contracts", "mapper",
+        "skip_bad_days", "run_id", "resume", "contracts", "mapper", "opt",
     },
 }
 
@@ -573,6 +573,7 @@ class ReproService:
                 day=params.get("day", 0),
                 contracts=params.get("contracts"),
                 mapper=params.get("mapper", "exact"),
+                opt=params.get("opt", "none"),
             )
             return params, f"compile:{key}"
         if kind == "run":
@@ -589,6 +590,7 @@ class ReproService:
                 day=params.get("day", 0),
                 contracts=params.get("contracts"),
                 mapper=params.get("mapper", "exact"),
+                opt=params.get("opt", "none"),
             )
             samples = params.get("fault_samples", 100)
             return params, f"run:{key}:fs{samples}"

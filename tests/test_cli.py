@@ -214,21 +214,26 @@ class TestBenchCommand:
         assert set(report["kernels"]) == {
             "trajectory_sampling", "trajectory_sampling_deep",
             "success_estimation", "reliability_matrix",
-            "mapper_portfolio",
+            "mapper_portfolio", "pass_manager",
         }
         for record in report["kernels"].values():
             assert record["speedup"] > 0
         assert "speedup" in capsys.readouterr().out
 
     def test_baseline_gate_passes_and_fails(self, tmp_path, capsys):
+        # Gating logic only — kernel coverage is test_writes_report's
+        # job, so restrict both runs to the cheapest kernel.
         import json
 
+        fast = ["--kernels", "trajectory_sampling"]
         generous = {"schema": 1, "kernels": {
             "trajectory_sampling": {"speedup": 0.01},
         }}
         (tmp_path / "ok.json").write_text(json.dumps(generous))
         assert (
-            main(self._args(tmp_path, ["--baseline", str(tmp_path / "ok.json")]))
+            main(self._args(
+                tmp_path, [*fast, "--baseline", str(tmp_path / "ok.json")]
+            ))
             == 0
         )
         impossible = {"schema": 1, "kernels": {
@@ -237,12 +242,30 @@ class TestBenchCommand:
         }}
         (tmp_path / "bad.json").write_text(json.dumps(impossible))
         assert (
-            main(self._args(tmp_path, ["--baseline", str(tmp_path / "bad.json")]))
+            main(self._args(
+                tmp_path, [*fast, "--baseline", str(tmp_path / "bad.json")]
+            ))
             == 4
         )
         err = capsys.readouterr().err
         assert "REGRESSION trajectory_sampling" in err
         assert "missing from bench report" in err
+
+    def test_kernel_filter_restricts_report_and_rejects_unknown(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        assert main(self._args(
+            tmp_path, ["--kernels", "trajectory_sampling,success_estimation"]
+        )) == 0
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert set(report["kernels"]) == {
+            "trajectory_sampling", "success_estimation",
+        }
+        capsys.readouterr()
+        assert main(self._args(tmp_path, ["--kernels", "warp_drive"])) == 2
+        assert "unknown bench kernel" in capsys.readouterr().err
 
     def test_report_only_kernels_never_fail_the_gate(self):
         # "gate": false entries (near-1.0x ratios that flake on shared
